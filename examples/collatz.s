@@ -1,0 +1,45 @@
+# Collatz trajectory lengths — a demo program in SynISA textual
+# assembly, runnable under the RIO runtime:
+#
+#   dune exec bin/rio_run.exe -- --file examples/collatz.s -c combined --stats
+#
+# Computes the total number of Collatz steps for 2..400 and the longest
+# trajectory seen, then prints both.
+
+.entry main
+
+.text
+main:
+    mov  %edi, $0            ; total steps
+    mov  %esi, $0            ; longest trajectory
+    mov  %ebx, $2            ; current n
+outer:
+    mov  %eax, %ebx          ; walk this n
+    mov  %ecx, $0            ; steps for this n
+walk:
+    cmp  %eax, $1
+    jle  done_walk
+    mov  %edx, %eax
+    and  %edx, $1
+    jz   even
+    ; odd: n = 3n + 1
+    imul %eax, $3
+    inc  %eax
+    jmp  step
+even:
+    shr  %eax, $1
+step:
+    inc  %ecx
+    jmp  walk
+done_walk:
+    add  %edi, %ecx
+    cmp  %ecx, %esi
+    jle  not_longer
+    mov  %esi, %ecx
+not_longer:
+    inc  %ebx
+    cmp  %ebx, $400
+    jle  outer
+    out  %edi                ; total steps
+    out  %esi                ; longest trajectory
+    hlt

@@ -1,0 +1,570 @@
+(** Benchmark harness: regenerates every table and figure of the
+    paper's evaluation (see DESIGN.md §4 for the experiment index).
+
+    {v
+    dune exec bench/main.exe            # everything
+    dune exec bench/main.exe table1     # one artifact
+    dune exec bench/main.exe -- --help
+    v}
+
+    Table 1 and Figure 5 report {e simulated cycles} (deterministic);
+    Table 2 reports real wall-clock time of this host's decoder and
+    encoder via Bechamel, plus exact heap accounting. *)
+
+open Workloads
+
+let pr fmt = Printf.printf fmt
+
+let geomean xs =
+  exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  pr "\n=== Table 1: performance of interpreter features (crafty, vpr) ===\n";
+  pr "%-28s %10s %10s\n" "System Type" "crafty" "vpr";
+  let wl = [ Option.get (Suite.by_name "crafty"); Option.get (Suite.by_name "vpr") ] in
+  let native = List.map (fun w -> float_of_int (Workload.run_native w).cycles) wl in
+  List.iter
+    (fun (name, opts) ->
+      let opts = { opts with Rio.Options.max_cycles = max_int / 2 } in
+      let ratios =
+        List.map2
+          (fun w n ->
+            let r, _ = Workload.run_rio ~opts w in
+            if not r.Workload.ok then
+              failwith (Printf.sprintf "table1: %s under %s: %s" w.name name r.detail);
+            float_of_int r.cycles /. n)
+          wl native
+      in
+      match ratios with
+      | [ c; v ] -> pr "%-28s %10.1f %10.1f\n" name c v
+      | _ -> assert false)
+    Rio.Options.table1_configs;
+  pr "(paper: ~300/~300, 26.1/26.0, 5.1/3.0, 2.0/1.2, 1.7/1.1)\n%!"
+
+(* Extended Table 1: the same five configurations over the whole suite
+   (not part of the paper; an appendix-style completeness check). *)
+let table1x () =
+  pr "\n=== Table 1 (extended): all workloads x all configurations ===\n";
+  pr "%-9s" "bench";
+  List.iter (fun (n, _) -> pr " %12s" n) Rio.Options.table1_configs;
+  pr "\n";
+  List.iter
+    (fun w ->
+      let native = float_of_int (Workload.run_native w).cycles in
+      pr "%-9s" w.Workload.name;
+      List.iter
+        (fun (_, opts) ->
+          let opts = { opts with Rio.Options.max_cycles = max_int / 2 } in
+          let r, _ = Workload.run_rio ~opts w in
+          if not r.Workload.ok then failwith (w.Workload.name ^ ": failed");
+          pr " %12.1f" (float_of_int r.cycles /. native))
+        Rio.Options.table1_configs;
+      pr "\n%!")
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Harvest the basic blocks of every workload by linear sweep of its
+   text segment. *)
+let harvest_blocks () : (Bytes.t * int) list =
+  List.concat_map
+    (fun w ->
+      let image = Asm.Assemble.assemble w.Workload.program in
+      let text = image.Asm.Image.text in
+      let base = image.Asm.Image.text_base in
+      let fetch a = Char.code (Bytes.get text (a - base)) in
+      let stop = base + Bytes.length text in
+      let blocks = ref [] in
+      let rec go start pc =
+        if pc >= stop then begin
+          if pc > start then blocks := (start, pc) :: !blocks
+        end
+        else
+          match Isa.Decode.opcode_eflags fetch pc with
+          | Error _ -> if pc > start then blocks := (start, pc) :: !blocks
+          | Ok (op, len) ->
+              if Isa.Opcode.is_cti op then begin
+                blocks := (start, pc + len) :: !blocks;
+                go (pc + len) (pc + len)
+              end
+              else go start (pc + len)
+      in
+      go base base;
+      List.map (fun (s, e) -> (Bytes.sub text (s - base) (e - s), s)) !blocks)
+    Suite.all
+
+(* One "decode" pass over a block at each representation level,
+   mirroring §3.1's measurement. *)
+let level_pass (lvl : int) (raw : Bytes.t) (addr : int) : Rio.Instr.t list =
+  let fetch a = Char.code (Bytes.get raw (a - addr)) in
+  let stop = addr + Bytes.length raw in
+  match lvl with
+  | 0 ->
+      (* find the final boundary (scan) but keep one bundle *)
+      let rec scan pc =
+        if pc >= stop then () else scan (pc + Isa.Decode.boundary_exn fetch pc)
+      in
+      scan addr;
+      [ Rio.Instr.of_bundle ~addr (Bytes.copy raw) ]
+  | 1 | 2 | 3 | 4 ->
+      let rec split pc acc =
+        if pc >= stop then List.rev acc
+        else
+          let len = Isa.Decode.boundary_exn fetch pc in
+          let piece = Bytes.sub raw (pc - addr) len in
+          let i = Rio.Instr.of_raw ~addr:pc piece in
+          (match lvl with
+           | 1 -> ()
+           | 2 -> Rio.Instr.uplevel2 i
+           | 3 -> Rio.Instr.uplevel3 i
+           | _ ->
+               Rio.Instr.uplevel3 i;
+               Rio.Instr.invalidate_raw i);
+          split (pc + len) (i :: acc)
+      in
+      split addr []
+  | _ -> invalid_arg "level_pass"
+
+let encode_pass (instrs : Rio.Instr.t list) ~addr : int =
+  List.fold_left
+    (fun pc i ->
+      let b = Rio.Instr.encode ~pc i in
+      pc + Bytes.length b)
+    addr instrs
+
+let run_ols elt =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.6) () in
+  let res = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let est = Analyze.one ols Toolkit.Instance.monotonic_clock res in
+  match Analyze.OLS.estimates est with Some [ e ] -> e | _ -> nan
+
+let table2 () =
+  pr "\n=== Table 2: decode+encode cost per representation level ===\n";
+  let blocks = harvest_blocks () in
+  let nblocks = List.length blocks in
+  pr "(%d basic blocks harvested from the %d workloads)\n" nblocks
+    (List.length Suite.all);
+  pr "%-7s %14s %16s\n" "Level" "Time (us)" "Memory (bytes)";
+  let open Bechamel in
+  List.iter
+    (fun lvl ->
+      let test =
+        Test.make
+          ~name:(Printf.sprintf "level%d" lvl)
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun (raw, addr) ->
+                   let il = level_pass lvl raw addr in
+                   ignore (encode_pass il ~addr))
+                 blocks))
+      in
+      let ns_per_pass = run_ols (List.hd (Test.elements test)) in
+      let us_per_block = ns_per_pass /. 1000.0 /. float_of_int nblocks in
+      let mem =
+        List.fold_left
+          (fun acc (rawb, addr) ->
+            let il = level_pass lvl rawb addr in
+            acc + (8 * Obj.reachable_words (Obj.repr il)))
+          0 blocks
+      in
+      pr "%-7d %14.3f %16.1f\n%!" lvl us_per_block
+        (float_of_int mem /. float_of_int nblocks))
+    [ 0; 1; 2; 3; 4 ];
+  pr "(paper: 2.12/64, 12.42/629, 13.01/629, 19.10/792, 61.79/792 — shape:\n";
+  pr " time and memory increase with level; L4 encode far costlier than L3)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: dispatch flow                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  pr "\n=== Figure 1: system flow (observed dispatch events, gzip) ===\n";
+  let w = Option.get (Suite.by_name "gzip") in
+  let image = Asm.Assemble.assemble w.program in
+  let m = Vm.Machine.create () in
+  Vm.Machine.set_input m w.input;
+  ignore (Asm.Image.load m image);
+  let rt = Rio.create m in
+  Rio.enable_flow_log rt;
+  ignore (Rio.run rt);
+  let log = Rio.flow_log rt in
+  pr "first 14 events:\n";
+  List.iteri (fun k e -> if k < 14 then pr "  %2d. %s\n" (k + 1) e) log;
+  let starts_with p e =
+    String.length e >= String.length p && String.sub e 0 (String.length p) = p
+  in
+  let count p = List.length (List.filter (starts_with p) log) in
+  pr "event counts over the whole run:\n";
+  List.iter
+    (fun p -> pr "  %-14s %6d\n" p (count p))
+    [ "dispatch"; "build bb"; "start trace"; "built trace"; "enter trace";
+      "ibl hit"; "ibl miss"; "halted" ];
+  pr "(the flow matches Figure 1: dispatch -> bb builder -> code cache;\n";
+  pr " exits return to dispatch until linked; traces take over hot code)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: representation levels                                    *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  pr "\n=== Figure 2: one instruction sequence at five levels ===\n";
+  let open Isa in
+  (* the paper's sequence, transliterated to SynISA *)
+  let seq =
+    [
+      Insn.mk_lea (Operand.Reg Reg.Esi) (Operand.mem_bi Reg.Ecx (Reg.Eax, 1));
+      Insn.mk_mov (Operand.Reg Reg.Eax) (Operand.mem_base ~disp:0xc Reg.Esi);
+      Insn.mk_sub (Operand.Reg Reg.Eax) (Operand.mem_base ~disp:0x1c Reg.Esi);
+      Insn.mk_movzx16 (Operand.Reg Reg.Ecx) (Operand.mem_base ~disp:8 Reg.Esi);
+      Insn.mk_shl (Operand.Reg Reg.Ecx) (Operand.Imm 7);
+      Insn.mk_cmp (Operand.Reg Reg.Eax) (Operand.Reg Reg.Ecx);
+      Insn.mk_jcc Cond.NL 0x77f52269;
+    ]
+  in
+  let addr0 = 0x77f51800 in
+  let bytes, _ =
+    List.fold_left
+      (fun (acc, pc) insn ->
+        let b = Encode.encode_exn ~pc insn in
+        (acc @ [ b ], pc + Bytes.length b))
+      ([], addr0) seq
+  in
+  let raw = Bytes.concat Bytes.empty bytes in
+  let hex = Disasm.hex_bytes in
+  pr "Level 0  (one bundle, only the final boundary known):\n";
+  pr "  raw: %s\n" (hex raw);
+  pr "Level 1  (split, un-decoded):\n";
+  List.iter (fun b -> pr "  %s\n" (hex b)) bytes;
+  pr "Level 2  (opcode + eflags):\n";
+  List.iter2
+    (fun b insn ->
+      pr "  %-26s %-8s %s\n" (hex b)
+        (Opcode.name insn.Insn.opcode)
+        (Fmt.str "%a" Eflags.pp_mask (Insn.eflags insn)))
+    bytes seq;
+  pr "Level 3  (fully decoded, raw bits valid):\n";
+  List.iter2
+    (fun b insn ->
+      pr "  %-26s %-30s %s\n" (hex b)
+        (Disasm.insn_to_string insn)
+        (Fmt.str "%a" Eflags.pp_mask (Insn.eflags insn)))
+    bytes seq;
+  pr "Level 4  (modified: raw bits invalid, re-encode from operands):\n";
+  List.iter
+    (fun insn ->
+      pr "  %-26s %-30s %s\n" "-"
+        (Disasm.insn_to_string insn)
+        (Fmt.str "%a" Eflags.pp_mask (Insn.eflags insn)))
+    seq;
+  pr "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: indirect-branch dispatch rewrite                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure4 () =
+  pr "\n=== Figure 4: adaptive indirect-branch dispatch (eon trace) ===\n";
+  let w = Option.get (Suite.by_name "eon") in
+  let image = Asm.Assemble.assemble w.program in
+  let m = Vm.Machine.create () in
+  Vm.Machine.set_input m w.input;
+  ignore (Asm.Image.load m image);
+  let before = ref None in
+  let capture =
+    {
+      Rio.Types.null_client with
+      name = "capture";
+      trace_hook =
+        Some
+          (fun _ ~tag:_ il ->
+            if !before = None then begin
+              let b = Buffer.create 256 in
+              Rio.Instrlist.iter il (fun i ->
+                  Buffer.add_string b ("    " ^ Rio.Instr.to_string i ^ "\n"));
+              before := Some (Buffer.contents b)
+            end);
+    }
+  in
+  let client = Clients.Compose.compose [ capture; Clients.Ibdispatch.make () ] in
+  let rt = Rio.create ~client m in
+  ignore (Rio.run rt);
+  pr "-- trace as first created (client view, before any rewrite):\n%s"
+    (Option.value !before ~default:"  (no trace built)\n");
+  let ts = List.hd rt.Rio.Types.thread_states in
+  (match Hashtbl.fold (fun _ f _ -> Some f) ts.Rio.Types.traces None with
+   | None -> pr "-- no live trace\n"
+   | Some frag ->
+       let fetch = Vm.Memory.fetch (Vm.Machine.mem m) in
+       pr "-- the same trace in the cache after %d adaptive rewrite(s)\n"
+         (Rio.stats rt).Rio.Stats.fragments_replaced;
+       pr "   (body, then exit stubs with the inserted compare chain):\n";
+       List.iter (pr "    %s\n")
+         (Isa.Disasm.region fetch ~pc:frag.Rio.Types.entry
+            ~len:(frag.Rio.Types.total_end - frag.Rio.Types.entry)));
+  pr "%s%!" (Rio.Api.client_output rt)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let figure5_bars () =
+  [
+    ("base", fun () -> Rio.Types.null_client);
+    ("rlr", fun () -> Clients.Rlr.client);
+    ("strength", fun () -> Clients.Strength.make ~on_bb:false);
+    ("ibdispatch", fun () -> Clients.Ibdispatch.make ());
+    ("ctraces", fun () -> Stdlib.fst (Clients.Ctraces.make ()));
+    ("combined", fun () -> Clients.Compose.all_four ());
+  ]
+
+let figure5 () =
+  pr "\n=== Figure 5: normalized execution time (ratio to native; <1 is faster) ===\n";
+  let bars = figure5_bars () in
+  pr "%-9s %5s" "bench" "";
+  List.iter (fun (n, _) -> pr " %10s" n) bars;
+  pr "\n";
+  let results =
+    List.map
+      (fun w ->
+        let n = Workload.run_native w in
+        if not n.Workload.ok then failwith (w.Workload.name ^ ": native failed");
+        let row =
+          List.map
+            (fun (bname, mk) ->
+              let r, _ = Workload.run_rio ~client:(mk ()) w in
+              if not r.Workload.ok then
+                failwith (Printf.sprintf "%s/%s: %s" w.Workload.name bname r.detail);
+              if r.Workload.output <> n.Workload.output then
+                failwith
+                  (Printf.sprintf "%s/%s: OUTPUT MISMATCH" w.Workload.name bname);
+              float_of_int r.cycles /. float_of_int n.cycles)
+            bars
+        in
+        pr "%-9s %5s" w.Workload.name (if w.Workload.fp then "fp" else "int");
+        List.iter (fun x -> pr " %10.3f" x) row;
+        pr "\n%!";
+        (w, row))
+      Suite.all
+  in
+  let mean_of sel =
+    let rows =
+      List.filter_map (fun (w, row) -> if sel w then Some row else None) results
+    in
+    List.mapi (fun k _ -> geomean (List.map (fun r -> List.nth r k) rows)) bars
+  in
+  let print_mean name sel =
+    pr "%-9s %5s" name "";
+    List.iter (fun x -> pr " %10.3f" x) (mean_of sel);
+    pr "\n"
+  in
+  print_mean "mean-int" (fun w -> not w.Workload.fp);
+  print_mean "mean-fp" (fun w -> w.Workload.fp);
+  print_mean "mean-all" (fun _ -> true);
+  pr "(paper shape: rlr ~0.6 on mgrid and helps fp broadly; strength helps on\n";
+  pr " the P4; ibdispatch helps branchy int; ctraces helps call-heavy; gcc and\n";
+  pr " perlbmk slow down; combined mean ~= native, ~12%% better than base)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out                *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_of ?(opts = Rio.Options.default) ?(client = Rio.Types.null_client) w =
+  let n = Workload.run_native w in
+  let r, rt = Workload.run_rio ~opts ~client w in
+  if (not r.Workload.ok) || r.Workload.output <> n.Workload.output then
+    failwith (w.Workload.name ^ ": ablation run diverged");
+  (float_of_int r.cycles /. float_of_int n.cycles, rt)
+
+let ablation () =
+  pr "\n=== Ablations ===\n";
+
+  pr "\n-- eflags liveness analysis (the Level-2 motivation, §3.1):\n";
+  pr "   inline target checks save/restore flags only when live vs. always\n";
+  pr "%-9s %12s %14s\n" "bench" "liveness" "always-save";
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      let live, _ = ratio_of w in
+      let always, _ =
+        ratio_of ~opts:{ Rio.Options.default with always_save_flags = true } w
+      in
+      pr "%-9s %12.3f %14.3f\n%!" name live always)
+    [ "crafty"; "eon"; "gap"; "perlbmk"; "vortex" ];
+
+  pr "\n-- trace-head threshold (hotness vs. responsiveness):\n";
+  pr "%-9s" "bench";
+  List.iter (fun t -> pr " %8d" t) [ 10; 25; 50; 100; 200 ];
+  pr "\n";
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      pr "%-9s" name;
+      List.iter
+        (fun threshold ->
+          let r, _ =
+            ratio_of ~opts:{ Rio.Options.default with trace_threshold = threshold } w
+          in
+          pr " %8.3f" r)
+        [ 10; 25; 50; 100; 200 ];
+      pr "\n%!")
+    [ "crafty"; "gzip"; "gcc"; "mgrid" ];
+
+  pr "\n-- sideline optimization (§3.4: optimize on a spare processor):\n";
+  pr "%-9s %10s %10s %16s\n" "bench" "inline" "sideline" "offloaded cycles";
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      let inline_r, _ = ratio_of ~client:(Clients.Compose.all_four ()) w in
+      let side_r, rt =
+        ratio_of
+          ~opts:{ Rio.Options.default with sideline = true }
+          ~client:(Clients.Compose.all_four ()) w
+      in
+      pr "%-9s %10.3f %10.3f %16d\n%!" name inline_r side_r
+        (Rio.stats rt).Rio.Stats.sideline_cycles)
+    [ "gcc"; "perlbmk"; "mgrid"; "vortex" ];
+
+  pr "\n-- code-cache capacity (bytes; flush-the-world on overflow):\n";
+  pr "%-9s" "bench";
+  List.iter
+    (fun c -> pr " %9s" (match c with None -> "unlimited" | Some b -> string_of_int b))
+    [ None; Some 65536; Some 16384; Some 4096 ];
+  pr "\n";
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      pr "%-9s" name;
+      List.iter
+        (fun cache_capacity ->
+          let r, _ = ratio_of ~opts:{ Rio.Options.default with cache_capacity } w in
+          pr " %9.3f" r)
+        [ None; Some 65536; Some 16384; Some 4096 ];
+      pr "\n%!")
+    [ "gcc"; "crafty"; "vpr" ];
+
+  pr "\n-- adaptive dispatch chain depth (max inlined targets per check):\n";
+  pr "%-9s" "bench";
+  List.iter (fun k -> pr " %8d" k) [ 0; 1; 2; 4; 8 ];
+  pr "\n";
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      pr "%-9s" name;
+      List.iter
+        (fun max_inline ->
+          let client =
+            if max_inline = 0 then Rio.Types.null_client
+            else
+              Clients.Ibdispatch.make
+                ~params:{ Clients.Ibdispatch.default_params with max_inline }
+                ()
+          in
+          let r, _ = ratio_of ~client w in
+          pr " %8.3f" r)
+        [ 0; 1; 2; 4; 8 ];
+      pr "\n%!")
+    [ "eon"; "gap"; "crafty"; "perlbmk" ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace profile: what the trace selector produces per workload       *)
+(* ------------------------------------------------------------------ *)
+
+let tracestats () =
+  pr "\n=== Trace profile (base RIO, default thresholds) ===\n";
+  pr "%-9s %7s %9s %9s %10s %11s %9s\n" "bench" "traces" "tr-bytes" "bb-bytes"
+    "bb-enters" "trace-enters" "ibl-hits";
+  List.iter
+    (fun w ->
+      let r, rt = Workload.run_rio w in
+      if not r.Workload.ok then failwith (w.Workload.name ^ ": failed");
+      let s = Rio.stats rt in
+      pr "%-9s %7d %9d %9d %10d %11d %9d\n%!" w.Workload.name
+        s.Rio.Stats.traces_built s.Rio.Stats.cache_bytes_trace
+        s.Rio.Stats.cache_bytes_bb s.Rio.Stats.enters_bb
+        s.Rio.Stats.enters_trace
+        (s.Rio.Stats.ibl_lookups - s.Rio.Stats.ibl_misses))
+    Suite.all;
+  pr "(entries are fragment entries from the runtime — dispatch or\n";
+  pr " indirect-branch lookup; linked control flow stays in the cache)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the infrastructure                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  pr "\n=== Microbenchmarks (host wall time, Bechamel OLS ns/op) ===\n";
+  let open Bechamel in
+  let open Isa in
+  let insn = Insn.mk_add (Operand.Reg Reg.Ebx) (Operand.mem_base ~disp:24 Reg.Ebp) in
+  let raw = Encode.encode_exn ~pc:0x1000 insn in
+  let fetch = Decode.fetch_bytes raw in
+  let blocks = harvest_blocks () in
+  let block, baddr = List.nth blocks (List.length blocks / 2) in
+  let tests =
+    [
+      Test.make ~name:"encode one insn"
+        (Staged.stage (fun () -> ignore (Encode.encode_exn ~pc:0x1000 insn)));
+      Test.make ~name:"boundary scan one insn"
+        (Staged.stage (fun () -> ignore (Decode.boundary_exn fetch 0)));
+      Test.make ~name:"opcode+eflags decode"
+        (Staged.stage (fun () -> ignore (Decode.opcode_eflags_exn fetch 0)));
+      Test.make ~name:"full decode one insn"
+        (Staged.stage (fun () -> ignore (Decode.full_exn fetch 0)));
+      Test.make ~name:"level3 block pass"
+        (Staged.stage (fun () ->
+             ignore (encode_pass (level_pass 3 block baddr) ~addr:baddr)));
+    ]
+  in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun elt -> pr "  %-24s %10.1f ns\n%!" (Test.Elt.name elt) (run_ols elt))
+        (Test.elements t))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table1x ();
+  table2 ();
+  figure1 ();
+  figure2 ();
+  figure4 ();
+  figure5 ();
+  ablation ();
+  tracestats ();
+  micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | [] -> all ()
+  | _ :: args ->
+      List.iter
+        (function
+          | "table1" -> table1 ()
+          | "table1x" -> table1x ()
+          | "table2" -> table2 ()
+          | "figure1" -> figure1 ()
+          | "figure2" -> figure2 ()
+          | "figure4" -> figure4 ()
+          | "figure5" -> figure5 ()
+          | "ablation" -> ablation ()
+          | "tracestats" -> tracestats ()
+          | "micro" -> micro ()
+          | "all" -> all ()
+          | "--help" | "-h" ->
+              print_endline
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|micro|all]"
+          | a -> Printf.eprintf "unknown artifact %S\n" a)
+        args

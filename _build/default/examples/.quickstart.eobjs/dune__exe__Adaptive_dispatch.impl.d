@@ -1,0 +1,1 @@
+examples/adaptive_dispatch.ml: Clients Option Printf Rio Workloads

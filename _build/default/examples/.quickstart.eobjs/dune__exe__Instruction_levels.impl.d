@@ -1,0 +1,1 @@
+examples/instruction_levels.ml: Buffer Bytes Cond Disasm Eflags Encode Fmt Insn Isa List Opcode Operand Printf Reg Rio

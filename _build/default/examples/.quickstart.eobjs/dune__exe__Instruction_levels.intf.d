@@ -1,0 +1,1 @@
+examples/instruction_levels.mli:

@@ -1,0 +1,1 @@
+examples/profiling.ml: Clients Hashtbl List Option Printf Rio Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Format List Printf Rio String Vm

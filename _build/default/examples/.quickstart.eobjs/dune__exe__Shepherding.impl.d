@@ -1,0 +1,1 @@
+examples/shepherding.ml: Asm Buffer Clients Isa List Option Printf Rio String Vm Workloads

@@ -1,0 +1,1 @@
+examples/strength_reduction.ml: Eflags Isa List Opcode Option Printf Rio Vm Workloads

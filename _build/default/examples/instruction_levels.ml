@@ -1,0 +1,76 @@
+(** The adaptive level-of-detail instruction representation (paper
+    §3.1, Figure 2), hands-on.
+
+    {v dune exec examples/instruction_levels.exe v}
+
+    Shows an instruction sequence migrating L0 → L1 → L2 → L3 → L4,
+    with the cost character of each level: cheap boundary scans at the
+    bottom, template-matching encodes only at the top. *)
+
+open Isa
+
+let show_il banner il =
+  Printf.printf "%s\n" banner;
+  Rio.Instrlist.iter il (fun i -> Printf.printf "    %s\n" (Rio.Instr.to_string i));
+  print_newline ()
+
+let () =
+  (* assemble a small code sequence to get genuine machine bytes *)
+  let insns =
+    [
+      Insn.mk_mov (Operand.Reg Reg.Eax) (Operand.mem_base ~disp:12 Reg.Esi);
+      Insn.mk_add (Operand.Reg Reg.Eax) (Operand.Imm 100);
+      Insn.mk_inc (Operand.Reg Reg.Ecx);
+      Insn.mk_cmp (Operand.Reg Reg.Eax) (Operand.Reg Reg.Ecx);
+      Insn.mk_jcc Cond.L 0x4000;
+    ]
+  in
+  let addr0 = 0x4000 in
+  let raw =
+    let b = Buffer.create 32 in
+    ignore
+      (List.fold_left
+         (fun pc i ->
+           let e = Encode.encode_exn ~pc i in
+           Buffer.add_bytes b e;
+           pc + Bytes.length e)
+         addr0 insns);
+    Buffer.to_bytes b
+  in
+  Printf.printf "raw code bytes: %s\n\n" (Disasm.hex_bytes raw);
+
+  (* Level 0: a single bundle — how DynamoRIO holds a basic block body
+     when no client needs detail *)
+  let il = Rio.Instrlist.create () in
+  Rio.Instrlist.append il (Rio.Instr.of_bundle ~addr:addr0 raw);
+  show_il "Level 0 — one bundle, only the final boundary known:" il;
+
+  (* Level 1: split into per-instruction raw pieces *)
+  Rio.Instrlist.split_bundles il;
+  show_il "Level 1 — per-instruction, still un-decoded:" il;
+
+  (* Level 2: reading the opcode (or eflags) raises the level *)
+  Rio.Instrlist.iter il (fun i ->
+      let op = Rio.Instr.get_opcode i in
+      let fl = Rio.Instr.get_eflags i in
+      Printf.printf "    %-8s eflags %s\n" (Opcode.name op)
+        (Fmt.str "%a" Eflags.pp_mask fl));
+  show_il "\nLevel 2 — opcode + eflags known:" il;
+
+  (* Level 3: reading operands fully decodes; raw bits stay valid *)
+  Rio.Instrlist.iter il (fun i -> ignore (Rio.Instr.num_srcs i));
+  show_il "Level 3 — fully decoded, raw bits valid (encode = copy):" il;
+
+  (* Level 4: modify an operand; raw bits become invalid *)
+  Rio.Instrlist.iter il (fun i ->
+      if Rio.Instr.get_opcode i = Opcode.Add then
+        Rio.Instr.set_src i 0 (Operand.Imm 200));
+  show_il "Level 4 — the add was modified (imm 100 -> 200):" il;
+
+  (* the whole list still encodes; L0-L3 copy bytes, L4 re-encodes *)
+  Printf.printf "re-encoded at a new address (0x9000):\n";
+  let pc = ref 0x9000 in
+  Rio.Instrlist.iter il (fun i ->
+      let b = Rio.Instr.encode ~pc:!pc i in
+      Printf.printf "    %08x: %s\n" !pc (Disasm.hex_bytes b);
+      pc := !pc + Bytes.length b)

@@ -1,0 +1,1 @@
+lib/asm/assemble.ml: Ast Bytes Disasm Encode Hashtbl Image Int32 Int64 Isa List Option Printf String

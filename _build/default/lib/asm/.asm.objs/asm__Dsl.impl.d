@@ -1,0 +1,1 @@
+lib/asm/dsl.ml: Ast Cond Insn Isa List Operand Option Reg

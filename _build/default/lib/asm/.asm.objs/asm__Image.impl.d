@@ -1,0 +1,1 @@
+lib/asm/image.ml: Ast Bytes List Vm

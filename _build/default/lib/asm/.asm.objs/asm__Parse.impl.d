@@ -1,0 +1,1 @@
+lib/asm/parse.ml: Ast Buffer Char Cond Filename Insn Isa List Operand Printf Reg Scanf String

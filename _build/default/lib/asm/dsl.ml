@@ -1,0 +1,160 @@
+(** Combinator DSL for writing SynISA assembly in OCaml.
+
+    Workloads are written as lists of {!Ast.item}s:
+
+    {[
+      let open Asm.Dsl in
+      program ~name:"count" ~entry:"main"
+        ~text:
+          [
+            label "main";
+            mov eax (i 0);
+            label "loop";
+            add eax (i 1);
+            cmp eax (i 1000);
+            j nz "loop";
+            out eax;
+            hlt;
+          ]
+        ()
+    ]}
+
+    Register operands are exposed as values ([eax], [f0], …); [i] makes
+    immediates; [m ~base ~index ~disp ()] makes memory operands; CTIs
+    take label names.  [ins] is the general escape hatch for
+    label-dependent operands. *)
+
+open Isa
+
+let program = Ast.program
+let label s = Ast.Label s
+let align n = Ast.Align n
+let bytes s = Ast.Bytes_lit s
+let word32 ns = Ast.Word32 (List.map (fun n -> fun _ -> n) ns)
+let word32_lbl ls = Ast.Word32 (List.map (fun l -> fun (env : Ast.env) -> env l) ls)
+let float64 fs = Ast.Float64 fs
+let space n = Ast.Space n
+
+(* -------------------- operands -------------------- *)
+
+let eax = Operand.Reg Reg.Eax
+let ecx = Operand.Reg Reg.Ecx
+let edx = Operand.Reg Reg.Edx
+let ebx = Operand.Reg Reg.Ebx
+let esp = Operand.Reg Reg.Esp
+let ebp = Operand.Reg Reg.Ebp
+let esi = Operand.Reg Reg.Esi
+let edi = Operand.Reg Reg.Edi
+
+let f0 = Reg.F.make 0
+let f1 = Reg.F.make 1
+let f2 = Reg.F.make 2
+let f3 = Reg.F.make 3
+let f4 = Reg.F.make 4
+let f5 = Reg.F.make 5
+let f6 = Reg.F.make 6
+let f7 = Reg.F.make 7
+
+let i n = Operand.Imm n
+
+let reg_of = function
+  | Operand.Reg r -> r
+  | _ -> invalid_arg "Dsl: expected register operand"
+
+(** [m ~base ~index ~disp ()] — memory operand. *)
+let m ?base ?index ?(disp = 0) () =
+  let base = Option.map reg_of base in
+  let index = Option.map (fun (o, s) -> (reg_of o, s)) index in
+  Operand.mem ?base ?index ~disp ()
+
+(** [mb base ~disp] — simple base+disp memory operand. *)
+let mb ?(disp = 0) base = m ~base ~disp ()
+
+(* -------------------- plain instructions -------------------- *)
+
+let ins f = Ast.Ins f
+let plain insn = Ast.Ins (fun _ -> insn)
+
+let mov d s = plain (Insn.mk_mov d s)
+let movzx8 d s = plain (Insn.mk_movzx8 d s)
+let movzx16 d s = plain (Insn.mk_movzx16 d s)
+let lea d s = plain (Insn.mk_lea d s)
+let push s = plain (Insn.mk_push s)
+let pop d = plain (Insn.mk_pop d)
+let xchg a b = plain (Insn.mk_xchg a b)
+let pushf = plain (Insn.mk_pushf ())
+let popf = plain (Insn.mk_popf ())
+let add d s = plain (Insn.mk_add d s)
+let adc d s = plain (Insn.mk_adc d s)
+let sub d s = plain (Insn.mk_sub d s)
+let sbb d s = plain (Insn.mk_sbb d s)
+let inc d = plain (Insn.mk_inc d)
+let dec d = plain (Insn.mk_dec d)
+let neg d = plain (Insn.mk_neg d)
+let not_ d = plain (Insn.mk_not d)
+let cmp a b = plain (Insn.mk_cmp a b)
+let test a b = plain (Insn.mk_test a b)
+let and_ d s = plain (Insn.mk_and d s)
+let or_ d s = plain (Insn.mk_or d s)
+let xor d s = plain (Insn.mk_xor d s)
+let imul d s = plain (Insn.mk_imul d s)
+let idiv s = plain (Insn.mk_idiv s)
+let shl d s = plain (Insn.mk_shl d s)
+let shr d s = plain (Insn.mk_shr d s)
+let sar d s = plain (Insn.mk_sar d s)
+let nop = plain (Insn.mk_nop ())
+let hlt = plain (Insn.mk_hlt ())
+let out s = plain (Insn.mk_out s)
+let in_ d = plain (Insn.mk_in d)
+let ret = plain (Insn.mk_ret ())
+let jmp_ind s = plain (Insn.mk_jmp_ind s)
+let call_ind s = plain (Insn.mk_call_ind s)
+
+let fld f src = plain (Insn.mk_fld f src)
+let fst_ dst f = plain (Insn.mk_fst dst f)
+let fmov d s = plain (Insn.mk_fmov d s)
+let fadd d s = plain (Insn.mk_fadd d s)
+let fsub d s = plain (Insn.mk_fsub d s)
+let fmul d s = plain (Insn.mk_fmul d s)
+let fdiv d s = plain (Insn.mk_fdiv d s)
+let fabs f = plain (Insn.mk_fabs f)
+let fneg f = plain (Insn.mk_fneg f)
+let fsqrt f = plain (Insn.mk_fsqrt f)
+let fcmp a b = plain (Insn.mk_fcmp a b)
+let cvtsi f s = plain (Insn.mk_cvtsi f s)
+let cvtfi d f = plain (Insn.mk_cvtfi d f)
+let fr f = Operand.Freg f
+
+(* -------------------- label-dependent instructions -------------------- *)
+
+let jmp l = ins (fun env -> Insn.mk_jmp (env l))
+let call l = ins (fun env -> Insn.mk_call (env l))
+
+(** [j cond "target"] — conditional branch, e.g. [j nz "loop"]. *)
+let j (c : Cond.t) l = ins (fun env -> Insn.mk_jcc c (env l))
+
+(* condition values so call sites read [j nz "loop"] *)
+let o = Cond.O and no = Cond.NO
+and b = Cond.B and nb = Cond.NB
+and z = Cond.Z and nz = Cond.NZ
+and be = Cond.BE and nbe = Cond.NBE
+and s = Cond.S and ns = Cond.NS
+and p = Cond.P and np = Cond.NP
+and l = Cond.L and nl = Cond.NL
+and le = Cond.LE and nle = Cond.NLE
+
+(** [li r "label"] — load a label's address into a register. *)
+let li r lbl = ins (fun env -> Insn.mk_mov r (Operand.Imm (env lbl)))
+
+(** [push_lbl "label"] — push a label's address (e.g. a return target). *)
+let push_lbl lbl = ins (fun env -> Insn.mk_push (Operand.Imm (env lbl)))
+
+(** [mabs "label" ~disp] inside [ins]-style closures: absolute memory
+    operand at a label. *)
+let mabs ?(disp = 0) lbl (env : Ast.env) = Operand.mem_abs (env lbl + disp)
+
+(** [ld r "label"] — load the 32-bit word at a label. *)
+let ld r lbl = ins (fun env -> Insn.mk_mov r (mabs lbl env))
+
+(** [st "label" src] — store a register to the word at a label. *)
+let st lbl src = ins (fun env -> Insn.mk_mov (mabs lbl env) src)

@@ -1,0 +1,46 @@
+(** Assembled program images and loading them into a machine.
+
+    The standard layout places text at 4KB, data at 2MB, the initial
+    stack just under 8MB, and leaves everything above 8MB to the
+    runtime (code caches, spill slots, trap region). *)
+
+type t = {
+  name : string;
+  entry : int;
+  text_base : int;
+  text : Bytes.t;
+  data_base : int;
+  data : Bytes.t;
+  labels : (string * int) list;
+}
+
+let default_text_base = 0x1000
+let default_data_base = 0x20_0000
+let default_stack_top = 0x7F_F000
+
+(** End of the application's address space; the runtime may use
+    anything at or above this. *)
+let app_space_end = 0x80_0000
+
+let label t name =
+  match List.assoc_opt name t.labels with
+  | Some a -> a
+  | None -> raise (Ast.Unknown_label name)
+
+(** [load machine image] copies text and data into machine memory and
+    creates a thread at the entry point. *)
+let load ?(stack_top = default_stack_top) (m : Vm.Machine.t) (t : t) :
+    Vm.Machine.thread =
+  Vm.Memory.blit_bytes (Vm.Machine.mem m) ~src:t.text ~src_pos:0 ~dst:t.text_base
+    ~len:(Bytes.length t.text);
+  Vm.Memory.blit_bytes (Vm.Machine.mem m) ~src:t.data ~src_pos:0 ~dst:t.data_base
+    ~len:(Bytes.length t.data);
+  Vm.Machine.add_thread m ~entry:t.entry ~stack_top
+
+(** [spawn machine image "worker"] adds another thread entering at the
+    given label, with its own stack below the previous thread's. *)
+let spawn ?(stack_size = 0x1_0000) (m : Vm.Machine.t) (t : t) entry_label :
+    Vm.Machine.thread =
+  let n = List.length (Vm.Machine.live_threads m) in
+  let stack_top = default_stack_top - (n * stack_size) in
+  Vm.Machine.add_thread m ~entry:(label t entry_label) ~stack_top

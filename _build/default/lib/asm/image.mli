@@ -1,0 +1,29 @@
+(** Assembled program images and loading them into a machine.  The
+    standard layout places text at 4KB, data at 2MB, and the initial
+    stack just under 8MB; everything at {!app_space_end} and above
+    belongs to the runtime. *)
+
+type t = {
+  name : string;
+  entry : int;
+  text_base : int;
+  text : Bytes.t;
+  data_base : int;
+  data : Bytes.t;
+  labels : (string * int) list;
+}
+
+val default_text_base : int
+val default_data_base : int
+val default_stack_top : int
+val app_space_end : int
+
+val label : t -> string -> int
+(** @raise Ast.Unknown_label when undefined. *)
+
+val load : ?stack_top:int -> Vm.Machine.t -> t -> Vm.Machine.thread
+(** Copy text and data into machine memory; create the main thread at
+    the entry point. *)
+
+val spawn : ?stack_size:int -> Vm.Machine.t -> t -> string -> Vm.Machine.thread
+(** Add another thread entering at the given label, with its own stack. *)

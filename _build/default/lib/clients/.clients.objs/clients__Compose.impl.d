@@ -1,0 +1,1 @@
+lib/clients/compose.ml: Ctraces Ibdispatch List Rio Rlr Stdlib Strength

@@ -1,0 +1,1 @@
+lib/clients/counter.ml: Hashtbl List Option Rio Stdlib

@@ -1,0 +1,1 @@
+lib/clients/ctraces.ml: Array Cond Hashtbl Insn Isa List Opcode Operand Reg Rio Stdlib Vm

@@ -1,0 +1,1 @@
+lib/clients/edgeprof.ml: Hashtbl List Option Rio Stdlib

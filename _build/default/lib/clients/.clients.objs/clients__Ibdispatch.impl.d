@@ -1,0 +1,1 @@
+lib/clients/ibdispatch.ml: Cond Hashtbl Isa List Opcode Operand Option Rio

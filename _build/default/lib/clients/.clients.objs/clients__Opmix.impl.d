@@ -1,0 +1,1 @@
+lib/clients/opmix.ml: Hashtbl Isa List Opcode Option Rio Stdlib

@@ -1,0 +1,1 @@
+lib/clients/redundant_cmp.ml: Array Eflags Insn Isa List Opcode Operand Reg Rio Rlr Stdlib

@@ -1,0 +1,1 @@
+lib/clients/rlr.ml: Array Insn Isa List Opcode Operand Option Reg Rio

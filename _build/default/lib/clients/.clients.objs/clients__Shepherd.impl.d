@@ -1,0 +1,1 @@
+lib/clients/shepherd.ml: Asm Bytes Isa Opcode Printf Reg Rio Vm

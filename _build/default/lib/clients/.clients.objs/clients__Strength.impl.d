@@ -1,0 +1,1 @@
+lib/clients/strength.ml: Eflags Insn Isa Opcode Operand Rio Vm

@@ -1,0 +1,58 @@
+(** Client composition: run several clients as one.
+
+    Hooks fire in list order; for [end_trace], the first non-[Default]
+    directive wins.  Used to reproduce the paper's "all four
+    optimizations in combination" configuration (§5). *)
+
+open Rio.Types
+
+let compose ?(name = "composed") (clients : client list) : client =
+  let opt_hooks f = List.filter_map f clients in
+  let seq_bb = opt_hooks (fun c -> c.basic_block) in
+  let seq_trace = opt_hooks (fun c -> c.trace_hook) in
+  let seq_del = opt_hooks (fun c -> c.fragment_deleted) in
+  let seq_end = opt_hooks (fun c -> c.end_trace) in
+  {
+    name;
+    init = (fun rt -> List.iter (fun c -> c.init rt) clients);
+    exit_hook = (fun rt -> List.iter (fun c -> c.exit_hook rt) clients);
+    thread_init = (fun ctx -> List.iter (fun c -> c.thread_init ctx) clients);
+    thread_exit = (fun ctx -> List.iter (fun c -> c.thread_exit ctx) clients);
+    basic_block =
+      (if seq_bb = [] then None
+       else Some (fun ctx ~tag il -> List.iter (fun h -> h ctx ~tag il) seq_bb));
+    trace_hook =
+      (if seq_trace = [] then None
+       else Some (fun ctx ~tag il -> List.iter (fun h -> h ctx ~tag il) seq_trace));
+    fragment_deleted =
+      (if seq_del = [] then None
+       else Some (fun ctx ~tag -> List.iter (fun h -> h ctx ~tag) seq_del));
+    end_trace =
+      (if seq_end = [] then None
+       else
+         Some
+           (fun ctx ~trace_tag ~next_tag ->
+             let rec first = function
+               | [] -> Default_end
+               | h :: tl -> (
+                   match h ctx ~trace_tag ~next_tag with
+                   | Default_end -> first tl
+                   | d -> d)
+             in
+             first seq_end));
+  }
+
+(** The paper's §5 "all four sample optimizations at once".  Fresh
+    client instances each call (profiling state is per-run).  Order:
+    custom traces shape trace creation and elide returns first; RLR
+    then strength-reduction clean up the body; ibdispatch instruments
+    the remaining indirect checks last so its check indices are stable
+    under its own rewrites. *)
+let all_four () : client =
+  compose ~name:"combined"
+    [
+      Stdlib.fst (Ctraces.make ());
+      Rlr.client;
+      Strength.make ~on_bb:false;
+      Ibdispatch.make ();
+    ]

@@ -1,0 +1,112 @@
+(** Redundant flag-computation elimination — a fifth optimization
+    beyond the paper's four, in the spirit of its "traditional compiler
+    optimizations applied dynamically" theme (§4.1).
+
+    Compilers frequently re-test the same condition on both sides of a
+    basic-block boundary ([cmp a,b; jle L] … [cmp a,b; jg M]): within a
+    block the duplicate is easy to see, but across blocks only a trace's
+    linear view exposes it.  A duplicate [cmp]/[test] can be deleted
+    when, between the two:
+
+    - no instruction writes any eflags (the duplicate's only effect is
+      recomputing what is already there), and
+    - none of its source registers or memory operands may have changed
+      (same conservative aliasing discipline as {!Rlr}), and
+    - no clean call intervenes (the host may do anything).
+
+    Exit CTIs {e are} permitted in between — they only read flags — which
+    is exactly the cross-block case that makes this a trace optimization. *)
+
+open Isa
+open Rio.Types
+
+type t = { mutable removed : int; mutable examined : int }
+
+let is_flag_setter (i : Rio.Instr.t) =
+  match Rio.Instr.get_opcode i with
+  | Opcode.Cmp | Opcode.Test -> true
+  | _ -> false
+
+(* operands of a cmp/test: both are sources *)
+let srcs_of (i : Rio.Instr.t) =
+  let insn = Rio.Instr.get_insn i in
+  Array.to_list insn.Insn.srcs
+
+let same_comparison (a : Rio.Instr.t) (b : Rio.Instr.t) =
+  Opcode.equal (Rio.Instr.get_opcode a) (Rio.Instr.get_opcode b)
+  && List.length (srcs_of a) = List.length (srcs_of b)
+  && List.for_all2 Operand.equal (srcs_of a) (srcs_of b)
+
+(* does [i] possibly invalidate the comparison's inputs? *)
+let clobbers_inputs (cmp_srcs : Operand.t list) (i : Rio.Instr.t) =
+  let insn = Rio.Instr.get_insn i in
+  let regs_needed =
+    List.concat_map Operand.regs_used cmp_srcs
+    |> List.sort_uniq Reg.compare
+  in
+  let mems_needed = List.filter_map (function Operand.Mem m -> Some m | _ -> None) cmp_srcs in
+  let writes_reg r =
+    Array.exists
+      (function Operand.Reg r' -> Reg.equal r r' | _ -> false)
+      insn.Insn.dsts
+    || (Opcode.implicit_stack_read insn.Insn.opcode
+        || Opcode.implicit_stack_write insn.Insn.opcode)
+       && Reg.equal r Reg.Esp
+  in
+  let may_write_mem (m : Operand.mem) =
+    Array.exists
+      (function
+        | Operand.Mem m' -> Rlr.may_alias m' 8 m 4
+        | _ -> false)
+      insn.Insn.dsts
+    || Opcode.implicit_stack_write insn.Insn.opcode
+       (* pushes write stack memory: conservatively clobber esp-based
+          and unknown-base facts *)
+       && List.exists (fun r -> Reg.equal r Reg.Esp) (Operand.mem_regs m)
+  in
+  insn.Insn.opcode = Opcode.Ccall
+  || List.exists writes_reg regs_needed
+  || List.exists may_write_mem mems_needed
+
+let optimize_il (t : t) (il : Rio.Instrlist.t) =
+  Rio.Instrlist.split_bundles il;
+  (* last flag-setting comparison still known valid, if any *)
+  let live : Rio.Instr.t option ref = ref None in
+  let rec go = function
+    | None -> ()
+    | Some (i : Rio.Instr.t) ->
+        let nxt = i.Rio.Instr.next in
+        (if is_flag_setter i then begin
+           t.examined <- t.examined + 1;
+           match !live with
+           | Some prev when same_comparison prev i ->
+               Rio.Instrlist.remove il i;
+               t.removed <- t.removed + 1
+           | _ -> live := Some i
+         end
+         else begin
+           (* any other flag write invalidates the remembered compare *)
+           let m = Rio.Instr.get_eflags i in
+           if Eflags.write_mask m <> 0 then live := None;
+           match !live with
+           | Some prev when clobbers_inputs (srcs_of prev) i -> live := None
+           | _ -> ()
+         end);
+        go nxt
+  in
+  go (Rio.Instrlist.first il)
+
+let make () : client * t =
+  let t = { removed = 0; examined = 0 } in
+  ( {
+      null_client with
+      name = "redundant-cmp";
+      trace_hook = Some (fun _ctx ~tag:_ il -> optimize_il t il);
+      exit_hook =
+        (fun rt ->
+          Rio.Api.printf rt "redundant-cmp: removed %d of %d comparisons\n"
+            t.removed t.examined);
+    },
+    t )
+
+let client = Stdlib.fst (make ())

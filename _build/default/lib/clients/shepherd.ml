@@ -1,0 +1,92 @@
+(** Program shepherding (paper §1/§7; Kiriansky, Bruening &
+    Amarasinghe, USENIX Security 2002 — the paper's reference [23]).
+
+    A security client, demonstrating that the interface is "general
+    enough to be used for purposes other than optimization".  Because
+    {e every} piece of code must pass through the basic-block builder
+    before it can execute, a client can enforce a code-origin policy
+    that is impossible to bypass:
+
+    - {b execution-region policy}: refuse to build (hence execute) any
+      block whose origin lies outside the approved code region — this
+      stops classic injected-shellcode attacks, where control is
+      redirected into attacker-written bytes on the stack or heap;
+    - {b return-target policy} (optional): instrument every [ret] with
+      a check that the return address about to be used points into the
+      approved region — catching stack smashing at the moment of use.
+
+    Violations terminate the application via {!Rio.Types.Client_abort}. *)
+
+open Isa
+open Rio.Types
+
+type policy = {
+  code_lo : int;  (** approved executable region: [code_lo, code_hi) *)
+  code_hi : int;
+  check_returns : bool;
+}
+
+(** Approve exactly the program image's text segment. *)
+let policy_of_image ?(check_returns = true) (img : Asm.Image.t) : policy =
+  {
+    code_lo = img.Asm.Image.text_base;
+    code_hi = img.Asm.Image.text_base + Bytes.length img.Asm.Image.text;
+    check_returns;
+  }
+
+type t = {
+  mutable blocks_vetted : int;
+  mutable returns_checked : int;
+  mutable violations : int;
+}
+
+let in_region p a = a >= p.code_lo && a < p.code_hi
+
+let make (p : policy) : client * t =
+  let t = { blocks_vetted = 0; returns_checked = 0; violations = 0 } in
+  let bb ctx ~tag (il : Rio.Instrlist.t) =
+    (* policy 1: the block's origin must be approved code *)
+    if not (in_region p tag) then begin
+      t.violations <- t.violations + 1;
+      raise
+        (Client_abort
+           (Printf.sprintf
+              "shepherd: attempt to execute code outside the approved region \
+               (0x%x not in [0x%x, 0x%x))"
+              tag p.code_lo p.code_hi))
+    end;
+    t.blocks_vetted <- t.blocks_vetted + 1;
+    (* policy 2: vet the target of every return at the moment of use *)
+    if p.check_returns then
+      match Rio.Instrlist.last il with
+      | Some last
+        when (not (Rio.Instr.is_bundle last))
+             && Rio.Instr.get_opcode last = Opcode.Ret ->
+          let check =
+            Rio.Api.clean_call ctx.rt (fun cctx ->
+                t.returns_checked <- t.returns_checked + 1;
+                let m = Vm.Machine.mem cctx.rt.machine in
+                let sp = Vm.Machine.get_reg cctx.ts.thread Reg.Esp in
+                let target = Vm.Memory.read_u32 m sp in
+                if not (in_region p target) then begin
+                  t.violations <- t.violations + 1;
+                  raise
+                    (Client_abort
+                       (Printf.sprintf
+                          "shepherd: return to unapproved address 0x%x" target))
+                end)
+          in
+          Rio.Instrlist.insert_before il last check
+      | _ -> ()
+  in
+  ( {
+      null_client with
+      name = "shepherd";
+      basic_block = Some bb;
+      exit_hook =
+        (fun rt ->
+          Rio.Api.printf rt
+            "shepherd: %d blocks vetted, %d returns checked, %d violations\n"
+            t.blocks_vetted t.returns_checked t.violations);
+    },
+    t )

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Char Cond Encoding_spec Insn Opcode Operand Printf Reg String

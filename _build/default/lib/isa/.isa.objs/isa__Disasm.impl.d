@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Bytes Char Decode Fmt Insn List Opcode Operand Printf String

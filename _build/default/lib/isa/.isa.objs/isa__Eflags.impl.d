@@ -1,0 +1,1 @@
+lib/isa/eflags.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Bytes Char Cond Encoding_spec Fmt Insn Opcode Operand Option Reg

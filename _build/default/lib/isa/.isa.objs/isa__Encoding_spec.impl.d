@@ -1,0 +1,1 @@
+lib/isa/encoding_spec.ml: Opcode Printf

@@ -1,0 +1,482 @@
+(** SynISA decoders, at three fidelities.
+
+    DynamoRIO's adaptive level-of-detail representation rests on having
+    decoders of graded cost:
+
+    - {!boundary} only finds the instruction length (what Level-0/1
+      construction needs),
+    - {!opcode_eflags} additionally identifies the opcode — and hence
+      the eflags effects — without building operands (Level 2),
+    - {!full} produces a complete {!Insn.t} (Levels 3/4).
+
+    All three share the length logic, so they agree on boundaries by
+    construction; the test suite checks this with property tests anyway. *)
+
+type error =
+  | Invalid_opcode of int * int  (** position, offending byte *)
+  | Invalid_modrm of int
+
+let error_to_string = function
+  | Invalid_opcode (pos, b) -> Printf.sprintf "invalid opcode 0x%02x at 0x%x" b pos
+  | Invalid_modrm pos -> Printf.sprintf "invalid modrm at 0x%x" pos
+
+exception Decode_error of error
+
+type fetch = int -> int
+(** A byte fetcher: [fetch addr] returns the byte at [addr] (0..255). *)
+
+let fetch_bytes (b : Bytes.t) : fetch = fun i -> Char.code (Bytes.get b i)
+let fetch_string (s : string) : fetch = fun i -> Char.code (String.get s i)
+
+(* ------------------------------------------------------------------ *)
+(* Low-level readers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_u8 (f : fetch) p = f p
+
+let read_i8 (f : fetch) p =
+  let v = f p in
+  if v >= 128 then v - 256 else v
+
+let read_u32 (f : fetch) p =
+  f p lor (f (p + 1) lsl 8) lor (f (p + 2) lsl 16) lor (f (p + 3) lsl 24)
+
+let read_i32 (f : fetch) p = Encoding_spec.to_i32 (read_u32 f p)
+
+(* [modrm_len f p] = number of bytes occupied by the ModRM byte at [p]
+   plus its SIB and displacement. *)
+let modrm_len (f : fetch) p =
+  let m = f p in
+  let md = m lsr 6 and rm = m land 7 in
+  if md = 3 then 1
+  else
+    let has_sib = rm = 4 in
+    let sib_base = if has_sib then f (p + 1) land 7 else 0 in
+    let disp_len =
+      match md with
+      | 1 -> 1
+      | 2 -> 4
+      | 0 -> if rm = 5 || (has_sib && sib_base = 5) then 4 else 0
+      | _ -> assert false
+    in
+    1 + (if has_sib then 1 else 0) + disp_len
+
+(* Full ModRM decode: returns (reg-field, operand, consumed bytes).
+   [fp] selects whether a mod=3 rm is a GPR or an FP register. *)
+let modrm_operand ?(fp = false) (f : fetch) p : int * Operand.t * int =
+  let m = f p in
+  let md = m lsr 6 and ext = (m lsr 3) land 7 and rm = m land 7 in
+  if md = 3 then
+    let op =
+      if fp then Operand.Freg (Reg.F.make rm) else Operand.Reg (Reg.of_number rm)
+    in
+    (ext, op, 1)
+  else
+    let has_sib = rm = 4 in
+    let sib = if has_sib then f (p + 1) else 0 in
+    let after_sib = p + 1 + if has_sib then 1 else 0 in
+    let base, index =
+      if has_sib then
+        let sc = 1 lsl (sib lsr 6)
+        and ix = (sib lsr 3) land 7
+        and bs = sib land 7 in
+        let base =
+          if bs = 5 && md = 0 then None else Some (Reg.of_number bs)
+        in
+        let index = if ix = 4 then None else Some (Reg.of_number ix, sc) in
+        (base, index)
+      else if rm = 5 && md = 0 then (None, None)
+      else (Some (Reg.of_number rm), None)
+    in
+    let disp, disp_len =
+      match md with
+      | 1 -> (read_i8 f after_sib, 1)
+      | 2 -> (read_i32 f after_sib, 4)
+      | 0 ->
+          if rm = 5 || (has_sib && sib land 7 = 5) then (read_i32 f after_sib, 4)
+          else (0, 0)
+      | _ -> assert false
+    in
+    (ext, Operand.Mem { base; index; disp }, after_sib - p + disp_len)
+
+(* ------------------------------------------------------------------ *)
+(* Shared opcode-byte classification                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What follows an opcode byte. *)
+type tail =
+  | T_none
+  | T_imm8
+  | T_imm32
+  | T_modrm
+  | T_modrm_imm8
+  | T_modrm_imm32
+
+let tail_len (f : fetch) p = function
+  | T_none -> 0
+  | T_imm8 -> 1
+  | T_imm32 -> 4
+  | T_modrm -> modrm_len f p
+  | T_modrm_imm8 -> modrm_len f p + 1
+  | T_modrm_imm32 -> modrm_len f p + 4
+
+(* Classify a one-byte opcode: [Some (opcode, tail)] or [None].
+   For two-byte opcodes (escape 0x0F) see [classify2]. *)
+let classify1 b : (Opcode.t * tail) option =
+  if b < 0x40 then
+    let op = Encoding_spec.alu_of_index (b lsr 3) in
+    match b land 7 with
+    | 0 | 1 -> Some (op, T_modrm)
+    | 2 -> Some (op, T_modrm_imm8)
+    | 3 -> Some (op, T_modrm_imm32)
+    | 4 -> Some (op, T_imm8)
+    | 5 -> Some (op, T_imm32)
+    | _ -> None
+  else if b < 0x48 then Some (Inc, T_none)
+  else if b < 0x50 then Some (Dec, T_none)
+  else if b < 0x58 then Some (Push, T_none)
+  else if b < 0x60 then Some (Pop, T_none)
+  else
+    match b with
+    | 0x60 | 0x61 -> Some (Mov, T_modrm)
+    | 0x62 -> Some (Mov, T_modrm_imm32)
+    | 0x63 -> Some (Test, T_modrm)
+    | 0x64 -> Some (Test, T_modrm_imm32)
+    | 0x65 -> Some (Lea, T_modrm)
+    | 0x66 -> Some (Xchg, T_modrm)
+    | 0x67 -> Some (Imul, T_modrm)
+    | b when b >= 0x68 && b < 0x70 -> Some (Mov, T_imm32)
+    | b when b >= 0x70 && b < 0x80 -> Some (Jcc (Cond.of_number (b - 0x70)), T_imm8)
+    | 0x80 -> Some (Jmp, T_imm8)
+    | 0x81 -> Some (Jmp, T_imm32)
+    | 0x82 -> Some (JmpInd, T_modrm)
+    | 0x83 -> Some (Call, T_imm32)
+    | 0x84 -> Some (CallInd, T_modrm)
+    | 0x85 -> Some (Ret, T_none)
+    | 0x86 -> Some (Push, T_modrm)
+    | 0x87 -> Some (Pop, T_modrm)
+    | 0x88 -> Some (Push, T_imm32)
+    | 0x89 -> Some (Movzx8, T_modrm)
+    | 0x8A -> Some (Movzx16, T_modrm)
+    | 0x8B -> Some (Idiv, T_modrm)
+    | 0x8C -> Some (Out, T_modrm)
+    | 0x8D -> Some (In, T_modrm)
+    | 0x8E -> Some (Pushf, T_none)
+    | 0x8F -> Some (Popf, T_none)
+    | 0x90 -> Some (Nop, T_none)
+    | 0x98 -> Some (Neg, T_modrm)
+    | 0x99 -> Some (Not, T_modrm)
+    | 0x9A -> Some (Inc, T_modrm)
+    | 0x9B -> Some (Dec, T_modrm)
+    | 0x9C -> Some (Out, T_imm32)
+    | 0x9D -> Some (Imul, T_modrm_imm32)
+    | 0xA0 -> Some (Shl, T_modrm_imm8)
+    | 0xA1 -> Some (Shr, T_modrm_imm8)
+    | 0xA2 -> Some (Sar, T_modrm_imm8)
+    | 0xA3 -> Some (Shl, T_modrm)
+    | 0xA4 -> Some (Shr, T_modrm)
+    | 0xA5 -> Some (Sar, T_modrm)
+    | 0xF4 -> Some (Hlt, T_none)
+    | _ -> None
+
+let classify2 b2 : (Opcode.t * tail) option =
+  match b2 with
+  | 0x10 -> Some (Fld, T_modrm)
+  | 0x11 -> Some (Fst, T_modrm)
+  | 0x12 -> Some (Fmov, T_modrm)
+  | 0x20 -> Some (Fadd, T_modrm)
+  | 0x21 -> Some (Fsub, T_modrm)
+  | 0x22 -> Some (Fmul, T_modrm)
+  | 0x23 -> Some (Fdiv, T_modrm)
+  | 0x28 -> Some (Fadd, T_modrm)
+  | 0x29 -> Some (Fsub, T_modrm)
+  | 0x2A -> Some (Fmul, T_modrm)
+  | 0x2B -> Some (Fdiv, T_modrm)
+  | 0x30 | 0x31 -> Some (Fcmp, T_modrm)
+  | 0x38 -> Some (Fabs, T_modrm)
+  | 0x39 -> Some (Fneg, T_modrm)
+  | 0x3A -> Some (Fsqrt, T_modrm)
+  | 0x40 -> Some (Cvtsi, T_modrm)
+  | 0x41 -> Some (Cvtfi, T_modrm)
+  | b when b >= 0x80 && b < 0x90 -> Some (Jcc (Cond.of_number (b - 0x80)), T_imm32)
+  | 0xC0 -> Some (Ccall, T_imm32)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Level 0/1: boundary scan                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [boundary f pc] is the length of the instruction at [pc].  This is
+    the cheapest decode: it never builds operands. *)
+let boundary (f : fetch) (pc : int) : (int, error) result =
+  let p0 = pc in
+  let b = f pc in
+  let pc, prefix = if b = Encoding_spec.lock_prefix then (pc + 1, 1) else (pc, 0) in
+  let b = f pc in
+  let cls, oplen =
+    if b = Encoding_spec.escape then (classify2 (f (pc + 1)), 2) else (classify1 b, 1)
+  in
+  match cls with
+  | None -> Error (Invalid_opcode (p0, b))
+  | Some (_, tail) -> Ok (prefix + oplen + tail_len f (pc + oplen) tail)
+
+(* ------------------------------------------------------------------ *)
+(* Level 2: opcode + eflags                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [opcode_eflags f pc] identifies the opcode (hence its eflags mask)
+    and the instruction length, without building operands. *)
+let opcode_eflags (f : fetch) (pc : int) : (Opcode.t * int, error) result =
+  let p0 = pc in
+  let b = f pc in
+  let pc, prefix = if b = Encoding_spec.lock_prefix then (pc + 1, 1) else (pc, 0) in
+  let b = f pc in
+  let cls, oplen =
+    if b = Encoding_spec.escape then (classify2 (f (pc + 1)), 2) else (classify1 b, 1)
+  in
+  match cls with
+  | None -> Error (Invalid_opcode (p0, b))
+  | Some (op, tail) -> Ok (op, prefix + oplen + tail_len f (pc + oplen) tail)
+
+(* ------------------------------------------------------------------ *)
+(* Level 3: full decode                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [full f pc] fully decodes the instruction at [pc], reconstructing
+    implicit operands and resolving pc-relative targets to absolute
+    addresses.  Returns the instruction and its length. *)
+let full (f : fetch) (pc : int) : (Insn.t * int, error) result =
+  let start = pc in
+  let b = f pc in
+  let pc, prefixes =
+    if b = Encoding_spec.lock_prefix then (pc + 1, Insn.prefix_lock) else (pc, 0)
+  in
+  let b = f pc in
+  let finish insn len = Ok ({ insn with Insn.prefixes }, len) in
+  try
+    if b = Encoding_spec.escape then begin
+      let b2 = f (pc + 1) in
+      let p = pc + 2 in
+      match classify2 b2 with
+      | None -> Error (Invalid_opcode (start, b2))
+      | Some (op, _) -> (
+          match (op, b2) with
+          | Jcc c, _ ->
+              let rel = read_i32 f p in
+              let len = p + 4 - start in
+              finish (Insn.mk_jcc c (start + len + rel)) len
+          | Ccall, _ ->
+              let id = read_i32 f p in
+              finish (Insn.mk_ccall id) (p + 4 - start)
+          | Fld, _ -> (
+              let ext, m, c = modrm_operand f p in
+              match m with
+              | Operand.Mem _ -> finish (Insn.mk_fld (Reg.F.make ext) m) (p + c - start)
+              | _ -> Error (Invalid_modrm p))
+          | Fst, _ -> (
+              let ext, m, c = modrm_operand f p in
+              match m with
+              | Operand.Mem _ -> finish (Insn.mk_fst m (Reg.F.make ext)) (p + c - start)
+              | _ -> Error (Invalid_modrm p))
+          | Fmov, _ ->
+              let ext, s, c = modrm_operand ~fp:true f p in
+              (match s with
+               | Operand.Freg fs -> finish (Insn.mk_fmov (Reg.F.make ext) fs) (p + c - start)
+               | _ -> Error (Invalid_modrm p))
+          | (Fadd | Fsub | Fmul | Fdiv), b2 ->
+              let fp = b2 < 0x28 in
+              let ext, s, c = modrm_operand ~fp f p in
+              let d = Reg.F.make ext in
+              (match (fp, s) with
+               | true, Operand.Freg _ | false, Operand.Mem _ ->
+                   finish (Insn.mk_fp_alu op d s) (p + c - start)
+               | _ -> Error (Invalid_modrm p))
+          | Fcmp, 0x30 ->
+              let ext, s, c = modrm_operand ~fp:true f p in
+              finish (Insn.mk_fcmp (Reg.F.make ext) s) (p + c - start)
+          | Fcmp, _ -> (
+              let ext, m, c = modrm_operand f p in
+              match m with
+              | Operand.Mem _ -> finish (Insn.mk_fcmp (Reg.F.make ext) m) (p + c - start)
+              | _ -> Error (Invalid_modrm p))
+          | (Fabs | Fneg | Fsqrt), _ ->
+              let ext, _, c = modrm_operand ~fp:true f p in
+              let freg = Reg.F.make ext in
+              let mk =
+                match op with
+                | Opcode.Fabs -> Insn.mk_fabs
+                | Opcode.Fneg -> Insn.mk_fneg
+                | _ -> Insn.mk_fsqrt
+              in
+              finish (mk freg) (p + c - start)
+          | Cvtsi, _ ->
+              let ext, rm, c = modrm_operand f p in
+              finish (Insn.mk_cvtsi (Reg.F.make ext) rm) (p + c - start)
+          | Cvtfi, _ ->
+              (* reg field = FP source, rm = GPR destination *)
+              let ext, s, c = modrm_operand f p in
+              (match s with
+               | Operand.Reg _ ->
+                   finish (Insn.mk_cvtfi s (Reg.F.make ext)) (p + c - start)
+               | _ -> Error (Invalid_modrm p))
+          | _ -> Error (Invalid_opcode (start, b2)))
+    end
+    else begin
+      let p = pc + 1 in
+      if b < 0x40 then begin
+        let op = Encoding_spec.alu_of_index (b lsr 3) in
+        let form = b land 7 in
+        let mk_bin a bop =
+          match op with
+          | Opcode.Cmp -> Insn.mk_cmp a bop
+          | _ -> Insn.mk_alu op a bop
+        in
+        match form with
+        | 0 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (mk_bin rm (Operand.Reg (Reg.of_number ext))) (p + c - start)
+        | 1 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (mk_bin (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 2 ->
+            let _, rm, c = modrm_operand f p in
+            finish (mk_bin rm (Operand.Imm (read_i8 f (p + c)))) (p + c + 1 - start)
+        | 3 ->
+            let _, rm, c = modrm_operand f p in
+            finish (mk_bin rm (Operand.Imm (read_i32 f (p + c)))) (p + c + 4 - start)
+        | 4 -> finish (mk_bin (Operand.Reg Reg.Eax) (Operand.Imm (read_i8 f p))) (p + 1 - start)
+        | 5 -> finish (mk_bin (Operand.Reg Reg.Eax) (Operand.Imm (read_i32 f p))) (p + 4 - start)
+        | _ -> Error (Invalid_opcode (start, b))
+      end
+      else if b < 0x48 then finish (Insn.mk_inc (Operand.Reg (Reg.of_number (b - 0x40)))) (p - start)
+      else if b < 0x50 then finish (Insn.mk_dec (Operand.Reg (Reg.of_number (b - 0x48)))) (p - start)
+      else if b < 0x58 then finish (Insn.mk_push (Operand.Reg (Reg.of_number (b - 0x50)))) (p - start)
+      else if b < 0x60 then finish (Insn.mk_pop (Operand.Reg (Reg.of_number (b - 0x58)))) (p - start)
+      else if b >= 0x68 && b < 0x70 then
+        finish
+          (Insn.mk_mov (Operand.Reg (Reg.of_number (b - 0x68))) (Operand.Imm (read_i32 f p)))
+          (p + 4 - start)
+      else if b >= 0x70 && b < 0x80 then begin
+        let rel = read_i8 f p in
+        let len = p + 1 - start in
+        finish (Insn.mk_jcc (Cond.of_number (b - 0x70)) (start + len + rel)) len
+      end
+      else
+        match b with
+        | 0x60 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_mov rm (Operand.Reg (Reg.of_number ext))) (p + c - start)
+        | 0x61 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_mov (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 0x62 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_mov rm (Operand.Imm (read_i32 f (p + c)))) (p + c + 4 - start)
+        | 0x63 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_test rm (Operand.Reg (Reg.of_number ext))) (p + c - start)
+        | 0x64 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_test rm (Operand.Imm (read_i32 f (p + c)))) (p + c + 4 - start)
+        | 0x65 -> (
+            let ext, m, c = modrm_operand f p in
+            match m with
+            | Operand.Mem _ ->
+                finish (Insn.mk_lea (Operand.Reg (Reg.of_number ext)) m) (p + c - start)
+            | _ -> Error (Invalid_modrm p))
+        | 0x66 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_xchg (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 0x67 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_imul (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 0x80 ->
+            let rel = read_i8 f p in
+            let len = p + 1 - start in
+            finish (Insn.mk_jmp (start + len + rel)) len
+        | 0x81 ->
+            let rel = read_i32 f p in
+            let len = p + 4 - start in
+            finish (Insn.mk_jmp (start + len + rel)) len
+        | 0x82 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_jmp_ind rm) (p + c - start)
+        | 0x83 ->
+            let rel = read_i32 f p in
+            let len = p + 4 - start in
+            finish (Insn.mk_call (start + len + rel)) len
+        | 0x84 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_call_ind rm) (p + c - start)
+        | 0x85 -> finish (Insn.mk_ret ()) (p - start)
+        | 0x86 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_push rm) (p + c - start)
+        | 0x87 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_pop rm) (p + c - start)
+        | 0x88 -> finish (Insn.mk_push (Operand.Imm (read_i32 f p))) (p + 4 - start)
+        | 0x89 ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_movzx8 (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 0x8A ->
+            let ext, rm, c = modrm_operand f p in
+            finish (Insn.mk_movzx16 (Operand.Reg (Reg.of_number ext)) rm) (p + c - start)
+        | 0x8B ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_idiv rm) (p + c - start)
+        | 0x8C ->
+            let _, rm, c = modrm_operand f p in
+            (match rm with
+             | Operand.Reg _ -> finish (Insn.mk_out rm) (p + c - start)
+             | _ -> Error (Invalid_modrm p))
+        | 0x8D ->
+            let _, rm, c = modrm_operand f p in
+            (match rm with
+             | Operand.Reg _ -> finish (Insn.mk_in rm) (p + c - start)
+             | _ -> Error (Invalid_modrm p))
+        | 0x8E -> finish (Insn.mk_pushf ()) (p - start)
+        | 0x8F -> finish (Insn.mk_popf ()) (p - start)
+        | 0x90 -> finish (Insn.mk_nop ()) (p - start)
+        | 0x98 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_neg rm) (p + c - start)
+        | 0x99 ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_not rm) (p + c - start)
+        | 0x9A ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_inc rm) (p + c - start)
+        | 0x9B ->
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_dec rm) (p + c - start)
+        | 0x9C -> finish (Insn.mk_out (Operand.Imm (read_i32 f p))) (p + 4 - start)
+        | 0x9D -> (
+            let _, rm, c = modrm_operand f p in
+            match rm with
+            | Operand.Reg _ ->
+                finish
+                  (Insn.mk_imul rm (Operand.Imm (read_i32 f (p + c))))
+                  (p + c + 4 - start)
+            | _ -> Error (Invalid_modrm p))
+        | (0xA0 | 0xA1 | 0xA2) as sb ->
+            let op = match sb with 0xA0 -> Opcode.Shl | 0xA1 -> Opcode.Shr | _ -> Opcode.Sar in
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_shift op rm (Operand.Imm (read_u8 f (p + c)))) (p + c + 1 - start)
+        | (0xA3 | 0xA4 | 0xA5) as sb ->
+            let op = match sb with 0xA3 -> Opcode.Shl | 0xA4 -> Opcode.Shr | _ -> Opcode.Sar in
+            let _, rm, c = modrm_operand f p in
+            finish (Insn.mk_shift op rm (Operand.Reg Reg.Ecx)) (p + c - start)
+        | 0xF4 -> finish (Insn.mk_hlt ()) (p - start)
+        | _ -> Error (Invalid_opcode (start, b))
+    end
+  with Invalid_argument _ -> Error (Invalid_modrm start)
+
+let full_exn f pc =
+  match full f pc with Ok r -> r | Error e -> raise (Decode_error e)
+
+let boundary_exn f pc =
+  match boundary f pc with Ok r -> r | Error e -> raise (Decode_error e)
+
+let opcode_eflags_exn f pc =
+  match opcode_eflags f pc with Ok r -> r | Error e -> raise (Decode_error e)

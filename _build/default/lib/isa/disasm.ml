@@ -1,0 +1,70 @@
+(** SynISA disassembler: AT&T-flavoured text for decoded instructions
+    and raw byte ranges.  Used by examples, debugging output, and the
+    Figure-2 reproduction. *)
+
+(** Render one instruction.  Implicit operands are suppressed, direct
+    targets are printed as absolute hex addresses (matching how they
+    are stored in the operand). *)
+let insn_to_string (i : Insn.t) : string =
+  let b = Buffer.create 32 in
+  if i.prefixes land Insn.prefix_lock <> 0 then Buffer.add_string b "lock ";
+  Buffer.add_string b (Opcode.name i.opcode);
+  let operand o = Fmt.str "%a" Operand.pp o in
+  let explicit =
+    (* reconstruct the explicit operand list, dst first (AT&T would be
+       src first, but dst-first reads better alongside the paper's
+       figures, which also print "operands -> destination") *)
+    match i.opcode with
+    | Mov | Movzx8 | Movzx16 | Lea | Cvtsi | Cvtfi | Fld ->
+        [ operand i.dsts.(0); operand i.srcs.(0) ]
+    | Fst -> [ operand i.dsts.(0); operand i.srcs.(0) ]
+    | Fmov -> [ operand i.dsts.(0); operand i.srcs.(0) ]
+    | Add | Adc | Sub | Sbb | And | Or | Xor | Imul
+    | Fadd | Fsub | Fmul | Fdiv ->
+        [ operand i.dsts.(0); operand i.srcs.(0) ]
+    | Shl | Shr | Sar -> [ operand i.dsts.(0); operand i.srcs.(0) ]
+    | Cmp | Test | Fcmp -> [ operand i.srcs.(0); operand i.srcs.(1) ]
+    | Inc | Dec | Neg | Not | Fabs | Fneg | Fsqrt -> [ operand i.dsts.(0) ]
+    | Idiv -> [ operand i.srcs.(0) ]
+    | Push -> [ operand i.srcs.(0) ]
+    | Pop | In -> [ operand i.dsts.(0) ]
+    | Out -> [ operand i.srcs.(0) ]
+    | Xchg -> [ operand i.dsts.(0); operand i.dsts.(1) ]
+    | Jmp | Jcc _ | Call -> [ operand i.srcs.(0) ]
+    | JmpInd | CallInd -> [ operand i.srcs.(0) ]
+    | Ccall -> [ operand i.srcs.(0) ]
+    | Ret | Nop | Hlt | Pushf | Popf -> []
+  in
+  (match explicit with
+   | [] -> ()
+   | ops ->
+       Buffer.add_char b ' ';
+       Buffer.add_string b (String.concat ", " ops));
+  Buffer.contents b
+
+let pp_insn ppf i = Fmt.string ppf (insn_to_string i)
+
+let hex_bytes (bytes : Bytes.t) : string =
+  String.concat " "
+    (List.init (Bytes.length bytes) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get bytes i))))
+
+(** Disassemble [len] bytes starting at [pc], one line per instruction:
+    address, raw bytes, mnemonic.  Stops early on a decode error,
+    appending an error line. *)
+let region (f : Decode.fetch) ~pc ~len : string list =
+  let stop = pc + len in
+  let rec go pc acc =
+    if pc >= stop then List.rev acc
+    else
+      match Decode.full f pc with
+      | Error e ->
+          List.rev (Printf.sprintf "%08x: <%s>" pc (Decode.error_to_string e) :: acc)
+      | Ok (insn, n) ->
+          let raw = Bytes.init n (fun i -> Char.chr (f (pc + i))) in
+          let line =
+            Printf.sprintf "%08x: %-24s %s" pc (hex_bytes raw) (insn_to_string insn)
+          in
+          go (pc + n) (line :: acc)
+  in
+  go pc []

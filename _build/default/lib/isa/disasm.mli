@@ -1,0 +1,13 @@
+(** SynISA disassembler: textual rendering of decoded instructions and
+    raw byte ranges, used by examples, debugging, and the Figure-2/4
+    reproductions. *)
+
+val insn_to_string : Insn.t -> string
+val pp_insn : Format.formatter -> Insn.t -> unit
+
+val hex_bytes : Bytes.t -> string
+(** Space-separated lowercase hex. *)
+
+val region : Decode.fetch -> pc:int -> len:int -> string list
+(** One line per instruction: address, raw bytes, mnemonic.  Stops at
+    the first decode error, appending an error line. *)

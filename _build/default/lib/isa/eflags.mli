@@ -1,0 +1,51 @@
+(** The SynISA [eflags] register: the six IA-32 arithmetic status
+    flags, plus read/write {e effect masks} used by transformation
+    safety analyses (the paper's [EFLAGS_READ_CF]-style constants). *)
+
+type flag = CF | PF | AF | ZF | SF | OF
+
+val all_flags : flag list
+val bit : flag -> int
+val flag_name : flag -> string
+
+(** {2 Concrete flag-register values} *)
+
+type t = int
+(** OR of {!bit} for each set flag. *)
+
+val empty : t
+val is_set : t -> flag -> bool
+val set : t -> flag -> t
+val clear : t -> flag -> t
+val update : t -> flag -> bool -> t
+
+val all_mask : int
+(** Bit mask covering all six flags. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Read/write effect masks} *)
+
+type mask = int
+(** Encodes a set of flags read and a set of flags written. *)
+
+val none : mask
+val read_all : mask
+val write_all : mask
+val read_of : flag -> mask
+val write_of : flag -> mask
+val reads : flag list -> mask
+val writes : flag list -> mask
+val union : mask -> mask -> mask
+val reads_flag : mask -> flag -> bool
+val writes_flag : mask -> flag -> bool
+val read_set : mask -> flag list
+val write_set : mask -> flag list
+
+val read_mask : mask -> int
+(** Flags read, as a flag-register bit mask. *)
+
+val write_mask : mask -> int
+(** Flags written, as a flag-register bit mask. *)
+
+val pp_mask : Format.formatter -> mask -> unit

@@ -1,0 +1,23 @@
+(** SynISA instruction encoder.
+
+    Walks a per-opcode list of templates, most-compact first, and emits
+    the first form whose operand shapes and immediate/displacement
+    ranges match — the costly template-matching encode the paper
+    describes for IA-32.  Direct branch targets become pc-relative
+    displacements, so a CTI's encoding depends on its address. *)
+
+type error =
+  | Invalid_shape of string  (** {!Isa.Insn.validate} failed *)
+  | No_template of string    (** no encoding form matches *)
+
+val error_to_string : error -> string
+
+exception Encode_error of error
+
+val encode : ?long:bool -> pc:int -> Insn.t -> (Bytes.t, error) result
+(** Encode for placement at [pc].  [~long:true] skips the rel8 forms of
+    [jmp]/[jcc], producing fixed 4-byte displacements that a code cache
+    can re-patch in place. *)
+
+val encode_exn : ?long:bool -> pc:int -> Insn.t -> Bytes.t
+val length : ?long:bool -> pc:int -> Insn.t -> int

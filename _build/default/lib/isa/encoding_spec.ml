@@ -1,0 +1,78 @@
+(** The SynISA binary encoding, shared between encoder and decoder.
+
+    SynISA is a variable-length CISC encoding (1–12 bytes per
+    instruction) in the IA-32 mould:
+
+    {v
+    [0xF0 lock prefix] opcode [opcode2] [ModRM] [SIB] [disp8/32] [imm8/32]
+    v}
+
+    One-byte opcode map:
+    - [0x00-0x3F]  ALU block: bits 7..3 select the operation
+                   (add sub and or xor cmp adc sbb), bits 2..0 the form:
+                   0 rm<-reg, 1 reg<-rm, 2 rm<-imm8(se), 3 rm<-imm32,
+                   4 eax<-imm8(se), 5 eax<-imm32 (short forms).
+    - [0x40+r] inc r    [0x48+r] dec r   (one-byte short forms)
+    - [0x50+r] push r   [0x58+r] pop r
+    - [0x60] mov rm<-reg  [0x61] mov reg<-rm  [0x62] mov rm<-imm32
+      [0x63] test rm,reg  [0x64] test rm,imm32  [0x65] lea reg,m
+      [0x66] xchg reg,rm  [0x67] imul reg<-rm
+    - [0x68+r] mov r<-imm32 (short form)
+    - [0x70+cc] jcc rel8
+    - [0x80] jmp rel8   [0x81] jmp rel32  [0x82] jmp rm
+      [0x83] call rel32 [0x84] call rm    [0x85] ret
+      [0x86] push rm    [0x87] pop rm     [0x88] push imm32
+      [0x89] movzx8 reg<-rm  [0x8A] movzx16 reg<-rm  [0x8B] idiv rm
+      [0x8C] out reg    [0x8D] in reg     [0x8E] pushf  [0x8F] popf
+    - [0x90] nop
+    - [0x98] neg rm  [0x99] not rm  [0x9A] inc rm  [0x9B] dec rm
+    - [0xA0-0xA2] shl/shr/sar rm,imm8   [0xA3-0xA5] shl/shr/sar rm,%cl
+    - [0xF0] lock prefix  [0xF4] hlt
+    - [0x0F] two-byte escape:
+        [0x10] fld f,m   [0x11] fst m,f   [0x12] fmov fd,fs
+        [0x20-0x23] fadd/fsub/fmul/fdiv f,f
+        [0x28-0x2B] fadd/fsub/fmul/fdiv f,m
+        [0x30] fcmp f,f  [0x31] fcmp f,m
+        [0x38] fabs  [0x39] fneg  [0x3A] fsqrt
+        [0x40] cvtsi f<-rm  [0x41] cvtfi r<-f
+        [0x80+cc] jcc rel32
+        [0xC0] ccall imm32 (runtime-reserved)
+
+    ModRM is exactly IA-32's: [mod(2) | reg(3) | rm(3)]; mod=3 register
+    direct; rm=4 selects a SIB byte [scale(2) | index(3) | base(3)];
+    index=4 in SIB means "no index"; mod=0,rm=5 is absolute disp32;
+    mod=0,SIB base=5 is disp32 with no base.  Direct branch targets are
+    encoded pc-relative to the end of the instruction. *)
+
+let escape = 0x0F
+let lock_prefix = 0xF0
+
+(* ALU block operation indices *)
+let alu_index : Opcode.t -> int option = function
+  | Add -> Some 0
+  | Sub -> Some 1
+  | And -> Some 2
+  | Or -> Some 3
+  | Xor -> Some 4
+  | Cmp -> Some 5
+  | Adc -> Some 6
+  | Sbb -> Some 7
+  | _ -> None
+
+let alu_of_index = function
+  | 0 -> Opcode.Add
+  | 1 -> Opcode.Sub
+  | 2 -> Opcode.And
+  | 3 -> Opcode.Or
+  | 4 -> Opcode.Xor
+  | 5 -> Opcode.Cmp
+  | 6 -> Opcode.Adc
+  | 7 -> Opcode.Sbb
+  | n -> invalid_arg (Printf.sprintf "alu_of_index: %d" n)
+
+let fits_i8 n = n >= -128 && n <= 127
+
+(* signed 32-bit wraparound helpers for displacements *)
+let to_i32 n =
+  let n = n land 0xFFFF_FFFF in
+  if n >= 0x8000_0000 then n - 0x1_0000_0000 else n

@@ -1,0 +1,282 @@
+(** Fully-decoded SynISA instructions.
+
+    An [Insn.t] is the Level-3/4 view of an instruction: opcode,
+    prefixes, and explicit source/destination operand arrays *including
+    implicit operands* (e.g. [push] names [%esp] in both its sources and
+    destinations).  The [mk_*] constructors below take only the explicit
+    operands and fill in the implicit ones — they are the ground truth
+    for operand conventions, shared by the assembler, the encoder, the
+    decoder, the interpreter, and the DynamoRIO instruction-creation
+    macros. *)
+
+type t = {
+  opcode : Opcode.t;
+  prefixes : int;  (** bit 0 = lock prefix (semantic no-op, kept intact) *)
+  srcs : Operand.t array;
+  dsts : Operand.t array;
+}
+
+let prefix_lock = 0x1
+
+let make ?(prefixes = 0) opcode ~srcs ~dsts = { opcode; prefixes; srcs; dsts }
+
+let opcode i = i.opcode
+let prefixes i = i.prefixes
+let num_srcs i = Array.length i.srcs
+let num_dsts i = Array.length i.dsts
+let src i n = i.srcs.(n)
+let dst i n = i.dsts.(n)
+let eflags i = Opcode.eflags i.opcode
+let is_cti i = Opcode.is_cti i.opcode
+let cti_kind i = Opcode.cti_kind i.opcode
+
+let equal (a : t) (b : t) =
+  Opcode.equal a.opcode b.opcode
+  && a.prefixes = b.prefixes
+  && Array.length a.srcs = Array.length b.srcs
+  && Array.length a.dsts = Array.length b.dsts
+  && Array.for_all2 Operand.equal a.srcs b.srcs
+  && Array.for_all2 Operand.equal a.dsts b.dsts
+
+(* ------------------------------------------------------------------ *)
+(* Constructors (explicit operands only; implicit operands filled in) *)
+(* ------------------------------------------------------------------ *)
+
+let esp = Operand.Reg Reg.Esp
+let eax = Operand.Reg Reg.Eax
+let edx = Operand.Reg Reg.Edx
+
+let mk_mov dst src = make Mov ~srcs:[| src |] ~dsts:[| dst |]
+let mk_movzx8 dst src = make Movzx8 ~srcs:[| src |] ~dsts:[| dst |]
+let mk_movzx16 dst src = make Movzx16 ~srcs:[| src |] ~dsts:[| dst |]
+let mk_lea dst m = make Lea ~srcs:[| m |] ~dsts:[| dst |]
+let mk_push src = make Push ~srcs:[| src; esp |] ~dsts:[| esp |]
+let mk_pop dst = make Pop ~srcs:[| esp |] ~dsts:[| dst; esp |]
+let mk_xchg a b = make Xchg ~srcs:[| a; b |] ~dsts:[| a; b |]
+let mk_pushf () = make Pushf ~srcs:[| esp |] ~dsts:[| esp |]
+let mk_popf () = make Popf ~srcs:[| esp |] ~dsts:[| esp |]
+
+let mk_alu op dst src = make op ~srcs:[| src; dst |] ~dsts:[| dst |]
+let mk_add dst src = mk_alu Add dst src
+let mk_adc dst src = mk_alu Adc dst src
+let mk_sub dst src = mk_alu Sub dst src
+let mk_sbb dst src = mk_alu Sbb dst src
+let mk_and dst src = mk_alu And dst src
+let mk_or dst src = mk_alu Or dst src
+let mk_xor dst src = mk_alu Xor dst src
+let mk_imul dst src = mk_alu Imul dst src
+
+let mk_inc rm = make Inc ~srcs:[| rm |] ~dsts:[| rm |]
+let mk_dec rm = make Dec ~srcs:[| rm |] ~dsts:[| rm |]
+let mk_neg rm = make Neg ~srcs:[| rm |] ~dsts:[| rm |]
+let mk_not rm = make Not ~srcs:[| rm |] ~dsts:[| rm |]
+let mk_cmp a b = make Cmp ~srcs:[| a; b |] ~dsts:[||]
+let mk_test a b = make Test ~srcs:[| a; b |] ~dsts:[||]
+let mk_idiv rm = make Idiv ~srcs:[| rm; eax |] ~dsts:[| eax; edx |]
+
+let mk_shift op rm amt = make op ~srcs:[| amt; rm |] ~dsts:[| rm |]
+let mk_shl rm amt = mk_shift Shl rm amt
+let mk_shr rm amt = mk_shift Shr rm amt
+let mk_sar rm amt = mk_shift Sar rm amt
+
+let mk_jmp tgt = make Jmp ~srcs:[| Operand.Target tgt |] ~dsts:[||]
+let mk_jmp_ind rm = make JmpInd ~srcs:[| rm |] ~dsts:[||]
+let mk_jcc c tgt = make (Jcc c) ~srcs:[| Operand.Target tgt |] ~dsts:[||]
+let mk_call tgt = make Call ~srcs:[| Operand.Target tgt; esp |] ~dsts:[| esp |]
+let mk_call_ind rm = make CallInd ~srcs:[| rm; esp |] ~dsts:[| esp |]
+let mk_ret () = make Ret ~srcs:[| esp |] ~dsts:[| esp |]
+
+let mk_fld f m = make Fld ~srcs:[| m |] ~dsts:[| Operand.Freg f |]
+let mk_fst m f = make Fst ~srcs:[| Operand.Freg f |] ~dsts:[| m |]
+let mk_fmov d s = make Fmov ~srcs:[| Operand.Freg s |] ~dsts:[| Operand.Freg d |]
+
+let mk_fp_alu op d src =
+  make op ~srcs:[| src; Operand.Freg d |] ~dsts:[| Operand.Freg d |]
+
+let mk_fadd d s = mk_fp_alu Fadd d s
+let mk_fsub d s = mk_fp_alu Fsub d s
+let mk_fmul d s = mk_fp_alu Fmul d s
+let mk_fdiv d s = mk_fp_alu Fdiv d s
+
+let mk_fp_unary op f =
+  make op ~srcs:[| Operand.Freg f |] ~dsts:[| Operand.Freg f |]
+
+let mk_fabs f = mk_fp_unary Fabs f
+let mk_fneg f = mk_fp_unary Fneg f
+let mk_fsqrt f = mk_fp_unary Fsqrt f
+let mk_fcmp a b = make Fcmp ~srcs:[| Operand.Freg a; b |] ~dsts:[||]
+let mk_cvtsi f r = make Cvtsi ~srcs:[| r |] ~dsts:[| Operand.Freg f |]
+let mk_cvtfi r f = make Cvtfi ~srcs:[| Operand.Freg f |] ~dsts:[| r |]
+
+let mk_nop () = make Nop ~srcs:[||] ~dsts:[||]
+let mk_hlt () = make Hlt ~srcs:[||] ~dsts:[||]
+let mk_out src = make Out ~srcs:[| src |] ~dsts:[||]
+let mk_in dst = make In ~srcs:[||] ~dsts:[| dst |]
+let mk_ccall id = make Ccall ~srcs:[| Operand.Imm id |] ~dsts:[||]
+
+(* ------------------------------------------------------------------ *)
+(* Shape validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type shape_error = string
+
+let fits_i32 n = n >= -0x8000_0000 && n <= 0xFFFF_FFFF
+
+(** [validate i] checks that [i]'s operands have a shape the encoder can
+    materialise (register/memory/immediate positions per opcode, no
+    memory-to-memory forms, immediates in range).  The encoder refuses
+    instructions that fail validation. *)
+let validate (i : t) : (unit, shape_error) result =
+  let open Operand in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ok = Ok () in
+  let rm = function Reg _ | Mem _ -> true | _ -> false in
+  let rmi = function Reg _ | Mem _ | Imm _ -> true | _ -> false in
+  let imm_ok = function Imm n -> fits_i32 n | _ -> true in
+  let all_imm_ok =
+    Array.for_all imm_ok i.srcs && Array.for_all imm_ok i.dsts
+  in
+  if not all_imm_ok then err "%s: immediate out of 32-bit range" (Opcode.name i.opcode)
+  else
+    let s = i.srcs and d = i.dsts in
+    let two_rm_not_both_mem a b =
+      if is_mem a && is_mem b then err "%s: memory-to-memory form" (Opcode.name i.opcode)
+      else ok
+    in
+    match i.opcode with
+    | Mov -> (
+        match (d, s) with
+        | [| dst |], [| src |] when rm dst && rmi src ->
+            if is_imm src && is_mem dst then ok
+            else two_rm_not_both_mem dst src
+        | _ -> err "mov: expected dst=rm src=rm/imm")
+    | Movzx8 | Movzx16 -> (
+        match (d, s) with
+        | [| Reg _ |], [| src |] when rm src -> ok
+        | _ -> err "movzx: expected dst=reg src=rm")
+    | Lea -> (
+        match (d, s) with
+        | [| Reg _ |], [| Mem _ |] -> ok
+        | _ -> err "lea: expected dst=reg src=mem")
+    | Push -> (
+        match (d, s) with
+        | [| Reg Reg.Esp |], [| src; Reg Reg.Esp |] when rmi src -> ok
+        | _ -> err "push: expected src=rm/imm (+implicit esp)")
+    | Pop -> (
+        match (d, s) with
+        | [| dst; Reg Reg.Esp |], [| Reg Reg.Esp |] when rm dst -> ok
+        | _ -> err "pop: expected dst=rm (+implicit esp)")
+    | Xchg -> (
+        match (d, s) with
+        | [| a; b |], [| a'; b' |]
+          when Operand.equal a a' && Operand.equal b b' && is_reg a && rm b ->
+            ok
+        | _ -> err "xchg: expected reg, rm")
+    | Pushf | Popf -> (
+        match (d, s) with
+        | [| Reg Reg.Esp |], [| Reg Reg.Esp |] -> ok
+        | _ -> err "pushf/popf: implicit esp only")
+    | Add | Adc | Sub | Sbb | And | Or | Xor -> (
+        match (d, s) with
+        | [| dst |], [| src; dst' |] when Operand.equal dst dst' && rm dst && rmi src ->
+            two_rm_not_both_mem dst src
+        | _ -> err "%s: expected dst=rm src=rm/imm" (Opcode.name i.opcode))
+    | Imul -> (
+        match (d, s) with
+        | [| (Reg _ as dst) |], [| src; dst' |]
+          when Operand.equal dst dst' && (rm src || is_imm src) ->
+            ok
+        | _ -> err "imul: expected dst=reg src=rm/imm")
+    | Inc | Dec | Neg | Not -> (
+        match (d, s) with
+        | [| dst |], [| dst' |] when Operand.equal dst dst' && rm dst -> ok
+        | _ -> err "%s: expected rm" (Opcode.name i.opcode))
+    | Cmp | Test -> (
+        match (d, s) with
+        | [||], [| a; b |] when rm a && rmi b -> two_rm_not_both_mem a b
+        | _ -> err "%s: expected a=rm b=rm/imm" (Opcode.name i.opcode))
+    | Idiv -> (
+        match (d, s) with
+        | [| Reg Reg.Eax; Reg Reg.Edx |], [| src; Reg Reg.Eax |] when rm src -> ok
+        | _ -> err "idiv: expected src=rm (+implicit eax/edx)")
+    | Shl | Shr | Sar -> (
+        match (d, s) with
+        | [| dst |], [| amt; dst' |] when Operand.equal dst dst' && rm dst -> (
+            match amt with
+            (* like IA-32: any imm8 encodes; hardware masks to 5 bits *)
+            | Imm n when n >= 0 && n < 256 -> ok
+            | Reg Reg.Ecx -> ok
+            | _ -> err "shift: amount must be imm8 or %%ecx")
+        | _ -> err "shift: expected dst=rm amt")
+    | Jmp | Jcc _ -> (
+        match (d, s) with
+        | [||], [| Target _ |] -> ok
+        | _ -> err "%s: expected target" (Opcode.name i.opcode))
+    | JmpInd -> (
+        match (d, s) with
+        | [||], [| src |] when rm src -> ok
+        | _ -> err "jmp*: expected rm")
+    | Call -> (
+        match (d, s) with
+        | [| Reg Reg.Esp |], [| Target _; Reg Reg.Esp |] -> ok
+        | _ -> err "call: expected target (+implicit esp)")
+    | CallInd -> (
+        match (d, s) with
+        | [| Reg Reg.Esp |], [| src; Reg Reg.Esp |] when rm src -> ok
+        | _ -> err "call*: expected rm (+implicit esp)")
+    | Ret -> (
+        match (d, s) with
+        | [| Reg Reg.Esp |], [| Reg Reg.Esp |] -> ok
+        | _ -> err "ret: implicit esp only")
+    | Fld -> (
+        match (d, s) with
+        | [| Freg _ |], [| Mem _ |] -> ok
+        | _ -> err "fld: expected dst=freg src=mem")
+    | Fst -> (
+        match (d, s) with
+        | [| Mem _ |], [| Freg _ |] -> ok
+        | _ -> err "fst: expected dst=mem src=freg")
+    | Fmov -> (
+        match (d, s) with
+        | [| Freg _ |], [| Freg _ |] -> ok
+        | _ -> err "fmov: expected freg, freg")
+    | Fadd | Fsub | Fmul | Fdiv -> (
+        match (d, s) with
+        | [| (Freg _ as dst) |], [| src; dst' |]
+          when Operand.equal dst dst' && (is_freg src || is_mem src) ->
+            ok
+        | _ -> err "%s: expected dst=freg src=freg/mem" (Opcode.name i.opcode))
+    | Fabs | Fneg | Fsqrt -> (
+        match (d, s) with
+        | [| (Freg _ as dst) |], [| dst' |] when Operand.equal dst dst' -> ok
+        | _ -> err "%s: expected freg" (Opcode.name i.opcode))
+    | Fcmp -> (
+        match (d, s) with
+        | [||], [| Freg _; b |] when is_freg b || is_mem b -> ok
+        | _ -> err "fcmp: expected freg, freg/mem")
+    | Cvtsi -> (
+        match (d, s) with
+        | [| Freg _ |], [| src |] when rm src -> ok
+        | _ -> err "cvtsi: expected dst=freg src=rm")
+    | Cvtfi -> (
+        match (d, s) with
+        | [| Reg _ |], [| Freg _ |] -> ok
+        | _ -> err "cvtfi: expected dst=reg src=freg")
+    | Nop | Hlt -> (
+        match (d, s) with
+        | [||], [||] -> ok
+        | _ -> err "%s: no operands" (Opcode.name i.opcode))
+    | Out -> (
+        match (d, s) with
+        | [||], [| Reg _ |] | [||], [| Imm _ |] -> ok
+        | _ -> err "out: expected reg or imm")
+    | In -> (
+        match (d, s) with
+        | [| Reg _ |], [||] -> ok
+        | _ -> err "in: expected reg")
+    | Ccall -> (
+        match (d, s) with
+        | [||], [| Imm _ |] -> ok
+        | _ -> err "ccall: expected imm id")
+
+let is_valid i = Result.is_ok (validate i)

@@ -1,0 +1,168 @@
+(** SynISA opcodes and their static metadata.
+
+    The set is deliberately IA-32-flavoured: two-operand destructive
+    arithmetic, implicit-operand stack and divide instructions, pervasive
+    eflags side effects, and dedicated one-byte short forms for the hot
+    encodings.  [Ccall] is a runtime-reserved pseudo-opcode used by the
+    DynamoRIO layer to implement clean calls (client callbacks emitted
+    into the code cache); application code never contains it. *)
+
+type t =
+  (* data movement *)
+  | Mov
+  | Movzx8            (** load 8 bits, zero-extend *)
+  | Movzx16           (** load 16 bits, zero-extend *)
+  | Lea
+  | Push
+  | Pop
+  | Xchg
+  | Pushf             (** push eflags *)
+  | Popf              (** pop eflags *)
+  (* integer arithmetic *)
+  | Add
+  | Adc
+  | Sub
+  | Sbb
+  | Inc
+  | Dec
+  | Neg
+  | Cmp
+  | Imul              (** two-operand: dst = dst * src *)
+  | Idiv              (** eax = eax / src, edx = eax mod src (signed) *)
+  (* logic *)
+  | And
+  | Or
+  | Xor
+  | Not
+  | Test
+  (* shifts *)
+  | Shl
+  | Shr
+  | Sar
+  (* control transfer *)
+  | Jmp               (** direct unconditional *)
+  | JmpInd            (** indirect through register/memory *)
+  | Jcc of Cond.t
+  | Call              (** direct call *)
+  | CallInd
+  | Ret
+  (* floating point (64-bit IEEE double) *)
+  | Fld               (** freg <- mem *)
+  | Fst               (** mem <- freg *)
+  | Fmov              (** freg <- freg *)
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fabs
+  | Fneg
+  | Fsqrt
+  | Fcmp              (** compare, sets ZF/PF/CF like comisd *)
+  | Cvtsi             (** freg <- signed gpr *)
+  | Cvtfi             (** gpr <- freg, truncating *)
+  (* system *)
+  | Nop
+  | Hlt
+  | Out               (** write gpr to output port (the VM's "syscall") *)
+  | In                (** read next value from input port into gpr *)
+  | Ccall             (** runtime-reserved: clean call into the host *)
+
+let name = function
+  | Mov -> "mov" | Movzx8 -> "movzx8" | Movzx16 -> "movzx16" | Lea -> "lea"
+  | Push -> "push" | Pop -> "pop" | Xchg -> "xchg"
+  | Pushf -> "pushf" | Popf -> "popf"
+  | Add -> "add" | Adc -> "adc" | Sub -> "sub" | Sbb -> "sbb"
+  | Inc -> "inc" | Dec -> "dec" | Neg -> "neg" | Cmp -> "cmp"
+  | Imul -> "imul" | Idiv -> "idiv"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Not -> "not" | Test -> "test"
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+  | Jmp -> "jmp" | JmpInd -> "jmp*" | Jcc c -> "j" ^ Cond.name c
+  | Call -> "call" | CallInd -> "call*" | Ret -> "ret"
+  | Fld -> "fld" | Fst -> "fst" | Fmov -> "fmov"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fabs -> "fabs" | Fneg -> "fneg" | Fsqrt -> "fsqrt" | Fcmp -> "fcmp"
+  | Cvtsi -> "cvtsi" | Cvtfi -> "cvtfi"
+  | Nop -> "nop" | Hlt -> "hlt" | Out -> "out" | In -> "in"
+  | Ccall -> "ccall"
+
+let equal (a : t) (b : t) = a = b
+let pp ppf o = Fmt.string ppf (name o)
+
+(* ------------------------------------------------------------------ *)
+(* Eflags effects                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Flags SynISA instructions leave "undefined" on IA-32 (e.g. AF after
+   shifts) are defined here as written-to-zero: a written flag is still
+   a written flag for transformation safety, and determinism keeps the
+   interpreter testable. *)
+let eflags : t -> Eflags.mask =
+  let open Eflags in
+  function
+  | Add | Sub | Cmp | Neg | And | Or | Xor | Test | Imul ->
+      write_all
+  | Not -> none (* like IA-32: not does not touch flags *)
+  | Adc | Sbb -> union (reads [ CF ]) write_all
+  | Inc | Dec ->
+      (* the paper's strength-reduction example hinges on this:
+         inc/dec write every arithmetic flag EXCEPT CF *)
+      writes [ PF; AF; ZF; SF; OF ]
+  | Shl | Shr | Sar -> write_all
+  | Idiv -> write_all
+  | Fcmp -> write_all (* like comisd: ZF/PF/CF set, OF/AF/SF zeroed *)
+  | Jcc c -> reads (Cond.flags_read c)
+  | Popf -> write_all
+  | Pushf -> read_all
+  | Mov | Movzx8 | Movzx16 | Lea | Push | Pop | Xchg
+  | Jmp | JmpInd | Call | CallInd | Ret
+  | Fld | Fst | Fmov | Fadd | Fsub | Fmul | Fdiv | Fabs | Fneg | Fsqrt
+  | Cvtsi | Cvtfi | Nop | Hlt | Out | In | Ccall ->
+      none
+
+(* ------------------------------------------------------------------ *)
+(* Control-flow classification                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cti_kind =
+  | Not_cti
+  | Cti_direct_jmp
+  | Cti_cond          (** conditional direct branch *)
+  | Cti_ind_jmp
+  | Cti_direct_call
+  | Cti_ind_call
+  | Cti_return
+  | Cti_halt
+
+let cti_kind = function
+  | Jmp -> Cti_direct_jmp
+  | Jcc _ -> Cti_cond
+  | JmpInd -> Cti_ind_jmp
+  | Call -> Cti_direct_call
+  | CallInd -> Cti_ind_call
+  | Ret -> Cti_return
+  | Hlt -> Cti_halt
+  | _ -> Not_cti
+
+let is_cti o = cti_kind o <> Not_cti
+
+(** Control transfers whose target is not a static constant: they go
+    through the indirect-branch lookup when running out of a code cache. *)
+let is_indirect_cti = function
+  | JmpInd | CallInd | Ret -> true
+  | _ -> false
+
+let is_call = function Call | CallInd -> true | _ -> false
+
+(** Instructions that read memory implicitly (beyond Mem operands). *)
+let implicit_stack_read = function
+  | Pop | Popf | Ret -> true
+  | _ -> false
+
+let implicit_stack_write = function
+  | Push | Pushf | Call | CallInd -> true
+  | _ -> false
+
+let is_fp = function
+  | Fld | Fst | Fmov | Fadd | Fsub | Fmul | Fdiv | Fabs | Fneg | Fsqrt
+  | Fcmp | Cvtsi | Cvtfi -> true
+  | _ -> false

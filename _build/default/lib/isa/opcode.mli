@@ -1,0 +1,87 @@
+(** SynISA opcodes and their static metadata: eflags effects and
+    control-flow classification.  [Ccall] is reserved for the runtime
+    (clean calls emitted into code caches); application code never
+    contains it. *)
+
+type t =
+  | Mov
+  | Movzx8
+  | Movzx16
+  | Lea
+  | Push
+  | Pop
+  | Xchg
+  | Pushf
+  | Popf
+  | Add
+  | Adc
+  | Sub
+  | Sbb
+  | Inc
+  | Dec
+  | Neg
+  | Cmp
+  | Imul
+  | Idiv
+  | And
+  | Or
+  | Xor
+  | Not
+  | Test
+  | Shl
+  | Shr
+  | Sar
+  | Jmp
+  | JmpInd
+  | Jcc of Cond.t
+  | Call
+  | CallInd
+  | Ret
+  | Fld
+  | Fst
+  | Fmov
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fabs
+  | Fneg
+  | Fsqrt
+  | Fcmp
+  | Cvtsi
+  | Cvtfi
+  | Nop
+  | Hlt
+  | Out
+  | In
+  | Ccall
+
+val name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val eflags : t -> Eflags.mask
+(** Read/write effects on the flags register.  Flags IA-32 leaves
+    undefined are defined as written, deterministically. *)
+
+type cti_kind =
+  | Not_cti
+  | Cti_direct_jmp
+  | Cti_cond
+  | Cti_ind_jmp
+  | Cti_direct_call
+  | Cti_ind_call
+  | Cti_return
+  | Cti_halt
+
+val cti_kind : t -> cti_kind
+val is_cti : t -> bool
+
+val is_indirect_cti : t -> bool
+(** Transfers resolved through the indirect-branch lookup when running
+    out of a code cache ([jmp*], [call*], [ret]). *)
+
+val is_call : t -> bool
+val implicit_stack_read : t -> bool
+val implicit_stack_write : t -> bool
+val is_fp : t -> bool

@@ -1,0 +1,1 @@
+lib/rio/rio.ml: Api Buffer Create Dispatch Emit Flags_analysis Hashtbl Instr Instrlist Level List Mangle Options Stats Types Vm

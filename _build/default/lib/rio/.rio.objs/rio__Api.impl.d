@@ -1,0 +1,1 @@
+lib/rio/api.ml: Array Buffer Create Emit Hashtbl Insn Instr Instrlist Isa List Operand Option Printf Reg Types Vm

@@ -1,0 +1,1 @@
+lib/rio/api.mli: Instr Instrlist Isa Operand Reg Types Vm

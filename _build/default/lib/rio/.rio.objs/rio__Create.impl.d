@@ -1,0 +1,1 @@
+lib/rio/create.ml: Insn Instr Isa Operand

@@ -1,0 +1,1 @@
+lib/rio/dispatch.ml: Array Bytes Char Cond Create Decode Emit Flags_analysis Hashtbl Insn Instr Instrlist Isa Level List Mangle Opcode Operand Option Options Printf Reg Stats Types Vm

@@ -1,0 +1,1 @@
+lib/rio/emit.ml: Array Buffer Bytes Char Decode Encode Hashtbl Insn Instr Instrlist Isa List Mangle Opcode Operand Option Options Printf Stats Types Vm

@@ -1,0 +1,1 @@
+lib/rio/flags_analysis.ml: Eflags Instr Isa

@@ -1,0 +1,1 @@
+lib/rio/flags_analysis.mli: Instr

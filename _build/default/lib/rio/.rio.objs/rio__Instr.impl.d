@@ -1,0 +1,1 @@
+lib/rio/instr.ml: Array Bytes Char Decode Disasm Eflags Encode Fmt Insn Isa Level Opcode Operand

@@ -1,0 +1,1 @@
+lib/rio/instr.mli: Bytes Eflags Format Insn Isa Level Opcode Operand

@@ -1,0 +1,1 @@
+lib/rio/instrlist.ml: Bytes Char Fmt Instr Isa Level List

@@ -1,0 +1,1 @@
+lib/rio/instrlist.mli: Format Instr Level

@@ -1,0 +1,1 @@
+lib/rio/level.ml: Fmt Int Printf

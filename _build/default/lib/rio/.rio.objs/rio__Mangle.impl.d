@@ -1,0 +1,1 @@
+lib/rio/mangle.ml: Bytes Cond Create Insn Instr Instrlist Isa List Opcode Operand Reg Types

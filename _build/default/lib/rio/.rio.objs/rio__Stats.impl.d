@@ -1,0 +1,1 @@
+lib/rio/stats.ml: Fmt

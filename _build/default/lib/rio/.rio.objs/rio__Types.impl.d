@@ -1,0 +1,1 @@
+lib/rio/types.ml: Buffer Hashtbl Instrlist Options Printf Stats Vm

@@ -1,0 +1,614 @@
+(** The dispatcher: Figure 1 of the paper.
+
+    {v
+    start → basic block builder → (trace selector) → code cache
+              ↑                                        |
+              └──── context switch ←── exit stub ←─────┘
+                    (or stay in cache: direct link / indirect lookup)
+    v}
+
+    One dispatcher drives each application thread; code caches and all
+    dispatch state are thread-private (paper §2). *)
+
+open Isa
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Trace heads                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_head (ts : thread_state) tag =
+  Hashtbl.mem ts.head_counters tag || Hashtbl.mem ts.marked_heads tag
+
+(** Promote [tag] to trace-head status: it loses its in-cache lookup
+    entry and its incoming links, so every future execution passes
+    through the dispatcher and bumps its counter. *)
+let make_head (rt : runtime) (ts : thread_state) tag =
+  if not (is_head ts tag) then begin
+    Hashtbl.replace ts.head_counters tag 0;
+    rt.stats.Stats.trace_head_promotions <- rt.stats.Stats.trace_head_promotions + 1;
+    (match Hashtbl.find_opt ts.ibl tag with
+     | Some f when f.kind = Bb -> Hashtbl.remove ts.ibl tag
+     | _ -> ());
+    match Hashtbl.find_opt ts.bbs tag with
+    | Some frag -> List.iter (Emit.unlink rt) frag.incoming
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Basic block building                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Decode the application code starting at [tag]: all instructions up
+   to and including the first CTI (or up to the size cap).  Returns the
+   per-instruction (addr, len) list, whether a CTI ended the block, and
+   the address just past the block. *)
+let scan_block (rt : runtime) tag :
+    (int * int) list * [ `Cti | `Capped ] * int =
+  let fetch = Vm.Memory.fetch (Vm.Machine.mem rt.machine) in
+  let max_insns = rt.opts.Options.max_bb_insns in
+  let rec go addr n acc =
+    match Decode.opcode_eflags fetch addr with
+    | Error e ->
+        rio_error "bad application code at 0x%x: %s" addr
+          (Decode.error_to_string e)
+    | Ok (op, len) ->
+        let acc = (addr, len) :: acc in
+        if Opcode.is_cti op then (List.rev acc, `Cti, addr + len)
+        else if n + 1 >= max_insns then (List.rev acc, `Capped, addr + len)
+        else go (addr + len) (n + 1) acc
+  in
+  go tag 0 []
+
+(* Build the client-view IL for a scanned block.  Without a client
+   hook, non-CTI instructions are kept as a single Level-0 bundle and
+   only the final CTI is decoded (the paper's two-Instr fast path);
+   with a hook, instructions are split to Level 1 so the client can
+   walk them. *)
+let block_il (rt : runtime) (pieces : (int * int) list) (ends : [ `Cti | `Capped ]) :
+    Instrlist.t =
+  let mem = Vm.Machine.mem rt.machine in
+  let fetch = Vm.Memory.fetch mem in
+  let grab addr len = Bytes.init len (fun k -> Char.chr (fetch (addr + k))) in
+  let il = Instrlist.create () in
+  let with_hook = rt.client.basic_block <> None in
+  let n = List.length pieces in
+  let body, cti =
+    match ends with
+    | `Cti ->
+        let rec split k = function
+          | [] -> ([], None)
+          | [ last ] when k = n - 1 -> ([], Some last)
+          | x :: tl ->
+              let b, c = split (k + 1) tl in
+              (x :: b, c)
+        in
+        split 0 pieces
+    | `Capped -> (pieces, None)
+  in
+  if with_hook then
+    List.iter
+      (fun (addr, len) -> Instrlist.append il (Instr.of_raw ~addr (grab addr len)))
+      body
+  else if body <> [] then begin
+    let first_addr = fst (List.hd body) in
+    let last_addr, last_len = List.nth body (List.length body - 1) in
+    let total = last_addr + last_len - first_addr in
+    Instrlist.append il (Instr.of_bundle ~addr:first_addr (grab first_addr total))
+  end;
+  (match cti with
+   | Some (addr, len) -> (
+       let raw = grab addr len in
+       match Decode.full (Decode.fetch_bytes raw) 0 with
+       | Error e -> rio_error "bad CTI at 0x%x: %s" addr (Decode.error_to_string e)
+       | Ok (insn0, _) ->
+           (* re-resolve pc-relative targets against the true address *)
+           let f a = Char.code (Bytes.get raw (a - addr)) in
+           let insn, _ = Decode.full_exn f addr in
+           ignore insn0;
+           Instrlist.append il (Instr.of_decoded ~addr ~raw insn))
+   | None -> ());
+  il
+
+(* After mangling, guarantee the block's IL ends by leaving the
+   fragment: a trailing conditional branch gets an explicit jmp to its
+   fall-through; a capped block gets a jmp to the next instruction. *)
+let seal_il (il : Instrlist.t) ~(fallthrough : int) : unit =
+  match Instrlist.last il with
+  | None -> rio_error "empty block"
+  | Some last -> (
+      match Instr.get_opcode last with
+      | Opcode.Jcc _ -> Instrlist.append il (Create.jmp fallthrough)
+      | Opcode.Jmp | Opcode.Hlt -> ()
+      | _ -> Instrlist.append il (Create.jmp fallthrough))
+
+let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
+  let pieces, ends, block_end = scan_block rt tag in
+  (* watch the source code so writes to it trigger fragment flushes *)
+  Vm.Memory.watch_code (Vm.Machine.mem rt.machine) ~addr:tag ~len:(block_end - tag);
+  let il = block_il rt pieces ends in
+  charge rt
+    (rt.opts.Options.costs.Options.bb_build_base
+    + (List.length pieces * rt.opts.Options.costs.Options.bb_build_per_insn));
+  (match rt.client.basic_block with
+   | Some hook -> hook { rt; ts } ~tag il
+   | None -> ());
+  Mangle.mangle_il ~tid:ts.ts_tid il;
+  seal_il il ~fallthrough:block_end;
+  let frag =
+    Emit.emit_fragment rt ts ~kind:Bb ~tag ~src_ranges:[ (tag, block_end) ] il
+  in
+  rt.stats.Stats.blocks_built <- rt.stats.Stats.blocks_built + 1;
+  if not (is_head ts tag) then Hashtbl.replace ts.ibl tag frag;
+  log_flow rt "build bb 0x%x" tag;
+  frag
+
+(* ------------------------------------------------------------------ *)
+(* Trace building                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | P_jcc of Cond.t * int * int  (* cond, taken target, fall-through *)
+  | P_jmp of int
+  | P_ind of ind_kind
+  | P_halt
+  | P_start                      (* no block stitched yet *)
+
+(* The trace builder's private working state, attached to ts.tracegen
+   via closures over this record. *)
+type tg_state = {
+  tg : tracegen;
+  mutable pending : pending;
+  mutable checks : Instr.t list;  (* jne instrs of inline checks, for flags fixup *)
+}
+
+let tg_table : (int, tg_state) Hashtbl.t = Hashtbl.create 8
+(* keyed by thread id; a thread has at most one trace generation going *)
+
+let start_tracegen (rt : runtime) (ts : thread_state) head =
+  let tg =
+    { tg_head = head; tg_tags = []; tg_il = Instrlist.create (); tg_insns = 0 }
+  in
+  ts.tracegen <- Some tg;
+  Hashtbl.replace tg_table ts.ts_tid { tg; pending = P_start; checks = [] };
+  log_flow rt "start trace 0x%x" head
+
+(* Splice the client-view IL of block [tag]'s bb fragment into the
+   growing trace, returning the new pending CTI. *)
+let stitch_block (rt : runtime) (ts : thread_state) (st : tg_state) tag : unit =
+  let frag =
+    match Hashtbl.find_opt ts.bbs tag with
+    | Some f -> f
+    | None -> build_bb rt ts tag
+  in
+  let il = Emit.decode_fragment_il rt frag in
+  (* peel the trailing exit structure *)
+  let target_of (i : Instr.t) =
+    match Insn.src (Instr.get_insn i) 0 with
+    | Operand.Target t -> t
+    | _ -> rio_error "trace stitch: malformed exit"
+  in
+  let last = Option.get (Instrlist.last il) in
+  let pending =
+    match Instr.get_opcode last with
+    | Opcode.Hlt ->
+        Instrlist.remove il last;
+        P_halt
+    | Opcode.Jmp -> (
+        let t = target_of last in
+        Instrlist.remove il last;
+        match ind_kind_of_token t with
+        | Some k -> P_ind k
+        | None -> (
+            (* is the (new) last instruction a conditional exit? *)
+            match Instrlist.last il with
+            | Some prev
+              when (not (Instr.is_bundle prev))
+                   && (match Instr.get_opcode prev with
+                      | Opcode.Jcc _ -> true
+                      | _ -> false) ->
+                let c =
+                  match Instr.get_opcode prev with
+                  | Opcode.Jcc c -> c
+                  | _ -> assert false
+                in
+                let taken = target_of prev in
+                Instrlist.remove il prev;
+                P_jcc (c, taken, t)
+            | _ -> P_jmp t))
+    | _ -> rio_error "trace stitch: block 0x%x does not end in an exit" tag
+  in
+  st.tg.tg_insns <- st.tg.tg_insns + Instrlist.length il;
+  Instrlist.append_all ~dst:st.tg.tg_il il;
+  st.tg.tg_tags <- tag :: st.tg.tg_tags;
+  st.pending <- pending
+
+(* Resolve the pending CTI knowing execution continued at [next]. *)
+let resolve_pending (ts : thread_state) (st : tg_state) ~next : unit =
+  match st.pending with
+  | P_start -> ()
+  | P_halt -> rio_error "trace continued past hlt"
+  | P_jmp t ->
+      if t <> next then rio_error "trace stitch: jmp to 0x%x but executed 0x%x" t next
+  | P_jcc (c, taken, ft) ->
+      let exit_instr =
+        if next = taken then Create.jcc (Cond.invert c) ft
+        else if next = ft then Create.jcc c taken
+        else rio_error "trace stitch: jcc targets 0x%x/0x%x but executed 0x%x" taken ft next
+      in
+      st.tg.tg_insns <- st.tg.tg_insns + 1;
+      Instrlist.append st.tg.tg_il exit_instr
+  | P_ind k ->
+      (* inline the observed target with a check; flags handling is
+         fixed up at finalize time when the whole trace is known *)
+      let instrs =
+        Mangle.inline_check ~tid:ts.ts_tid ~expected:next ~kind:k ~flags_live:false
+      in
+      List.iter
+        (fun i ->
+          st.tg.tg_insns <- st.tg.tg_insns + 1;
+          Instrlist.append st.tg.tg_il i)
+        instrs;
+      (match List.rev instrs with
+       | jne :: _ -> st.checks <- jne :: st.checks
+       | [] -> assert false)
+
+(* Materialize the final pending CTI as trace exits. *)
+let finalize_pending (st : tg_state) : unit =
+  let app i = Instrlist.append st.tg.tg_il i in
+  match st.pending with
+  | P_start -> rio_error "empty trace"
+  | P_halt -> app (Create.of_insn (Insn.mk_hlt ()))
+  | P_jmp t -> app (Create.jmp t)
+  | P_jcc (c, taken, ft) ->
+      app (Create.jcc c taken);
+      app (Create.jmp ft)
+  | P_ind k -> app (Create.jmp (ind_token k))
+
+(* For every inline check inserted without flags preservation, scan
+   forward: if the application flags are live at the check, bracket it
+   with save/restore and attach the stub restore. *)
+let fixup_check_flags (rt : runtime) (ts : thread_state) (st : tg_state) : unit =
+  let il = st.tg.tg_il in
+  let fslot = Mangle.abs_slot ~tid:ts.ts_tid slot_eflags in
+  List.iter
+    (fun (jne : Instr.t) ->
+      (* the check is [cmp; jne]; flags are live if anything after the
+         jne reads them before writing *)
+      let after = jne.Instr.next in
+      if
+        rt.opts.Options.always_save_flags
+        || not (Flags_analysis.dead_after after)
+      then begin
+        let cmp = Option.get jne.Instr.prev in
+        Instrlist.insert_before il cmp (Create.pushf ());
+        Instrlist.insert_before il cmp (Create.pop fslot);
+        Instrlist.insert_after il jne (Create.popf ());
+        Instrlist.insert_after il jne (Create.push fslot);
+        let stub = Instrlist.create () in
+        Instrlist.append stub (Create.push fslot);
+        Instrlist.append stub (Create.popf ());
+        jne.Instr.note <- Instr.Any_note (Stub_note (stub, false));
+        st.tg.tg_insns <- st.tg.tg_insns + 4
+      end)
+    st.checks
+
+let finalize_trace (rt : runtime) (ts : thread_state) (st : tg_state) : fragment =
+  finalize_pending st;
+  fixup_check_flags rt ts st;
+  let head = st.tg.tg_head in
+  let il = st.tg.tg_il in
+  (* the client sees the completely processed trace (paper §3.3);
+     instructions are fully decoded with raw bits valid (Level 3) *)
+  Instrlist.decode_to il Level.L3;
+  (match rt.client.trace_hook with
+   | Some hook -> hook { rt; ts } ~tag:head il
+   | None -> ());
+  charge_opt rt
+    (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
+  Mangle.mangle_il ~tid:ts.ts_tid il;
+  let src_ranges =
+    List.concat_map
+      (fun tag ->
+        match Hashtbl.find_opt ts.bbs tag with
+        | Some f -> f.src_ranges
+        | None -> [])
+      st.tg.tg_tags
+  in
+  let frag = Emit.emit_fragment rt ts ~kind:Trace ~tag:head ~src_ranges il in
+  rt.stats.Stats.traces_built <- rt.stats.Stats.traces_built + 1;
+  (* the trace shadows the head's bb: lookups prefer traces, the ibl
+     entry moves to the trace, and the bb's links are already severed
+     (it is a head).  Targets of the trace's direct exits become heads. *)
+  Hashtbl.replace ts.ibl head frag;
+  Array.iter
+    (fun e ->
+      match e.e_kind with
+      | Exit_direct ->
+          if
+            e.target_tag <> head
+            && not (Hashtbl.mem ts.traces e.target_tag)
+          then make_head rt ts e.target_tag
+      | Exit_indirect _ -> ())
+    frag.exits;
+  ts.tracegen <- None;
+  Hashtbl.remove tg_table ts.ts_tid;
+  log_flow rt "built trace 0x%x (%d blocks)" head (List.length st.tg.tg_tags);
+  frag
+
+(* Default end-of-trace test (paper §3.5: stop at a backward branch —
+   approximated as reaching another trace head — or an existing trace). *)
+let default_end (rt : runtime) (ts : thread_state) (st : tg_state) ~next =
+  Hashtbl.mem ts.traces next
+  || is_head ts next
+  || List.length st.tg.tg_tags >= rt.opts.Options.max_trace_blocks
+
+(* One dispatcher step while generating a trace.  Returns the fragment
+   to execute next (always the bb for [next], unlinked). *)
+let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
+  let st = Hashtbl.find tg_table ts.ts_tid in
+  let should_end =
+    if st.pending = P_start then false (* always take the head block *)
+    else if st.pending = P_halt then true
+    else
+      match rt.client.end_trace with
+      | None -> default_end rt ts st ~next
+      | Some hook -> (
+          match hook { rt; ts } ~trace_tag:st.tg.tg_head ~next_tag:next with
+          | End_trace -> true
+          | Continue_trace -> false
+          | Default_end -> default_end rt ts st ~next)
+  in
+  if should_end || st.pending = P_halt then begin
+    ignore (finalize_trace rt ts st);
+    None (* re-dispatch [next] normally *)
+  end
+  else begin
+    resolve_pending ts st ~next;
+    stitch_block rt ts st next;
+    if st.pending = P_halt then begin
+      (* block ends the program: close the trace now *)
+      ignore (finalize_trace rt ts st)
+    end;
+    (* execute the constituent block, unlinked, so control returns to
+       the dispatcher to observe where execution goes *)
+    let frag =
+      match Hashtbl.find_opt ts.bbs next with
+      | Some f -> f
+      | None -> build_bb rt ts next
+    in
+    Array.iter (fun e -> Emit.unlink rt e) frag.exits;
+    Some frag
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The dispatcher proper                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Push a value on the application stack of [ts]'s thread. *)
+let push_app (rt : runtime) (ts : thread_state) v =
+  let t = ts.thread in
+  let sp = (Vm.Machine.get_reg t Reg.Esp - 4) land 0xFFFF_FFFF in
+  Vm.Machine.set_reg t Reg.Esp sp;
+  Vm.Memory.write_u32 (Vm.Machine.mem rt.machine) sp v
+
+(* Deliver one pending signal, if any, at this safe point: push the
+   interrupted application pc and redirect to the handler (all in app
+   terms; the handler's code itself runs out of the code cache). *)
+let deliver_signals (rt : runtime) (ts : thread_state) =
+  match ts.thread.Vm.Machine.pending_signals with
+  | [] -> ()
+  | h :: rest ->
+      ts.thread.Vm.Machine.pending_signals <- rest;
+      push_app rt ts ts.next_tag;
+      ts.next_tag <- h;
+      rt.stats.Stats.signals_delivered <- rt.stats.Stats.signals_delivered + 1;
+      log_flow rt "deliver signal -> 0x%x" h
+
+(* Look up (or create) the fragment to run for [tag] outside trace
+   generation, honouring trace-head counters. *)
+let fragment_for_normal (rt : runtime) (ts : thread_state) tag : fragment =
+  match Hashtbl.find_opt ts.traces tag with
+  | Some f ->
+      log_flow rt "enter trace 0x%x" tag;
+      f
+  | None ->
+      let frag =
+        match Hashtbl.find_opt ts.bbs tag with
+        | Some f -> f
+        | None -> build_bb rt ts tag
+      in
+      if is_head ts tag && rt.opts.Options.enable_traces then begin
+        let c = 1 + Option.value (Hashtbl.find_opt ts.head_counters tag) ~default:0 in
+        Hashtbl.replace ts.head_counters tag c;
+        if c >= rt.opts.Options.trace_threshold && ts.tracegen = None then begin
+          start_tracegen rt ts tag;
+          match tracegen_step rt ts ~next:tag with
+          | Some f -> f
+          | None -> frag
+        end
+        else frag
+      end
+      else frag
+
+(* Full dispatch: trace generation first, then normal lookup. *)
+let rec fragment_for (rt : runtime) (ts : thread_state) : fragment =
+  deliver_signals rt ts;
+  let tag = ts.next_tag in
+  match ts.tracegen with
+  | Some _ -> (
+      match tracegen_step rt ts ~next:tag with
+      | Some frag -> frag
+      | None ->
+          (* trace was finalized; dispatch [tag] normally (it may even
+             start another trace) *)
+          fragment_for rt ts)
+  | None -> fragment_for_normal rt ts tag
+
+(* ------------------------------------------------------------------ *)
+(* Exit handling and the per-thread quantum loop                      *)
+(* ------------------------------------------------------------------ *)
+
+type quantum_result = Q_budget | Q_thread_done | Q_fault of string
+
+(* Handle a direct exit: set next_tag, apply head heuristics, and link
+   the exit to its target fragment when allowed. *)
+let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
+  let target = e.target_tag in
+  ts.next_tag <- target;
+  let owner = match e.e_owner with Some f -> f | None -> rio_error "orphan exit" in
+  (* backward direct branches identify loop heads (Dynamo's heuristic) *)
+  if
+    rt.opts.Options.enable_traces
+    && owner.kind = Bb
+    && target <= owner.tag
+    && not (Hashtbl.mem ts.traces target)
+  then make_head rt ts target;
+  (* lazy linking: once the target fragment exists, patch the branch *)
+  if
+    rt.opts.Options.link_direct
+    && ts.tracegen = None
+    && (not owner.deleted)
+    && e.linked = None
+  then begin
+    let target_frag =
+      match Hashtbl.find_opt ts.traces target with
+      | Some f -> Some f
+      | None -> (
+          match Hashtbl.find_opt ts.bbs target with
+          | Some f when not (is_head ts target) -> Some f
+          | _ -> None)
+    in
+    match target_frag with
+    | Some f when not f.deleted -> Emit.link rt e f
+    | _ -> ()
+  end
+
+(* Handle an indirect exit: consult the in-cache lookup table.  A hit
+   continues in the cache (no context switch); a miss (or disabled
+   in-cache lookup) pays the full context switch and dispatches. *)
+let handle_indirect_exit (rt : runtime) (ts : thread_state) :
+    [ `Stay of fragment | `Dispatch ] =
+  let mem = Vm.Machine.mem rt.machine in
+  let target = Vm.Memory.read_u32 mem (tls_addr ~tid:ts.ts_tid ~slot:slot_ibl_target) in
+  ts.next_tag <- target;
+  if rt.opts.Options.link_indirect && ts.tracegen = None then begin
+    (* the in-cache hashtable lookup *)
+    rt.stats.Stats.ibl_lookups <- rt.stats.Stats.ibl_lookups + 1;
+    charge rt rt.opts.Options.costs.Options.ibl_lookup;
+    match Hashtbl.find_opt ts.ibl target with
+    | Some f when not f.deleted ->
+        log_flow rt "ibl hit 0x%x" target;
+        `Stay f
+    | _ ->
+        rt.stats.Stats.ibl_misses <- rt.stats.Stats.ibl_misses + 1;
+        log_flow rt "ibl miss 0x%x" target;
+        `Dispatch
+  end
+  else `Dispatch
+
+(* Run one scheduling quantum of [ts]'s thread. *)
+let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
+  let m = rt.machine in
+  let t = ts.thread in
+  let deadline = Vm.Machine.cycles m + rt.opts.Options.quantum in
+  let budget () = deadline - Vm.Machine.cycles m in
+  (* returns true to continue the quantum *)
+  let rec from_dispatcher () =
+    ts.in_cache <- false;
+    if
+      rt.flush_pending
+      && List.for_all (fun o -> not o.in_cache) rt.thread_states
+      && ts.tracegen = None
+    then begin
+      Emit.flush_all rt;
+      charge rt rt.opts.Options.costs.Options.context_switch;
+      log_flow rt "cache flush (capacity)"
+    end;
+    if budget () <= 0 then Q_budget
+    else begin
+      rt.stats.Stats.context_switches <- rt.stats.Stats.context_switches + 1;
+      charge rt rt.opts.Options.costs.Options.context_switch;
+      log_flow rt "dispatch 0x%x" ts.next_tag;
+      enter (fragment_for rt ts)
+    end
+  and enter (frag : fragment) =
+    (match frag.kind with
+     | Bb -> rt.stats.Stats.enters_bb <- rt.stats.Stats.enters_bb + 1
+     | Trace -> rt.stats.Stats.enters_trace <- rt.stats.Stats.enters_trace + 1);
+    t.Vm.Machine.pc <- frag.entry;
+    resume ()
+  and resume () =
+    ts.in_cache <- true;
+    if budget () <= 0 then Q_budget
+    else
+      match Vm.Interp.run m t ~budget:(budget ()) ~emulate:false with
+      | Vm.Interp.Budget -> Q_budget
+      | Vm.Interp.Halted ->
+          ts.in_cache <- false;
+          log_flow rt "halted";
+          Q_thread_done
+      | Vm.Interp.Fault f ->
+          ts.in_cache <- false;
+          Q_fault f
+      | Vm.Interp.Signal _ -> assert false (* interception defers signals *)
+      | Vm.Interp.Smc target ->
+          (* the application wrote over executed code: flush the stale
+             fragments, then continue where the hardware stopped *)
+          let ranges = m.Vm.Machine.pending_smc in
+          m.Vm.Machine.pending_smc <- [];
+          let flushed = Emit.flush_ranges rt ts ranges in
+          log_flow rt "smc flush: %d fragments" (List.length flushed);
+          (match
+             List.find_opt
+               (fun f -> target >= f.entry && target < f.total_end)
+               flushed
+           with
+           | None -> resume ()
+           | Some f when target = f.entry ->
+               (* a linked branch pointed at the flushed fragment: we
+                  know its application tag, so dispatch it fresh *)
+               ts.next_tag <- f.tag;
+               from_dispatcher ()
+           | Some _ ->
+               Q_fault
+                 "self-modifying code rewrote the fragment currently executing")
+      | Vm.Interp.Ccall { id; resume = rpc } -> (
+          rt.stats.Stats.clean_calls <- rt.stats.Stats.clean_calls + 1;
+          charge rt rt.opts.Options.costs.Options.clean_call;
+          match Hashtbl.find_opt rt.ccalls id with
+          | None -> Q_fault (Printf.sprintf "unknown clean call %d" id)
+          | Some f ->
+              f { rt; ts };
+              t.Vm.Machine.pc <- rpc;
+              resume ())
+      | Vm.Interp.Trap addr -> (
+          charge rt rt.opts.Options.costs.Options.stub_exec;
+          let id = (addr - trap_base) / 4 in
+          match Hashtbl.find_opt rt.exit_by_id id with
+          | None -> Q_fault (Printf.sprintf "unknown trap 0x%x" addr)
+          | Some e -> (
+              match e.e_kind with
+              | Exit_direct ->
+                  handle_direct_exit rt ts e;
+                  from_dispatcher ()
+              | Exit_indirect _ -> (
+                  match handle_indirect_exit rt ts with
+                  | `Stay f -> enter f
+                  | `Dispatch -> from_dispatcher ())))
+  in
+  if ts.in_cache && not rt.opts.Options.emulate then resume ()
+  else if rt.opts.Options.emulate then begin
+    (* Table 1 row 1: no cache; re-decode and charge overhead on every
+       instruction *)
+    t.Vm.Machine.pc <- ts.next_tag;
+    match Vm.Interp.run m t ~budget:(budget ()) ~emulate:true with
+    | Vm.Interp.Budget ->
+        ts.next_tag <- t.Vm.Machine.pc;
+        Q_budget
+    | Vm.Interp.Halted -> Q_thread_done
+    | Vm.Interp.Fault f -> Q_fault f
+    | s -> Q_fault ("unexpected emulation stop: " ^ Vm.Interp.stop_to_string s)
+  end
+  else from_dispatcher ()
+

@@ -1,0 +1,546 @@
+(** Fragment emission, linking, deletion, and cache-resident decoding.
+
+    A fragment's cache image is:
+
+    {v
+    entry:      body instructions (exit CTIs forced to rel32 forms)
+    body_end:   stub 0: [custom preamble] jmp <trap token 0>
+                stub 1: ...
+    total_end:
+    v}
+
+    Exit CTIs initially target their stub; {!link} patches the CTI (or,
+    for always-through-stub exits, the stub's final jump) to the target
+    fragment's entry, and {!unlink} restores it.  All patches re-encode
+    in place — lengths cannot change because exit branches are emitted
+    in their long forms. *)
+
+open Isa
+open Types
+
+(* An exit CTI is any direct jmp/jcc whose target leaves the fragment:
+   an application address or an IND pseudo-token. *)
+let exit_info (i : Instr.t) : (exit_kind * int * bool) option =
+  if Instr.is_bundle i then None
+  else
+    match Instr.get_opcode i with
+    | Opcode.Jmp | Opcode.Jcc _ -> (
+        let insn = Instr.get_insn i in
+        let is_cond = match insn.Insn.opcode with Opcode.Jcc _ -> true | _ -> false in
+        match Insn.src insn 0 with
+        | Operand.Target t -> (
+            match ind_kind_of_token t with
+            | Some k -> Some (Exit_indirect k, 0, is_cond)
+            | None ->
+                if is_app_addr t then Some (Exit_direct, t, is_cond)
+                else rio_error "exit CTI with target 0x%x outside app space" t)
+        | _ -> None)
+    | _ -> None
+
+let stub_note (i : Instr.t) : (Instrlist.t option * bool) =
+  match i.Instr.note with
+  | Instr.Any_note (Stub_note (il, always)) -> (Some il, always)
+  | _ -> (None, false)
+
+(* length of an instruction at [pc], exit CTIs forced long *)
+let instr_len ~pc ~is_exit (i : Instr.t) =
+  if is_exit then
+    match Instr.get_opcode i with
+    | Opcode.Jcc _ -> 6
+    | _ -> 5 (* jmp rel32 *)
+  else Instr.length ~pc i
+
+let write_bytes (rt : runtime) ~addr (b : Bytes.t) =
+  Vm.Memory.blit_bytes (Vm.Machine.mem rt.machine) ~src:b ~src_pos:0 ~dst:addr
+    ~len:(Bytes.length b);
+  Vm.Machine.invalidate_icache rt.machine ~addr ~len:(Bytes.length b)
+
+(* Re-encode a single branch at [pc] with a new [target]; length must
+   not change (exit branches are long-form). *)
+let patch_branch (rt : runtime) ~pc ~target =
+  let mem = Vm.Machine.mem rt.machine in
+  let fetch = Vm.Memory.fetch mem in
+  let insn, len = Decode.full_exn fetch pc in
+  let insn' =
+    match insn.Insn.opcode with
+    | Opcode.Jmp -> Insn.mk_jmp target
+    | Opcode.Jcc c -> Insn.mk_jcc c target
+    | _ -> rio_error "patch_branch: not a direct branch at 0x%x" pc
+  in
+  let b = Encode.encode_exn ~long:true ~pc insn' in
+  if Bytes.length b <> len then rio_error "patch_branch: length drift at 0x%x" pc;
+  write_bytes rt ~addr:pc b
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type planned_exit = {
+  px_instr : Instr.t;
+  px_kind : exit_kind;
+  px_target : int;
+  px_cond : bool;
+  px_stub_il : Instrlist.t option;
+  px_always : bool;
+  px_secondary : bool;   (* lives inside another exit's stub *)
+  mutable px_branch_pc : int;
+  mutable px_stub_pc : int;
+  mutable px_stub_jmp_pc : int;
+}
+
+exception Cache_full
+
+let alloc (rt : runtime) n =
+  let a = rt.cache_cursor in
+  if a + n > rt.heap_cursor then raise Cache_full;
+  (match rt.opts.Options.cache_capacity with
+   | Some cap when a + n - cache_base > cap ->
+       (* over capacity: keep going (the fragment being built must
+          land somewhere) but request a flush at the next safe point *)
+       rt.flush_pending <- true
+   | _ -> ());
+  rt.cache_cursor <- a + n;
+  a
+
+(** Emit a client-view (already mangled) IL as a fragment for [tag].
+
+    Exit CTIs may appear both in the body and inside custom stubs
+    (one level deep) — the latter is how a client builds a "code
+    sequence at the bottom of the trace" reached only on an exit path
+    (paper §4.3).  Registers the fragment; does not link. *)
+let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
+    ~(tag : int) ?(src_ranges = []) (il : Instrlist.t) : fragment =
+  let plan_of ~secondary (i : Instr.t) (k, target, is_cond) =
+    let stub_il, always = stub_note i in
+    if secondary then
+      Option.iter
+        (fun sil ->
+          Instrlist.iter sil (fun si ->
+              if exit_info si <> None then
+                rio_error "emit: exits nested deeper than one stub level"))
+        stub_il;
+    {
+      px_instr = i;
+      px_kind = k;
+      px_target = target;
+      px_cond = is_cond;
+      px_stub_il = stub_il;
+      px_always = always;
+      px_secondary = secondary;
+      px_branch_pc = 0;
+      px_stub_pc = 0;
+      px_stub_jmp_pc = 0;
+    }
+  in
+  (* plan body exits, then exits living inside their stubs *)
+  let body_planned = ref [] in
+  Instrlist.iter il (fun i ->
+      match exit_info i with
+      | None -> ()
+      | Some info -> body_planned := plan_of ~secondary:false i info :: !body_planned);
+  let body_planned = List.rev !body_planned in
+  let sec_planned =
+    List.concat_map
+      (fun p ->
+        match p.px_stub_il with
+        | None -> []
+        | Some sil ->
+            let acc = ref [] in
+            Instrlist.iter sil (fun si ->
+                match exit_info si with
+                | None -> ()
+                | Some info -> acc := plan_of ~secondary:true si info :: !acc);
+            List.rev !acc)
+      body_planned
+  in
+  let planned = body_planned @ sec_planned in
+  (* a fragment may legitimately have no exits if it ends in hlt *)
+  let find_planned i = List.find_opt (fun p -> p.px_instr == i) planned in
+  (* pass 1: layout.  Lengths of non-CTI instructions don't depend on
+     pc and exit CTIs use fixed long forms, so layout is pc-independent. *)
+  let seq_size (s : Instrlist.t) =
+    Instrlist.fold s ~init:0 (fun sz si ->
+        let is_exit = find_planned si <> None in
+        sz + instr_len ~pc:sz ~is_exit si)
+  in
+  let body_size =
+    Instrlist.fold il ~init:0 (fun sz i ->
+        let is_exit = find_planned i <> None in
+        sz + instr_len ~pc:sz ~is_exit i)
+  in
+  let stub_size p =
+    (match p.px_stub_il with None -> 0 | Some sil -> seq_size sil) + 5
+  in
+  let stub_sizes = List.map stub_size planned in
+  let total = body_size + List.fold_left ( + ) 0 stub_sizes in
+  let entry = alloc rt total in
+  let body_end = entry + body_size in
+  let _ =
+    List.fold_left2
+      (fun addr p sz ->
+        p.px_stub_pc <- addr;
+        p.px_stub_jmp_pc <- addr + sz - 5;
+        addr + sz)
+      body_end planned stub_sizes
+  in
+  (* pass 2: encode *)
+  let buf = Buffer.create total in
+  let pc = ref entry in
+  let encode_one (i : Instr.t) =
+    match find_planned i with
+    | Some p ->
+        p.px_branch_pc <- !pc;
+        (* initial target: the exit's own stub *)
+        let insn = Instr.get_insn i in
+        let insn' =
+          match insn.Insn.opcode with
+          | Opcode.Jmp -> Insn.mk_jmp p.px_stub_pc
+          | Opcode.Jcc c -> Insn.mk_jcc c p.px_stub_pc
+          | _ -> assert false
+        in
+        let b = Encode.encode_exn ~long:true ~pc:!pc insn' in
+        Buffer.add_bytes buf b;
+        pc := !pc + Bytes.length b
+    | None ->
+        let b = Instr.encode ~pc:!pc i in
+        Buffer.add_bytes buf b;
+        pc := !pc + Bytes.length b
+  in
+  Instrlist.iter il encode_one;
+  if !pc <> body_end then rio_error "emit: body layout drift (tag 0x%x)" tag;
+  (* allocate exit ids and encode stubs (in planning order, which is
+     also layout order) *)
+  let exits =
+    List.map
+      (fun p ->
+        let id = rt.next_exit_id in
+        rt.next_exit_id <- rt.next_exit_id + 1;
+        let e =
+          {
+            exit_id = id;
+            e_kind = p.px_kind;
+            target_tag = p.px_target;
+            branch_pc = 0 (* patched below once the stub is encoded *);
+            branch_is_cond = p.px_cond;
+            stub_pc = p.px_stub_pc;
+            stub_jmp_pc = p.px_stub_jmp_pc;
+            linked = None;
+            always_through_stub = p.px_always;
+            stub_il = p.px_stub_il;
+            e_owner = None;
+          }
+        in
+        Hashtbl.replace rt.exit_by_id id e;
+        (p, e))
+      planned
+  in
+  List.iter
+    (fun (p, e) ->
+      if !pc <> p.px_stub_pc then rio_error "emit: stub layout drift (tag 0x%x)" tag;
+      (match p.px_stub_il with
+       | None -> ()
+       | Some sil -> Instrlist.iter sil encode_one);
+      let jb =
+        Encode.encode_exn ~long:true ~pc:p.px_stub_jmp_pc
+          (Insn.mk_jmp (token_of_exit e))
+      in
+      Buffer.add_bytes buf jb;
+      pc := !pc + Bytes.length jb)
+    exits;
+  (* branch_pc was recorded into the plan during encoding *)
+  let exits =
+    List.map
+      (fun (p, e) ->
+        e.branch_pc <- p.px_branch_pc;
+        e)
+      exits
+  in
+  write_bytes rt ~addr:entry (Buffer.to_bytes buf);
+  let frag =
+    {
+      tag;
+      kind;
+      f_tid = ts.ts_tid;
+      entry;
+      body_end;
+      total_end = entry + total;
+      exits = Array.of_list exits;
+      incoming = [];
+      deleted = false;
+      src_ranges;
+    }
+  in
+  List.iter (fun e -> e.e_owner <- Some frag) exits;
+  (match kind with
+   | Bb ->
+       Hashtbl.replace ts.bbs tag frag;
+       rt.stats.Stats.cache_bytes_bb <- rt.stats.Stats.cache_bytes_bb + total
+   | Trace ->
+       Hashtbl.replace ts.traces tag frag;
+       rt.stats.Stats.cache_bytes_trace <- rt.stats.Stats.cache_bytes_trace + total);
+  frag
+
+(* ------------------------------------------------------------------ *)
+(* Linking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let link (rt : runtime) (e : exit_) (target : fragment) : unit =
+  if e.linked <> None then rio_error "link: exit already linked";
+  if target.deleted then rio_error "link: target deleted";
+  e.linked <- Some target;
+  target.incoming <- e :: target.incoming;
+  if e.always_through_stub then patch_branch rt ~pc:e.stub_jmp_pc ~target:target.entry
+  else patch_branch rt ~pc:e.branch_pc ~target:target.entry;
+  rt.stats.Stats.direct_links <- rt.stats.Stats.direct_links + 1
+
+let unlink (rt : runtime) (e : exit_) : unit =
+  match e.linked with
+  | None -> ()
+  | Some target ->
+      e.linked <- None;
+      target.incoming <- List.filter (fun x -> x != e) target.incoming;
+      if e.always_through_stub then
+        patch_branch rt ~pc:e.stub_jmp_pc ~target:(token_of_exit e)
+      else patch_branch rt ~pc:e.branch_pc ~target:e.stub_pc;
+      rt.stats.Stats.unlinks <- rt.stats.Stats.unlinks + 1
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Remove a fragment: unlink everything in and out, drop table
+    entries, fire the client hook.  Cache space is not reclaimed (the
+    experiments run with unlimited cache, like the paper's). *)
+let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit =
+  if not frag.deleted then begin
+    List.iter (fun e -> unlink rt e) frag.incoming;
+    Array.iter (fun e -> unlink rt e) frag.exits;
+    Array.iter (fun e -> Hashtbl.remove rt.exit_by_id e.exit_id) frag.exits;
+    let remove_if_current tbl =
+      match Hashtbl.find_opt tbl frag.tag with
+      | Some f when f == frag -> Hashtbl.remove tbl frag.tag
+      | _ -> ()
+    in
+    (match frag.kind with
+     | Bb -> remove_if_current ts.bbs
+     | Trace -> remove_if_current ts.traces);
+    remove_if_current ts.ibl;
+    frag.deleted <- true;
+    rt.stats.Stats.fragments_deleted <- rt.stats.Stats.fragments_deleted + 1;
+    match rt.client.fragment_deleted with
+    | Some hook -> hook { rt; ts } ~tag:frag.tag
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cache-resident decode (client view)                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuild the client-view IL of a fragment by decoding its cache
+    bytes (paper §3.4, [dr_decode_fragment]).  Exit CTIs are mapped
+    back to their canonical form: direct exits get their application
+    target, indirect exits their IND pseudo-token; custom stubs are
+    re-attached as notes. *)
+let decode_fragment_il (rt : runtime) (frag : fragment) : Instrlist.t =
+  let mem = Vm.Machine.mem rt.machine in
+  let fetch = Vm.Memory.fetch mem in
+  let by_branch_pc = Hashtbl.create 8 in
+  Array.iter (fun e -> Hashtbl.replace by_branch_pc e.branch_pc e) frag.exits;
+  let il = Instrlist.create () in
+  let pc = ref frag.entry in
+  while !pc < frag.body_end do
+    let insn, len = Decode.full_exn fetch !pc in
+    let raw = Bytes.init len (fun k -> Char.chr (fetch (!pc + k))) in
+    let instr =
+      match Hashtbl.find_opt by_branch_pc !pc with
+      | Some e ->
+          let target =
+            match e.e_kind with
+            | Exit_direct -> e.target_tag
+            | Exit_indirect k -> ind_token k
+          in
+          let insn' =
+            match insn.Insn.opcode with
+            | Opcode.Jmp -> Insn.mk_jmp target
+            | Opcode.Jcc c -> Insn.mk_jcc c target
+            | _ -> rio_error "decode_fragment: exit at 0x%x is not a branch" !pc
+          in
+          let i = Instr.of_insn insn' in
+          (match (e.stub_il, e.always_through_stub) with
+           | None, false -> ()
+           | sil, always ->
+               let sil = Option.value sil ~default:(Instrlist.create ()) in
+               i.Instr.note <- Instr.Any_note (Stub_note (sil, always)));
+          i
+      | None -> Instr.of_decoded ~addr:!pc ~raw insn
+    in
+    Instrlist.append il instr;
+    pc := !pc + len
+  done;
+  il
+
+(* ------------------------------------------------------------------ *)
+(* Replacement (adaptive re-optimization, paper §3.4)                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Replace [old_frag] with a fresh emission of [il].  All links
+    targeting the old fragment move to the new one atomically (from the
+    application's perspective); the old body stays in memory so a
+    thread currently executing inside it simply runs until its next
+    exit, whose stubs remain valid — exactly the paper's delayed-delete
+    scheme. *)
+let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
+    (il : Instrlist.t) : fragment =
+  Mangle.mangle_il ~tid:ts.ts_tid il;
+  let incoming = old_frag.incoming in
+  (* detach incoming first so delete doesn't restore them to stubs *)
+  old_frag.incoming <- [];
+  let fresh =
+    emit_fragment rt ts ~kind:old_frag.kind ~tag:old_frag.tag
+      ~src_ranges:old_frag.src_ranges il
+  in
+  List.iter
+    (fun e ->
+      e.linked <- None;
+      (* re-point each incoming branch at the new entry *)
+      if e.always_through_stub then
+        patch_branch rt ~pc:e.stub_jmp_pc ~target:fresh.entry
+      else patch_branch rt ~pc:e.branch_pc ~target:fresh.entry;
+      e.linked <- Some fresh;
+      fresh.incoming <- e :: fresh.incoming)
+    incoming;
+  (* the old fragment's stubs stay alive — a thread may still be
+     executing inside the old body; emit_fragment already re-pointed
+     the tag tables at the fresh fragment *)
+  if Hashtbl.mem ts.ibl old_frag.tag then Hashtbl.replace ts.ibl old_frag.tag fresh;
+  old_frag.deleted <- true;
+  rt.stats.Stats.fragments_replaced <- rt.stats.Stats.fragments_replaced + 1;
+  charge_opt rt rt.opts.Options.costs.Options.replace_fragment;
+  (match rt.client.fragment_deleted with
+   | Some hook -> hook { rt; ts } ~tag:old_frag.tag
+   | None -> ());
+  fresh
+
+(* ------------------------------------------------------------------ *)
+(* Self-modifying-code flushes                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Delete every fragment built from application code overlapping any
+    of [ranges].  Returns the deleted fragments (so the dispatcher can
+    refuse to resume inside one). *)
+let flush_ranges (rt : runtime) (ts : thread_state) (ranges : (int * int) list) :
+    fragment list =
+  let overlaps (f : fragment) =
+    List.exists
+      (fun (lo, hi) ->
+        List.exists (fun (a, b) -> a < hi && lo < b) f.src_ranges)
+      ranges
+  in
+  let victims = ref [] in
+  let collect _ f = if (not f.deleted) && overlaps f then victims := f :: !victims in
+  Hashtbl.iter collect ts.bbs;
+  Hashtbl.iter collect ts.traces;
+  List.iter (fun f -> delete_fragment rt ts f) !victims;
+  !victims
+
+(* ------------------------------------------------------------------ *)
+(* Capacity management: flush the world                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Delete every fragment of every thread and reclaim the cache region.
+    Only legal when no thread is executing inside the cache (the
+    dispatcher calls this at safe points). *)
+let flush_all (rt : runtime) : unit =
+  List.iter
+    (fun ts ->
+      let frags = ref [] in
+      Hashtbl.iter (fun _ f -> frags := f :: !frags) ts.bbs;
+      Hashtbl.iter (fun _ f -> frags := f :: !frags) ts.traces;
+      List.iter (fun f -> delete_fragment rt ts f) !frags;
+      Hashtbl.reset ts.ibl)
+    rt.thread_states;
+  rt.cache_cursor <- cache_base;
+  rt.flush_pending <- false;
+  rt.stats.Stats.cache_flushes <- rt.stats.Stats.cache_flushes + 1
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (tests and debugging)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Verify cache/link consistency (DESIGN.md invariant 7) over every
+    live fragment:
+    - a linked exit's target fragment is live, and the exit appears in
+      the target's incoming list (and vice versa);
+    - the patched branch bytes agree with the link state (linked →
+      target entry / always-through-stub rules; unlinked → own stub);
+    - every stub's final jump targets either its trap token (unlinked)
+      or the linked target's entry (always-through-stub). *)
+let check_invariants (rt : runtime) : (unit, string) result =
+  let fetch = Vm.Memory.fetch (Vm.Machine.mem rt.machine) in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  let branch_target pc =
+    match Decode.full fetch pc with
+    | Ok (insn, _) when Insn.is_cti insn -> (
+        match Insn.src insn 0 with
+        | Operand.Target t -> Some t
+        | _ -> None)
+    | _ -> None
+  in
+  let check_fragment ts (f : fragment) =
+    Array.iter
+      (fun e ->
+        (* incoming consistency *)
+        (match e.linked with
+         | Some tgt ->
+             if tgt.deleted then
+               fail "exit %d of 0x%x linked to deleted fragment 0x%x" e.exit_id
+                 f.tag tgt.tag;
+             if not (List.memq e tgt.incoming) then
+               fail "exit %d of 0x%x missing from 0x%x's incoming list" e.exit_id
+                 f.tag tgt.tag
+         | None -> ());
+        (* patched bytes agree with link state *)
+        let expected_branch =
+          match e.linked with
+          | Some tgt when not e.always_through_stub -> tgt.entry
+          | _ -> e.stub_pc
+        in
+        (match branch_target e.branch_pc with
+         | Some t when t = expected_branch -> ()
+         | Some t ->
+             fail "exit %d of 0x%x: branch targets 0x%x, expected 0x%x" e.exit_id
+               f.tag t expected_branch
+         | None -> fail "exit %d of 0x%x: branch not decodable" e.exit_id f.tag);
+        let expected_stub_jmp =
+          match e.linked with
+          | Some tgt when e.always_through_stub -> tgt.entry
+          | _ -> token_of_exit e
+        in
+        match branch_target e.stub_jmp_pc with
+        | Some t when t = expected_stub_jmp -> ()
+        | Some t ->
+            fail "exit %d of 0x%x: stub jmp targets 0x%x, expected 0x%x" e.exit_id
+              f.tag t expected_stub_jmp
+        | None -> fail "exit %d of 0x%x: stub jmp not decodable" e.exit_id f.tag)
+      f.exits;
+    (* incoming entries really point at us *)
+    List.iter
+      (fun e ->
+        match e.linked with
+        | Some tgt when tgt == f -> ()
+        | _ -> fail "0x%x's incoming list holds exit %d not linked to it" f.tag e.exit_id)
+      f.incoming;
+    ignore ts
+  in
+  List.iter
+    (fun ts ->
+      Hashtbl.iter (fun _ f -> if not f.deleted then check_fragment ts f) ts.bbs;
+      Hashtbl.iter (fun _ f -> if not f.deleted then check_fragment ts f) ts.traces;
+      (* ibl entries must be live and not bb trace-heads *)
+      Hashtbl.iter
+        (fun tag f ->
+          if f.deleted then fail "ibl entry 0x%x points to a deleted fragment" tag)
+        ts.ibl)
+    rt.thread_states;
+  match !err with None -> Ok () | Some e -> Error e

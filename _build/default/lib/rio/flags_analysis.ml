@@ -1,0 +1,58 @@
+(** Eflags liveness over linear code — the analysis Level 2 exists to
+    make cheap (paper §3.1).
+
+    Used by the trace builder to decide whether an inserted comparison
+    must save and restore the application's flags, and by clients (the
+    strength-reduction example) to decide whether a transformation's
+    flag differences are observable. *)
+
+open Isa
+
+(** [dead_after i] — true when the application flags are provably dead
+    at the program point {e before} instruction [i] (walking forward
+    from [i], every flag is written before it is read, without leaving
+    the fragment).  [None] (end of list) and exit CTIs are conservative
+    [live] boundaries: code outside the fragment may read anything.
+
+    Only Level-2 information (opcode → eflags mask) is consulted. *)
+let dead_after (start : Instr.t option) : bool =
+  let rec go (cur : Instr.t option) (still_live : int) =
+    if still_live = 0 then true
+    else
+      match cur with
+      | None -> false (* fell off the fragment: assume live *)
+      | Some i ->
+          if Instr.is_bundle i then
+            (* a bundle's members may read flags; be conservative:
+               splitting is the caller's job if precision matters *)
+            false
+          else
+            let m = Instr.get_eflags i in
+            let reads = Eflags.read_mask m land still_live in
+            if reads <> 0 then false
+            else
+              let still_live = still_live land lnot (Eflags.write_mask m) in
+              if Instr.is_cti i then
+                (* leaving (or possibly leaving) the fragment *)
+                still_live = 0
+              else go i.Instr.next still_live
+  in
+  go start Eflags.all_mask
+
+(** [flags_written_set il_from] — the set of flags certainly written
+    before any read, as a bit mask (used by tests). *)
+let written_before_read (start : Instr.t option) : int =
+  let rec go cur ~unread ~written =
+    match cur with
+    | None -> written
+    | Some (i : Instr.t) ->
+        if Instr.is_bundle i then written
+        else
+          let m = Instr.get_eflags i in
+          (* within one instruction, reads happen before writes *)
+          let unread = unread land lnot (Eflags.read_mask m) in
+          let written = written lor (Eflags.write_mask m land unread) in
+          if Instr.is_cti i then written
+          else go i.Instr.next ~unread ~written
+  in
+  go start ~unread:Eflags.all_mask ~written:0

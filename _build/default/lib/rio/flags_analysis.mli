@@ -1,0 +1,13 @@
+(** Eflags liveness over linear code — the analysis Level 2 exists to
+    make cheap (paper §3.1), used to decide whether inserted code must
+    preserve the application's flags. *)
+
+val dead_after : Instr.t option -> bool
+(** True when the application flags are provably dead at the program
+    point before the given instruction: walking forward, every flag is
+    written before read without leaving the fragment.  List end and
+    exit CTIs are conservative live boundaries. *)
+
+val written_before_read : Instr.t option -> int
+(** The set of flags certainly written before any read, as a
+    flag-register bit mask. *)

@@ -1,0 +1,93 @@
+(** The adaptive level-of-detail [Instr] (paper §3.1).
+
+    An [Instr] migrates lazily between five representations: reading
+    richer information raises the level (paying the decode exactly
+    once); mutating operands invalidates the raw bytes (Level 4), whose
+    encode must run the full template-matching encoder.  The [payload]
+    and link fields are exposed because instrs are intrusive list nodes
+    and low-level framework code (mangling, emission) pattern-matches
+    on representation state; ordinary clients should stay on the
+    accessor functions. *)
+
+open Isa
+
+type payload =
+  | Bundle of { raw : Bytes.t; addr : int }
+      (** L0: one or more un-decoded instructions. *)
+  | Raw of { raw : Bytes.t; addr : int }
+      (** L1: one un-decoded instruction. *)
+  | RawOp of { raw : Bytes.t; addr : int; opcode : Opcode.t }
+      (** L2: opcode + eflags known. *)
+  | Full of { raw : Bytes.t option; raw_valid : bool; addr : int; insn : Insn.t }
+      (** L3 when [raw_valid]; L4 otherwise (storage kept, like
+          DynamoRIO, but unusable for encoding). *)
+
+type t = {
+  mutable payload : payload;
+  mutable note : note;
+  mutable prev : t option;
+  mutable next : t option;
+  mutable owner : int;
+}
+
+and note = No_note | Int_note of int | Any_note of exn
+    (** Client annotation slot (paper §3.2).  [Any_note] carries an
+        arbitrary payload via an exception constructor — the classic
+        OCaml universal type. *)
+
+(** {2 Construction} *)
+
+val of_bundle : addr:int -> Bytes.t -> t
+val of_raw : addr:int -> Bytes.t -> t
+val of_insn : Insn.t -> t
+(** A newly created (Level 4) instruction. *)
+
+val of_decoded : addr:int -> raw:Bytes.t -> Insn.t -> t
+(** Level 3: fully decoded with valid raw bytes. *)
+
+val level : t -> Level.t
+
+(** {2 Level transitions} *)
+
+exception Is_bundle
+(** Per-instruction detail requested from an L0 bundle; split it first
+    ({!Instrlist.split_bundles}). *)
+
+val raw_of : t -> Bytes.t * int
+val uplevel2 : t -> unit
+val uplevel3 : t -> unit
+val invalidate_raw : t -> unit
+
+(** {2 Accessors — levels adjust implicitly} *)
+
+val is_bundle : t -> bool
+val addr : t -> int
+val get_opcode : t -> Opcode.t
+val get_eflags : t -> Eflags.mask
+val get_insn : t -> Insn.t
+val num_srcs : t -> int
+val num_dsts : t -> int
+val get_src : t -> int -> Operand.t
+val get_dst : t -> int -> Operand.t
+val get_prefixes : t -> int
+val set_insn : t -> Insn.t -> unit
+val set_src : t -> int -> Operand.t -> unit
+val set_dst : t -> int -> Operand.t -> unit
+val set_prefixes : t -> int -> unit
+val is_cti : t -> bool
+val is_exit_cti : t -> bool
+
+(** {2 Length and encoding} *)
+
+val length : ?pc:int -> t -> int
+val encode : pc:int -> t -> Bytes.t
+(** Copies raw bytes whenever valid (L0–L3 non-CTI); re-encodes CTIs
+    (their pc-relative form depends on placement) and L4. *)
+
+(** {2 Notes} *)
+
+val set_note : t -> note -> unit
+val get_note : t -> note
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

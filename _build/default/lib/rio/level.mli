@@ -1,0 +1,12 @@
+(** The five levels of instruction representation (paper §3.1):
+    L0 un-decoded bundle, L1 un-decoded single instruction, L2 opcode +
+    eflags, L3 fully decoded with valid raw bytes, L4 fully decoded
+    with invalidated raw bytes. *)
+
+type t = L0 | L1 | L2 | L3 | L4
+
+val to_int : t -> int
+val of_int : int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+(** Mangling: rewriting application control transfers into forms a code
+    cache can execute while preserving transparency (original program
+    addresses everywhere the application can observe them).
+
+    - direct [call]  → [push $app_return_addr; jmp callee]
+    - [ret]          → [pop [tls ibl_slot]; jmp IND(ret)]
+    - indirect [jmp] → [store target to tls ibl_slot; jmp IND(jmp-ind)]
+    - indirect [call]→ [store; push $app_return_addr; jmp IND(call-ind)]
+
+    [IND(k)] is the pseudo-target {!Types.ind_token}: the emitted form
+    jumps into the exit stub that reaches the indirect-branch lookup.
+
+    The trace builder additionally inserts {e inline target checks}
+    ({!inline_check}) so that staying on the trace avoids the lookup
+    (paper §2, §4.3). *)
+
+open Isa
+open Types
+
+let abs_slot ~tid slot = Operand.mem_abs (tls_addr ~tid ~slot)
+
+(** Instructions that store the value of [rm] (the target operand of an
+    indirect CTI) into the thread's IBL target slot. *)
+let store_target_to_slot ~tid (rm : Operand.t) : Instr.t list =
+  let slot = abs_slot ~tid slot_ibl_target in
+  match rm with
+  | Operand.Reg _ -> [ Create.mov slot rm ]
+  | Operand.Mem _ ->
+      (* memory-to-memory moves don't encode: spill eax around the copy *)
+      let spill = abs_slot ~tid slot_spill0 in
+      let eax = Operand.Reg Reg.Eax in
+      [
+        Create.mov spill eax;
+        Create.mov eax rm;
+        Create.mov slot eax;
+        Create.mov eax spill;
+      ]
+  | _ -> rio_error "indirect CTI with non-rm target"
+
+(** Rewrite every application CTI that needs it ([call], [call*],
+    [jmp*], [ret]) into cache-executable form, in place.  Non-CTI
+    instructions and direct jumps/branches pass through.  Notes on
+    replaced CTIs (custom stubs) migrate to the replacement jump. *)
+let mangle_il ~tid (il : Instrlist.t) : unit =
+  let return_addr_of (i : Instr.t) : int =
+    let app_addr = Instr.addr i in
+    if app_addr = 0 then rio_error "cannot mangle a synthetic call (no return address)";
+    match i.Instr.payload with
+    | Instr.Full { raw = Some raw; raw_valid = true; _ } | Instr.Raw { raw; _ }
+    | Instr.RawOp { raw; _ } ->
+        app_addr + Bytes.length raw
+    | _ -> rio_error "call without original raw bytes"
+  in
+  let replace_with_jmp (i : Instr.t) target =
+    let jmp = Create.jmp target in
+    jmp.Instr.note <- i.Instr.note;
+    Instrlist.replace il i jmp
+  in
+  let mangle_one (i : Instr.t) =
+    match Instr.get_opcode i with
+    | Opcode.Call ->
+        let insn = Instr.get_insn i in
+        let target = Operand.get_target (Insn.src insn 0) in
+        let ret_addr = return_addr_of i in
+        Instrlist.insert_before il i (Create.push (Operand.Imm ret_addr));
+        replace_with_jmp i target
+    | Opcode.CallInd ->
+        let insn = Instr.get_insn i in
+        let rm = Insn.src insn 0 in
+        let ret_addr = return_addr_of i in
+        List.iter (Instrlist.insert_before il i) (store_target_to_slot ~tid rm);
+        Instrlist.insert_before il i (Create.push (Operand.Imm ret_addr));
+        replace_with_jmp i (ind_token Ind_call)
+    | Opcode.JmpInd ->
+        let insn = Instr.get_insn i in
+        let rm = Insn.src insn 0 in
+        List.iter (Instrlist.insert_before il i) (store_target_to_slot ~tid rm);
+        replace_with_jmp i (ind_token Ind_jmp)
+    | Opcode.Ret ->
+        Instrlist.insert_before il i (Create.pop (abs_slot ~tid slot_ibl_target));
+        replace_with_jmp i (ind_token Ind_ret)
+    | _ -> ()
+  in
+  let rec walk = function
+    | None -> ()
+    | Some (i : Instr.t) ->
+        let nxt = i.Instr.next in
+        if not (Instr.is_bundle i) then mangle_one i;
+        walk nxt
+  in
+  walk (Instrlist.first il)
+
+(** Build the inline target check a trace inserts after a mangled
+    indirect branch whose {e expected} (inlined) next tag is known:
+
+    {v
+    cmp [ibl_slot], $expected
+    jne IND(k)          ; miss: restore flags in the stub, then lookup
+    v}
+
+    When the application's flags are live at this point, the check is
+    bracketed with a save, and both the fall-through and the miss stub
+    restore them (the restore instructions for the stub are attached
+    via {!Types.Stub_note} on the [jne]). *)
+let inline_check ~tid ~(expected : int) ~(kind : ind_kind) ~flags_live :
+    Instr.t list =
+  let slot = abs_slot ~tid slot_ibl_target in
+  let fslot = abs_slot ~tid slot_eflags in
+  let cmp = Create.cmp slot (Operand.Imm expected) in
+  let jne = Create.jcc Cond.NZ (ind_token kind) in
+  if not flags_live then [ cmp; jne ]
+  else begin
+    let stub = Instrlist.create () in
+    Instrlist.append stub (Create.push fslot);
+    Instrlist.append stub (Create.popf ());
+    jne.Instr.note <- Instr.Any_note (Stub_note (stub, false));
+    [
+      Create.pushf ();
+      Create.pop fslot;
+      cmp;
+      jne;
+      Create.push fslot;
+      Create.popf ();
+    ]
+  end

@@ -1,0 +1,89 @@
+(** Runtime configuration.
+
+    The first four flags select the systems of Table 1: pure emulation,
+    basic-block cache only, + direct links, + indirect-branch in-cache
+    lookup, + traces.  The cost block holds the modelled runtime
+    overheads (see DESIGN.md §2 for the substitution rationale). *)
+
+type costs = {
+  context_switch : int;
+      (** cycles to leave the cache, restore runtime state, dispatch,
+          and re-enter the cache *)
+  ibl_lookup : int;
+      (** in-cache indirect-branch hashtable lookup (includes the
+          mispredicted indirect jump at its end) *)
+  stub_exec : int;       (** executing an exit stub's save/record path *)
+  bb_build_base : int;   (** fixed cost of building a basic block *)
+  bb_build_per_insn : int;
+  trace_build_per_insn : int;  (** full decode + analysis + re-encode *)
+  clean_call : int;      (** context save/restore around a clean call *)
+  replace_fragment : int
+}
+
+let default_costs =
+  {
+    context_switch = 150;
+    ibl_lookup = 45;
+    stub_exec = 10;
+    bb_build_base = 250;
+    bb_build_per_insn = 60;
+    trace_build_per_insn = 150;
+    clean_call = 60;
+    replace_fragment = 500;
+  }
+
+type t = {
+  emulate : bool;         (** pure emulation: no cache at all (Table 1 row 1) *)
+  link_direct : bool;     (** link direct branches between fragments *)
+  link_indirect : bool;   (** in-cache indirect-branch lookup (vs. full context switch) *)
+  enable_traces : bool;
+  trace_threshold : int;  (** trace-head executions before trace creation *)
+  max_trace_blocks : int; (** cap on constituent blocks per trace *)
+  max_bb_insns : int;     (** basic blocks stop after this many instructions *)
+  cache_capacity : int option;
+      (** bound on total code-cache bytes; [None] = unlimited (the
+          paper's experimental setup).  On overflow the runtime flushes
+          all fragments at the next safe point and rebuilds — Dynamo's
+          flush-the-world policy *)
+  quantum : int;          (** scheduler quantum, cycles *)
+  always_save_flags : bool;
+      (** disable the Level-2 eflags liveness analysis: every inline
+          target check conservatively saves and restores the
+          application flags (ablation of §3.1's motivation) *)
+  sideline : bool;
+      (** perform trace optimization and fragment replacement on a
+          simulated spare processor: their cost is tracked but not
+          charged to the application thread (paper §3.4's "sideline
+          optimization" direction) *)
+  max_cycles : int;       (** safety stop *)
+  costs : costs;
+}
+
+let default =
+  {
+    emulate = false;
+    link_direct = true;
+    link_indirect = true;
+    enable_traces = true;
+    trace_threshold = 50;
+    max_trace_blocks = 16;
+    max_bb_insns = 128;
+    cache_capacity = None;
+    quantum = 100_000;
+    always_save_flags = false;
+    sideline = false;
+    max_cycles = 2_000_000_000;
+    costs = default_costs;
+  }
+
+(** The five configurations of Table 1, in order. *)
+let table1_configs =
+  [
+    ("emulation", { default with emulate = true });
+    ( "+ basic block cache",
+      { default with link_direct = false; link_indirect = false; enable_traces = false } );
+    ( "+ link direct branches",
+      { default with link_indirect = false; enable_traces = false } );
+    ("+ link indirect branches", { default with enable_traces = false });
+    ("+ traces", default);
+  ]

@@ -1,0 +1,167 @@
+(** Top-level runtime: create a RIO instance over a machine, attach a
+    client, and run the application under the code cache.
+
+    {[
+      let m = Vm.Machine.create () in
+      let _thread = Asm.Image.load m image in
+      let rt = Rio.create m in
+      let outcome = Rio.run rt in
+      ...
+    ]} *)
+
+(* Re-exports: [Rio] is the library's public face. *)
+module Level = Level
+module Instr = Instr
+module Instrlist = Instrlist
+module Create = Create
+module Options = Options
+module Stats = Stats
+module Types = Types
+module Flags_analysis = Flags_analysis
+module Mangle = Mangle
+module Emit = Emit
+module Dispatch = Dispatch
+module Api = Api
+
+open Types
+
+type t = runtime
+
+type stop_reason = All_exited | App_fault of string | Cycle_limit
+
+type outcome = {
+  reason : stop_reason;
+  cycles : int;
+  insns : int;
+}
+
+let stats (rt : t) = rt.stats
+let machine (rt : t) = rt.machine
+let options (rt : t) = rt.opts
+let flow_log (rt : t) = List.rev rt.flow_log
+
+let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) : t
+    =
+  if Vm.Memory.size (Vm.Machine.mem m) <= cache_base then
+    rio_error "machine memory too small for a code cache (need > 16MB)";
+  m.Vm.Machine.trap_base <- trap_base;
+  m.Vm.Machine.intercept_signals <- not opts.Options.emulate;
+  m.Vm.Machine.smc_trap <- not opts.Options.emulate;
+  {
+    machine = m;
+    opts;
+    stats = Stats.create ();
+    client;
+    thread_states = [];
+    exit_by_id = Hashtbl.create 1024;
+    next_exit_id = 1;
+    ccalls = Hashtbl.create 64;
+    next_ccall_id = 1;
+    cache_cursor = cache_base;
+    cache_end = Vm.Memory.size (Vm.Machine.mem m);
+    heap_cursor = Vm.Memory.size (Vm.Machine.mem m);
+    flush_pending = false;
+    client_output = Buffer.create 256;
+    client_global = None;
+    flow_log = [];
+    log_flow = false;
+  }
+
+let enable_flow_log (rt : t) = rt.log_flow <- true
+
+let make_thread_state (rt : t) (thread : Vm.Machine.thread) : thread_state =
+  let ts =
+    {
+      ts_tid = thread.Vm.Machine.tid;
+      thread;
+      next_tag = thread.Vm.Machine.pc;
+      bbs = Hashtbl.create 256;
+      traces = Hashtbl.create 64;
+      ibl = Hashtbl.create 256;
+      head_counters = Hashtbl.create 64;
+      marked_heads = Hashtbl.create 16;
+      tracegen = None;
+      client_field = None;
+      exited = false;
+      in_cache = false;
+    }
+  in
+  rt.thread_states <- rt.thread_states @ [ ts ];
+  ts
+
+(** Run the whole application under RIO: round-robin over threads,
+    dispatching and executing out of thread-private code caches. *)
+let run (rt : t) : outcome =
+  let m = rt.machine in
+  let c0 = Vm.Machine.cycles m in
+  let i0 = m.Vm.Machine.insns_retired in
+  rt.client.init rt;
+  List.iter
+    (fun th ->
+      let ts = make_thread_state rt th in
+      rt.client.thread_init { rt; ts })
+    (Vm.Machine.live_threads m);
+  let deadline = c0 + rt.opts.Options.max_cycles in
+  let fault = ref None in
+  let rec loop () =
+    let runnable =
+      List.filter
+        (fun ts -> ts.thread.Vm.Machine.alive && not ts.exited)
+        rt.thread_states
+    in
+    if runnable <> [] && !fault = None && Vm.Machine.cycles m < deadline then begin
+      List.iter
+        (fun ts ->
+          if ts.thread.Vm.Machine.alive && !fault = None then
+            match Dispatch.run_quantum rt ts with
+            | exception Client_abort msg ->
+                fault := Some ("terminated by client: " ^ msg);
+                List.iter
+                  (fun t -> t.Vm.Machine.alive <- false)
+                  m.Vm.Machine.threads
+            | exception Emit.Cache_full ->
+                fault := Some "code cache exhausted (runtime region full)";
+                List.iter
+                  (fun t -> t.Vm.Machine.alive <- false)
+                  m.Vm.Machine.threads
+            | exception Rio_error msg ->
+                (* runtime invariant violation or client API misuse *)
+                fault := Some ("runtime error: " ^ msg);
+                List.iter
+                  (fun t -> t.Vm.Machine.alive <- false)
+                  m.Vm.Machine.threads
+            | Dispatch.Q_budget -> ()
+            | Dispatch.Q_thread_done ->
+                ts.thread.Vm.Machine.alive <- false;
+                rt.client.thread_exit { rt; ts };
+                ts.exited <- true
+            | Dispatch.Q_fault f ->
+                fault := Some f;
+                List.iter
+                  (fun t -> t.Vm.Machine.alive <- false)
+                  m.Vm.Machine.threads)
+        runnable;
+      loop ()
+    end
+  in
+  loop ();
+  (* threads killed by a fault still get their exit hooks *)
+  List.iter
+    (fun ts ->
+      if not ts.exited then begin
+        rt.client.thread_exit { rt; ts };
+        ts.exited <- true
+      end)
+    rt.thread_states;
+  rt.client.exit_hook rt;
+  let reason =
+    match !fault with
+    | Some f -> App_fault f
+    | None -> if Vm.Machine.cycles m >= deadline then Cycle_limit else All_exited
+  in
+  { reason; cycles = Vm.Machine.cycles m - c0; insns = m.Vm.Machine.insns_retired - i0 }
+
+let stop_reason_to_string = function
+  | All_exited -> "all threads exited"
+  | App_fault f -> "application fault: " ^ f
+  | Cycle_limit -> "cycle limit reached"

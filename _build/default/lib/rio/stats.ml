@@ -1,0 +1,64 @@
+(** Runtime statistics, kept per {!Rio} instance. *)
+
+type t = {
+  mutable blocks_built : int;
+  mutable traces_built : int;
+  mutable fragments_deleted : int;
+  mutable fragments_replaced : int;
+  mutable context_switches : int;
+  mutable ibl_lookups : int;
+  mutable ibl_misses : int;          (** lookup failed; back to dispatcher *)
+  mutable direct_links : int;
+  mutable unlinks : int;
+  mutable clean_calls : int;
+  mutable cache_bytes_bb : int;
+  mutable cache_bytes_trace : int;
+  mutable trace_head_promotions : int;
+  mutable signals_delivered : int;
+  mutable runtime_cycles : int;      (** modelled cycles spent in the runtime *)
+  mutable sideline_cycles : int;     (** optimization cycles offloaded to a spare processor *)
+  mutable cache_flushes : int;       (** capacity-driven flush-the-world events *)
+  mutable enters_bb : int;           (** fragment entries landing on basic blocks *)
+  mutable enters_trace : int;        (** fragment entries landing on traces *)
+}
+
+let create () =
+  {
+    blocks_built = 0;
+    traces_built = 0;
+    fragments_deleted = 0;
+    fragments_replaced = 0;
+    context_switches = 0;
+    ibl_lookups = 0;
+    ibl_misses = 0;
+    direct_links = 0;
+    unlinks = 0;
+    clean_calls = 0;
+    cache_bytes_bb = 0;
+    cache_bytes_trace = 0;
+    trace_head_promotions = 0;
+    signals_delivered = 0;
+    runtime_cycles = 0;
+    sideline_cycles = 0;
+    cache_flushes = 0;
+    enters_bb = 0;
+    enters_trace = 0;
+  }
+
+let pp ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>blocks built:        %d@,traces built:        %d@,\
+     fragments deleted:   %d@,fragments replaced:  %d@,\
+     context switches:    %d@,ibl lookups:         %d@,\
+     ibl misses:          %d@,direct links:        %d@,\
+     unlinks:             %d@,clean calls:         %d@,\
+     bb cache bytes:      %d@,trace cache bytes:   %d@,\
+     head promotions:     %d@,signals delivered:   %d@,\
+     runtime cycles:      %d@,sideline cycles:     %d@,\
+     cache flushes:       %d@,bb entries:          %d@,\
+     trace entries:       %d@]"
+    s.blocks_built s.traces_built s.fragments_deleted s.fragments_replaced
+    s.context_switches s.ibl_lookups s.ibl_misses s.direct_links s.unlinks
+    s.clean_calls s.cache_bytes_bb s.cache_bytes_trace s.trace_head_promotions
+    s.signals_delivered s.runtime_cycles s.sideline_cycles s.cache_flushes
+    s.enters_bb s.enters_trace

@@ -1,0 +1,206 @@
+(** Shared runtime types for the RIO core: fragments, exits, per-thread
+    dispatch state, the runtime, client hooks, and address-space layout.
+
+    {2 Address-space layout}
+
+    {v
+    0x0000_0000 .. 0x007F_FFFF   application (text, data, stacks)
+    0x0080_0000 .. 0x0080_FFFF   thread-local runtime slots (TLS)
+    0x0100_0000 .. cache_end     code caches (fragments + exit stubs)
+    0x4000_0000 ..               trap tokens (never backed by memory):
+                                 control transfers here return to the
+                                 runtime, identifying the taken exit
+    0x5000_0000 .. 0x5000_000B   pseudo-targets in client-visible ILs:
+                                 "this CTI goes to the indirect-branch
+                                 lookup" (jmp/call/ret flavours)
+    v} *)
+
+let tls_base = 0x80_0000
+let tls_slot_bytes = 4
+let tls_slots_per_thread = 16
+let cache_base = 0x100_0000
+let trap_base = 0x4000_0000
+let ind_token_base = 0x5000_0000
+
+(* TLS slot indices *)
+(* app target of an in-flight indirect branch *)
+let slot_ibl_target = 0
+(* eflags save around inserted code *)
+let slot_eflags = 1
+(* register spill slots 0..7: indices 2..9 *)
+let slot_spill0 = 2
+(* generic client slot (tls_field API) *)
+let slot_client = 10
+
+(** Absolute address of a TLS slot for a thread. *)
+let tls_addr ~tid ~slot =
+  tls_base + (tid * tls_slots_per_thread * tls_slot_bytes) + (slot * tls_slot_bytes)
+
+type ind_kind = Ind_jmp | Ind_call | Ind_ret
+
+let ind_kind_name = function
+  | Ind_jmp -> "jmp*"
+  | Ind_call -> "call*"
+  | Ind_ret -> "ret"
+
+(** Pseudo-target used in client-visible ILs for CTIs that resolve via
+    the indirect-branch lookup. *)
+let ind_token = function
+  | Ind_jmp -> ind_token_base
+  | Ind_call -> ind_token_base + 4
+  | Ind_ret -> ind_token_base + 8
+
+let ind_kind_of_token a =
+  if a = ind_token_base then Some Ind_jmp
+  else if a = ind_token_base + 4 then Some Ind_call
+  else if a = ind_token_base + 8 then Some Ind_ret
+  else None
+
+let is_app_addr a = a >= 0 && a < tls_base
+let is_trap_token a = a >= trap_base && a < ind_token_base
+
+type fragment_kind = Bb | Trace
+
+(* ------------------------------------------------------------------ *)
+
+type exit_ = {
+  exit_id : int;                      (* global; trap token = trap_base + 4*id *)
+  e_kind : exit_kind;
+  mutable target_tag : int;           (* 0 for indirect exits *)
+  mutable branch_pc : int;            (* cache addr of the exit CTI *)
+  mutable branch_is_cond : bool;
+  mutable stub_pc : int;              (* cache addr of the stub entry *)
+  mutable stub_jmp_pc : int;          (* addr of the stub's final jmp (patched when always_through_stub links) *)
+  mutable linked : fragment option;
+  always_through_stub : bool;
+  stub_il : Instrlist.t option;       (* stub preamble (client custom stub and/or flags restore) *)
+  mutable e_owner : fragment option;  (* back-pointer, set at registration *)
+}
+
+and exit_kind = Exit_direct | Exit_indirect of ind_kind
+
+and fragment = {
+  tag : int;
+  kind : fragment_kind;
+  f_tid : int;
+  entry : int;
+  body_end : int;                     (* exclusive *)
+  total_end : int;                    (* end of stubs *)
+  exits : exit_ array;
+  mutable incoming : exit_ list;      (* exits of (other) fragments linked to me *)
+  mutable deleted : bool;
+  src_ranges : (int * int) list;
+      (* application-code byte ranges this fragment was built from,
+         for self-modifying-code flushes *)
+}
+
+let token_of_exit (e : exit_) = trap_base + (4 * e.exit_id)
+
+(* ------------------------------------------------------------------ *)
+
+type tracegen = {
+  tg_head : int;
+  mutable tg_tags : int list;            (* constituent block tags, reversed *)
+  mutable tg_il : Instrlist.t;           (* stitched client-view IL so far *)
+  mutable tg_insns : int;
+}
+
+type end_trace_directive = End_trace | Continue_trace | Default_end
+
+type thread_state = {
+  ts_tid : int;
+  thread : Vm.Machine.thread;
+  mutable next_tag : int;
+  bbs : (int, fragment) Hashtbl.t;       (* tag -> basic block *)
+  traces : (int, fragment) Hashtbl.t;    (* tag -> trace *)
+  (* in-cache indirect-branch lookup table: tag -> fragment.
+     Trace heads are deliberately absent so their executions pass
+     through the dispatcher and bump the head counter. *)
+  ibl : (int, fragment) Hashtbl.t;
+  head_counters : (int, int) Hashtbl.t;
+  marked_heads : (int, unit) Hashtbl.t;  (* client-marked (dr_mark_trace_head) *)
+  mutable tracegen : tracegen option;
+  mutable client_field : exn option;     (* per-thread client storage *)
+  mutable exited : bool;                 (* thread_exit hook delivered *)
+  mutable in_cache : bool;               (* preempted mid-fragment: resume at thread.pc *)
+}
+
+type runtime = {
+  machine : Vm.Machine.t;
+  opts : Options.t;
+  stats : Stats.t;
+  mutable client : client;
+  mutable thread_states : thread_state list;
+  exit_by_id : (int, exit_) Hashtbl.t;
+  mutable next_exit_id : int;
+  ccalls : (int, ccall_fn) Hashtbl.t;
+  mutable next_ccall_id : int;
+  mutable cache_cursor : int;
+  cache_end : int;
+  mutable heap_cursor : int;          (* transparent allocations grow down from cache_end *)
+  mutable flush_pending : bool;       (* capacity exceeded: flush at next safe point *)
+  mutable client_output : Buffer.t;      (* transparent I/O: dr_printf *)
+  mutable client_global : exn option;    (* dr global storage *)
+  mutable flow_log : string list;        (* optional dispatch-event log (Figure 1) *)
+  mutable log_flow : bool;
+}
+
+and context = { rt : runtime; ts : thread_state }
+
+and ccall_fn = context -> unit
+
+(** Client hooks (paper Table 3 + §3.5).  [None] hooks are skipped at
+    zero cost. *)
+and client = {
+  name : string;
+  init : runtime -> unit;
+  exit_hook : runtime -> unit;
+  thread_init : context -> unit;
+  thread_exit : context -> unit;
+  basic_block : (context -> tag:int -> Instrlist.t -> unit) option;
+  trace_hook : (context -> tag:int -> Instrlist.t -> unit) option;
+  fragment_deleted : (context -> tag:int -> unit) option;
+  end_trace : (context -> trace_tag:int -> next_tag:int -> end_trace_directive) option;
+}
+
+let null_client =
+  {
+    name = "null";
+    init = (fun _ -> ());
+    exit_hook = (fun _ -> ());
+    thread_init = (fun _ -> ());
+    thread_exit = (fun _ -> ());
+    basic_block = None;
+    trace_hook = None;
+    fragment_deleted = None;
+    end_trace = None;
+  }
+
+(** Note attached to an exit CTI carrying its custom stub: the stub
+    preamble IL and the always-go-through-stub flag (paper §3.2). *)
+exception Stub_note of Instrlist.t * bool
+
+exception Rio_error of string
+
+(** Raised by clients to terminate the application (e.g. a security
+    client refusing to execute injected code).  The runtime turns it
+    into an {e application fault} outcome. *)
+exception Client_abort of string
+
+let rio_error fmt = Printf.ksprintf (fun s -> raise (Rio_error s)) fmt
+
+let charge (rt : runtime) n =
+  Vm.Machine.add_cycles rt.machine n;
+  rt.stats.Stats.runtime_cycles <- rt.stats.Stats.runtime_cycles + n
+
+(** Charge an optimization cost: to the application thread normally,
+    or to the spare processor under sideline optimization. *)
+let charge_opt (rt : runtime) n =
+  if rt.opts.Options.sideline then
+    rt.stats.Stats.sideline_cycles <- rt.stats.Stats.sideline_cycles + n
+  else charge rt n
+
+let log_flow (rt : runtime) fmt =
+  Printf.ksprintf
+    (fun s -> if rt.log_flow then rt.flow_log <- s :: rt.flow_log)
+    fmt

@@ -1,0 +1,1 @@
+lib/vm/arith.mli: Eflags Isa

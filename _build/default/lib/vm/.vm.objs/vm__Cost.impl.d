@@ -1,0 +1,1 @@
+lib/vm/cost.ml: Hashtbl Isa List Opcode Option

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Arith Array Cond Cost Decode Eflags Float Insn Isa List Machine Memory Operand Option Printf Reg

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Arith Array Cost Decode Eflags Hashtbl Insn Isa List Memory Opcode Operand Reg

@@ -1,0 +1,165 @@
+(** 32-bit integer arithmetic with IA-32-style eflags computation.
+
+    Register values are represented as unsigned ints in [0, 2^32); these
+    helpers compute results together with the full set of arithmetic
+    flags.  Flags IA-32 leaves undefined (AF after logic ops, OF after
+    multi-bit shifts) are given fixed deterministic definitions so the
+    interpreter is a function. *)
+
+open Isa
+
+let mask32 = 0xFFFF_FFFF
+let wrap v = v land mask32
+let msb v = v lsr 31 land 1 = 1
+
+let to_signed v = if v >= 0x8000_0000 then v - 0x1_0000_0000 else v
+let of_signed v = v land mask32
+
+(* parity of the low byte: PF set when the number of 1 bits is even *)
+let parity v =
+  let b = v land 0xFF in
+  let b = b lxor (b lsr 4) in
+  let b = b lxor (b lsr 2) in
+  let b = b lxor (b lsr 1) in
+  b land 1 = 0
+
+(* SF/ZF/PF from a result *)
+let szp fl r =
+  let open Eflags in
+  let fl = update fl ZF (r = 0) in
+  let fl = update fl SF (msb r) in
+  update fl PF (parity r)
+
+type result = { value : int; flags : Eflags.t }
+
+(** [add ~carry_in a b fl] — full add with all six flags. *)
+let add ?(carry_in = false) a b fl =
+  let open Eflags in
+  let c = if carry_in then 1 else 0 in
+  let full = a + b + c in
+  let r = wrap full in
+  let fl = update fl CF (full > mask32) in
+  let fl = update fl OF (msb a = msb b && msb r <> msb a) in
+  let fl = update fl AF ((a lxor b lxor r) land 0x10 <> 0) in
+  { value = r; flags = szp fl r }
+
+(** [sub ~borrow_in a b fl] — computes [a - b]. *)
+let sub ?(borrow_in = false) a b fl =
+  let open Eflags in
+  let c = if borrow_in then 1 else 0 in
+  let full = a - b - c in
+  let r = wrap full in
+  let fl = update fl CF (full < 0) in
+  let fl = update fl OF (msb a <> msb b && msb r <> msb a) in
+  let fl = update fl AF ((a lxor b lxor r) land 0x10 <> 0) in
+  { value = r; flags = szp fl r }
+
+(** inc/dec: like add/sub by one but CF preserved. *)
+let inc a fl =
+  let cf = Eflags.is_set fl Eflags.CF in
+  let r = add a 1 fl in
+  { r with flags = Eflags.update r.flags CF cf }
+
+let dec a fl =
+  let cf = Eflags.is_set fl Eflags.CF in
+  let r = sub a 1 fl in
+  { r with flags = Eflags.update r.flags CF cf }
+
+(* logic ops clear CF/OF/AF, set SF/ZF/PF *)
+let logic r fl =
+  let open Eflags in
+  let fl = clear fl CF in
+  let fl = clear fl OF in
+  let fl = clear fl AF in
+  { value = r; flags = szp fl r }
+
+let land_ a b fl = logic (a land b) fl
+let lor_ a b fl = logic (a lor b) fl
+let lxor_ a b fl = logic (a lxor b) fl
+
+let neg a fl =
+  let r = sub 0 a fl in
+  { r with flags = Eflags.update r.flags CF (a <> 0) }
+
+(* shifts: count masked to 5 bits like IA-32; count 0 leaves flags *)
+let shl a count fl =
+  let count = count land 31 in
+  if count = 0 then { value = a; flags = fl }
+  else
+    let open Eflags in
+    let r = wrap (a lsl count) in
+    let cf = a lsr (32 - count) land 1 = 1 in
+    let fl = update fl CF cf in
+    (* OF defined (IA-32: only for count=1): msb changed *)
+    let fl = update fl OF (count = 1 && msb r <> cf) in
+    let fl = clear fl AF in
+    { value = r; flags = szp fl r }
+
+let shr a count fl =
+  let count = count land 31 in
+  if count = 0 then { value = a; flags = fl }
+  else
+    let open Eflags in
+    let r = a lsr count in
+    let cf = a lsr (count - 1) land 1 = 1 in
+    let fl = update fl CF cf in
+    let fl = update fl OF (count = 1 && msb a) in
+    let fl = clear fl AF in
+    { value = r; flags = szp fl r }
+
+let sar a count fl =
+  let count = count land 31 in
+  if count = 0 then { value = a; flags = fl }
+  else
+    let open Eflags in
+    let sa = to_signed a in
+    let r = of_signed (sa asr count) in
+    let cf = sa asr (count - 1) land 1 = 1 in
+    let fl = update fl CF cf in
+    let fl = clear fl OF in
+    let fl = clear fl AF in
+    { value = r; flags = szp fl r }
+
+let imul a b fl =
+  let open Eflags in
+  let sa = to_signed a and sb = to_signed b in
+  let full = sa * sb in
+  let r = wrap full in
+  let overflowed = full < -0x8000_0000 || full > 0x7FFF_FFFF in
+  let fl = update fl CF overflowed in
+  let fl = update fl OF overflowed in
+  let fl = clear fl AF in
+  { value = r; flags = szp fl r }
+
+exception Division_by_zero
+
+(** SynISA [idiv src]: eax/src -> eax (quotient), remainder -> edx.
+    Truncated (round-toward-zero) signed division, like IA-32. *)
+let idiv ~eax src fl =
+  if src land mask32 = 0 then raise Division_by_zero;
+  let sa = to_signed eax and sb = to_signed src in
+  (* OCaml's / and mod truncate toward zero, matching IA-32 *)
+  let q = of_signed (sa / sb) and r = of_signed (sa mod sb) in
+  let open Eflags in
+  let fl = clear fl CF in
+  let fl = clear fl OF in
+  let fl = clear fl AF in
+  (q, r, szp fl q)
+
+(** [fcmp a b] — comisd-style flags: unordered ZF=PF=CF=1; a>b all
+    clear; a<b CF=1; a=b ZF=1.  OF/AF/SF cleared. *)
+let fcmp (a : float) (b : float) fl =
+  let open Eflags in
+  let fl = clear fl OF in
+  let fl = clear fl AF in
+  let fl = clear fl SF in
+  if Float.is_nan a || Float.is_nan b then
+    let fl = set fl ZF in
+    let fl = set fl PF in
+    set fl CF
+  else begin
+    let fl = clear fl PF in
+    if a > b then clear (clear fl ZF) CF
+    else if a < b then set (clear fl ZF) CF
+    else set (clear fl CF) ZF
+  end

@@ -1,0 +1,131 @@
+(** Processor cost model.
+
+    The simulated machine charges a deterministic cycle cost per
+    executed instruction.  The model captures exactly the asymmetries
+    the paper's evaluation depends on:
+
+    - a {e processor family} knob: on [Pentium4], [inc]/[dec] pay a
+      flag-merge penalty that [add 1]/[sub 1] do not; on [Pentium3] the
+      short forms are the cheap ones (§4.2 of the paper);
+    - a {e return-address stack} (RAS) predictor: native [call]/[ret]
+      pairs predict perfectly, but code-cache execution — which mangles
+      returns into indirect jumps — cannot use it (§5);
+    - a one-entry-per-site {e BTB} for indirect jumps: an indirect
+      branch whose target differs from its previous target pays a full
+      misprediction;
+    - a 2-bit counter predictor per conditional-branch site;
+    - a small extra cost for {e taken} transfers (fetch redirection),
+      which is what gives traces their superior-code-layout benefit.
+
+    Everything is deterministic so experiment outputs are reproducible. *)
+
+open Isa
+
+type family = Pentium3 | Pentium4
+
+let family_name = function Pentium3 -> "Pentium 3" | Pentium4 -> "Pentium 4"
+
+type t = {
+  family : family;
+  mispredict : int;        (** branch misprediction penalty *)
+  taken_extra : int;       (** extra cycles for any taken transfer *)
+  mem_read : int;          (** extra cycles per memory-operand read *)
+  mem_write : int;         (** extra cycles per memory-operand write *)
+  emu_overhead : int;      (** per-instruction decode+dispatch cost in pure-emulation mode *)
+}
+
+let default_params = function
+  | Pentium4 ->
+      { family = Pentium4; mispredict = 20; taken_extra = 1;
+        mem_read = 2; mem_write = 2; emu_overhead = 480 }
+  | Pentium3 ->
+      { family = Pentium3; mispredict = 10; taken_extra = 1;
+        mem_read = 2; mem_write = 2; emu_overhead = 480 }
+
+(** Base execution cycles for an opcode (excluding memory-operand and
+    branch-resolution extras). *)
+let base_cycles (t : t) (op : Opcode.t) : int =
+  match op with
+  | Mov | Lea | Movzx8 | Movzx16 -> 1
+  | Add | Sub | And | Or | Xor | Cmp | Test | Adc | Sbb | Neg | Not -> 1
+  | Inc | Dec -> ( match t.family with Pentium4 -> 4 | Pentium3 -> 1)
+  | Shl | Shr | Sar -> ( match t.family with Pentium4 -> 2 | Pentium3 -> 1)
+  | Imul -> 4
+  | Idiv -> 24
+  | Push | Pop -> 2
+  | Xchg -> 2
+  | Pushf | Popf -> ( match t.family with Pentium4 -> 8 | Pentium3 -> 5)
+  | Jmp | Jcc _ -> 1
+  | JmpInd | CallInd -> 2
+  | Call -> 2
+  | Ret -> 2
+  | Fld | Fst -> 2
+  | Fmov | Fabs | Fneg -> 1
+  (* throughput costs: pipelined FP adds/multiplies issue every cycle
+     or two; only divide/sqrt serialize *)
+  | Fadd | Fsub -> 1
+  | Fmul -> 2
+  | Fdiv -> 20
+  | Fsqrt -> 25
+  | Fcmp -> 3
+  | Cvtsi | Cvtfi -> 4
+  | Nop -> 1
+  | Hlt -> 1
+  | Out | In -> 40
+  | Ccall -> 0 (* runtime charges clean-call cost explicitly *)
+
+(* ------------------------------------------------------------------ *)
+(* Branch predictors (deterministic hardware state)                   *)
+(* ------------------------------------------------------------------ *)
+
+type predictor = {
+  cond : (int, int) Hashtbl.t;       (** site -> 2-bit saturating counter *)
+  btb : (int, int) Hashtbl.t;        (** site -> last indirect target *)
+  mutable ras : int list;            (** return-address stack, bounded *)
+  ras_depth : int;
+}
+
+let create_predictor () =
+  { cond = Hashtbl.create 512; btb = Hashtbl.create 256; ras = []; ras_depth = 16 }
+
+let reset_predictor p =
+  Hashtbl.reset p.cond;
+  Hashtbl.reset p.btb;
+  p.ras <- []
+
+(** [cond_branch t p ~site ~taken] — cycles charged for resolving a
+    conditional branch at [site]; updates predictor state. *)
+let cond_branch (t : t) (p : predictor) ~site ~taken : int =
+  let counter = Option.value (Hashtbl.find_opt p.cond site) ~default:1 in
+  let predicted_taken = counter >= 2 in
+  let counter' =
+    if taken then min 3 (counter + 1) else max 0 (counter - 1)
+  in
+  Hashtbl.replace p.cond site counter';
+  let mis = if predicted_taken <> taken then t.mispredict else 0 in
+  mis + if taken then t.taken_extra else 0
+
+(** Direct unconditional transfer (jmp/call): always predicted. *)
+let direct_jump (t : t) : int = t.taken_extra
+
+let ras_push (p : predictor) addr =
+  p.ras <- addr :: (if List.length p.ras >= p.ras_depth then List.filteri (fun i _ -> i < p.ras_depth - 1) p.ras else p.ras)
+
+(** [ret_branch t p ~target] — a native return: predicted by the RAS. *)
+let ret_branch (t : t) (p : predictor) ~target : int =
+  match p.ras with
+  | top :: rest ->
+      p.ras <- rest;
+      (if top = target then 0 else t.mispredict) + t.taken_extra
+  | [] -> t.mispredict + t.taken_extra
+
+(** [indirect_jump t p ~site ~target] — indirect jmp/call resolved via
+    the BTB: hit iff the same site jumped to the same target last time. *)
+let indirect_jump (t : t) (p : predictor) ~site ~target : int =
+  let hit =
+    match Hashtbl.find_opt p.btb site with
+    | Some last -> last = target
+    | None -> false
+  in
+  Hashtbl.replace p.btb site target;
+  (if hit then 0 else t.mispredict) + t.taken_extra

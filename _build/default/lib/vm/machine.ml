@@ -1,0 +1,192 @@
+(** The simulated machine: memory, hardware threads, predictor state,
+    cycle counter, and I/O ports.
+
+    The machine is the substrate "hardware + OS" that both native
+    execution and the DynamoRIO runtime drive.  It knows nothing about
+    code caches; the RIO layer reserves a memory region for its cache
+    and registers a {e trap base} — control transfers at or above that
+    address stop the interpreter and hand control to the runtime
+    (modelling exit stubs and lookup routines). *)
+
+open Isa
+
+type thread = {
+  tid : int;
+  regs : int array;                  (* 8 GPRs, unsigned 32-bit values *)
+  fregs : float array;               (* 8 FP regs *)
+  mutable eflags : Eflags.t;
+  mutable pc : int;
+  mutable alive : bool;
+  mutable pending_signals : int list;  (* handler addresses, FIFO *)
+}
+
+type t = {
+  mem : Memory.t;
+  cost : Cost.t;
+  pred : Cost.predictor;
+  mutable cycles : int;
+  mutable insns_retired : int;
+  mutable output : int list;         (* reversed *)
+  mutable input : int list;
+  mutable threads : thread list;     (* in tid order *)
+  mutable next_tid : int;
+  mutable trap_base : int;           (* addresses >= trap_base trap to the runtime *)
+  (* decoded-instruction cache: models the hardware fetch/decode path.
+     Keyed by address; the RIO layer must invalidate after patching
+     code (the simulated equivalent of self-modifying-code handling). *)
+  icache : (int, Insn.t * int * int) Hashtbl.t;  (* pc -> insn, len, static cost *)
+  (* timed signal queue: (deliver_at_cycle, tid, handler_addr) *)
+  mutable signal_queue : (int * int * int) list;
+  (* when true the runtime intercepts signal delivery (RIO active) *)
+  mutable intercept_signals : bool;
+  (* when true, writes to executed code stop execution at the next
+     control transfer so the runtime can flush stale fragments *)
+  mutable smc_trap : bool;
+  mutable pending_smc : (int * int) list;
+}
+
+let create ?(family = Cost.Pentium4) ?(mem_size = 1 lsl 26) () =
+  {
+    mem = Memory.create mem_size;
+    cost = Cost.default_params family;
+    pred = Cost.create_predictor ();
+    cycles = 0;
+    insns_retired = 0;
+    output = [];
+    input = [];
+    threads = [];
+    next_tid = 0;
+    trap_base = max_int;
+    icache = Hashtbl.create 4096;
+    signal_queue = [];
+    intercept_signals = false;
+    smc_trap = false;
+    pending_smc = [];
+  }
+
+let mem m = m.mem
+let cost m = m.cost
+let cycles m = m.cycles
+let add_cycles m n = m.cycles <- m.cycles + n
+let output m = List.rev m.output
+let set_input m vs = m.input <- vs
+let push_output m v = m.output <- v :: m.output
+
+let pop_input m =
+  match m.input with
+  | [] -> 0
+  | v :: rest ->
+      m.input <- rest;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_thread m ~entry ~stack_top =
+  let t =
+    {
+      tid = m.next_tid;
+      regs = Array.make 8 0;
+      fregs = Array.make 8 0.0;
+      eflags = Eflags.empty;
+      pc = entry;
+      alive = true;
+      pending_signals = [];
+    }
+  in
+  t.regs.(Reg.number Reg.Esp) <- stack_top;
+  m.next_tid <- m.next_tid + 1;
+  m.threads <- m.threads @ [ t ];
+  t
+
+let live_threads m = List.filter (fun t -> t.alive) m.threads
+let main_thread m = List.hd m.threads
+
+let get_reg (t : thread) (r : Reg.t) = t.regs.(Reg.number r)
+let set_reg (t : thread) (r : Reg.t) v = t.regs.(Reg.number r) <- v land Arith.mask32
+let get_freg (t : thread) (f : Reg.F.t) = t.fregs.(Reg.F.number f)
+let set_freg (t : thread) (f : Reg.F.t) v = t.fregs.(Reg.F.number f) <- v
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Schedule an asynchronous signal: at (or after) cycle [at], thread
+    [tid]'s control is redirected to [handler] (old pc pushed on its
+    stack, handler returns with [ret]). *)
+let schedule_signal m ~at ~tid ~handler =
+  m.signal_queue <-
+    List.sort compare ((at, tid, handler) :: m.signal_queue)
+
+(** Move due signals into their thread's pending queue; returns true if
+    any became pending. *)
+let poll_signals m =
+  let due, later = List.partition (fun (at, _, _) -> at <= m.cycles) m.signal_queue in
+  m.signal_queue <- later;
+  List.iter
+    (fun (_, tid, h) ->
+      match List.find_opt (fun t -> t.tid = tid) m.threads with
+      | Some t when t.alive -> t.pending_signals <- t.pending_signals @ [ h ]
+      | _ -> ())
+    due;
+  due <> []
+
+(* ------------------------------------------------------------------ *)
+(* Instruction cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Static (operand-shape) cost of an instruction: base cycles plus
+   memory-operand read/write costs, including implicit stack traffic. *)
+let static_cost (c : Cost.t) (i : Insn.t) : int =
+  let base = Cost.base_cycles c i.opcode in
+  let mem_srcs =
+    match i.opcode with
+    | Lea -> 0 (* address computation only *)
+    | _ -> Array.fold_left (fun n o -> if Operand.is_mem o then n + 1 else n) 0 i.srcs
+  in
+  let mem_dsts =
+    Array.fold_left (fun n o -> if Operand.is_mem o then n + 1 else n) 0 i.dsts
+  in
+  let implicit_r = if Opcode.implicit_stack_read i.opcode then 1 else 0 in
+  let implicit_w = if Opcode.implicit_stack_write i.opcode then 1 else 0 in
+  base
+  + ((mem_srcs + implicit_r) * c.mem_read)
+  + ((mem_dsts + implicit_w) * c.mem_write)
+
+exception Bad_code of { pc : int; err : Decode.error }
+
+(** Fetch-and-decode with caching.  Returns (insn, len, static cost). *)
+let fetch_insn m pc : Insn.t * int * int =
+  match Hashtbl.find_opt m.icache pc with
+  | Some r -> r
+  | None -> (
+      match Decode.full (Memory.fetch m.mem) pc with
+      | Error err -> raise (Bad_code { pc; err })
+      | Ok (insn, len) ->
+          let r = (insn, len, static_cost m.cost insn) in
+          Hashtbl.replace m.icache pc r;
+          (* executed code becomes write-watched so self-modification
+             is detected (code-cache / icache consistency) *)
+          Memory.watch_code m.mem ~addr:pc ~len;
+          r)
+
+(** Decode without caching (the pure-emulation path re-decodes every
+    time, which is the point of Table 1's first row). *)
+let fetch_insn_nocache m pc : Insn.t * int * int =
+  match Decode.full (Memory.fetch m.mem) pc with
+  | Error err -> raise (Bad_code { pc; err })
+  | Ok (insn, len) -> (insn, len, static_cost m.cost insn)
+
+(** Invalidate cached decodes for [len] bytes at [addr].  The RIO layer
+    calls this after writing code (patching links, emitting fragments). *)
+let invalidate_icache m ~addr ~len =
+  (* conservative: decoded instructions are at most 13 bytes long, so
+     also drop entries that start shortly before the range *)
+  for a = addr - 13 to addr + len - 1 do
+    Hashtbl.remove m.icache a
+  done
+
+let reset_hardware m =
+  Hashtbl.reset m.icache;
+  Cost.reset_predictor m.pred

@@ -1,0 +1,108 @@
+(** Flat little-endian byte memory for the simulated machine.
+
+    Addresses are plain ints in [0, size).  Out-of-range accesses raise
+    {!Fault}, which the machine surfaces as a program fault (the
+    simulated equivalent of a segfault). *)
+
+exception Fault of { addr : int; size : int; write : bool }
+
+type t = {
+  bytes : Bytes.t;
+  size : int;
+  (* write-watching for code-cache consistency: one byte per 4KB page;
+     stores into watched pages are recorded in [dirty] (the simulated
+     analogue of write-protecting executed pages) *)
+  watched_pages : Bytes.t;
+  mutable dirty : (int * int) list;  (* [lo, hi) byte ranges *)
+}
+
+let page_bits = 12
+
+let create size =
+  {
+    bytes = Bytes.make size '\000';
+    size;
+    watched_pages = Bytes.make ((size lsr page_bits) + 1) '\000';
+    dirty = [];
+  }
+
+let size m = m.size
+
+(** Watch the pages covering [addr, addr+len): subsequent writes there
+    are recorded as dirty ranges. *)
+let watch_code m ~addr ~len =
+  for p = addr lsr page_bits to (addr + len - 1) lsr page_bits do
+    Bytes.unsafe_set m.watched_pages p '\001'
+  done
+
+let has_dirty m = m.dirty <> []
+
+let take_dirty m =
+  let d = m.dirty in
+  m.dirty <- [];
+  d
+
+let note_write m addr n =
+  if
+    Bytes.unsafe_get m.watched_pages (addr lsr page_bits) <> '\000'
+    || Bytes.unsafe_get m.watched_pages ((addr + n - 1) lsr page_bits) <> '\000'
+  then m.dirty <- (addr, addr + n) :: m.dirty
+
+let check m addr n write =
+  if addr < 0 || addr + n > m.size then raise (Fault { addr; size = n; write });
+  if write then note_write m addr n
+
+let read_u8 m addr =
+  check m addr 1 false;
+  Char.code (Bytes.unsafe_get m.bytes addr)
+
+let write_u8 m addr v =
+  check m addr 1 true;
+  Bytes.unsafe_set m.bytes addr (Char.unsafe_chr (v land 0xFF))
+
+let read_u16 m addr =
+  check m addr 2 false;
+  Char.code (Bytes.unsafe_get m.bytes addr)
+  lor (Char.code (Bytes.unsafe_get m.bytes (addr + 1)) lsl 8)
+
+let write_u16 m addr v =
+  check m addr 2 true;
+  Bytes.unsafe_set m.bytes addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set m.bytes (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+(** 32-bit reads return an unsigned value in [0, 2^32). *)
+let read_u32 m addr =
+  check m addr 4 false;
+  let b = m.bytes in
+  Char.code (Bytes.unsafe_get b addr)
+  lor (Char.code (Bytes.unsafe_get b (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (addr + 3)) lsl 24)
+
+let write_u32 m addr v =
+  check m addr 4 true;
+  let b = m.bytes in
+  Bytes.unsafe_set b addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let read_f64 m addr =
+  check m addr 8 false;
+  Int64.float_of_bits (Bytes.get_int64_le m.bytes addr)
+
+let write_f64 m addr v =
+  check m addr 8 true;
+  Bytes.set_int64_le m.bytes addr (Int64.bits_of_float v)
+
+(** Bulk copy [len] bytes of [src] starting at [src_pos] into memory. *)
+let blit_bytes m ~src ~src_pos ~dst ~len =
+  check m dst len true;
+  Bytes.blit src src_pos m.bytes dst len
+
+let blit_string m ~src ~dst =
+  check m dst (String.length src) true;
+  Bytes.blit_string src 0 m.bytes dst (String.length src)
+
+(** A {!Isa.Decode.fetch} view of this memory (bounds-checked). *)
+let fetch (m : t) : Isa.Decode.fetch = fun addr -> read_u8 m addr

@@ -1,0 +1,40 @@
+(** Flat little-endian byte memory for the simulated machine, with
+    page-granular write-watching for code-cache consistency.
+
+    Out-of-range accesses raise {!Fault} (the simulated segfault).
+    Pages marked with {!watch_code} record any store overlapping them
+    as dirty byte ranges; the interpreter drains these at control
+    transfers to invalidate stale decoded instructions and (under a
+    runtime) trigger fragment flushes. *)
+
+exception Fault of { addr : int; size : int; write : bool }
+
+type t
+
+val create : int -> t
+val size : t -> int
+
+val watch_code : t -> addr:int -> len:int -> unit
+(** Watch the pages covering the range; subsequent overlapping writes
+    are recorded as dirty. *)
+
+val has_dirty : t -> bool
+val take_dirty : t -> (int * int) list
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+
+val read_u32 : t -> int -> int
+(** Unsigned value in [0, 2{^32}). *)
+
+val write_u32 : t -> int -> int -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+val blit_bytes : t -> src:Bytes.t -> src_pos:int -> dst:int -> len:int -> unit
+val blit_string : t -> src:string -> dst:int -> unit
+
+val fetch : t -> Isa.Decode.fetch
+(** Bounds-checked byte-fetcher view for the decoders. *)

@@ -1,0 +1,62 @@
+(** Cooperative round-robin scheduler for running programs directly on
+    the simulated machine (native execution and pure emulation).
+
+    The DynamoRIO runtime has its own dispatch loop and uses this
+    module only as a reference for scheduling policy: threads run in
+    tid order with a fixed cycle quantum. *)
+
+type outcome = {
+  stop : Interp.stop;        (** why the {e last} thread stopped *)
+  cycles : int;              (** total machine cycles consumed *)
+  insns : int;               (** total instructions retired *)
+}
+
+let default_quantum = 50_000
+
+(** Run all live threads to completion (or fault), interleaving with a
+    round-robin quantum.  [max_cycles] bounds total simulated time. *)
+let run ?(quantum = default_quantum) ?(max_cycles = max_int) ~emulate
+    (m : Machine.t) : outcome =
+  let c0 = Machine.cycles m in
+  let i0 = m.Machine.insns_retired in
+  let deadline = c0 + max_cycles in
+  let last_stop = ref Interp.Halted in
+  let rec loop () =
+    match Machine.live_threads m with
+    | [] -> ()
+    | threads ->
+        if Machine.cycles m >= deadline then last_stop := Interp.Budget
+        else begin
+          let continue_ = ref true in
+          List.iter
+            (fun t ->
+              if !continue_ && t.Machine.alive then begin
+                let budget = min quantum (deadline - Machine.cycles m) in
+                let stop = Interp.run m t ~budget ~emulate in
+                last_stop := stop;
+                match stop with
+                | Interp.Budget | Interp.Halted -> ()
+                | Interp.Fault _ ->
+                    (* a faulting thread kills the process, like a real OS *)
+                    List.iter (fun t -> t.Machine.alive <- false) m.Machine.threads;
+                    continue_ := false
+                | Interp.Trap _ | Interp.Ccall _ | Interp.Signal _ | Interp.Smc _ ->
+                    (* these events belong to the RIO runtime; reaching
+                       them natively is a program error *)
+                    List.iter (fun t -> t.Machine.alive <- false) m.Machine.threads;
+                    last_stop :=
+                      Interp.Fault
+                        (Printf.sprintf "unexpected native event: %s"
+                           (Interp.stop_to_string stop));
+                    continue_ := false
+              end)
+            threads;
+          if !continue_ then loop ()
+        end
+  in
+  loop ();
+  {
+    stop = !last_stop;
+    cycles = Machine.cycles m - c0;
+    insns = m.Machine.insns_retired - i0;
+  }

@@ -1,0 +1,1 @@
+lib/workloads/ammp_like.ml: Asm Isa List Workload

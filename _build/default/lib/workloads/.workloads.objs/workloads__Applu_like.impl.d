@@ -1,0 +1,1 @@
+lib/workloads/applu_like.ml: Asm Isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/art_like.ml: Asm Isa Workload

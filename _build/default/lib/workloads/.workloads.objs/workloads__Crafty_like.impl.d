@@ -1,0 +1,1 @@
+lib/workloads/crafty_like.ml: Asm Workload

@@ -1,0 +1,1 @@
+lib/workloads/eon_like.ml: Asm List Workload

@@ -1,0 +1,1 @@
+lib/workloads/equake_like.ml: Asm Isa List Workload

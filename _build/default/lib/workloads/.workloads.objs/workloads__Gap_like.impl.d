@@ -1,0 +1,1 @@
+lib/workloads/gap_like.ml: Asm Workload

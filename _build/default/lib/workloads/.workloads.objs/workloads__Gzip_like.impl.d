@@ -1,0 +1,1 @@
+lib/workloads/gzip_like.ml: Asm Char List String Workload

@@ -1,0 +1,1 @@
+lib/workloads/mesa_like.ml: Asm Isa Workload

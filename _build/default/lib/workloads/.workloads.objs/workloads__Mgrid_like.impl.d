@@ -1,0 +1,1 @@
+lib/workloads/mgrid_like.ml: Asm Isa List Workload

@@ -1,0 +1,1 @@
+lib/workloads/parser_like.ml: Asm List Workload

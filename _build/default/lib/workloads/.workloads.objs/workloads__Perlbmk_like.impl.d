@@ -1,0 +1,1 @@
+lib/workloads/perlbmk_like.ml: Asm Fun List Workload

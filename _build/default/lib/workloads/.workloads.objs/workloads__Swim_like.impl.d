@@ -1,0 +1,1 @@
+lib/workloads/swim_like.ml: Asm Isa List Workload

@@ -1,0 +1,1 @@
+lib/workloads/twolf_like.ml: Asm Workload

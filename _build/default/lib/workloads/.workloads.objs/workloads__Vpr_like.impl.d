@@ -1,0 +1,1 @@
+lib/workloads/vpr_like.ml: Asm List Workload

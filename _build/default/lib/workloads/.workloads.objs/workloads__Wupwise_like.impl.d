@@ -1,0 +1,1 @@
+lib/workloads/wupwise_like.ml: Asm Isa Workload

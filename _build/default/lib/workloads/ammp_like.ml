@@ -1,0 +1,106 @@
+(** ammp-like: molecular dynamics with neighbor lists (SPEC2000
+    188.ammp).
+
+    Character: FP force computations gathered through integer neighbor
+    indices — a blend of mcf's dependent loads and the FP stencils, with
+    a division in the inner loop (non-pipelined, expensive) and a
+    spilled cutoff constant reloaded per neighbor. *)
+
+open Asm.Dsl
+
+let atoms = 200
+let neighbors = 8
+let steps = 18
+
+let cutoff = mb ebp ~disp:(-8)
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    sub esp (i 16);
+    li ebx "consts";
+    fld f0 (mb ebx);
+    fst_ cutoff f0;
+    mov edx (i 0);
+    label "step";
+    mov edi (i 0);                      (* atom index *)
+    label "atom";
+    fld f1 (mb ebx ~disp:8);            (* force accumulator = 0.0 *)
+    mov esi (i 0);                      (* neighbor slot *)
+    label "neigh";
+    (* j = neighbor_index[atom*neighbors + slot] *)
+    mov eax edi;
+    imul eax (i neighbors);
+    add eax esi;
+    li ecx "nbr";
+    mov ecx (m ~base:ecx ~index:(eax, 4) ());
+    (* r = |pos[i] - pos[j]|, force += cutoff / (r + 1) *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "pos") ()));
+    ins (fun env ->
+        Isa.Insn.mk_fsub f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Ecx, 8) ~disp:(env "pos") ()));
+    fabs f2;
+    ins (fun env -> Isa.Insn.mk_fadd f2 (Isa.Operand.mem_abs (env "one")));
+    fld f3 cutoff;                      (* spilled cutoff reload *)
+    fdiv f3 (fr f2);
+    fadd f1 (fr f3);
+    inc esi;
+    cmp esi (i neighbors);
+    j l "neigh";
+    (* integrate: v[i] = v[i]*0.25 + force *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "vel") ()));
+    ins (fun env -> Isa.Insn.mk_fmul f2 (Isa.Operand.mem_abs (env "damp")));
+    fadd f2 (fr f1);
+    ins (fun env ->
+        Isa.Insn.mk_fst
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "vel") ())
+          f2);
+    inc edi;
+    cmp edi (i atoms);
+    j l "atom";
+    inc edx;
+    cmp edx (i steps);
+    j l "step";
+    (* checksum *)
+    mov edi (i 0);
+    mov ecx (i 0);
+    label "sum";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "vel") ()));
+    cvtfi eax f0;
+    add ecx eax;
+    add edi (i 17);
+    cmp edi (i atoms);
+    j l "sum";
+    out ecx;
+    hlt;
+  ]
+
+let data =
+  [
+    label "consts";
+    float64 [ 2.5; 0.0 ];
+    label "one";
+    float64 [ 1.0 ];
+    label "damp";
+    float64 [ 0.25 ];
+    label "nbr";
+    word32 (Workload.lcg_mod ~seed:83 (atoms * neighbors) atoms);
+    label "pos";
+    float64 (Workload.lcg_floats ~seed:87 atoms);
+    label "vel";
+    float64 (List.init atoms (fun _ -> 0.0));
+  ]
+
+let workload =
+  Workload.make ~name:"ammp" ~spec_name:"188.ammp" ~fp:true
+    ~description:
+      "neighbor-list force loops: index gathers, a divide per interaction, \
+       spilled-constant reloads"
+    (program ~name:"ammp" ~entry:"main" ~text ~data ())

@@ -1,0 +1,79 @@
+(** applu-like: SSOR solver with mixed FP/integer work (SPEC2000
+    173.applu).
+
+    Character: FP relaxation sweeps interleaved with integer index
+    arithmetic and per-row helper calls — a middle ground between the
+    pure stencils and the call-heavy integer codes. *)
+
+open Asm.Dsl
+
+let n = 96
+let sweeps = 40
+
+let omega = mb ebp ~disp:(-8)
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    sub esp (i 32);
+    li ebx "consts";
+    fld f0 (mb ebx);
+    fst_ omega f0;
+    mov edx (i 0);
+    label "sweep";
+    mov edi (i 1);
+    label "row";
+    call "relax_row";
+    inc edi;
+    cmp edi (i (n - 1));
+    j l "row";
+    inc edx;
+    cmp edx (i sweeps);
+    j l "sweep";
+    (* checksum *)
+    mov edi (i 0);
+    mov ecx (i 0);
+    label "sum";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x") ()));
+    cvtfi eax f0;
+    add ecx eax;
+    add edi (i 11);
+    cmp edi (i n);
+    j l "sum";
+    out ecx;
+    hlt;
+    (* one red-black-ish relaxation over row edi *)
+    label "relax_row";
+    mov esi edi;
+    and_ esi (i 1);                      (* parity decides the blend *)
+    fld f1 omega;                        (* spilled omega reload *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x" - 8) ()));
+    ins (fun env ->
+        Isa.Insn.mk_fld f3
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x" + 8) ()));
+    fadd f2 (fr f3);
+    fmul f2 (fr f1);
+    test esi esi;
+    j z "even";
+    fld f1 omega;                        (* reloaded across the branch *)
+    fmul f2 (fr f1);
+    label "even";
+    ins (fun env ->
+        Isa.Insn.mk_fst
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x") ())
+          f2);
+    ret;
+  ]
+
+let data =
+  [ label "consts"; float64 [ 0.61 ]; label "x"; float64 (Workload.lcg_floats ~seed:17 (n + 2)) ]
+
+let workload =
+  Workload.make ~name:"applu" ~spec_name:"173.applu" ~fp:true
+    ~description:"SSOR relaxation rows behind helper calls: FP + calls mix"
+    (program ~name:"applu" ~entry:"main" ~text ~data ())

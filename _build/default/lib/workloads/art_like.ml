@@ -1,0 +1,83 @@
+(** art-like: neural-network image recognition (SPEC2000 179.art).
+
+    Character: dot-product scans (fld/fmul/fadd accumulation) followed
+    by winner-take-all comparisons ([fcmp] + branches).  The F1 layer's
+    scan loops are extremely hot and regular; normalization constants
+    live in spilled slots. *)
+
+open Asm.Dsl
+
+let inputs = 256
+let neurons = 24
+let epochs = 18
+
+let norm = mb ebp ~disp:(-8)
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    sub esp (i 32);
+    li ebx "consts";
+    fld f0 (mb ebx);
+    fst_ norm f0;
+    mov edx (i 0);
+    mov edi (i 0);                       (* winner accumulator/checksum *)
+    label "epoch";
+    mov ecx (i 0);                       (* neuron index *)
+    (* best activation so far in f6; winner index in edi (low bits) *)
+    fld f6 (mb ebx ~disp:8);             (* -1e9 sentinel *)
+    label "neuron";
+    (* dot product of input with this neuron's weight row *)
+    mov esi (i 0);
+    fld f1 (mb ebx ~disp:16);            (* 0.0 *)
+    label "dot";
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Esi, 8) ~disp:(env "input") ()));
+    (* weight address: row*inputs + esi *)
+    mov eax ecx;
+    imul eax (i inputs);
+    add eax esi;
+    ins (fun env ->
+        Isa.Insn.mk_fmul (Asm.Dsl.f2)
+          (Isa.Operand.mem ~index:(Isa.Reg.Eax, 8) ~disp:(env "weights") ()));
+    fadd f1 (fr f2);
+    inc esi;
+    cmp esi (i inputs);
+    j l "dot";
+    (* normalize (spilled constant reloaded) and compare to the best *)
+    fld f3 norm;
+    fmul f1 (fr f3);
+    fcmp f1 (fr f6);
+    j be "notbest";
+    fmov f6 f1;
+    mov edi ecx;
+    label "notbest";
+    inc ecx;
+    cmp ecx (i neurons);
+    j l "neuron";
+    (* fold winner into checksum *)
+    shl edi (i 1);
+    xor edi edx;
+    inc edx;
+    cmp edx (i epochs);
+    j l "epoch";
+    out edi;
+    hlt;
+  ]
+
+let data =
+  [
+    label "consts";
+    float64 [ 0.0078125; -1e9; 0.0 ];
+    label "input";
+    float64 (Workload.lcg_floats ~seed:11 inputs);
+    label "weights";
+    float64 (Workload.lcg_floats ~seed:13 (inputs * neurons));
+  ]
+
+let workload =
+  Workload.make ~name:"art" ~spec_name:"179.art" ~fp:true
+    ~description:"dot-product scans with winner-take-all fcmp branches"
+    (program ~name:"art" ~entry:"main" ~text ~data ())

@@ -1,0 +1,72 @@
+(** bzip2-like: block-sorting compression loops (SPEC2000 256.bzip2).
+
+    Character: tight move-to-front coding loops with heavy [inc]/[dec]
+    counter traffic and byte loads — high code reuse, no indirect
+    branches.  The Pentium-4 strength-reduction client finds its best
+    integer material here. *)
+
+open Asm.Dsl
+
+let block = 2048
+let passes = 6
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);
+    label "pass";
+    mov esi (i 0);
+    label "mtf";
+    li ebx "blockd";
+    movzx8 eax (m ~base:ebx ~index:(esi, 1) ());
+    and_ eax (i 15);
+    (* linear search of the 16-entry recency list *)
+    mov ecx (i 0);
+    label "find";
+    li ebx "recency";
+    mov ebp (m ~base:ebx ~index:(ecx, 4) ());
+    cmp ebp eax;
+    j z "found";
+    inc ecx;
+    cmp ecx (i 16);
+    j l "find";
+    mov ecx (i 15);
+    label "found";
+    add edi ecx;                         (* emit position *)
+    (* move-to-front: shift entries [0,ecx) up by one, put eax at 0 *)
+    label "shift";
+    test ecx ecx;
+    j z "place";
+    li ebx "recency";
+    mov ebp (m ~base:ebx ~index:(ecx, 4) ~disp:(-4) ());
+    mov (m ~base:ebx ~index:(ecx, 4) ()) ebp;
+    dec ecx;
+    jmp "shift";
+    label "place";
+    li ebx "recency";
+    mov (mb ebx) eax;
+    inc esi;
+    cmp esi (i block);
+    j l "mtf";
+    inc edx;
+    cmp edx (i passes);
+    j l "pass";
+    out edi;
+    hlt;
+  ]
+
+let data =
+  [
+    label "blockd";
+    bytes (String.init block (fun k -> Char.chr ((k * 11 mod 16) + ((k / 64) mod 3))));
+    align 4;
+    label "recency";
+    word32 (List.init 16 Fun.id);
+  ]
+
+let workload =
+  Workload.make ~name:"bzip2" ~spec_name:"256.bzip2" ~fp:false
+    ~description:"move-to-front coding loops, inc/dec dense, high reuse"
+    (program ~name:"bzip2" ~entry:"main" ~text ~data ())

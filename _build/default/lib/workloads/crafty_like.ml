@@ -1,0 +1,95 @@
+(** crafty-like: chess-engine integer code (SPEC2000 186.crafty).
+
+    Character: bitboard-style integer arithmetic (shifts, masks,
+    population-count loops), dense conditional branching, and — the
+    property that matters most under a code cache — frequent {e
+    indirect} control flow: a move-generator dispatched through a
+    function-pointer table and deep call/return chains.  This gives
+    crafty the paper's highest indirect-branch overhead (Table 1:
+    2.0× with in-cache lookup; traces bring it to 1.7×). *)
+
+open Asm.Dsl
+
+let positions = 2600
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov esi (i 0);                    (* position counter *)
+    mov edi (i 0x9E3779B9);           (* "board" state *)
+    label "position";
+    (* pick a piece kind from the state, dispatch its generator *)
+    mov eax edi;
+    shr eax (i 5);
+    and_ eax (i 3);                   (* 4 generators *)
+    li ebx "gen_table";
+    mov eax (m ~base:ebx ~index:(eax, 4) ());
+    call_ind eax;
+    (* evaluate: popcount-ish loop over the low byte of the mask *)
+    and_ eax (i 0xFF);
+    mov ecx (i 0);
+    label "popcnt";
+    test eax eax;
+    j z "popdone";
+    mov edx eax;
+    and_ edx (i 1);
+    add ecx edx;
+    shr eax (i 1);
+    jmp "popcnt";
+    label "popdone";
+    (* update board state with branches (alpha-beta flavoured) *)
+    add edi ecx;
+    mov eax edi;
+    and_ eax (i 7);
+    cmp eax (i 3);
+    j le "quiet";
+    xor edi (i 0x55AA55);
+    cmp ecx (i 10);
+    j l "shallow";
+    add edi (i 0x1234);
+    jmp "next";
+    label "shallow";
+    sub edi (i 0x777);
+    jmp "next";
+    label "quiet";
+    shl edi (i 1);
+    or_ edi (i 1);
+    label "next";
+    inc esi;
+    cmp esi (i positions);
+    j l "position";
+    out edi;
+    hlt;
+    (* --- move generators: small leaf functions returning a mask --- *)
+    label "gen_pawn";
+    mov eax edi;
+    shl eax (i 3);
+    xor eax (i 0x0F0F0F0F);
+    ret;
+    label "gen_knight";
+    mov eax edi;
+    shr eax (i 2);
+    and_ eax (i 0x00FF00FF);
+    xor eax edi;
+    ret;
+    label "gen_bishop";
+    mov eax edi;
+    imul eax (i 31);
+    shr eax (i 4);
+    ret;
+    label "gen_rook";
+    mov eax edi;
+    not_ eax;
+    and_ eax (i 0x3333CCCC);
+    ret;
+  ]
+
+let data = [ label "gen_table"; word32_lbl [ "gen_pawn"; "gen_knight"; "gen_bishop"; "gen_rook" ] ]
+
+let workload =
+  Workload.make ~name:"crafty" ~spec_name:"186.crafty" ~fp:false
+    ~description:
+      "bitboard integer ops with indirect function-pointer dispatch and \
+       popcount loops (indirect-branch stressor)"
+    (program ~name:"crafty" ~entry:"main" ~text ~data ())

@@ -1,0 +1,72 @@
+(** eon-like: C++ ray tracer with virtual dispatch (SPEC2000 252.eon).
+
+    Character: a hot loop invoking a {e virtual method} through an
+    object's table pointer.  The receiver distribution is heavily
+    skewed (most objects share one concrete type), so the adaptive
+    indirect-branch-dispatch client converts most lookups into one
+    inlined compare — the paper's flagship adaptive optimization win
+    on integer/C++ codes. *)
+
+open Asm.Dsl
+
+let objects = 256
+let rays = 9000
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);                     (* accumulated radiance *)
+    label "ray";
+    (* object for this ray *)
+    mov eax edx;
+    and_ eax (i (objects - 1));
+    li ebx "vtables";
+    mov eax (m ~base:ebx ~index:(eax, 4) ());   (* object -> method *)
+    mov esi edx;                       (* "ray parameter" *)
+    call_ind eax;
+    add edi eax;
+    inc edx;
+    cmp edx (i rays);
+    j l "ray";
+    out edi;
+    hlt;
+    (* --- shade methods (one hot, two rare) --- *)
+    label "shade_lambert";
+    mov eax esi;
+    imul eax (i 3);
+    shr eax (i 2);
+    add eax (i 64);
+    ret;
+    label "shade_mirror";
+    mov eax esi;
+    xor eax (i 0xFF00);
+    shr eax (i 3);
+    ret;
+    label "shade_glass";
+    mov eax esi;
+    imul eax eax;
+    shr eax (i 8);
+    and_ eax (i 0xFFFF);
+    ret;
+  ]
+
+let data =
+  [
+    label "vtables";
+    Asm.Ast.Word32
+      (List.init objects (fun k ->
+           fun (env : Asm.Ast.env) ->
+            (* ~90% lambert, ~8% mirror, ~2% glass *)
+            if k mod 50 = 7 then env "shade_glass"
+            else if k mod 12 = 3 then env "shade_mirror"
+            else env "shade_lambert"));
+  ]
+
+let workload =
+  Workload.make ~name:"eon" ~spec_name:"252.eon" ~fp:false
+    ~description:
+      "virtual-method dispatch with a skewed receiver distribution \
+       (adaptive indirect-branch-dispatch showcase)"
+    (program ~name:"eon" ~entry:"main" ~text ~data ())

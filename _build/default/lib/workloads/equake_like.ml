@@ -1,0 +1,90 @@
+(** equake-like: sparse matrix-vector earthquake simulation (SPEC2000
+    183.equake).
+
+    Character: sparse matvec — an index load feeds an FP gather
+    (load-indexed, multiply, accumulate) — wrapped in a per-node
+    helper call.  Mixes mcf-style dependent integer loads with FP
+    arithmetic and call/return traffic. *)
+
+open Asm.Dsl
+
+let nodes = 420
+let nnz_per_row = 6
+let steps = 28
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    label "step";
+    mov edi (i 0);
+    label "node";
+    call "row_times_x";
+    inc edi;
+    cmp edi (i nodes);
+    j l "node";
+    inc edx;
+    cmp edx (i steps);
+    j l "step";
+    (* checksum *)
+    mov edi (i 0);
+    mov ecx (i 0);
+    label "sum";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "y") ()));
+    cvtfi eax f0;
+    add ecx eax;
+    add edi (i 13);
+    cmp edi (i nodes);
+    j l "sum";
+    out ecx;
+    hlt;
+    (* y[edi] = sum_k A[edi,k] * x[col[edi,k]] *)
+    label "row_times_x";
+    li ebx "zero";
+    fld f1 (mb ebx);
+    mov esi (i 0);
+    label "nz";
+    (* flat nonzero index: edi*nnz + esi *)
+    mov eax edi;
+    imul eax (i nnz_per_row);
+    add eax esi;
+    li ebx "cols";
+    mov ecx (m ~base:ebx ~index:(eax, 4) ());   (* column index *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Ecx, 8) ~disp:(env "x") ()));
+    ins (fun env ->
+        Isa.Insn.mk_fmul f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Eax, 8) ~disp:(env "a") ()));
+    fadd f1 (fr f2);
+    inc esi;
+    cmp esi (i nnz_per_row);
+    j l "nz";
+    ins (fun env ->
+        Isa.Insn.mk_fst
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "y") ())
+          f1);
+    ret;
+  ]
+
+let data =
+  [
+    label "zero";
+    float64 [ 0.0 ];
+    label "cols";
+    word32 (Workload.lcg_mod ~seed:51 (nodes * nnz_per_row) nodes);
+    label "a";
+    float64 (Workload.lcg_floats ~seed:53 (nodes * nnz_per_row));
+    label "x";
+    float64 (Workload.lcg_floats ~seed:57 nodes);
+    label "y";
+    float64 (List.init nodes (fun _ -> 0.0));
+  ]
+
+let workload =
+  Workload.make ~name:"equake" ~spec_name:"183.equake" ~fp:true
+    ~description:"sparse matvec with index gathers behind per-row calls"
+    (program ~name:"equake" ~entry:"main" ~text ~data ())

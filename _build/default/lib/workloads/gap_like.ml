@@ -1,0 +1,83 @@
+(** gap-like: computer-algebra interpreter (SPEC2000 254.gap).
+
+    Character: like perlbmk, an indirect dispatch loop — but over {e
+    one} long-running computation instead of many short ones, so the
+    dispatch sites are hot and stable and adaptive optimization has
+    time to pay off.  The target distribution is skewed toward the
+    arithmetic handlers. *)
+
+open Asm.Dsl
+
+let steps = 14000
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov eax (i 1);                      (* accumulator *)
+    mov ecx (i 1);                      (* operand *)
+    mov edx (i 0);                      (* step counter *)
+    label "loop";
+    (* choose an operation: skewed toward add/mul *)
+    mov esi edx;
+    and_ esi (i 7);
+    cmp esi (i 5);
+    j l "arith";
+    mov esi (i 0);                      (* 6,7 -> op 0 as well (skew) *)
+    label "arith";
+    li ebx "ops";
+    mov esi (m ~base:ebx ~index:(esi, 4) ());
+    jmp_ind esi;
+    label "op_addm";
+    add eax ecx;
+    and_ eax (i 0xFFFFF);
+    jmp "step";
+    label "op_mulm";
+    imul eax (i 3);
+    and_ eax (i 0xFFFFF);
+    jmp "step";
+    label "op_subm";
+    sub eax ecx;
+    and_ eax (i 0xFFFFF);
+    jmp "step";
+    label "op_gcd_step";
+    (* one Euclid step on (eax, ecx) *)
+    test ecx ecx;
+    j z "step";
+    mov esi eax;
+    mov eax ecx;
+    push edx;
+    mov edx (i 0);
+    xchg eax esi;
+    idiv ecx;                           (* eax = eax/ecx, edx = rem *)
+    mov eax ecx;
+    mov ecx edx;
+    pop edx;
+    jmp "step";
+    label "op_rot";
+    shl eax (i 3);
+    or_ eax (i 1);
+    and_ eax (i 0xFFFFF);
+    jmp "step";
+    label "step";
+    add ecx (i 7);
+    and_ ecx (i 0x3FFF);
+    inc edx;
+    cmp edx (i steps);
+    j l "loop";
+    out eax;
+    hlt;
+  ]
+
+let data =
+  [
+    label "ops";
+    word32_lbl [ "op_addm"; "op_mulm"; "op_addm"; "op_subm"; "op_gcd_step"; "op_rot" ];
+  ]
+
+let workload =
+  Workload.make ~name:"gap" ~spec_name:"254.gap" ~fp:false
+    ~description:
+      "long-running arithmetic interpreter: hot, stable indirect dispatch \
+       (adaptive optimization pays off)"
+    (program ~name:"gap" ~entry:"main" ~text ~data ())

@@ -1,0 +1,68 @@
+(** gcc-like: compiler phases with little code reuse (SPEC2000 176.gcc).
+
+    Character: a very large static code footprint executed briefly —
+    dozens of distinct "phase" routines, each run only a few times.
+    Code-cache systems cannot amortize block-building (let alone trace
+    and optimization) costs here; the paper shows gcc {e slowing down}
+    under every optimization configuration.  The phases are generated
+    programmatically, each with its own distinct straight-line body. *)
+
+open Asm.Dsl
+
+let n_phases = 48
+let outer = 140
+
+(* a distinct small routine per phase: varied instruction mixes so the
+   bodies don't share cache-friendly structure *)
+let phase k =
+  let a = 3 + (k mod 7) and b = 1 + (k mod 5) in
+  [ label (Printf.sprintf "phase%d" k); mov eax edi ]
+  @ (match k mod 4 with
+    | 0 -> [ shl eax (i (k mod 13)); add eax (i (k * 17)); xor eax (i (k * 29)) ]
+    | 1 -> [ imul eax (i a); sub eax (i (k * 13)); not_ eax ]
+    | 2 ->
+        [
+          li ebx "pool";
+          mov ecx (mb ebx ~disp:(4 * (k mod 64)));
+          add eax ecx;
+          shr eax (i b);
+        ]
+    | _ -> [ neg eax; and_ eax (i 0x7FFFFFFF); add eax (i k) ])
+  @ [
+      (* a small per-phase loop so each phase has a back edge (enough
+         to tempt the trace selector into wasted work) *)
+      mov ecx (i (2 + (k mod 3)));
+      label (Printf.sprintf "ploop%d" k);
+      add eax (i b);
+      dec ecx;
+      j nz (Printf.sprintf "ploop%d" k);
+      add edi eax;
+      ret;
+    ]
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edi (i 0x1357);
+    mov edx (i 0);
+    label "compile";
+  ]
+  @ List.concat_map (fun k -> [ call (Printf.sprintf "phase%d" k) ]) (List.init n_phases Fun.id)
+  @ [
+      inc edx;
+      cmp edx (i outer);
+      j l "compile";
+      out edi;
+      hlt;
+    ]
+  @ List.concat_map phase (List.init n_phases Fun.id)
+
+let data = [ label "pool"; word32 (Workload.lcg ~seed:5 64) ]
+
+let workload =
+  Workload.make ~name:"gcc" ~spec_name:"176.gcc" ~fp:false
+    ~description:
+      "many distinct routines each executed a handful of times: block-build \
+       and optimization costs cannot be amortized"
+    (program ~name:"gcc" ~entry:"main" ~text ~data ())

@@ -1,0 +1,81 @@
+(** gzip-like: LZ77-style compression loops (SPEC2000 164.gzip).
+
+    Character: byte-granular scanning loops ([movzx8]), hash-chain
+    match searching with data-dependent branches, and counter-update
+    code dense in [inc]/[dec] (a strength-reduction beneficiary on the
+    Pentium 4).  High code reuse, no indirect branches. *)
+
+open Asm.Dsl
+
+let buf_len = 4096
+let passes = 28
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);                       (* output "size" *)
+    label "pass";
+    mov esi (i 0);                       (* cursor *)
+    label "scan";
+    (* load current byte, hash it with the next two *)
+    li ebx "buf";
+    movzx8 eax (m ~base:ebx ~index:(esi, 1) ());
+    movzx8 ecx (m ~base:ebx ~index:(esi, 1) ~disp:1 ());
+    shl eax (i 5);
+    xor eax ecx;
+    movzx8 ecx (m ~base:ebx ~index:(esi, 1) ~disp:2 ());
+    shl eax (i 5);
+    xor eax ecx;
+    and_ eax (i 1023);
+    (* probe the hash head: match or literal? *)
+    li ebx "head";
+    mov ecx (m ~base:ebx ~index:(eax, 4) ());
+    mov (m ~base:ebx ~index:(eax, 4) ()) esi
+    ;
+    cmp ecx (i 0);
+    j z "literal";
+    (* candidate: compare a short window *)
+    mov eax esi;
+    sub eax ecx;
+    cmp eax (i 255);
+    j nbe "literal";                     (* too far: emit literal *)
+    (* "match": advance by 3, emit length/distance *)
+    add esi (i 3);
+    add edi (i 2);
+    inc edx;                             (* match counter *)
+    dec edx;                            (* ...and a paired dec (flag games) *)
+    inc edx;
+    jmp "advance";
+    label "literal";
+    inc esi;
+    inc edi;
+    label "advance";
+    cmp esi (i (buf_len - 3));
+    j l "scan";
+    inc edx;
+    cmp edx (i passes);
+    j l "pass";
+    out edi;
+    out edx;
+    hlt;
+  ]
+
+let data =
+  [
+    label "buf";
+    bytes
+      (String.init buf_len (fun k ->
+           (* compressible-ish: repeating motifs with noise *)
+           let v = (k * 7 mod 96) + if k mod 37 = 0 then k mod 23 else 0 in
+           Char.chr (v land 0xFF)));
+    label "head";
+    word32 (List.init 1024 (fun _ -> 0));
+  ]
+
+let workload =
+  Workload.make ~name:"gzip" ~spec_name:"164.gzip" ~fp:false
+    ~description:
+      "byte-scanning hash-chain compression loops, inc/dec heavy, high reuse"
+    (program ~name:"gzip" ~entry:"main" ~text ~data ())

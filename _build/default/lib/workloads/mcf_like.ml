@@ -1,0 +1,67 @@
+(** mcf-like: network-simplex pointer chasing (SPEC2000 181.mcf).
+
+    Character: loops dominated by dependent loads walking arc/node
+    lists, light arithmetic, and unpredictable data-dependent branches.
+    Code reuse is high (one hot loop nest) but the work per iteration
+    is memory-bound, so code-cache overhead amortizes well while
+    optimizations find little to remove. *)
+
+open Asm.Dsl
+
+let nodes = 1500
+let rounds = 55
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);                    (* total cost *)
+    label "round";
+    (* walk the node chain from node 0 until the null link *)
+    mov esi (i 0);
+    label "walk";
+    li ebx "next_idx";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());   (* dependent load: next *)
+    li ebx "cost";
+    mov ecx (m ~base:ebx ~index:(esi, 4) ());
+    (* reduced-cost test: negative edges update the potential *)
+    test ecx ecx;
+    j s "negative";
+    add edi ecx;
+    jmp "step";
+    label "negative";
+    sub edi ecx;
+    li ebx "potential";
+    mov ecx (m ~base:ebx ~index:(esi, 4) ());
+    add ecx (i 1);
+    mov (m ~base:ebx ~index:(esi, 4) ()) ecx;
+    label "step";
+    mov esi eax;
+    test esi esi;
+    j nz "walk";
+    inc edx;
+    cmp edx (i rounds);
+    j l "round";
+    out edi;
+    hlt;
+  ]
+
+let data =
+  (* a single scattered cycle through all nodes: next[i] = i + 389
+     (mod nodes); 389 is coprime to [nodes], so the walk from node 0
+     visits every node exactly once before returning to 0 *)
+  let hops = List.init nodes (fun k -> (k + 389) mod nodes) in
+  [
+    label "next_idx";
+    word32 hops;
+    label "cost";
+    word32 (List.map (fun v -> (v mod 2001) - 1000) (Workload.lcg ~seed:77 nodes));
+    label "potential";
+    word32 (List.init nodes (fun _ -> 0));
+  ]
+
+let workload =
+  Workload.make ~name:"mcf" ~spec_name:"181.mcf" ~fp:false
+    ~description:"pointer-chasing list walks with data-dependent branches"
+    (program ~name:"mcf" ~entry:"main" ~text ~data ())

@@ -1,0 +1,89 @@
+(** mesa-like: software 3D rendering pipeline (SPEC2000 177.mesa).
+
+    Character: a vertex pipeline mixing FP transform arithmetic with
+    integer fixed-point conversion, dispatched through a {e state-driven
+    function pointer} (mesa selects shading/transform paths from GL
+    state) that changes between batches — the indirect target is stable
+    within a batch and switches across batches, which is the
+    interesting regime for trace inline checks. *)
+
+open Asm.Dsl
+
+let verts = 256
+let batches = 30
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);                      (* batch *)
+    mov edi (i 0);                      (* raster checksum *)
+    label "batch";
+    (* pick the pipeline function for this batch's "GL state" *)
+    mov eax edx;
+    shr eax (i 2);                      (* state changes every 4 batches *)
+    and_ eax (i 1);
+    li ebx "pipeline";
+    mov eax (m ~base:ebx ~index:(eax, 4) ());
+    st "current_xf" eax;
+    mov esi (i 0);                      (* vertex index *)
+    label "vertex";
+    ld eax "current_xf";
+    call_ind eax;
+    inc esi;
+    cmp esi (i verts);
+    j l "vertex";
+    inc edx;
+    cmp edx (i batches);
+    j l "batch";
+    out edi;
+    hlt;
+    (* --- transform variants: project vertex esi, rasterize to int --- *)
+    label "xf_flat";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Esi, 8) ~disp:(env "vx") ()));
+    ins (fun env -> Isa.Insn.mk_fld f1 (Isa.Operand.mem_abs (env "mscale")));
+    fmul f0 (fr f1);
+    cvtfi eax f0;
+    and_ eax (i 0xFFFF);
+    add edi eax;
+    ret;
+    label "xf_smooth";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Esi, 8) ~disp:(env "vx") ()));
+    ins (fun env ->
+        Isa.Insn.mk_fld f1
+          (Isa.Operand.mem ~index:(Isa.Reg.Esi, 8) ~disp:(env "vn") ()));
+    fadd f0 (fr f1);
+    ins (fun env -> Isa.Insn.mk_fld f1 (Isa.Operand.mem_abs (env "mscale")));
+    fmul f0 (fr f1);
+    fabs f0;
+    cvtfi eax f0;
+    and_ eax (i 0xFFFF);
+    shl eax (i 1);
+    add edi eax;
+    ret;
+  ]
+
+let data =
+  [
+    label "pipeline";
+    word32_lbl [ "xf_flat"; "xf_smooth" ];
+    label "current_xf";
+    word32 [ 0 ];
+    label "mscale";
+    float64 [ 37.5 ];
+    label "vx";
+    float64 (Workload.lcg_floats ~seed:71 verts);
+    label "vn";
+    float64 (Workload.lcg_floats ~seed:73 verts);
+  ]
+
+let workload =
+  Workload.make ~name:"mesa" ~spec_name:"177.mesa" ~fp:true
+    ~description:
+      "vertex pipeline via state-selected function pointers: phase-stable \
+       indirect targets"
+    (program ~name:"mesa" ~entry:"main" ~text ~data ())

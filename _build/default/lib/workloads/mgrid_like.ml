@@ -1,0 +1,131 @@
+(** mgrid-like: multigrid stencil kernel (SPEC2000 172.mgrid).
+
+    Character: deeply loop-dominated FP code whose compiled form —
+    like real mgrid at [gcc -O3] on register-starved IA-32 — reloads
+    stencil coefficients from stack slots at every basic-block
+    boundary.  The hot inner loop applies four 3-tap sections per
+    point, with a data-dependent branch between sections (so the
+    sections really are separate basic blocks, and only a {e trace}
+    can see the reloads are redundant).  Redundant load removal on
+    traces eliminates three sections' worth of coefficient reloads,
+    which is where the paper's headline ~40% mgrid speedup comes from. *)
+
+open Asm.Dsl
+
+let n = 512          (* grid points per sweep *)
+let sweeps = 60
+
+(* stack frame: coefficients spilled by the "compiler" *)
+let c0 = mb ebp ~disp:(-8)
+let c1 = mb ebp ~disp:(-16)
+let c2 = mb ebp ~disp:(-24)
+let c3 = mb ebp ~disp:(-32)
+let c4 = mb ebp ~disp:(-40)
+let c5 = mb ebp ~disp:(-48)
+
+(* one stencil section: reload the six coefficients (the compiler
+   spilled them across the preceding branch), then three taps *)
+let section off =
+  [
+    fld f2 c0; fld f3 c1; fld f4 c2; fld f5 c3; fld f6 c4; fld f7 c5;
+    (* taps: a[i+off] * ck accumulated into f1 *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+             ~disp:(env "grid_a" + (8 * off)) ()));
+    fmul f0 (fr f2); fadd f1 (fr f0);
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+             ~disp:(env "grid_a" + (8 * off) + 8) ()));
+    fmul f0 (fr f3); fadd f1 (fr f0);
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+             ~disp:(env "grid_a" + (8 * off) + 16) ()));
+    fmul f0 (fr f4); fadd f1 (fr f0);
+  ]
+
+let text =
+  [
+    label "main";
+    (* frame setup: spill coefficients to the stack *)
+    mov ebp esp;
+    sub esp (i 64);
+    li ebx "coeffs";
+    fld f0 (mb ebx); fst_ c0 f0;
+    fld f0 (mb ebx ~disp:8); fst_ c1 f0;
+    fld f0 (mb ebx ~disp:16); fst_ c2 f0;
+    fld f0 (mb ebx ~disp:24); fst_ c3 f0;
+    fld f0 (mb ebx ~disp:32); fst_ c4 f0;
+    fld f0 (mb ebx ~disp:40); fst_ c5 f0;
+    mov esi (i 0);           (* esi: base offset (stays 0; addressing uses edi) *)
+    mov edx (i 0);           (* sweep counter *)
+    label "sweep";
+    mov edi (i 0);           (* point index *)
+    label "point";
+    (* f1 accumulates the stencil value *)
+    fld f1 c0;
+    fmul f1 (fr f1);
+  ]
+  @ section 0
+  @ [
+      (* a data-dependent branch splits the sections into separate
+         basic blocks, as in the original compiled code; the boundary
+         path (every 8th point) is cold, so the trace covers the full
+         four-section hot path *)
+      mov eax edi;
+      and_ eax (i 7);
+      j z "boundary_point";
+    ]
+  @ section 1
+  @ section 2
+  @ section 3
+  @ [ jmp "join1"; label "boundary_point" ]
+  @ section 1
+  @ [ label "join1" ]
+  @ [
+      (* store the result and advance *)
+      ins (fun env ->
+          Isa.Insn.mk_fst
+            (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+               ~disp:(env "grid_r") ())
+            f1);
+      inc edi;
+      cmp edi (i (n - 3));
+      j l "point";
+      inc edx;
+      cmp edx (i sweeps);
+      j l "sweep";
+      (* checksum: sum of result grid as truncated ints *)
+      mov edi (i 0);
+      mov ecx (i 0);
+      label "sum";
+      ins (fun env ->
+          Isa.Insn.mk_fld f0
+            (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "grid_r") ()));
+      cvtfi eax f0;
+      add ecx eax;
+      inc edi;
+      cmp edi (i (n - 3));
+      j l "sum";
+      out ecx;
+      hlt;
+    ]
+
+let data =
+  [
+    label "coeffs";
+    float64 [ 0.05; -0.15; 0.35; 0.2; -0.1; 0.6 ];
+    label "grid_a";
+    float64 (Workload.lcg_floats ~seed:7 n);
+    label "grid_r";
+    float64 (List.init n (fun _ -> 0.0));
+  ]
+
+let workload =
+  Workload.make ~name:"mgrid" ~spec_name:"172.mgrid" ~fp:true
+    ~description:
+      "FP stencil sweeps; coefficient reloads across block boundaries \
+       (redundant-load-removal showcase)"
+    (program ~name:"mgrid" ~entry:"main" ~text ~data ())

@@ -1,0 +1,96 @@
+(** parser-like: link-grammar natural-language parser (SPEC2000
+    197.parser).
+
+    Character: recursive-descent parsing with dictionary hash lookups —
+    deep, data-dependent recursion (call/return pairs whose depth
+    varies per sentence) plus hash-probe loops.  Stresses the return
+    handling of the code cache differently from vortex: the same
+    function returns from many recursion depths. *)
+
+open Asm.Dsl
+
+let sentences = 800
+let max_depth = 12
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);                     (* parse-score checksum *)
+    label "sentence";
+    (* derive a "sentence" shape from the counter *)
+    mov eax edx;
+    imul eax (i 2654435761);
+    and_ eax (i 0x7FFFFFFF);
+    mov esi eax;                       (* token stream seed *)
+    mov ecx (i 0);                     (* depth = 0 *)
+    call "parse_np";
+    add edi eax;
+    inc edx;
+    cmp edx (i sentences);
+    j l "sentence";
+    out edi;
+    hlt;
+    (* parse a noun phrase: lookup a token, maybe recurse into a
+       prepositional phrase, return a constituent score *)
+    label "parse_np";
+    cmp ecx (i max_depth);
+    j nl "leaf";
+    push ecx;
+    call "dict_lookup";
+    pop ecx;
+    (* recurse when the looked-up entry's low bits say so *)
+    test eax (i 3);
+    j z "no_recurse";
+    push eax;
+    push ecx;
+    inc ecx;
+    shr esi (i 2);
+    call "parse_np";                  (* self-recursion *)
+    pop ecx;
+    pop ebx;
+    add eax ebx;
+    ret;
+    label "no_recurse";
+    ret;
+    label "leaf";
+    mov eax (i 1);
+    ret;
+    (* dictionary probe: linear rehash over a 256-entry table *)
+    label "dict_lookup";
+    mov eax esi;
+    and_ eax (i 255);
+    mov ebx (i 0);                     (* probe count *)
+    label "probe";
+    li ecx "dict";
+    mov ecx (m ~base:ecx ~index:(eax, 4) ());
+    mov ebx ecx;
+    and_ ebx (i 0xFF);
+    cmp ebx (i 17);                    (* "collision" tag *)
+    j nz "hit";
+    inc eax;
+    and_ eax (i 255);
+    jmp "probe";
+    label "hit";
+    mov eax ecx;
+    ret;
+  ]
+
+let data =
+  [
+    label "dict";
+    word32
+      (List.map
+         (* ensure only a sparse set of entries carry the collision tag
+            so probes terminate quickly *)
+         (fun v -> if v mod 19 = 0 then (v land lnot 0xFF) lor 17 else v)
+         (Workload.lcg ~seed:91 256));
+  ]
+
+let workload =
+  Workload.make ~name:"parser" ~spec_name:"197.parser" ~fp:false
+    ~description:
+      "recursive-descent parsing with dictionary probes: variable-depth \
+       call/return chains"
+    (program ~name:"parser" ~entry:"main" ~text ~data ())

@@ -1,0 +1,142 @@
+(** perlbmk-like: bytecode interpreter over many short scripts
+    (SPEC2000 253.perlbmk).
+
+    Character: the classic worst case for a dynamic optimizer — an
+    interpreter dispatch loop (indirect jump through an opcode table,
+    targets near-uniformly distributed) running a series of {e
+    different} short scripts, so trace and rewrite work keeps being
+    spent on code that is abandoned.  The paper's perlbmk slows down
+    under every optimization. *)
+
+open Asm.Dsl
+
+(* opcodes: 0 halt-script, 1 push-imm, 2 add, 3 sub, 4 dup, 5 swap,
+   6 jnz-back (loop), 7 mul-lo *)
+let n_scripts = 24
+let script_len = 60
+
+(* generate distinct scripts: each is a list of (op, arg) pairs; ops
+   vary per script so dispatch targets differ from script to script *)
+let script s =
+  let ops = ref [] in
+  for k = script_len - 1 downto 0 do
+    let op =
+      match (k + (s * 3)) mod 9 with
+      | 0 | 8 -> 1 (* push *)
+      | 1 | 5 -> 2 (* add *)
+      | 2 -> 3     (* sub *)
+      | 3 -> 4     (* dup *)
+      | 4 -> 5     (* swap *)
+      | 6 -> 7     (* mul *)
+      | _ -> 1
+    in
+    ops := (op, (k * 13) + s) :: !ops
+  done;
+  (* prelude pushes two operands; postlude halts *)
+  ((1, 1000 + s) :: (1, 7 + s) :: !ops) @ [ (0, 0) ]
+
+let script_words s =
+  List.concat_map (fun (op, arg) -> [ op; arg land 0xFFFF ]) (script s)
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edi (i 0);                      (* checksum across scripts *)
+    mov edx (i 0);                      (* script index *)
+    label "next_script";
+    (* locate script s: scripts are fixed-size records *)
+    mov esi edx;
+    imul esi (i (8 * (script_len + 3)));
+    li ebx "scripts";
+    add esi ebx;                        (* esi: instruction pointer (byte addr) *)
+    mov ecx (i 0);                      (* vm accumulator stack depth in eax/ecx *)
+    mov eax (i 0);
+    label "dispatch";
+    mov ebx (mb esi);                   (* opcode *)
+    li ebp "optable";
+    mov ebx (m ~base:ebp ~index:(ebx, 4) ());
+    jmp_ind ebx;
+    (* --- handlers: each ends by advancing ip and redispatching --- *)
+    label "op_push";
+    push eax;
+    mov eax (mb esi ~disp:4);
+    mov ecx eax;
+    shl ecx (i 7);
+    xor ecx eax;
+    shr ecx (i 3);
+    add eax ecx;
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_add";
+    pop ecx;
+    add eax ecx;
+    mov ecx eax;
+    shl ecx (i 5);
+    add ecx eax;
+    shr ecx (i 2);
+    xor eax ecx;
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_sub";
+    pop ecx;
+    sub eax ecx;
+    mov ecx eax;
+    shr ecx (i 4);
+    imul ecx (i 13);
+    xor eax ecx;
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_dup";
+    push eax;
+    mov ecx eax;
+    shl ecx (i 2);
+    add eax ecx;
+    shr eax (i 1);
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_swap";
+    pop ecx;
+    push eax;
+    mov eax ecx;
+    shl ecx (i 9);
+    xor eax ecx;
+    shr eax (i 2);
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_mul";
+    pop ecx;
+    imul eax ecx;
+    mov ecx eax;
+    shr ecx (i 11);
+    add eax ecx;
+    imul eax (i 7);
+    and_ eax (i 0xFFFFFF);
+    jmp "advance";
+    label "op_halt";
+    add edi eax;
+    inc edx;
+    cmp edx (i n_scripts);
+    j l "next_script";
+    out edi;
+    hlt;
+    label "advance";
+    add esi (i 8);
+    jmp "dispatch";
+  ]
+
+let data =
+  [
+    label "optable";
+    word32_lbl
+      [ "op_halt"; "op_push"; "op_add"; "op_sub"; "op_dup"; "op_swap"; "op_halt"; "op_mul" ];
+    label "scripts";
+    word32 (List.concat_map script_words (List.init n_scripts Fun.id));
+  ]
+
+let workload =
+  Workload.make ~name:"perlbmk" ~spec_name:"253.perlbmk" ~fp:false
+    ~description:
+      "interpreter dispatch loop over many distinct short scripts: little \
+       reuse, uniformly distributed indirect-branch targets"
+    (program ~name:"perlbmk" ~entry:"main" ~text ~data ())

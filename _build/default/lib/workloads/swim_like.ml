@@ -1,0 +1,84 @@
+(** swim-like: shallow-water 2D stencil (SPEC2000 171.swim).
+
+    Character: bandwidth-style FP loops sweeping 2D grids with a
+    five-point stencil; a few spilled constants are reloaded per
+    iteration (less register pressure than mgrid, so RLR helps but
+    less dramatically). *)
+
+open Asm.Dsl
+
+let w = 64
+let h = 48
+let steps = 20
+
+let dt = mb ebp ~disp:(-8)
+
+let at off = ins (fun env ->
+    Isa.Insn.mk_fld f2
+      (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+         ~disp:(env "u" + (8 * off)) ()))
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    sub esp (i 32);
+    li ebx "consts";
+    fld f0 (mb ebx);
+    fst_ dt f0;
+    mov edx (i 0);
+    label "step";
+    mov esi (i 0);
+    mov edi (i w);                       (* skip first row *)
+    label "cellloop";
+    (* five-point stencil on u into v *)
+    fld f1 dt;                           (* spilled dt reload *)
+    at 0; fmov f3 f2;
+    at 1; fadd f3 (fr f2);
+    at (-1); fadd f3 (fr f2);
+    at w; fadd f3 (fr f2);
+    at (-w); fadd f3 (fr f2);
+    fmul f3 (fr f1);
+    fld f1 dt;                           (* redundant reload (as compiled) *)
+    fadd f3 (fr f1);
+    ins (fun env ->
+        Isa.Insn.mk_fst
+          (Isa.Operand.mem ~base:Isa.Reg.Esi ~index:(Isa.Reg.Edi, 8)
+             ~disp:(env "v") ())
+          f3);
+    inc edi;
+    cmp edi (i ((w * h) - w));
+    j l "cellloop";
+    inc edx;
+    cmp edx (i steps);
+    j l "step";
+    (* checksum a sample of v *)
+    mov edi (i 0);
+    mov ecx (i 0);
+    label "sum";
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "v" + (8 * w)) ()));
+    cvtfi eax f0;
+    add ecx eax;
+    add edi (i 7);
+    cmp edi (i (w * (h - 2)));
+    j l "sum";
+    out ecx;
+    hlt;
+  ]
+
+let data =
+  [
+    label "consts";
+    float64 [ 0.125 ];
+    label "u";
+    float64 (Workload.lcg_floats ~seed:3 (w * h));
+    label "v";
+    float64 (List.init (w * h) (fun _ -> 0.0));
+  ]
+
+let workload =
+  Workload.make ~name:"swim" ~spec_name:"171.swim" ~fp:true
+    ~description:"five-point 2D stencil sweeps with spilled-constant reloads"
+    (program ~name:"swim" ~entry:"main" ~text ~data ())

@@ -1,0 +1,85 @@
+(** twolf-like: standard-cell placement annealing (SPEC2000 300.twolf).
+
+    Character: branchy integer loops computing wire-length deltas for
+    proposed cell swaps, with accept/reject decisions and enough
+    cross-block stack-slot reloads (spilled loop-invariants) for
+    redundant load removal to matter on integer code. *)
+
+open Asm.Dsl
+
+let cells = 600
+let moves = 9000
+
+let wl = mb ebp ~disp:(-8)   (* spilled: current wire length *)
+let tmp = mb ebp ~disp:(-12) (* spilled: temperature *)
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    sub esp (i 32);
+    mov eax (i 100000);
+    mov wl eax;
+    mov eax (i 997);
+    mov tmp eax;
+    mov edx (i 0);
+    label "move";
+    (* pick two cells *)
+    mov eax edx;
+    imul eax (i 211);
+    mov esi eax;
+    and_ esi (i 511);
+    mov ecx eax;
+    shr ecx (i 9);
+    and_ ecx (i 511);
+    (* delta = pos[a] - pos[b], with branches on sign *)
+    li ebx "pos";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    sub eax (m ~base:ebx ~index:(ecx, 4) ());
+    j nl "posd";
+    neg eax;
+    label "posd";
+    (* accept if delta beats the (reloaded) temperature *)
+    mov ecx tmp;                        (* reload spilled temperature *)
+    cmp eax ecx;
+    j l "reject";
+    (* accept: swap-ish update and wire-length bookkeeping *)
+    mov ecx wl;                         (* reload spilled wire length *)
+    sub ecx eax;
+    mov wl ecx;
+    li ebx "pos";
+    mov ecx (m ~base:ebx ~index:(esi, 4) ());
+    add ecx (i 3);
+    and_ ecx (i 0xFFFF);
+    mov (m ~base:ebx ~index:(esi, 4) ()) ecx;
+    jmp "cool";
+    label "reject";
+    mov ecx wl;                         (* reload on this path too *)
+    add ecx (i 1);
+    mov wl ecx;
+    label "cool";
+    (* temperature decay every 256 moves *)
+    mov eax edx;
+    and_ eax (i 255);
+    j nz "nocool";
+    mov eax tmp;
+    imul eax (i 15);
+    shr eax (i 4);
+    mov tmp eax;
+    label "nocool";
+    inc edx;
+    cmp edx (i moves);
+    j l "move";
+    mov eax wl;
+    out eax;
+    hlt;
+  ]
+
+let data = [ label "pos"; word32 (Workload.lcg_mod ~seed:33 cells 0xFFFF) ]
+
+let workload =
+  Workload.make ~name:"twolf" ~spec_name:"300.twolf" ~fp:false
+    ~description:
+      "annealing move loops: dense conditional branches and spilled-invariant \
+       reloads across blocks"
+    (program ~name:"twolf" ~entry:"main" ~text ~data ())

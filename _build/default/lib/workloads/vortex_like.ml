@@ -1,0 +1,92 @@
+(** vortex-like: object database transactions (SPEC2000 255.vortex).
+
+    Character: extremely call-dense — every record access goes through
+    small accessor/validator routines, so hot paths cross many
+    call/return pairs.  Default loop-oriented traces split calls from
+    their returns; the custom-trace client's call inlining (and
+    return elision under the calling convention) is the paper's
+    targeted fix (§4.4). *)
+
+open Asm.Dsl
+
+let records = 512
+let txns = 5200
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    mov edi (i 0);                     (* committed count / checksum *)
+    label "txn";
+    (* pick a record *)
+    mov eax edx;
+    imul eax (i 131);
+    and_ eax (i (records - 1));
+    mov esi eax;
+    call "fetch";
+    call "validate";
+    test eax eax;
+    j z "abort";
+    call "update";
+    add edi (i 1);
+    jmp "commit";
+    label "abort";
+    sub edi (i 1);
+    label "commit";
+    inc edx;
+    cmp edx (i txns);
+    j l "txn";
+    out edi;
+    hlt;
+    (* --- accessors --- *)
+    label "fetch";
+    li ebx "db";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    ret;
+    label "validate";
+    (* field checks via helper calls *)
+    call "check_low";
+    test eax eax;
+    j z "vdone";
+    call "check_high";
+    label "vdone";
+    ret;
+    label "check_low";
+    li ebx "db";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    and_ eax (i 0xFF);
+    cmp eax (i 4);
+    j nl "cl_ok";
+    mov eax (i 0);
+    ret;
+    label "cl_ok";
+    mov eax (i 1);
+    ret;
+    label "check_high";
+    li ebx "db";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    shr eax (i 24);
+    cmp eax (i 250);
+    j le "ch_ok";
+    mov eax (i 0);
+    ret;
+    label "ch_ok";
+    mov eax (i 1);
+    ret;
+    label "update";
+    li ebx "db";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    add eax (i 3);
+    mov (m ~base:ebx ~index:(esi, 4) ()) eax;
+    ret;
+  ]
+
+let data = [ label "db"; word32 (Workload.lcg ~seed:21 records) ]
+
+let workload =
+  Workload.make ~name:"vortex" ~spec_name:"255.vortex" ~fp:false
+    ~description:
+      "call-dense record accessors and validators (custom-trace call-inlining \
+       showcase)"
+    (program ~name:"vortex" ~entry:"main" ~text ~data ())

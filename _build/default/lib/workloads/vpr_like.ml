@@ -1,0 +1,87 @@
+(** vpr-like: FPGA place-and-route inner loops (SPEC2000 175.vpr).
+
+    Character: tight, highly regular integer loops — bounding-box cost
+    recomputation over a placement grid — with very high code reuse,
+    few calls, and almost no indirect branches.  Under a code cache
+    this is the friendly case: once the handful of hot blocks are
+    linked into traces, execution stays in the cache (Table 1: 1.2×
+    with indirect linking, 1.1× with traces). *)
+
+open Asm.Dsl
+
+let grid = 48
+let iters = 55
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);                 (* iteration counter *)
+    mov edi (i 0);                 (* accumulated cost *)
+    label "iter";
+    mov esi (i 0);                 (* cell index *)
+    label "cell";
+    (* load cell position, compute manhattan cost against its net *)
+    li ebx "cells";
+    mov eax (m ~base:ebx ~index:(esi, 4) ());
+    mov ecx eax;
+    and_ eax (i 0xFFFF);           (* x *)
+    shr ecx (i 16);                (* y *)
+    (* |x - xc| *)
+    sub eax (i (grid / 2));
+    j nl "xpos";
+    neg eax;
+    label "xpos";
+    (* |y - yc| *)
+    sub ecx (i (grid / 2));
+    j nl "ypos";
+    neg ecx;
+    label "ypos";
+    add eax ecx;
+    (* weight by net fanout (reload from the same slot the compiler
+       spilled to — a little cross-block redundancy like real vpr) *)
+    li ebx "fanout";
+    mov ecx (mb ebx);
+    imul eax ecx;
+    add edi eax;
+    mov ecx (mb ebx);
+    add edi ecx;
+    (* every 4th cell crosses a region boundary and pays a helper call,
+       like real vpr's occasional net-cost recomputations *)
+    mov eax esi;
+    and_ eax (i 3);
+    j nz "nocall";
+    call "region_cost";
+    label "nocall";
+    inc esi;
+    cmp esi (i (grid * grid / 4));
+    j l "cell";
+    inc edx;
+    cmp edx (i iters);
+    j l "iter";
+    out edi;
+    hlt;
+    label "region_cost";
+    mov eax esi;
+    shr eax (i 3);
+    add edi eax;
+    ret;
+  ]
+
+let data =
+  [
+    label "cells";
+    word32
+      (List.map
+         (fun v -> ((v mod grid) lsl 16) lor (v / 7 mod grid))
+         (Workload.lcg ~seed:42 (grid * grid / 4)));
+    label "fanout";
+    word32 [ 3 ];
+  ]
+
+let workload =
+  Workload.make ~name:"vpr" ~spec_name:"175.vpr" ~fp:false
+    ~description:
+      "regular placement-cost loops, high reuse, almost no indirect branches \
+       (code-cache-friendly case)"
+    (program ~name:"vpr" ~entry:"main" ~text ~data ())

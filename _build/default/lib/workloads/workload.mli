@@ -1,0 +1,48 @@
+(** Workload infrastructure: synthetic SPEC2000-like programs and
+    helpers to run them natively, emulated, or under the RIO runtime.
+    Every workload finishes by writing a checksum to the output port,
+    so observational-equivalence tests can compare executions exactly. *)
+
+type t = {
+  name : string;
+  spec_name : string;      (** the SPEC2000 benchmark this models *)
+  fp : bool;
+  description : string;
+  program : Asm.Ast.program;
+  input : int list;        (** values served by the [in] port *)
+}
+
+val make :
+  name:string ->
+  spec_name:string ->
+  fp:bool ->
+  description:string ->
+  ?input:int list ->
+  Asm.Ast.program ->
+  t
+
+(** {2 Deterministic pseudo-random data for data segments} *)
+
+val lcg : ?seed:int -> int -> int list
+val lcg_mod : ?seed:int -> int -> int -> int list
+val lcg_floats : ?seed:int -> int -> float list
+
+(** {2 Running} *)
+
+type run_result = {
+  output : int list;
+  cycles : int;
+  insns : int;
+  ok : bool;
+  detail : string;
+}
+
+val run_native :
+  ?family:Vm.Cost.family -> ?emulate:bool -> t -> run_result
+
+val run_rio :
+  ?family:Vm.Cost.family ->
+  ?opts:Rio.Options.t ->
+  ?client:Rio.Types.client ->
+  t ->
+  run_result * Rio.t

@@ -1,0 +1,89 @@
+(** wupwise-like: lattice QCD with complex arithmetic (SPEC2000
+    168.wupwise).
+
+    Character: FP-heavy complex multiply-accumulate kernels (zgemm/zaxpy
+    style: four multiplies and two adds per complex product) called per
+    lattice site — FP throughput work behind a regular call structure. *)
+
+open Asm.Dsl
+
+let sites = 384
+let iters = 18
+
+let text =
+  [
+    label "main";
+    mov ebp esp;
+    mov edx (i 0);
+    label "iter";
+    mov edi (i 0);
+    label "site";
+    call "zmul_acc";
+    inc edi;
+    cmp edi (i (sites - 1));
+    j l "site";
+    inc edx;
+    cmp edx (i iters);
+    j l "iter";
+    (* checksum accumulator in y[0..1] *)
+    mov ecx (i 0);
+    ins (fun env -> Isa.Insn.mk_fld f0 (Isa.Operand.mem_abs (env "y")));
+    cvtfi eax f0;
+    add ecx eax;
+    ins (fun env -> Isa.Insn.mk_fld f0 (Isa.Operand.mem_abs (env "y" + 8)));
+    cvtfi eax f0;
+    add ecx eax;
+    out ecx;
+    hlt;
+    (* y += a[site] * x[site], all complex (re, im) pairs of doubles *)
+    label "zmul_acc";
+    (* load a = (f0, f1), x = (f2, f3) *)
+    ins (fun env ->
+        Isa.Insn.mk_fld f0
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "a") ()));
+    ins (fun env ->
+        Isa.Insn.mk_fld f1
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "a" + 8) ()));
+    ins (fun env ->
+        Isa.Insn.mk_fld f2
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x") ()));
+    ins (fun env ->
+        Isa.Insn.mk_fld f3
+          (Isa.Operand.mem ~index:(Isa.Reg.Edi, 8) ~disp:(env "x" + 8) ()));
+    (* re = a.re*x.re - a.im*x.im ; im = a.re*x.im + a.im*x.re *)
+    fmov f4 f0; fmul f4 (fr f2);
+    fmov f5 f1; fmul f5 (fr f3);
+    fsub f4 (fr f5);                   (* re part *)
+    fmov f6 f0; fmul f6 (fr f3);
+    fmov f7 f1; fmul f7 (fr f2);
+    fadd f6 (fr f7);                   (* im part *)
+    (* y is a 2-double accumulator: damp then accumulate so the values
+       stay bounded across iterations *)
+    ins (fun env -> Isa.Insn.mk_fld f0 (Isa.Operand.mem_abs (env "y")));
+    ins (fun env -> Isa.Insn.mk_fld f1 (Isa.Operand.mem_abs (env "scale")));
+    fmul f0 (fr f1);
+    fadd f0 (fr f4);
+    ins (fun env -> Isa.Insn.mk_fst (Isa.Operand.mem_abs (env "y")) f0);
+    ins (fun env -> Isa.Insn.mk_fld f0 (Isa.Operand.mem_abs (env "y" + 8)));
+    fmul f0 (fr f1);
+    fadd f0 (fr f6);
+    ins (fun env -> Isa.Insn.mk_fst (Isa.Operand.mem_abs (env "y" + 8)) f0);
+    ret;
+  ]
+
+let data =
+  [
+    label "scale";
+    float64 [ 0.5 ];
+    label "y";
+    float64 [ 0.0; 0.0 ];
+    label "a";
+    float64 (Workload.lcg_floats ~seed:61 (2 * sites));
+    label "x";
+    float64 (Workload.lcg_floats ~seed:67 (2 * sites));
+  ]
+
+let workload =
+  Workload.make ~name:"wupwise" ~spec_name:"168.wupwise" ~fp:true
+    ~description:"complex multiply-accumulate kernels behind per-site calls"
+    (program ~name:"wupwise" ~entry:"main" ~text ~data ())

@@ -1,0 +1,134 @@
+(** QCheck generators for SynISA instructions and programs, shared by
+    the property-test suites. *)
+
+open Isa
+
+let reg : Reg.t QCheck2.Gen.t = QCheck2.Gen.oneofl Reg.all
+let reg_no_esp : Reg.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl (List.filter (fun r -> not (Reg.equal r Reg.Esp)) Reg.all)
+
+let freg : Reg.F.t QCheck2.Gen.t = QCheck2.Gen.oneofl Reg.F.all
+
+let disp : int QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.return 0;
+      QCheck2.Gen.int_range (-128) 127;
+      QCheck2.Gen.int_range (-100000) 100000;
+    ]
+
+let mem : Operand.mem QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* base = option reg in
+  let* index =
+    option
+      (let* r = reg_no_esp in
+       let* s = oneofl [ 1; 2; 4; 8 ] in
+       return (r, s))
+  in
+  let* d = disp in
+  return { Operand.base; index; disp = d }
+
+let mem_op = QCheck2.Gen.map (fun m -> Operand.Mem m) mem
+let reg_op = QCheck2.Gen.map (fun r -> Operand.Reg r) reg
+
+let rm : Operand.t QCheck2.Gen.t = QCheck2.Gen.oneof [ reg_op; mem_op ]
+
+let imm_signed : int QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.int_range (-128) 127;
+      QCheck2.Gen.int_range (-0x8000_0000) 0x7FFF_FFFF;
+    ]
+
+let imm_op = QCheck2.Gen.map (fun i -> Operand.Imm i) imm_signed
+let rmi : Operand.t QCheck2.Gen.t = QCheck2.Gen.oneof [ reg_op; mem_op; imm_op ]
+
+(* binary ALU: avoid mem,mem *)
+let alu_pair : (Operand.t * Operand.t) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* d = reg_op and* s = rmi in
+       return (d, s));
+      (let* d = mem_op and* s = oneof [ reg_op; imm_op ] in
+       return (d, s));
+    ]
+
+let cond : Cond.t QCheck2.Gen.t = QCheck2.Gen.oneofl Cond.all
+
+(* Code addresses: positive, below 16MB, roomy enough for rel8/rel32. *)
+let code_addr : int QCheck2.Gen.t = QCheck2.Gen.int_range 0x1000 0xFF_FFFF
+
+(** A generator of arbitrary well-formed (validating) instructions. *)
+let insn : Insn.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let alu mk =
+    let* d, s = alu_pair in
+    return (mk d s)
+  in
+  let unary mk =
+    let* x = rm in
+    return (mk x)
+  in
+  oneof
+    [
+      alu Insn.mk_add; alu Insn.mk_adc; alu Insn.mk_sub; alu Insn.mk_sbb;
+      alu Insn.mk_and; alu Insn.mk_or; alu Insn.mk_xor;
+      (let* a, b = alu_pair in return (Insn.mk_cmp a b));
+      (let* d = reg_op and* s = rm in return (Insn.mk_imul d s));
+      unary Insn.mk_inc; unary Insn.mk_dec; unary Insn.mk_neg; unary Insn.mk_not;
+      (let* a = rm and* b = oneof [ reg_op; imm_op ] in return (Insn.mk_test a b));
+      (let* d, s = alu_pair in return (Insn.mk_mov d s));
+      (let* d = reg_op and* s = rm in return (Insn.mk_movzx8 d s));
+      (let* d = reg_op and* s = rm in return (Insn.mk_movzx16 d s));
+      (let* d = reg_op and* m = mem_op in return (Insn.mk_lea d m));
+      (let* s = rmi in return (Insn.mk_push s));
+      unary Insn.mk_pop;
+      (let* a = reg_op and* b = rm in return (Insn.mk_xchg a b));
+      return (Insn.mk_pushf ());
+      return (Insn.mk_popf ());
+      (let* s = rm in return (Insn.mk_idiv s));
+      (let* d = rm and* n = int_range 0 31 in return (Insn.mk_shl d (Operand.Imm n)));
+      (let* d = rm and* n = int_range 0 31 in return (Insn.mk_shr d (Operand.Imm n)));
+      (let* d = rm and* n = int_range 0 31 in return (Insn.mk_sar d (Operand.Imm n)));
+      (let* d = rm in return (Insn.mk_shl d (Operand.Reg Reg.Ecx)));
+      (let* t = code_addr in return (Insn.mk_jmp t));
+      (let* s = rm in return (Insn.mk_jmp_ind s));
+      (let* c = cond and* t = code_addr in return (Insn.mk_jcc c t));
+      (let* t = code_addr in return (Insn.mk_call t));
+      (let* s = rm in return (Insn.mk_call_ind s));
+      return (Insn.mk_ret ());
+      (let* f = freg and* m = mem_op in return (Insn.mk_fld f m));
+      (let* f = freg and* m = mem_op in return (Insn.mk_fst m f));
+      (let* d = freg and* s = freg in return (Insn.mk_fmov d s));
+      (let* d = freg and* s = oneof [ map (fun f -> Operand.Freg f) freg; mem_op ] in
+       return (Insn.mk_fadd d s));
+      (let* d = freg and* s = oneof [ map (fun f -> Operand.Freg f) freg; mem_op ] in
+       return (Insn.mk_fsub d s));
+      (let* d = freg and* s = oneof [ map (fun f -> Operand.Freg f) freg; mem_op ] in
+       return (Insn.mk_fmul d s));
+      (let* d = freg and* s = oneof [ map (fun f -> Operand.Freg f) freg; mem_op ] in
+       return (Insn.mk_fdiv d s));
+      (let* f = freg in return (Insn.mk_fabs f));
+      (let* f = freg in return (Insn.mk_fneg f));
+      (let* f = freg in return (Insn.mk_fsqrt f));
+      (let* a = freg and* b = oneof [ map (fun f -> Operand.Freg f) freg; mem_op ] in
+       return (Insn.mk_fcmp a b));
+      (let* f = freg and* s = rm in return (Insn.mk_cvtsi f s));
+      (let* d = reg_op and* f = freg in return (Insn.mk_cvtfi d f));
+      return (Insn.mk_nop ());
+      return (Insn.mk_hlt ());
+      (let* r = reg_op in return (Insn.mk_out r));
+      (let* r = reg_op in return (Insn.mk_in r));
+      (let* id = int_range 0 1000 in return (Insn.mk_ccall id));
+    ]
+
+(** Instructions together with an encoding address. *)
+let insn_at : (Insn.t * int) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* i = insn and* pc = code_addr in
+  return (i, pc)
+
+let print_insn i = Disasm.insn_to_string i
+let print_insn_at (i, pc) = Printf.sprintf "%s @ 0x%x" (Disasm.insn_to_string i) pc

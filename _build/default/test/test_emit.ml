@@ -1,0 +1,261 @@
+(** White-box tests of the mangling and emission layers: the exact
+    instruction sequences mangling produces, the byte-level layout of
+    emitted fragments and stubs, link/unlink patching, and the
+    canonical client view reconstructed by [decode_fragment]. *)
+
+open Isa
+open Rio.Types
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_slist = Alcotest.(check (list string))
+
+let opcodes il =
+  List.map (fun i -> Opcode.name (Rio.Instr.get_opcode i)) (Rio.Instrlist.to_list il)
+
+(* decoded Level-3 instr at an app address, from real bytes *)
+let decoded_at addr insn =
+  let raw = Encode.encode_exn ~pc:addr insn in
+  let f a = Char.code (Bytes.get raw (a - addr)) in
+  let insn', _ = Decode.full_exn f addr in
+  Rio.Instr.of_decoded ~addr ~raw insn'
+
+let il_of list =
+  let il = Rio.Instrlist.create () in
+  List.iter (Rio.Instrlist.append il) list;
+  il
+
+(* ------------------------------------------------------------------ *)
+(* Mangling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mangle_direct_call () =
+  let il = il_of [ decoded_at 0x1000 (Insn.mk_call 0x2000) ] in
+  Rio.Mangle.mangle_il ~tid:0 il;
+  check_slist "call -> push; jmp" [ "push"; "jmp" ] (opcodes il);
+  let push = Option.get (Rio.Instrlist.first il) in
+  let call_len = Bytes.length (Encode.encode_exn ~pc:0x1000 (Insn.mk_call 0x2000)) in
+  checkb "pushes the app return address" true
+    (Operand.equal (Rio.Instr.get_src push 0) (Operand.Imm (0x1000 + call_len)));
+  let jmp = Option.get (Rio.Instrlist.last il) in
+  checki "jmp to callee" 0x2000 (Operand.get_target (Rio.Instr.get_src jmp 0))
+
+let test_mangle_ret () =
+  let il = il_of [ decoded_at 0x1000 (Insn.mk_ret ()) ] in
+  Rio.Mangle.mangle_il ~tid:3 il;
+  check_slist "ret -> pop; jmp" [ "pop"; "jmp" ] (opcodes il);
+  let pop = Option.get (Rio.Instrlist.first il) in
+  let slot = tls_addr ~tid:3 ~slot:slot_ibl_target in
+  checkb "pops into thread 3's ibl slot" true
+    (Operand.equal (Rio.Instr.get_dst pop 0) (Operand.mem_abs slot));
+  let jmp = Option.get (Rio.Instrlist.last il) in
+  checki "jmp to IND(ret)" (ind_token Ind_ret)
+    (Operand.get_target (Rio.Instr.get_src jmp 0))
+
+let test_mangle_jmp_ind_reg () =
+  let il = il_of [ decoded_at 0x1000 (Insn.mk_jmp_ind (Operand.Reg Reg.Ecx)) ] in
+  Rio.Mangle.mangle_il ~tid:0 il;
+  check_slist "jmp* reg -> mov; jmp" [ "mov"; "jmp" ] (opcodes il)
+
+let test_mangle_jmp_ind_mem_spills () =
+  (* a memory-indirect jump needs an eax spill around the target copy *)
+  let il =
+    il_of [ decoded_at 0x1000 (Insn.mk_jmp_ind (Operand.mem_base ~disp:8 Reg.Esi)) ]
+  in
+  Rio.Mangle.mangle_il ~tid:0 il;
+  check_slist "jmp* mem -> spill sequence"
+    [ "mov"; "mov"; "mov"; "mov"; "jmp" ]
+    (opcodes il)
+
+let test_mangle_call_ind () =
+  let il = il_of [ decoded_at 0x1000 (Insn.mk_call_ind (Operand.Reg Reg.Edx)) ] in
+  Rio.Mangle.mangle_il ~tid:0 il;
+  check_slist "call* -> mov; push; jmp" [ "mov"; "push"; "jmp" ] (opcodes il);
+  let jmp = Option.get (Rio.Instrlist.last il) in
+  checki "jmp to IND(call*)" (ind_token Ind_call)
+    (Operand.get_target (Rio.Instr.get_src jmp 0))
+
+let test_mangle_leaves_plain_code () =
+  let il =
+    il_of
+      [
+        Rio.Create.add (Operand.Reg Reg.Eax) (Operand.Imm 1);
+        Rio.Create.jcc Cond.Z 0x3000;
+        Rio.Create.jmp 0x4000;
+      ]
+  in
+  Rio.Mangle.mangle_il ~tid:0 il;
+  check_slist "direct flow untouched" [ "add"; "jz"; "jmp" ] (opcodes il)
+
+let test_inline_check_shape () =
+  let flagless = Rio.Mangle.inline_check ~tid:0 ~expected:0x2000 ~kind:Ind_ret ~flags_live:false in
+  check_slist "bare check" [ "cmp"; "jnz" ]
+    (List.map (fun i -> Opcode.name (Rio.Instr.get_opcode i)) flagless);
+  let flagged = Rio.Mangle.inline_check ~tid:0 ~expected:0x2000 ~kind:Ind_ret ~flags_live:true in
+  check_slist "flag-preserving check"
+    [ "pushf"; "pop"; "cmp"; "jnz"; "push"; "popf" ]
+    (List.map (fun i -> Opcode.name (Rio.Instr.get_opcode i)) flagged);
+  (* the miss branch carries a flags-restoring stub *)
+  let jne = List.nth flagged 3 in
+  match Rio.Api.get_custom_stub jne with
+  | Some (sil, false) ->
+      check_slist "stub restores flags" [ "push"; "popf" ]
+        (List.map (fun i -> Opcode.name (Rio.Instr.get_opcode i))
+           (Rio.Instrlist.to_list sil))
+  | _ -> Alcotest.fail "missing stub note"
+
+(* ------------------------------------------------------------------ *)
+(* Emission, linking, cache-resident decode                           *)
+(* ------------------------------------------------------------------ *)
+
+(* a minimal runtime over an empty machine *)
+let mk_rt () =
+  let m = Vm.Machine.create () in
+  let rt = Rio.create m in
+  let thread = Vm.Machine.add_thread m ~entry:0x1000 ~stack_top:0x7F0000 in
+  let ts = Rio.make_thread_state rt thread in
+  (rt, ts)
+
+let body_il () =
+  il_of
+    [
+      Rio.Create.add (Operand.Reg Reg.Eax) (Operand.Imm 1);
+      Rio.Create.jcc Cond.Z 0x3000;
+      Rio.Create.jmp 0x2000;
+    ]
+
+let fetch_of rt = Vm.Memory.fetch (Vm.Machine.mem rt.machine)
+
+let test_emit_layout () =
+  let rt, ts = mk_rt () in
+  let frag = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x1000 (body_il ()) in
+  checki "two exits" 2 (Array.length frag.exits);
+  checkb "entry below body_end below total_end" true
+    (frag.entry < frag.body_end && frag.body_end < frag.total_end);
+  (* both exit CTIs initially target their own stubs *)
+  Array.iter
+    (fun e ->
+      let insn, _ = Decode.full_exn (fetch_of rt) e.branch_pc in
+      checki "exit targets its stub" e.stub_pc (Operand.get_target (Insn.src insn 0));
+      (* and each stub's final jmp targets the exit's trap token *)
+      let sj, _ = Decode.full_exn (fetch_of rt) e.stub_jmp_pc in
+      checki "stub jmp targets token" (token_of_exit e)
+        (Operand.get_target (Insn.src sj 0)))
+    frag.exits
+
+let test_link_unlink_patching () =
+  let rt, ts = mk_rt () in
+  let a = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x1000 (body_il ()) in
+  let b = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x2000 (body_il ()) in
+  let e = a.exits.(1) (* the jmp exit, target 0x2000 *) in
+  checki "direct exit target tag" 0x2000 e.target_tag;
+  Rio.Emit.link rt e b;
+  let insn, _ = Decode.full_exn (fetch_of rt) e.branch_pc in
+  checki "linked branch targets b's entry" b.entry
+    (Operand.get_target (Insn.src insn 0));
+  checkb "incoming recorded" true (List.memq e b.incoming);
+  Rio.Emit.unlink rt e;
+  let insn, _ = Decode.full_exn (fetch_of rt) e.branch_pc in
+  checki "unlink restores stub target" e.stub_pc
+    (Operand.get_target (Insn.src insn 0));
+  checkb "incoming cleared" true (b.incoming = [])
+
+let test_decode_fragment_canonical () =
+  let rt, ts = mk_rt () in
+  let il = body_il () in
+  (* attach a custom stub to the jcc so the roundtrip preserves it *)
+  let jcc = List.nth (Rio.Instrlist.to_list il) 1 in
+  let sil = il_of [ Rio.Create.nop () ] in
+  Rio.Api.set_custom_stub jcc sil;
+  let frag = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x1000 il in
+  (* link one exit: the client view must still show the app target *)
+  let b = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x2000 (body_il ()) in
+  Rio.Emit.link rt frag.exits.(1) b;
+  let view = Rio.Emit.decode_fragment_il rt frag in
+  check_slist "client view shape" [ "add"; "jz"; "jmp" ] (opcodes view);
+  let vl = Rio.Instrlist.to_list view in
+  checki "jcc target is app tag" 0x3000
+    (Operand.get_target (Rio.Instr.get_src (List.nth vl 1) 0));
+  checki "linked jmp still shows app tag" 0x2000
+    (Operand.get_target (Rio.Instr.get_src (List.nth vl 2) 0));
+  (match Rio.Api.get_custom_stub (List.nth vl 1) with
+   | Some (s, false) -> check_slist "stub survived" [ "nop" ] (opcodes s)
+   | _ -> Alcotest.fail "stub note lost")
+
+let test_mangled_ret_roundtrip () =
+  (* a mangled ret emits, decodes back to the canonical IND token form *)
+  let rt, ts = mk_rt () in
+  let il = il_of [ decoded_at 0x1000 (Insn.mk_ret ()) ] in
+  Rio.Mangle.mangle_il ~tid:ts.ts_tid il;
+  let frag = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x1000 il in
+  checkb "one indirect exit" true
+    (Array.length frag.exits = 1
+    && frag.exits.(0).e_kind = Exit_indirect Ind_ret);
+  let view = Rio.Emit.decode_fragment_il rt frag in
+  check_slist "view: pop; jmp" [ "pop"; "jmp" ] (opcodes view);
+  let jmp = Option.get (Rio.Instrlist.last view) in
+  checki "view jmp shows IND(ret)" (ind_token Ind_ret)
+    (Operand.get_target (Rio.Instr.get_src jmp 0))
+
+let test_stub_exits_emit () =
+  (* an exit CTI inside a custom stub becomes a secondary exit with its
+     own stub (the Figure-4 chain mechanism) *)
+  let rt, ts = mk_rt () in
+  let il = body_il () in
+  let jcc = List.nth (Rio.Instrlist.to_list il) 1 in
+  let sil =
+    il_of
+      [
+        Rio.Create.cmp (Operand.Reg Reg.Eax) (Operand.Imm 5);
+        Rio.Create.jcc Cond.Z 0x5000;
+      ]
+  in
+  Rio.Api.set_custom_stub jcc sil;
+  let frag = Rio.Emit.emit_fragment rt ts ~kind:Bb ~tag:0x1000 il in
+  checki "three exits (2 body + 1 stub)" 3 (Array.length frag.exits);
+  let sec =
+    Array.to_list frag.exits
+    |> List.find (fun e -> e.target_tag = 0x5000)
+  in
+  checkb "secondary exit lives in stub space" true (sec.branch_pc >= frag.body_end)
+
+let test_sideline_equivalence () =
+  (* sideline optimization must not change behaviour, only accounting *)
+  let w = Option.get (Workloads.Suite.by_name "vortex") in
+  let n = Workloads.Workload.run_native w in
+  let r, rt =
+    Workloads.Workload.run_rio
+      ~opts:{ Rio.Options.default with sideline = true }
+      ~client:(Clients.Compose.all_four ()) w
+  in
+  checkb "ok" true (r.ok && n.ok);
+  Alcotest.(check (list int)) "output equal" n.output r.output;
+  checkb "cycles were offloaded" true
+    ((Rio.stats rt).Rio.Stats.sideline_cycles > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "emit"
+    [
+      ( "mangling",
+        [
+          Alcotest.test_case "direct call" `Quick test_mangle_direct_call;
+          Alcotest.test_case "ret" `Quick test_mangle_ret;
+          Alcotest.test_case "jmp* via register" `Quick test_mangle_jmp_ind_reg;
+          Alcotest.test_case "jmp* via memory spills" `Quick test_mangle_jmp_ind_mem_spills;
+          Alcotest.test_case "call*" `Quick test_mangle_call_ind;
+          Alcotest.test_case "plain code untouched" `Quick test_mangle_leaves_plain_code;
+          Alcotest.test_case "inline check shapes" `Quick test_inline_check_shape;
+        ] );
+      ( "emission",
+        [
+          Alcotest.test_case "fragment layout" `Quick test_emit_layout;
+          Alcotest.test_case "link/unlink patching" `Quick test_link_unlink_patching;
+          Alcotest.test_case "canonical client view" `Quick test_decode_fragment_canonical;
+          Alcotest.test_case "mangled ret roundtrip" `Quick test_mangled_ret_roundtrip;
+          Alcotest.test_case "exits inside stubs" `Quick test_stub_exits_emit;
+        ] );
+      ( "sideline",
+        [ Alcotest.test_case "equivalence + offload" `Slow test_sideline_equivalence ] );
+    ]

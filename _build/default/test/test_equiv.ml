@@ -1,0 +1,105 @@
+(** Observational equivalence: the load-bearing property of the whole
+    system.  Every workload must produce exactly the same output and
+    halt normally under:
+
+    - native execution,
+    - pure emulation (small workloads),
+    - every Table-1 cache configuration,
+    - every optimization client (and all four combined).
+
+    This is the dynamic-optimization analogue of a compiler's
+    differential-testing suite. *)
+
+open Workloads
+
+let check_ilist = Alcotest.(check (list int))
+let checkb = Alcotest.(check bool)
+
+let native_results =
+  lazy
+    (List.map
+       (fun w ->
+         let r = Workload.run_native w in
+         if not r.Workload.ok then
+           Alcotest.failf "%s: native run failed: %s" w.Workload.name r.detail;
+         (w.Workload.name, r))
+       Suite.all)
+
+let native w = List.assoc w.Workload.name (Lazy.force native_results)
+
+let expect_equal w name (r : Workload.run_result) =
+  let n = native w in
+  checkb
+    (Printf.sprintf "%s/%s halts" w.Workload.name name)
+    true r.Workload.ok;
+  check_ilist (Printf.sprintf "%s/%s output" w.Workload.name name)
+    n.Workload.output r.Workload.output
+
+let config_case (cname, opts) () =
+  List.iter
+    (fun w ->
+      let r, _ = Workload.run_rio ~opts w in
+      expect_equal w cname r)
+    Suite.all
+
+let client_case (cname, mkclient) () =
+  List.iter
+    (fun w ->
+      let r, _ = Workload.run_rio ~client:(mkclient ()) w in
+      expect_equal w cname r)
+    Suite.all
+
+let emulation_case () =
+  (* emulation is ~300x native: restrict to the smaller workloads *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      let opts =
+        { (List.assoc "emulation" Rio.Options.table1_configs) with
+          Rio.Options.max_cycles = max_int / 2 }
+      in
+      let r, _ = Workload.run_rio ~opts w in
+      expect_equal w "emulation" r)
+    [ "gzip"; "gcc"; "eon"; "perlbmk"; "vortex" ]
+
+let p3_case () =
+  (* the whole suite also runs on the other processor family *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Suite.by_name name) in
+      let n = Workload.run_native ~family:Vm.Cost.Pentium3 w in
+      let r, _ =
+        Workload.run_rio ~family:Vm.Cost.Pentium3
+          ~client:(Clients.Compose.all_four ()) w
+      in
+      checkb (name ^ " p3 native ok") true n.Workload.ok;
+      checkb (name ^ " p3 rio ok") true r.Workload.ok;
+      check_ilist (name ^ " p3 output") n.Workload.output r.Workload.output)
+    [ "bzip2"; "mgrid"; "crafty" ]
+
+let () =
+  let cache_configs =
+    List.filter (fun (n, _) -> n <> "emulation") Rio.Options.table1_configs
+  in
+  Alcotest.run "equivalence"
+    [
+      ( "table-1 configurations",
+        List.map
+          (fun (n, o) -> Alcotest.test_case n `Slow (config_case (n, o)))
+          cache_configs
+        @ [ Alcotest.test_case "emulation (small workloads)" `Slow emulation_case ] );
+      ( "clients",
+        List.map
+          (fun (n, mk) -> Alcotest.test_case n `Slow (client_case (n, mk)))
+          [
+            ("rlr", fun () -> Clients.Rlr.client);
+            ("strength", fun () -> Clients.Strength.make ~on_bb:false);
+            ("strength-bb", fun () -> Clients.Strength.make ~on_bb:true);
+            ("ibdispatch", fun () -> Clients.Ibdispatch.make ());
+            ("ctraces", fun () -> Stdlib.fst (Clients.Ctraces.make ()));
+            ("counter", fun () -> Stdlib.fst (Clients.Counter.make ~dynamic:true ()));
+            ("edgeprof", fun () -> Stdlib.fst (Clients.Edgeprof.make ()));
+            ("combined", fun () -> Clients.Compose.all_four ());
+          ] );
+      ("processor families", [ Alcotest.test_case "pentium 3" `Slow p3_case ]);
+    ]

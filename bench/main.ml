@@ -533,6 +533,122 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Fault sweep: the self-healing evaluation (DESIGN.md S34)           *)
+(* ------------------------------------------------------------------ *)
+
+let faultsweep () =
+  pr "\n=== Fault sweep: self-healing cache under deterministic injection ===\n";
+  let seeds = [ 1; 7; 42 ] in
+  let wl = Suite.all in
+  pr "(%d workloads x %d seeds, combined client, audit every dispatch)\n"
+    (List.length wl) (List.length seeds);
+  pr "%-9s %5s %8s %8s %7s %7s %7s %7s %7s %5s %6s\n" "bench" "runs" "injected"
+    "detected" "reemit" "flfrag" "flworld" "emul" "hookfl" "quar" "output";
+  let tot = Rio.Stats.create () in
+  let add (s : Rio.Stats.t) =
+    tot.Rio.Stats.faults_injected <-
+      tot.Rio.Stats.faults_injected + s.Rio.Stats.faults_injected;
+    tot.Rio.Stats.faults_detected <-
+      tot.Rio.Stats.faults_detected + s.Rio.Stats.faults_detected;
+    tot.Rio.Stats.recover_reemit <-
+      tot.Rio.Stats.recover_reemit + s.Rio.Stats.recover_reemit;
+    tot.Rio.Stats.recover_flush_frag <-
+      tot.Rio.Stats.recover_flush_frag + s.Rio.Stats.recover_flush_frag;
+    tot.Rio.Stats.recover_flush_world <-
+      tot.Rio.Stats.recover_flush_world + s.Rio.Stats.recover_flush_world;
+    tot.Rio.Stats.recover_emulate <-
+      tot.Rio.Stats.recover_emulate + s.Rio.Stats.recover_emulate;
+    tot.Rio.Stats.hook_failures <-
+      tot.Rio.Stats.hook_failures + s.Rio.Stats.hook_failures;
+    tot.Rio.Stats.clients_quarantined <-
+      tot.Rio.Stats.clients_quarantined + s.Rio.Stats.clients_quarantined;
+    tot.Rio.Stats.spurious_signals_dropped <-
+      tot.Rio.Stats.spurious_signals_dropped + s.Rio.Stats.spurious_signals_dropped
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun w ->
+      let native = Workload.run_native w in
+      let row = Rio.Stats.create () in
+      let row_ok = ref 0 in
+      List.iter
+        (fun seed ->
+          let opts =
+            {
+              Rio.Options.default with
+              faults = Some { Rio.Options.default_faults with fi_seed = seed };
+              audit_period = 1;
+              max_cycles = max_int / 2;
+            }
+          in
+          let r, rt = Workload.run_rio ~opts ~client:(Clients.Compose.all_four ()) w in
+          if r.Workload.ok && r.Workload.output = native.Workload.output then
+            incr row_ok
+          else begin
+            incr mismatches;
+            pr "  !! %s seed %d: %s (output %s)\n" w.Workload.name seed r.detail
+              (if r.Workload.output = native.Workload.output then "matches"
+               else "DIFFERS")
+          end;
+          let s = Rio.stats rt in
+          add s;
+          row.Rio.Stats.faults_injected <-
+            row.Rio.Stats.faults_injected + s.Rio.Stats.faults_injected;
+          row.Rio.Stats.faults_detected <-
+            row.Rio.Stats.faults_detected + s.Rio.Stats.faults_detected;
+          row.Rio.Stats.recover_reemit <-
+            row.Rio.Stats.recover_reemit + s.Rio.Stats.recover_reemit;
+          row.Rio.Stats.recover_flush_frag <-
+            row.Rio.Stats.recover_flush_frag + s.Rio.Stats.recover_flush_frag;
+          row.Rio.Stats.recover_flush_world <-
+            row.Rio.Stats.recover_flush_world + s.Rio.Stats.recover_flush_world;
+          row.Rio.Stats.recover_emulate <-
+            row.Rio.Stats.recover_emulate + s.Rio.Stats.recover_emulate;
+          row.Rio.Stats.hook_failures <-
+            row.Rio.Stats.hook_failures + s.Rio.Stats.hook_failures;
+          row.Rio.Stats.clients_quarantined <-
+            row.Rio.Stats.clients_quarantined + s.Rio.Stats.clients_quarantined)
+        seeds;
+      pr "%-9s %d/%d %8d %8d %7d %7d %7d %7d %7d %5d %6s\n%!" w.Workload.name
+        !row_ok (List.length seeds) row.Rio.Stats.faults_injected
+        row.Rio.Stats.faults_detected row.Rio.Stats.recover_reemit
+        row.Rio.Stats.recover_flush_frag row.Rio.Stats.recover_flush_world
+        row.Rio.Stats.recover_emulate row.Rio.Stats.hook_failures
+        row.Rio.Stats.clients_quarantined
+        (if !row_ok = List.length seeds then "ok" else "FAIL"))
+    wl;
+  pr "\nrecovery-rung histogram (all runs):\n";
+  pr "  rung 0 re-emit fragment   %6d\n" tot.Rio.Stats.recover_reemit;
+  pr "  rung 1 flush fragment     %6d\n" tot.Rio.Stats.recover_flush_frag;
+  pr "  rung 2 flush the world    %6d\n" tot.Rio.Stats.recover_flush_world;
+  pr "  rung 3 emulate only       %6d\n" tot.Rio.Stats.recover_emulate;
+  pr "faults: %d injected, %d detected by audit; %d hook failures, %d clients quarantined, %d spurious signals dropped\n"
+    tot.Rio.Stats.faults_injected tot.Rio.Stats.faults_detected
+    tot.Rio.Stats.hook_failures tot.Rio.Stats.clients_quarantined
+    tot.Rio.Stats.spurious_signals_dropped;
+  (* audit overhead: same runs, auditing on vs. off, no injection *)
+  pr "\naudit overhead (audit every dispatch vs. no audit, no faults):\n";
+  pr "%-9s %12s %12s %8s\n" "bench" "plain" "audited" "ratio";
+  let ratios =
+    List.map
+      (fun w ->
+        let plain, _ = Workload.run_rio w in
+        let audited, _ =
+          Workload.run_rio ~opts:{ Rio.Options.default with audit_period = 1 } w
+        in
+        let ratio = float_of_int audited.cycles /. float_of_int plain.cycles in
+        pr "%-9s %12d %12d %8.3f\n%!" w.Workload.name plain.cycles audited.cycles
+          ratio;
+        ratio)
+      wl
+  in
+  pr "%-9s %12s %12s %8.3f (geomean)\n" "mean" "" "" (geomean ratios);
+  if !mismatches = 0 then
+    pr "\nall %d injected runs terminated with output identical to native\n%!"
+      (List.length wl * List.length seeds)
+  else pr "\n!! %d runs diverged\n%!" !mismatches
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table1 ();
@@ -544,6 +660,7 @@ let all () =
   figure5 ();
   ablation ();
   tracestats ();
+  faultsweep ();
   micro ()
 
 let () =
@@ -561,10 +678,11 @@ let () =
           | "figure5" -> figure5 ()
           | "ablation" -> ablation ()
           | "tracestats" -> tracestats ()
+          | "faultsweep" -> faultsweep ()
           | "micro" -> micro ()
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|micro|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

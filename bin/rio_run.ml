@@ -34,8 +34,8 @@ let client_names =
     "counter"; "edgeprof"; "opmix"; "redundant-cmp"; "combined" ]
 
 let run list workload_name file clients mode family no_link_direct
-    no_link_indirect no_traces threshold sideline cache_capacity stats flow_log
-    dump_cache =
+    no_link_indirect no_traces threshold sideline cache_capacity faults
+    fault_period audit stats flow_log dump_cache =
   if list then begin
     Printf.printf "workloads:\n";
     List.iter
@@ -99,6 +99,15 @@ let run list workload_name file clients mode family no_link_direct
                 Printf.eprintf "%s (try --list)\n" msg;
                 exit 1
             in
+            let fault_opts =
+              match faults with
+              | None -> None
+              | Some seed ->
+                  Some
+                    { Rio.Options.default_faults with
+                      fi_seed = seed;
+                      fi_period = fault_period }
+            in
             let opts =
               {
                 Rio.Options.default with
@@ -108,6 +117,14 @@ let run list workload_name file clients mode family no_link_direct
                 trace_threshold = threshold;
                 sideline;
                 cache_capacity;
+                faults = fault_opts;
+                (* with injection on, audit every dispatch unless the
+                   user chose a period explicitly *)
+                audit_period =
+                  (match (audit, faults) with
+                  | Some n, _ -> n
+                  | None, Some _ -> 1
+                  | None, None -> 0);
                 max_cycles = max_int / 2;
               }
             in
@@ -130,7 +147,11 @@ let run list workload_name file clients mode family no_link_direct
               (if out = native.output then "matches" else "DIFFERS FROM");
             let co = Rio.Api.client_output rt in
             if co <> "" then Printf.printf "client output:\n%s" co;
-            if stats then Format.printf "%a@." Rio.Stats.pp (Rio.stats rt);
+            if stats then begin
+              Format.printf "%a@." Rio.Stats.pp (Rio.stats rt);
+              if faults <> None || audit <> None then
+                Format.printf "%a@." Rio.Stats.pp_faults (Rio.stats rt)
+            end;
             if dump_cache then print_string (Rio.Api.dump_cache rt);
             if flow_log then begin
               Printf.printf "first 40 dispatch events:\n";
@@ -182,6 +203,20 @@ let cmd =
     Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"BYTES"
            ~doc:"Bound the code cache; flush-the-world on overflow.")
   in
+  let faults =
+    Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED"
+           ~doc:"Enable deterministic fault injection with this seed.")
+  in
+  let fault_period =
+    Arg.(value & opt int Rio.Options.default_faults.Rio.Options.fi_period
+         & info [ "fault-period" ] ~docv:"N"
+             ~doc:"Mean dispatches between injected faults.")
+  in
+  let audit =
+    Arg.(value & opt (some int) None & info [ "audit" ] ~docv:"N"
+           ~doc:"Audit the code cache every N context switches \
+                 (defaults to 1 when --faults is on).")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime statistics.") in
   let flow = Arg.(value & flag & info [ "flow-log" ] ~doc:"Print dispatch events.") in
   let dump =
@@ -191,7 +226,8 @@ let cmd =
   let term =
     Term.(
       const run $ list $ workload $ file $ clients $ mode $ family $ no_ld $ no_li
-      $ no_tr $ threshold $ sideline $ cache_capacity $ stats $ flow $ dump)
+      $ no_tr $ threshold $ sideline $ cache_capacity $ faults $ fault_period
+      $ audit $ stats $ flow $ dump)
   in
   Cmd.v (Cmd.info "rio_run" ~doc:"Run workloads under the RIO dynamic optimizer") term
 

@@ -71,7 +71,7 @@ let block_il (rt : runtime) (pieces : (int * int) list) (ends : [ `Cti | `Capped
   let fetch = Vm.Memory.fetch mem in
   let grab addr len = Bytes.init len (fun k -> Char.chr (fetch (addr + k))) in
   let il = Instrlist.create () in
-  let with_hook = rt.client.basic_block <> None in
+  let with_hook = rt.client.basic_block <> None && not rt.client_quarantined in
   let n = List.length pieces in
   let body, cti =
     match ends with
@@ -130,9 +130,13 @@ let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
   charge rt
     (rt.opts.Options.costs.Options.bb_build_base
     + (List.length pieces * rt.opts.Options.costs.Options.bb_build_per_insn));
-  (match rt.client.basic_block with
-   | Some hook -> hook { rt; ts } ~tag il
-   | None -> ());
+  let il =
+    match rt.client.basic_block with
+    | Some hook ->
+        Guard.protect_il rt ~hook:"basic_block" il (fun il ->
+            hook { rt; ts } ~tag il)
+    | None -> il
+  in
   Mangle.mangle_il ~tid:ts.ts_tid il;
   seal_il il ~fallthrough:block_end;
   let frag =
@@ -301,9 +305,13 @@ let finalize_trace (rt : runtime) (ts : thread_state) (st : tg_state) : fragment
   (* the client sees the completely processed trace (paper §3.3);
      instructions are fully decoded with raw bits valid (Level 3) *)
   Instrlist.decode_to il Level.L3;
-  (match rt.client.trace_hook with
-   | Some hook -> hook { rt; ts } ~tag:head il
-   | None -> ());
+  let il =
+    match rt.client.trace_hook with
+    | Some hook ->
+        Guard.protect_il rt ~hook:"trace" il (fun il ->
+            hook { rt; ts } ~tag:head il)
+    | None -> il
+  in
   charge_opt rt
     (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
   Mangle.mangle_il ~tid:ts.ts_tid il;
@@ -354,7 +362,10 @@ let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
       match rt.client.end_trace with
       | None -> default_end rt ts st ~next
       | Some hook -> (
-          match hook { rt; ts } ~trace_tag:st.tg.tg_head ~next_tag:next with
+          match
+            Guard.protect_end_trace rt ~hook:"end_trace" ~default:Default_end
+              (fun () -> hook { rt; ts } ~trace_tag:st.tg.tg_head ~next_tag:next)
+          with
           | End_trace -> true
           | Continue_trace -> false
           | Default_end -> default_end rt ts st ~next)
@@ -394,16 +405,26 @@ let push_app (rt : runtime) (ts : thread_state) v =
 
 (* Deliver one pending signal, if any, at this safe point: push the
    interrupted application pc and redirect to the handler (all in app
-   terms; the handler's code itself runs out of the code cache). *)
-let deliver_signals (rt : runtime) (ts : thread_state) =
+   terms; the handler's code itself runs out of the code cache).
+   Handlers outside application space are runtime damage (S34) — they
+   are dropped, never delivered. *)
+let rec deliver_signals (rt : runtime) (ts : thread_state) =
   match ts.thread.Vm.Machine.pending_signals with
   | [] -> ()
   | h :: rest ->
       ts.thread.Vm.Machine.pending_signals <- rest;
-      push_app rt ts ts.next_tag;
-      ts.next_tag <- h;
-      rt.stats.Stats.signals_delivered <- rt.stats.Stats.signals_delivered + 1;
-      log_flow rt "deliver signal -> 0x%x" h
+      if not (is_app_addr h) then begin
+        rt.stats.Stats.spurious_signals_dropped <-
+          rt.stats.Stats.spurious_signals_dropped + 1;
+        log_flow rt "drop spurious signal -> 0x%x" h;
+        deliver_signals rt ts
+      end
+      else begin
+        push_app rt ts ts.next_tag;
+        ts.next_tag <- h;
+        rt.stats.Stats.signals_delivered <- rt.stats.Stats.signals_delivered + 1;
+        log_flow rt "deliver signal -> 0x%x" h
+      end
 
 (* Look up (or create) the fragment to run for [tag] outside trace
    generation, honouring trace-head counters. *)
@@ -431,9 +452,10 @@ let fragment_for_normal (rt : runtime) (ts : thread_state) tag : fragment =
       end
       else frag
 
-(* Full dispatch: trace generation first, then normal lookup. *)
+(* Full dispatch: trace generation first, then normal lookup.  Signal
+   delivery happens once per safe point in the quantum loop, before
+   this is called. *)
 let rec fragment_for (rt : runtime) (ts : thread_state) : fragment =
-  deliver_signals rt ts;
   let tag = ts.next_tag in
   match ts.tracegen with
   | Some _ -> (
@@ -444,6 +466,89 @@ let rec fragment_for (rt : runtime) (ts : thread_state) : fragment =
              start another trace) *)
           fragment_for rt ts)
   | None -> fragment_for_normal rt ts tag
+
+(* ------------------------------------------------------------------ *)
+(* Recovery ladder (S34)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Discard an in-progress trace generation (used when a constituent
+   block turned out to be damaged mid-stitch). *)
+let abort_tracegen (rt : runtime) (ts : thread_state) =
+  match ts.tracegen with
+  | None -> ()
+  | Some _ ->
+      ts.tracegen <- None;
+      Hashtbl.remove tg_table ts.ts_tid;
+      log_flow rt "abort trace generation"
+
+(** Graceful degradation for a damaged [tag], escalating one rung per
+    detection: re-emit the fragment → flush every fragment built from
+    its source ranges → request flush-the-world → demote the tag to
+    permanent pure emulation.  Each rung strictly reduces how much the
+    bad state can recur, so retries are bounded. *)
+let recover_tag (rt : runtime) (ts : thread_state) ~tag ~(reason : string) :
+    unit =
+  rt.stats.Stats.faults_detected <- rt.stats.Stats.faults_detected + 1;
+  let rung = Option.value (Hashtbl.find_opt rt.recover_attempts tag) ~default:0 in
+  Hashtbl.replace rt.recover_attempts tag (rung + 1);
+  let frags_of_tag () =
+    List.filter_map (fun tbl -> Hashtbl.find_opt tbl tag) [ ts.traces; ts.bbs ]
+  in
+  let delete_tag () =
+    List.iter
+      (fun f -> if not f.deleted then Emit.delete_fragment rt ts f)
+      (frags_of_tag ())
+  in
+  match rung with
+  | 0 ->
+      rt.stats.Stats.recover_reemit <- rt.stats.Stats.recover_reemit + 1;
+      log_flow rt "recover 0x%x [re-emit]: %s" tag reason;
+      delete_tag ()
+  | 1 ->
+      rt.stats.Stats.recover_flush_frag <- rt.stats.Stats.recover_flush_frag + 1;
+      log_flow rt "recover 0x%x [flush-fragment]: %s" tag reason;
+      let ranges =
+        match List.concat_map (fun f -> f.src_ranges) (frags_of_tag ()) with
+        | [] -> [ (tag, tag + 1) ]
+        | rs -> rs
+      in
+      ignore (Emit.flush_ranges rt ts ranges)
+  | 2 ->
+      rt.stats.Stats.recover_flush_world <- rt.stats.Stats.recover_flush_world + 1;
+      log_flow rt "recover 0x%x [flush-world]: %s" tag reason;
+      delete_tag ();
+      (* the full flush waits for the globally safe point the quantum
+         loop already honours for capacity flushes *)
+      rt.flush_pending <- true
+  | _ ->
+      rt.stats.Stats.recover_emulate <- rt.stats.Stats.recover_emulate + 1;
+      log_flow rt "recover 0x%x [emulate-only]: %s" tag reason;
+      delete_tag ();
+      Hashtbl.replace rt.emulate_only tag ()
+
+(* Run the auditor and heal every violation it reports, escalating the
+   offender's ladder rung on each pass.  Deletion removes the offender
+   from the audited set, so this converges; the iteration bound is a
+   backstop only. *)
+let audit_and_heal (rt : runtime) : unit =
+  let rec go n =
+    if n < 16 then
+      match Audit.run rt with
+      | Ok () -> ()
+      | Error (f, msg) ->
+          (match
+             List.find_opt (fun ts -> ts.ts_tid = f.f_tid) rt.thread_states
+           with
+          | Some fts -> recover_tag rt fts ~tag:f.tag ~reason:msg
+          | None ->
+              rt.stats.Stats.faults_detected <-
+                rt.stats.Stats.faults_detected + 1;
+              rt.stats.Stats.recover_flush_world <-
+                rt.stats.Stats.recover_flush_world + 1;
+              rt.flush_pending <- true);
+          go (n + 1)
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Exit handling and the per-thread quantum loop                      *)
@@ -529,8 +634,89 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
     else begin
       rt.stats.Stats.context_switches <- rt.stats.Stats.context_switches + 1;
       charge rt rt.opts.Options.costs.Options.context_switch;
+      (* safe point: no thread state is mid-update and this thread is
+         out of the cache — inject faults here, and audit right after
+         any injection (plus on the configured period) so damage is
+         healed before the cache is re-entered *)
+      let injected = Faultinject.tick rt ts in
+      if
+        injected
+        || (rt.opts.Options.audit_period > 0
+            && rt.stats.Stats.context_switches mod rt.opts.Options.audit_period
+               = 0)
+      then audit_and_heal rt;
       log_flow rt "dispatch 0x%x" ts.next_tag;
-      enter (fragment_for rt ts)
+      dispatch_next ()
+    end
+  and dispatch_next () =
+    deliver_signals rt ts;
+    if Hashtbl.mem rt.emulate_only ts.next_tag then begin
+      (match ts.tracegen with
+       | None -> ()
+       | Some _ ->
+           (* close out (or discard) the trace before leaving cache
+              execution: its next block will never be a fragment *)
+           let st = Hashtbl.find tg_table ts.ts_tid in
+           if st.pending = P_start then abort_tracegen rt ts
+           else ignore (finalize_trace rt ts st));
+      emulate_block ()
+    end
+    else
+      match fragment_for rt ts with
+      | frag -> enter frag
+      | exception Instr.Bad_raw_bits { addr; msg } ->
+          (* undecodable raw bits surfaced while building a fragment:
+             heal whatever cache state fed them and retry (the ladder
+             bounds the retries, ending in pure emulation) *)
+          abort_tracegen rt ts;
+          recover_tag rt ts ~tag:ts.next_tag
+            ~reason:(Printf.sprintf "bad raw bits at 0x%x: %s" addr msg);
+          from_dispatcher ()
+  and emulate_block () =
+    (* ladder rung 4: this tag runs by pure interpretation, forever *)
+    rt.stats.Stats.blocks_emulated <- rt.stats.Stats.blocks_emulated + 1;
+    log_flow rt "emulate 0x%x" ts.next_tag;
+    t.Vm.Machine.pc <- ts.next_tag;
+    step_emulated ()
+  and step_emulated () =
+    if budget () <= 0 then begin
+      ts.next_tag <- t.Vm.Machine.pc;
+      Q_budget
+    end
+    else begin
+      let pc0 = t.Vm.Machine.pc in
+      let was_cti =
+        match Decode.opcode_eflags (Vm.Memory.fetch (Vm.Machine.mem m)) pc0 with
+        | Ok (op, _) -> Opcode.is_cti op
+        | Error _ -> false
+      in
+      (* a 1-cycle budget interprets exactly one instruction *)
+      match Vm.Interp.run m t ~budget:1 ~emulate:true with
+      | Vm.Interp.Budget ->
+          if was_cti then begin
+            (* block over: back to the dispatcher with the new tag *)
+            ts.next_tag <- t.Vm.Machine.pc;
+            from_dispatcher ()
+          end
+          else step_emulated ()
+      | Vm.Interp.Halted ->
+          log_flow rt "halted";
+          Q_thread_done
+      | Vm.Interp.Fault f -> Q_fault f
+      | Vm.Interp.Smc _ ->
+          let ranges = m.Vm.Machine.pending_smc in
+          m.Vm.Machine.pending_smc <- [];
+          let flushed = Emit.flush_ranges rt ts ranges in
+          log_flow rt "smc flush (emulated): %d fragments" (List.length flushed);
+          step_emulated ()
+      | Vm.Interp.Signal _ ->
+          (* interception keeps signals pending for our safe points *)
+          step_emulated ()
+      | Vm.Interp.Ccall _ | Vm.Interp.Trap _ ->
+          Q_fault
+            (Printf.sprintf
+               "emulated application code reached a runtime construct at 0x%x"
+               pc0)
     end
   and enter (frag : fragment) =
     (match frag.kind with
@@ -550,8 +736,26 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
           Q_thread_done
       | Vm.Interp.Fault f ->
           ts.in_cache <- false;
-          Q_fault f
-      | Vm.Interp.Signal _ -> assert false (* interception defers signals *)
+          let pc = t.Vm.Machine.pc in
+          if
+            pc >= cache_base
+            && String.length f >= 11
+            && String.sub f 0 11 = "bad code at"
+          then begin
+            (* undecodable bytes inside the code cache: the cache, not
+               the application, is damaged — heal and retry the block *)
+            abort_tracegen rt ts;
+            recover_tag rt ts ~tag:ts.next_tag ~reason:f;
+            from_dispatcher ()
+          end
+          else Q_fault f
+      | Vm.Interp.Signal h ->
+          (* unreachable while interception is on (the VM defers
+             signals to our safe points); if one surfaces anyway,
+             re-queue it instead of dying *)
+          ts.thread.Vm.Machine.pending_signals <-
+            ts.thread.Vm.Machine.pending_signals @ [ h ];
+          resume ()
       | Vm.Interp.Smc target ->
           (* the application wrote over executed code: flush the stale
              fragments, then continue where the hardware stopped *)
@@ -579,7 +783,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
           match Hashtbl.find_opt rt.ccalls id with
           | None -> Q_fault (Printf.sprintf "unknown clean call %d" id)
           | Some f ->
-              f { rt; ts };
+              Guard.protect rt ~hook:"clean_call" (fun () -> f { rt; ts });
               t.Vm.Machine.pc <- rpc;
               resume ())
       | Vm.Interp.Trap addr -> (

@@ -267,10 +267,12 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
       exits = Array.of_list exits;
       incoming = [];
       deleted = false;
+      checksum = 0;
       src_ranges;
     }
   in
   List.iter (fun e -> e.e_owner <- Some frag) exits;
+  Audit.refresh rt frag;
   (match kind with
    | Bb ->
        Hashtbl.replace ts.bbs tag frag;
@@ -284,6 +286,11 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
 (* Linking                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Every legitimate patch of an exit's bytes re-stamps the owning
+   fragment's checksum, so the auditor only flags foreign writes. *)
+let refresh_owner (rt : runtime) (e : exit_) =
+  match e.e_owner with Some f -> Audit.refresh rt f | None -> ()
+
 let link (rt : runtime) (e : exit_) (target : fragment) : unit =
   if e.linked <> None then rio_error "link: exit already linked";
   if target.deleted then rio_error "link: target deleted";
@@ -291,6 +298,7 @@ let link (rt : runtime) (e : exit_) (target : fragment) : unit =
   target.incoming <- e :: target.incoming;
   if e.always_through_stub then patch_branch rt ~pc:e.stub_jmp_pc ~target:target.entry
   else patch_branch rt ~pc:e.branch_pc ~target:target.entry;
+  refresh_owner rt e;
   rt.stats.Stats.direct_links <- rt.stats.Stats.direct_links + 1
 
 let unlink (rt : runtime) (e : exit_) : unit =
@@ -299,9 +307,17 @@ let unlink (rt : runtime) (e : exit_) : unit =
   | Some target ->
       e.linked <- None;
       target.incoming <- List.filter (fun x -> x != e) target.incoming;
-      if e.always_through_stub then
-        patch_branch rt ~pc:e.stub_jmp_pc ~target:(token_of_exit e)
-      else patch_branch rt ~pc:e.branch_pc ~target:e.stub_pc;
+      (try
+         if e.always_through_stub then
+           patch_branch rt ~pc:e.stub_jmp_pc ~target:(token_of_exit e)
+         else patch_branch rt ~pc:e.branch_pc ~target:e.stub_pc
+       with
+      | (Rio_error _ | Decode.Decode_error _)
+        when (match e.e_owner with Some f -> f.deleted | None -> false) ->
+          (* sabotaged branch bytes on a fragment being torn down: the
+             site no longer decodes, and will never execute again *)
+          ());
+      refresh_owner rt e;
       rt.stats.Stats.unlinks <- rt.stats.Stats.unlinks + 1
 
 (* ------------------------------------------------------------------ *)
@@ -313,6 +329,10 @@ let unlink (rt : runtime) (e : exit_) : unit =
     experiments run with unlimited cache, like the paper's). *)
 let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit =
   if not frag.deleted then begin
+    (* marked first: if the fragment's own bytes were corrupted, unlink
+       of its exits may find an undecodable patch site and must know
+       the fragment is already condemned *)
+    frag.deleted <- true;
     List.iter (fun e -> unlink rt e) frag.incoming;
     Array.iter (fun e -> unlink rt e) frag.exits;
     Array.iter (fun e -> Hashtbl.remove rt.exit_by_id e.exit_id) frag.exits;
@@ -325,10 +345,11 @@ let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit 
      | Bb -> remove_if_current ts.bbs
      | Trace -> remove_if_current ts.traces);
     remove_if_current ts.ibl;
-    frag.deleted <- true;
     rt.stats.Stats.fragments_deleted <- rt.stats.Stats.fragments_deleted + 1;
     match rt.client.fragment_deleted with
-    | Some hook -> hook { rt; ts } ~tag:frag.tag
+    | Some hook ->
+        Guard.protect rt ~hook:"fragment_deleted" (fun () ->
+            hook { rt; ts } ~tag:frag.tag)
     | None -> ()
   end
 
@@ -406,6 +427,7 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
       if e.always_through_stub then
         patch_branch rt ~pc:e.stub_jmp_pc ~target:fresh.entry
       else patch_branch rt ~pc:e.branch_pc ~target:fresh.entry;
+      refresh_owner rt e;
       e.linked <- Some fresh;
       fresh.incoming <- e :: fresh.incoming)
     incoming;
@@ -417,7 +439,9 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
   rt.stats.Stats.fragments_replaced <- rt.stats.Stats.fragments_replaced + 1;
   charge_opt rt rt.opts.Options.costs.Options.replace_fragment;
   (match rt.client.fragment_deleted with
-   | Some hook -> hook { rt; ts } ~tag:old_frag.tag
+   | Some hook ->
+       Guard.protect rt ~hook:"fragment_deleted" (fun () ->
+           hook { rt; ts } ~tag:old_frag.tag)
    | None -> ());
   fresh
 

@@ -1,0 +1,108 @@
+(** Client-hook exception barrier (S34).
+
+    The paper's transparency promise is one-sided: the runtime must
+    never let a client take the application down.  Every client hook
+    invocation therefore runs inside a barrier:
+
+    - a hook that raises is recorded ({!Stats.t.hook_failures}) and its
+      effect discarded — for IL-transforming hooks the fragment is
+      emitted from a snapshot taken {e before} the hook ran, so a
+      half-applied transformation can never reach the cache;
+    - after {!Options.t.client_fail_limit} failures the client is
+      quarantined: all its hooks are skipped for the rest of the run;
+    - {!Types.Client_abort} is the one deliberate escape hatch (a
+      client legitimately terminating the application) and is re-raised,
+      as are genuinely fatal runtime conditions.
+
+    The fault injector simulates a buggy client by setting
+    {!Types.runtime.fi_hook_pending}: the next protected hook runs to
+    completion and then "raises" {!Fault_injected}, exercising the
+    snapshot-restore path with a fully mutated IL. *)
+
+open Types
+
+exception Fault_injected
+(** The failure injected into a client hook by the fault injector. *)
+
+let hooks_live (rt : runtime) = not rt.client_quarantined
+
+(* Deep-copy an IL, including the stub ILs carried by exit-CTI notes
+   (one level deep, matching the emitter's nesting limit). *)
+let rec copy_il (il : Instrlist.t) : Instrlist.t =
+  let out = Instrlist.create () in
+  Instrlist.iter il (fun i ->
+      let c = Instr.copy i in
+      (match c.Instr.note with
+       | Instr.Any_note (Stub_note (stub, always)) ->
+           c.Instr.note <- Instr.Any_note (Stub_note (copy_il stub, always))
+       | _ -> ());
+      Instrlist.append out c);
+  out
+
+(* Failures the barrier must not contain. *)
+let fatal = function
+  | Client_abort _ | Out_of_memory | Stack_overflow -> true
+  | _ -> false
+
+let record_failure (rt : runtime) ~hook (e : exn) : unit =
+  rt.stats.Stats.hook_failures <- rt.stats.Stats.hook_failures + 1;
+  rt.client_failures <- rt.client_failures + 1;
+  log_flow rt "client hook %s raised: %s" hook (Printexc.to_string e);
+  if
+    (not rt.client_quarantined)
+    && rt.client_failures >= rt.opts.Options.client_fail_limit
+  then begin
+    rt.client_quarantined <- true;
+    rt.stats.Stats.clients_quarantined <- rt.stats.Stats.clients_quarantined + 1;
+    log_flow rt "client %s quarantined after %d hook failures" rt.client.name
+      rt.client_failures
+  end
+
+(* Run [f]; afterwards fire the injector's pending hook fault, if any,
+   so the "raise" lands after the hook has done all its mutations —
+   the hardest case for the snapshot machinery. *)
+let run_with_injection (rt : runtime) (f : unit -> 'a) : 'a =
+  let v = f () in
+  if rt.fi_hook_pending then begin
+    rt.fi_hook_pending <- false;
+    raise Fault_injected
+  end;
+  v
+
+(** Barrier for hooks with no IL to protect (init, thread events,
+    fragment-deleted, clean calls).  A raise is swallowed. *)
+let protect (rt : runtime) ~hook (f : unit -> unit) : unit =
+  if hooks_live rt then
+    match run_with_injection rt f with
+    | () -> ()
+    | exception e when fatal e -> raise e
+    | exception e -> record_failure rt ~hook e
+
+(** Barrier for IL-transforming hooks (basic block and trace creation).
+    Returns the IL to emit: the client's when it succeeds, the
+    pre-hook snapshot when it raises — a raising client must never
+    change what reaches the cache. *)
+let protect_il (rt : runtime) ~hook (il : Instrlist.t)
+    (f : Instrlist.t -> unit) : Instrlist.t =
+  if not (hooks_live rt) then il
+  else begin
+    let snapshot = copy_il il in
+    match run_with_injection rt (fun () -> f il) with
+    | () -> il
+    | exception e when fatal e -> raise e
+    | exception e ->
+        record_failure rt ~hook e;
+        snapshot
+  end
+
+(** Barrier for the end-of-trace query; a raise yields [default]. *)
+let protect_end_trace (rt : runtime) ~hook ~(default : end_trace_directive)
+    (f : unit -> end_trace_directive) : end_trace_directive =
+  if not (hooks_live rt) then default
+  else
+    match run_with_injection rt f with
+    | d -> d
+    | exception e when fatal e -> raise e
+    | exception e ->
+        record_failure rt ~hook e;
+        default

@@ -70,6 +70,15 @@ exception Is_bundle
 (** Raised when per-instruction detail is requested from an L0 bundle;
     split the bundle first ({!Instrlist.split_bundles}). *)
 
+exception Bad_raw_bits of { addr : int; msg : string }
+(** Raised when raw bytes fail to decode during a level raise — the
+    stored bits are not a valid instruction (cache corruption, or a
+    client handing over garbage).  Typed so the dispatcher's recovery
+    ladder can catch it and heal instead of dying. *)
+
+let bad_raw ~addr e =
+  raise (Bad_raw_bits { addr; msg = Decode.error_to_string e })
+
 let raw_of (i : t) =
   match i.payload with
   | Bundle { raw; addr } | Raw { raw; addr } | RawOp { raw; addr; _ } -> (raw, addr)
@@ -83,7 +92,7 @@ let uplevel2 (i : t) : unit =
   | Raw { raw; addr } -> (
       match Decode.opcode_eflags (Decode.fetch_bytes raw) 0 with
       | Ok (opcode, _) -> i.payload <- RawOp { raw; addr; opcode }
-      | Error e -> failwith ("Instr: bad raw bits: " ^ Decode.error_to_string e))
+      | Error e -> bad_raw ~addr e)
   | RawOp _ | Full _ -> ()
 
 (** Raise to at least L3: fully decode.  No-op at L3/L4. *)
@@ -96,7 +105,7 @@ let uplevel3 (i : t) : unit =
       let fetch a = Char.code (Bytes.get raw (a - addr)) in
       match Decode.full fetch addr with
       | Ok (insn, _) -> i.payload <- Full { raw = Some raw; raw_valid = true; addr; insn }
-      | Error e -> failwith ("Instr: bad raw bits: " ^ Decode.error_to_string e))
+      | Error e -> bad_raw ~addr e)
   | Full _ -> ()
 
 (** Invalidate raw bytes: the instruction was modified (→ L4). *)
@@ -106,6 +115,20 @@ let invalidate_raw (i : t) : unit =
   | Full { insn; addr; raw; _ } ->
       i.payload <- Full { raw; raw_valid = false; addr; insn }
   | _ -> assert false
+
+(** Deep copy: fresh payload bytes, [note] preserved, list links and
+    ownership cleared.  Used by the client-hook barrier to snapshot a
+    fragment's IL before handing it to a potentially-faulty client. *)
+let copy (i : t) : t =
+  let payload =
+    match i.payload with
+    | Bundle { raw; addr } -> Bundle { raw = Bytes.copy raw; addr }
+    | Raw { raw; addr } -> Raw { raw = Bytes.copy raw; addr }
+    | RawOp { raw; addr; opcode } -> RawOp { raw = Bytes.copy raw; addr; opcode }
+    | Full { raw; raw_valid; addr; insn } ->
+        Full { raw = Option.map Bytes.copy raw; raw_valid; addr; insn }
+  in
+  { payload; note = i.note; prev = None; next = None; owner = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Accessors (paper-style API; levels adjust implicitly)              *)

@@ -53,6 +53,11 @@ exception Is_bundle
 (** Per-instruction detail requested from an L0 bundle; split it first
     ({!Instrlist.split_bundles}). *)
 
+exception Bad_raw_bits of { addr : int; msg : string }
+(** Raw bytes failed to decode during a level raise — cache corruption
+    or client-supplied garbage.  Typed so the dispatcher's recovery
+    ladder can catch it and heal instead of dying. *)
+
 val raw_of : t -> Bytes.t * int
 val uplevel2 : t -> unit
 val uplevel3 : t -> unit
@@ -76,6 +81,10 @@ val set_dst : t -> int -> Operand.t -> unit
 val set_prefixes : t -> int -> unit
 val is_cti : t -> bool
 val is_exit_cti : t -> bool
+
+val copy : t -> t
+(** Deep copy: fresh payload bytes, note preserved, list links and
+    ownership cleared. *)
 
 (** {2 Length and encoding} *)
 

@@ -17,7 +17,10 @@ type costs = {
   bb_build_per_insn : int;
   trace_build_per_insn : int;  (** full decode + analysis + re-encode *)
   clean_call : int;      (** context save/restore around a clean call *)
-  replace_fragment : int
+  replace_fragment : int;
+  audit_per_fragment : int;
+      (** modelled cost of auditing one fragment (checksum walk +
+          link-state validation) at a dispatch safe point *)
 }
 
 let default_costs =
@@ -30,6 +33,31 @@ let default_costs =
     trace_build_per_insn = 150;
     clean_call = 60;
     replace_fragment = 500;
+    audit_per_fragment = 20;
+  }
+
+(** Deterministic fault injection (S34).  The injector fires at
+    dispatcher safe points, roughly once every [fi_period] dispatches,
+    choosing uniformly among the enabled fault kinds.  Everything is
+    driven by a private LCG seeded with [fi_seed], so a given
+    (seed, workload, options) triple replays exactly. *)
+type fault_opts = {
+  fi_seed : int;
+  fi_period : int;     (** mean dispatches between injections (>= 1) *)
+  fi_corrupt : bool;   (** flip a byte inside a live fragment *)
+  fi_links : bool;     (** re-patch a linked exit branch to a bogus target *)
+  fi_hooks : bool;     (** make the next client hook invocation raise *)
+  fi_signals : bool;   (** queue a signal whose handler is outside app space *)
+}
+
+let default_faults =
+  {
+    fi_seed = 1;
+    fi_period = 40;
+    fi_corrupt = true;
+    fi_links = true;
+    fi_hooks = true;
+    fi_signals = true;
   }
 
 type t = {
@@ -56,6 +84,14 @@ type t = {
           charged to the application thread (paper §3.4's "sideline
           optimization" direction) *)
   max_cycles : int;       (** safety stop *)
+  faults : fault_opts option;
+      (** deterministic fault injection; [None] = injector off *)
+  audit_period : int;
+      (** run the cache auditor every N context switches (and
+          immediately after every injected fault); 0 = never *)
+  client_fail_limit : int;
+      (** client-hook failures tolerated before the client is
+          quarantined (hooks skipped for the rest of the run) *)
   costs : costs;
 }
 
@@ -73,6 +109,9 @@ let default =
     always_save_flags = false;
     sideline = false;
     max_cycles = 2_000_000_000;
+    faults = None;
+    audit_period = 0;
+    client_fail_limit = 3;
     costs = default_costs;
   }
 

@@ -20,6 +20,9 @@ module Types = Types
 module Flags_analysis = Flags_analysis
 module Mangle = Mangle
 module Emit = Emit
+module Guard = Guard
+module Audit = Audit
+module Faultinject = Faultinject
 module Dispatch = Dispatch
 module Api = Api
 
@@ -65,6 +68,15 @@ let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) 
     client_global = None;
     flow_log = [];
     log_flow = false;
+    client_failures = 0;
+    client_quarantined = false;
+    fi_state =
+      (match opts.Options.faults with
+      | Some f -> if f.Options.fi_seed = 0 then 0x9e3779b9 else f.Options.fi_seed
+      | None -> 0);
+    fi_hook_pending = false;
+    recover_attempts = Hashtbl.create 16;
+    emulate_only = Hashtbl.create 16;
   }
 
 let enable_flow_log (rt : t) = rt.log_flow <- true
@@ -95,11 +107,12 @@ let run (rt : t) : outcome =
   let m = rt.machine in
   let c0 = Vm.Machine.cycles m in
   let i0 = m.Vm.Machine.insns_retired in
-  rt.client.init rt;
+  Guard.protect rt ~hook:"init" (fun () -> rt.client.init rt);
   List.iter
     (fun th ->
       let ts = make_thread_state rt th in
-      rt.client.thread_init { rt; ts })
+      Guard.protect rt ~hook:"thread_init" (fun () ->
+          rt.client.thread_init { rt; ts }))
     (Vm.Machine.live_threads m);
   let deadline = c0 + rt.opts.Options.max_cycles in
   let fault = ref None in
@@ -133,7 +146,8 @@ let run (rt : t) : outcome =
             | Dispatch.Q_budget -> ()
             | Dispatch.Q_thread_done ->
                 ts.thread.Vm.Machine.alive <- false;
-                rt.client.thread_exit { rt; ts };
+                Guard.protect rt ~hook:"thread_exit" (fun () ->
+                    rt.client.thread_exit { rt; ts });
                 ts.exited <- true
             | Dispatch.Q_fault f ->
                 fault := Some f;
@@ -149,11 +163,12 @@ let run (rt : t) : outcome =
   List.iter
     (fun ts ->
       if not ts.exited then begin
-        rt.client.thread_exit { rt; ts };
+        Guard.protect rt ~hook:"thread_exit" (fun () ->
+            rt.client.thread_exit { rt; ts });
         ts.exited <- true
       end)
     rt.thread_states;
-  rt.client.exit_hook rt;
+  Guard.protect rt ~hook:"exit" (fun () -> rt.client.exit_hook rt);
   let reason =
     match !fault with
     | Some f -> App_fault f

@@ -20,6 +20,27 @@ type t = {
   mutable cache_flushes : int;       (** capacity-driven flush-the-world events *)
   mutable enters_bb : int;           (** fragment entries landing on basic blocks *)
   mutable enters_trace : int;        (** fragment entries landing on traces *)
+  (* --- fault injection (S34) --- *)
+  mutable faults_injected : int;     (** total faults the injector introduced *)
+  mutable faults_corrupt : int;      (** cache-byte corruptions injected *)
+  mutable faults_link : int;         (** link-target flips injected *)
+  mutable faults_hook : int;         (** client-hook raises injected *)
+  mutable faults_signal : int;       (** spurious signals injected *)
+  (* --- detection and recovery (S34) --- *)
+  mutable faults_detected : int;     (** audit/ladder activations *)
+  mutable recover_reemit : int;      (** ladder rung 1: fragment deleted and rebuilt *)
+  mutable recover_flush_frag : int;  (** rung 2: all fragments of the source range flushed *)
+  mutable recover_flush_world : int; (** rung 3: flush-the-world requested *)
+  mutable recover_emulate : int;     (** rung 4: tag demoted to pure emulation *)
+  mutable blocks_emulated : int;     (** executions of emulate-only blocks *)
+  mutable audits_run : int;          (** cache audits performed *)
+  mutable audit_fragments : int;     (** fragments examined across all audits *)
+  (* --- client-hook isolation (S34) --- *)
+  mutable hook_failures : int;       (** client hooks that raised (or were made to) *)
+  mutable clients_quarantined : int; (** 1 once the client is disabled for the run *)
+  mutable spurious_signals_dropped : int;
+      (** pending signals with handlers outside application space,
+          discarded at the delivery safe point *)
 }
 
 let create () =
@@ -43,7 +64,28 @@ let create () =
     cache_flushes = 0;
     enters_bb = 0;
     enters_trace = 0;
+    faults_injected = 0;
+    faults_corrupt = 0;
+    faults_link = 0;
+    faults_hook = 0;
+    faults_signal = 0;
+    faults_detected = 0;
+    recover_reemit = 0;
+    recover_flush_frag = 0;
+    recover_flush_world = 0;
+    recover_emulate = 0;
+    blocks_emulated = 0;
+    audits_run = 0;
+    audit_fragments = 0;
+    hook_failures = 0;
+    clients_quarantined = 0;
+    spurious_signals_dropped = 0;
   }
+
+(** Total recovery-ladder activations, all rungs. *)
+let recoveries (s : t) =
+  s.recover_reemit + s.recover_flush_frag + s.recover_flush_world
+  + s.recover_emulate
 
 let pp ppf (s : t) =
   Fmt.pf ppf
@@ -62,3 +104,19 @@ let pp ppf (s : t) =
     s.clean_calls s.cache_bytes_bb s.cache_bytes_trace s.trace_head_promotions
     s.signals_delivered s.runtime_cycles s.sideline_cycles s.cache_flushes
     s.enters_bb s.enters_trace
+
+(** Fault-tolerance counters; printed separately so existing stats
+    output stays stable. *)
+let pp_faults ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>faults injected:     %d (corrupt %d, link %d, hook %d, signal %d)@,\
+     faults detected:     %d@,\
+     recoveries:          %d (re-emit %d, flush-frag %d, flush-world %d, emulate %d)@,\
+     blocks emulated:     %d@,audits run:          %d@,\
+     audit fragments:     %d@,hook failures:       %d@,\
+     clients quarantined: %d@,spurious sigs dropped: %d@]"
+    s.faults_injected s.faults_corrupt s.faults_link s.faults_hook
+    s.faults_signal s.faults_detected (recoveries s) s.recover_reemit
+    s.recover_flush_frag s.recover_flush_world s.recover_emulate
+    s.blocks_emulated s.audits_run s.audit_fragments s.hook_failures
+    s.clients_quarantined s.spurious_signals_dropped

@@ -89,6 +89,10 @@ and fragment = {
   exits : exit_ array;
   mutable incoming : exit_ list;      (* exits of (other) fragments linked to me *)
   mutable deleted : bool;
+  mutable checksum : int;
+      (* FNV-1a hash of the fragment's cache bytes [entry, total_end),
+         refreshed after every legitimate patch (link/unlink/replace);
+         the auditor recomputes and compares to detect corruption *)
   src_ranges : (int * int) list;
       (* application-code byte ranges this fragment was built from,
          for self-modifying-code flushes *)
@@ -143,6 +147,15 @@ type runtime = {
   mutable client_global : exn option;    (* dr global storage *)
   mutable flow_log : string list;        (* optional dispatch-event log (Figure 1) *)
   mutable log_flow : bool;
+  (* --- fault tolerance (S34) --- *)
+  mutable client_failures : int;      (* hook raises so far *)
+  mutable client_quarantined : bool;  (* hooks disabled after too many *)
+  mutable fi_state : int;             (* fault-injector LCG state *)
+  mutable fi_hook_pending : bool;     (* next client hook must raise *)
+  recover_attempts : (int, int) Hashtbl.t;
+      (* tag -> recovery-ladder rung already attempted *)
+  emulate_only : (int, unit) Hashtbl.t;
+      (* tags demoted permanently to pure emulation (ladder rung 4) *)
 }
 
 and context = { rt : runtime; ts : thread_state }

@@ -505,6 +505,29 @@ let test_shepherd_blocks_injection () =
   check_ilist "no output escaped" [] (Vm.Machine.output m);
   checkb "violation recorded" true (t.Clients.Shepherd.violations = 1)
 
+let test_raising_client_composed_with_optimizer () =
+  (* a crashing client riding alongside a real optimizer must not cost
+     the application its output; after quarantine the run continues
+     (unoptimized) to the correct result *)
+  let crasher =
+    {
+      Rio.Types.null_client with
+      name = "crasher";
+      basic_block = Some (fun _ ~tag:_ _ -> failwith "crasher: boom");
+    }
+  in
+  let client =
+    Clients.Compose.compose [ crasher; Clients.Strength.make ~on_bb:true ]
+  in
+  let w = Option.get (Suite.by_name "gzip") in
+  let n = Workload.run_native w in
+  let r, rt = Workload.run_rio ~client w in
+  checkb "finished" true r.ok;
+  check_ilist "output intact" n.output r.output;
+  let s = Rio.stats rt in
+  checkb "failures recorded" true (s.Rio.Stats.hook_failures > 0);
+  checki "quarantined once" 1 s.Rio.Stats.clients_quarantined
+
 let test_edgeprof_records_hot_edges () =
   let w = Option.get (Suite.by_name "gzip") in
   let client, t = Clients.Edgeprof.make () in
@@ -564,6 +587,7 @@ let () =
           Alcotest.test_case "emitted counters" `Slow test_emitted_counter_matches_clean_calls;
           Alcotest.test_case "opcode mix" `Slow test_opmix_exact;
           Alcotest.test_case "shepherd blocks injection" `Quick test_shepherd_blocks_injection;
+          Alcotest.test_case "raising client contained" `Slow test_raising_client_composed_with_optimizer;
           Alcotest.test_case "edge profiler" `Slow test_edgeprof_records_hot_edges;
         ] );
     ]

@@ -301,7 +301,12 @@ let figure4 () =
   pr "-- trace as first created (client view, before any rewrite):\n%s"
     (Option.value !before ~default:"  (no trace built)\n");
   let ts = List.hd rt.Rio.Types.thread_states in
-  (match Hashtbl.fold (fun _ f _ -> Some f) ts.Rio.Types.traces None with
+  let any_trace =
+    let r = ref None in
+    Rio.Fragindex.iter_traces ts.Rio.Types.index (fun _ f -> r := Some f);
+    !r
+  in
+  (match any_trace with
    | None -> pr "-- no live trace\n"
    | Some frag ->
        let fetch = Vm.Memory.fetch (Vm.Machine.mem m) in
@@ -649,6 +654,157 @@ let faultsweep () =
   else pr "\n!! %d runs diverged\n%!" !mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Throughput: simulated-MIPS per workload (host wall time)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike every artifact above, this one measures the {e host}: how
+   many application instructions the runtime retires per host second
+   (simulated MIPS).  Simulated cycle counts are the paper's metric and
+   must never change from host-side optimization; this subcommand is
+   the perf trajectory future PRs regress against. *)
+
+let time_now () = Unix.gettimeofday ()
+
+type tp_row = {
+  tp_name : string;
+  tp_app_insns : int;     (* app instructions retired by one native run *)
+  tp_runs : int;
+  tp_host_s : float;
+  tp_mips : float;
+  tp_cycles : int;        (* simulated cycles of one RIO run (determinism check) *)
+}
+
+(* Measure one workload: repeat whole RIO runs (machine construction
+   included — it is part of serving a request) until [target_s] of host
+   time has elapsed, minimum [min_runs]. *)
+let throughput_one ~target_s ~min_runs (w : Workload.t) : tp_row =
+  let image = Asm.Assemble.assemble w.Workload.program in
+  let run_once () =
+    let m = Vm.Machine.create () in
+    Vm.Machine.set_input m w.Workload.input;
+    ignore (Asm.Image.load m image);
+    let rt = Rio.create m in
+    let o = Rio.run rt in
+    if o.Rio.reason <> Rio.All_exited then
+      failwith (w.Workload.name ^ ": throughput run did not complete");
+    o.Rio.cycles
+  in
+  let native = Workload.run_native w in
+  if not native.Workload.ok then failwith (w.Workload.name ^ ": native failed");
+  (* warm-up run, also records the simulated cycle count *)
+  let cycles = run_once () in
+  let t0 = time_now () in
+  let runs = ref 0 in
+  while !runs < min_runs || time_now () -. t0 < target_s do
+    ignore (run_once ());
+    incr runs
+  done;
+  let host_s = time_now () -. t0 in
+  let mips =
+    float_of_int (!runs * native.Workload.insns) /. host_s /. 1.0e6
+  in
+  {
+    tp_name = w.Workload.name;
+    tp_app_insns = native.Workload.insns;
+    tp_runs = !runs;
+    tp_host_s = host_s;
+    tp_mips = mips;
+    tp_cycles = cycles;
+  }
+
+(* Baseline file: one "<name> <mips>" pair per line, '#' comments. *)
+let read_baseline path : (string * float) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let acc = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | name :: rest -> (
+               match List.filter (fun s -> s <> "") rest with
+               | [ v ] -> acc := (name, float_of_string v) :: !acc
+               | _ -> ())
+           | [] -> ()
+       done
+     with End_of_file -> close_in ic);
+    List.rev !acc
+  end
+
+let throughput ~quick ~baseline_path ~out_path () =
+  let target_s = if quick then 0.25 else 1.0 in
+  let min_runs = if quick then 2 else 4 in
+  pr "\n=== Throughput: simulated MIPS per workload (host wall clock) ===\n";
+  pr "(%s mode; >= %d runs or %.2fs per workload; default RIO options)\n"
+    (if quick then "quick" else "full")
+    min_runs target_s;
+  let baseline = read_baseline baseline_path in
+  if baseline = [] then
+    pr "(no baseline at %s: speedups omitted)\n" baseline_path;
+  pr "%-9s %12s %6s %9s %10s %10s %8s\n" "bench" "app-insns" "runs" "host-s"
+    "MIPS" "base-MIPS" "speedup";
+  let rows =
+    List.map
+      (fun w ->
+        let r = throughput_one ~target_s ~min_runs w in
+        let base = List.assoc_opt r.tp_name baseline in
+        (match base with
+         | Some b ->
+             pr "%-9s %12d %6d %9.3f %10.3f %10.3f %8.2f\n%!" r.tp_name
+               r.tp_app_insns r.tp_runs r.tp_host_s r.tp_mips b (r.tp_mips /. b)
+         | None ->
+             pr "%-9s %12d %6d %9.3f %10.3f %10s %8s\n%!" r.tp_name
+               r.tp_app_insns r.tp_runs r.tp_host_s r.tp_mips "-" "-");
+        (r, base))
+      Suite.all
+  in
+  let gm = geomean (List.map (fun (r, _) -> r.tp_mips) rows) in
+  let base_rows = List.filter_map (fun (_, b) -> b) rows in
+  let base_gm = if base_rows = [] then None else Some (geomean base_rows) in
+  let speedups =
+    List.filter_map
+      (fun (r, b) -> Option.map (fun b -> r.tp_mips /. b) b)
+      rows
+  in
+  let gm_speedup = if speedups = [] then None else Some (geomean speedups) in
+  pr "%-9s %12s %6s %9s %10.3f" "geomean" "" "" "" gm;
+  (match (base_gm, gm_speedup) with
+   | Some bg, Some s -> pr " %10.3f %8.2f\n" bg s
+   | _ -> pr " %10s %8s\n" "-" "-");
+  (* write the JSON datapoint *)
+  let oc = open_out out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"rio-throughput-v1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"geomean_mips\": %.4f,\n" gm;
+  (match base_gm with
+   | Some bg -> p "  \"baseline_geomean_mips\": %.4f,\n" bg
+   | None -> ());
+  (match gm_speedup with
+   | Some s -> p "  \"geomean_speedup_vs_baseline\": %.4f,\n" s
+   | None -> ());
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun k (r, base) ->
+      p "    { \"name\": %S, \"app_insns\": %d, \"runs\": %d,\n" r.tp_name
+        r.tp_app_insns r.tp_runs;
+      p "      \"host_seconds\": %.6f, \"mips\": %.4f, \"sim_cycles\": %d"
+        r.tp_host_s r.tp_mips r.tp_cycles;
+      (match base with
+       | Some b ->
+           p ",\n      \"baseline_mips\": %.4f, \"speedup\": %.4f }" b
+             (r.tp_mips /. b)
+       | None -> p " }");
+      p "%s\n" (if k < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  pr "wrote %s\n%!" out_path
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table1 ();
@@ -666,6 +822,19 @@ let all () =
 let () =
   match Array.to_list Sys.argv with
   | _ :: [] | [] -> all ()
+  | _ :: "throughput" :: rest ->
+      let quick = ref false in
+      let baseline_path = ref "bench/BASELINE_throughput.txt" in
+      let out_path = ref "BENCH_throughput.json" in
+      let rec parse = function
+        | [] -> ()
+        | "--quick" :: tl -> quick := true; parse tl
+        | "--baseline" :: p :: tl -> baseline_path := p; parse tl
+        | "--out" :: p :: tl -> out_path := p; parse tl
+        | a :: _ -> failwith ("throughput: unknown argument " ^ a)
+      in
+      parse rest;
+      throughput ~quick:!quick ~baseline_path:!baseline_path ~out_path:!out_path ()
   | _ :: args ->
       List.iter
         (function
@@ -683,6 +852,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

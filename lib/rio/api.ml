@@ -136,16 +136,16 @@ let get_custom_stub (exit_cti : Instr.t) : (Instrlist.t * bool) option =
 
 (** The paper's dr_mark_trace_head. *)
 let mark_trace_head (ctx : context) (tag : int) : unit =
-  if not (Hashtbl.mem ctx.ts.marked_heads tag) then begin
-    Hashtbl.replace ctx.ts.marked_heads tag ();
+  let e = Fragindex.ensure ctx.ts.index tag in
+  if not e.Fragindex.marked then begin
+    e.Fragindex.marked <- true;
     (* severing links and lookup entries so executions reach the
        dispatcher is shared with automatic head promotion *)
-    Hashtbl.replace ctx.ts.head_counters tag
-      (Option.value (Hashtbl.find_opt ctx.ts.head_counters tag) ~default:0);
-    (match Hashtbl.find_opt ctx.ts.ibl tag with
-     | Some f when f.kind = Bb -> Hashtbl.remove ctx.ts.ibl tag
+    if e.Fragindex.head < 0 then e.Fragindex.head <- 0;
+    (match e.Fragindex.ibl with
+     | Some f when f.kind = Bb -> e.Fragindex.ibl <- None
      | _ -> ());
-    match Hashtbl.find_opt ctx.ts.bbs tag with
+    match e.Fragindex.bb with
     | Some frag -> List.iter (Emit.unlink ctx.rt) frag.incoming
     | None -> ()
   end
@@ -158,9 +158,9 @@ let mark_trace_head (ctx : context) (tag : int) : unit =
     fragment from the code cache.  Prefers the trace for [tag]. *)
 let decode_fragment (ctx : context) (tag : int) : Instrlist.t option =
   let frag =
-    match Hashtbl.find_opt ctx.ts.traces tag with
+    match Fragindex.find_trace ctx.ts.index tag with
     | Some f -> Some f
-    | None -> Hashtbl.find_opt ctx.ts.bbs tag
+    | None -> Fragindex.find_bb ctx.ts.index tag
   in
   Option.map (Emit.decode_fragment_il ctx.rt) frag
 
@@ -169,9 +169,9 @@ let decode_fragment (ctx : context) (tag : int) : Instrlist.t option =
     until the executing thread leaves it. *)
 let replace_fragment (ctx : context) (tag : int) (il : Instrlist.t) : bool =
   let frag =
-    match Hashtbl.find_opt ctx.ts.traces tag with
+    match Fragindex.find_trace ctx.ts.index tag with
     | Some f -> Some f
-    | None -> Hashtbl.find_opt ctx.ts.bbs tag
+    | None -> Fragindex.find_bb ctx.ts.index tag
   in
   match frag with
   | None -> false
@@ -193,11 +193,12 @@ let dump_cache (rt : runtime) : string =
   List.iter
     (fun ts ->
       pr "=== thread %d: %d basic blocks, %d traces ===\n" ts.ts_tid
-        (Hashtbl.length ts.bbs) (Hashtbl.length ts.traces);
+        (Fragindex.bb_count ts.index) (Fragindex.trace_count ts.index);
       let frags =
-        Hashtbl.fold (fun _ f acc -> f :: acc) ts.bbs []
-        @ Hashtbl.fold (fun _ f acc -> f :: acc) ts.traces []
-        |> List.sort (fun a b -> compare a.entry b.entry)
+        let acc = ref [] in
+        Fragindex.iter_bbs ts.index (fun _ f -> acc := f :: !acc);
+        Fragindex.iter_traces ts.index (fun _ f -> acc := f :: !acc);
+        List.sort (fun a b -> compare a.entry b.entry) !acc
       in
       List.iter
         (fun f ->

@@ -133,8 +133,8 @@ let live_fragments (rt : runtime) : fragment list =
   List.iter
     (fun ts ->
       let add _ f = if not f.deleted then acc := f :: !acc in
-      Hashtbl.iter add ts.bbs;
-      Hashtbl.iter add ts.traces)
+      Fragindex.iter_bbs ts.index add;
+      Fragindex.iter_traces ts.index add)
     rt.thread_states;
   (* deterministic order regardless of hashtable iteration *)
   List.sort (fun a b -> compare a.entry b.entry) !acc

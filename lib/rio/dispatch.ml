@@ -8,107 +8,92 @@
     v}
 
     One dispatcher drives each application thread; code caches and all
-    dispatch state are thread-private (paper §2). *)
+    dispatch state are thread-private (paper §2).
+
+    The hot path (exit → lookup → re-enter) is engineered to be
+    allocation-free on the host: fragment lookups are single probes of
+    the unified open-addressing {!Fragindex}, and trap tokens resolve
+    through a flat exit array. *)
 
 open Isa
 open Types
+module FI = Fragindex
 
 (* ------------------------------------------------------------------ *)
 (* Trace heads                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let is_head (ts : thread_state) tag =
-  Hashtbl.mem ts.head_counters tag || Hashtbl.mem ts.marked_heads tag
+let is_head (ts : thread_state) tag = FI.is_head ts.index tag
 
-(** Promote [tag] to trace-head status: it loses its in-cache lookup
-    entry and its incoming links, so every future execution passes
-    through the dispatcher and bumps its counter. *)
-let make_head (rt : runtime) (ts : thread_state) tag =
-  if not (is_head ts tag) then begin
-    Hashtbl.replace ts.head_counters tag 0;
+(** Promote the tag of [e] to trace-head status: it loses its in-cache
+    lookup entry and its incoming links, so every future execution
+    passes through the dispatcher and bumps its counter. *)
+let make_head_entry (rt : runtime) (e : fragment FI.entry) =
+  if e.FI.head < 0 && not e.FI.marked then begin
+    e.FI.head <- 0;
     rt.stats.Stats.trace_head_promotions <- rt.stats.Stats.trace_head_promotions + 1;
-    (match Hashtbl.find_opt ts.ibl tag with
-     | Some f when f.kind = Bb -> Hashtbl.remove ts.ibl tag
+    (match e.FI.ibl with
+     | Some f when f.kind = Bb -> e.FI.ibl <- None
      | _ -> ());
-    match Hashtbl.find_opt ts.bbs tag with
+    match e.FI.bb with
     | Some frag -> List.iter (Emit.unlink rt) frag.incoming
     | None -> ()
   end
+
+let make_head (rt : runtime) (ts : thread_state) tag =
+  make_head_entry rt (FI.ensure ts.index tag)
 
 (* ------------------------------------------------------------------ *)
 (* Basic block building                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Decode the application code starting at [tag]: all instructions up
-   to and including the first CTI (or up to the size cap).  Returns the
-   per-instruction (addr, len) list, whether a CTI ended the block, and
-   the address just past the block. *)
-let scan_block (rt : runtime) tag :
-    (int * int) list * [ `Cti | `Capped ] * int =
-  let fetch = Vm.Memory.fetch (Vm.Machine.mem rt.machine) in
+(* Decode the application code starting at [tag] — all instructions up
+   to and including the first CTI (or up to the size cap) — and build
+   the client-view IL in the same forward pass.  Without a client hook,
+   non-CTI instructions are kept as a single Level-0 bundle and only
+   the final CTI is decoded (the paper's two-Instr fast path); with a
+   hook, instructions are split to Level 1 so the client can walk them.
+   Returns the IL, the instruction count, and the address just past the
+   block. *)
+let scan_and_build (rt : runtime) tag : Instrlist.t * int * int =
+  let mem = Vm.Machine.mem rt.machine in
+  let fetch = Vm.Memory.fetch mem in
   let max_insns = rt.opts.Options.max_bb_insns in
-  let rec go addr n acc =
+  let with_hook = rt.client.basic_block <> None && not rt.client_quarantined in
+  let il = Instrlist.create () in
+  let grab addr len = Vm.Memory.read_bytes mem ~addr ~len in
+  let rec go addr n ~body_start =
     match Decode.opcode_eflags fetch addr with
     | Error e ->
         rio_error "bad application code at 0x%x: %s" addr
           (Decode.error_to_string e)
     | Ok (op, len) ->
-        let acc = (addr, len) :: acc in
-        if Opcode.is_cti op then (List.rev acc, `Cti, addr + len)
-        else if n + 1 >= max_insns then (List.rev acc, `Capped, addr + len)
-        else go (addr + len) (n + 1) acc
+        if Opcode.is_cti op then begin
+          if (not with_hook) && addr > body_start then
+            Instrlist.append il
+              (Instr.of_bundle ~addr:body_start (grab body_start (addr - body_start)));
+          let raw = grab addr len in
+          (* decode against the true address so pc-relative targets resolve *)
+          let f a = Char.code (Bytes.get raw (a - addr)) in
+          (match Decode.full f addr with
+           | Error e ->
+               rio_error "bad CTI at 0x%x: %s" addr (Decode.error_to_string e)
+           | Ok (insn, _) -> Instrlist.append il (Instr.of_decoded ~addr ~raw insn));
+          (il, n + 1, addr + len)
+        end
+        else begin
+          if with_hook then Instrlist.append il (Instr.of_raw ~addr (grab addr len));
+          if n + 1 >= max_insns then begin
+            if not with_hook then
+              Instrlist.append il
+                (Instr.of_bundle ~addr:body_start
+                   (grab body_start (addr + len - body_start)));
+            (il, n + 1, addr + len)
+          end
+          else go (addr + len) (n + 1) ~body_start
+        end
   in
-  go tag 0 []
-
-(* Build the client-view IL for a scanned block.  Without a client
-   hook, non-CTI instructions are kept as a single Level-0 bundle and
-   only the final CTI is decoded (the paper's two-Instr fast path);
-   with a hook, instructions are split to Level 1 so the client can
-   walk them. *)
-let block_il (rt : runtime) (pieces : (int * int) list) (ends : [ `Cti | `Capped ]) :
-    Instrlist.t =
-  let mem = Vm.Machine.mem rt.machine in
-  let fetch = Vm.Memory.fetch mem in
-  let grab addr len = Bytes.init len (fun k -> Char.chr (fetch (addr + k))) in
-  let il = Instrlist.create () in
-  let with_hook = rt.client.basic_block <> None && not rt.client_quarantined in
-  let n = List.length pieces in
-  let body, cti =
-    match ends with
-    | `Cti ->
-        let rec split k = function
-          | [] -> ([], None)
-          | [ last ] when k = n - 1 -> ([], Some last)
-          | x :: tl ->
-              let b, c = split (k + 1) tl in
-              (x :: b, c)
-        in
-        split 0 pieces
-    | `Capped -> (pieces, None)
-  in
-  if with_hook then
-    List.iter
-      (fun (addr, len) -> Instrlist.append il (Instr.of_raw ~addr (grab addr len)))
-      body
-  else if body <> [] then begin
-    let first_addr = fst (List.hd body) in
-    let last_addr, last_len = List.nth body (List.length body - 1) in
-    let total = last_addr + last_len - first_addr in
-    Instrlist.append il (Instr.of_bundle ~addr:first_addr (grab first_addr total))
-  end;
-  (match cti with
-   | Some (addr, len) -> (
-       let raw = grab addr len in
-       match Decode.full (Decode.fetch_bytes raw) 0 with
-       | Error e -> rio_error "bad CTI at 0x%x: %s" addr (Decode.error_to_string e)
-       | Ok (insn0, _) ->
-           (* re-resolve pc-relative targets against the true address *)
-           let f a = Char.code (Bytes.get raw (a - addr)) in
-           let insn, _ = Decode.full_exn f addr in
-           ignore insn0;
-           Instrlist.append il (Instr.of_decoded ~addr ~raw insn))
-   | None -> ());
-  il
+  go tag 0 ~body_start:tag
 
 (* After mangling, guarantee the block's IL ends by leaving the
    fragment: a trailing conditional branch gets an explicit jmp to its
@@ -116,6 +101,9 @@ let block_il (rt : runtime) (pieces : (int * int) list) (ends : [ `Cti | `Capped
 let seal_il (il : Instrlist.t) ~(fallthrough : int) : unit =
   match Instrlist.last il with
   | None -> rio_error "empty block"
+  | Some last when Instr.is_bundle last ->
+      (* capped block kept as one bundle: bundles never end in a CTI *)
+      Instrlist.append il (Create.jmp fallthrough)
   | Some last -> (
       match Instr.get_opcode last with
       | Opcode.Jcc _ -> Instrlist.append il (Create.jmp fallthrough)
@@ -123,13 +111,12 @@ let seal_il (il : Instrlist.t) ~(fallthrough : int) : unit =
       | _ -> Instrlist.append il (Create.jmp fallthrough))
 
 let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
-  let pieces, ends, block_end = scan_block rt tag in
+  let il, n_insns, block_end = scan_and_build rt tag in
   (* watch the source code so writes to it trigger fragment flushes *)
   Vm.Memory.watch_code (Vm.Machine.mem rt.machine) ~addr:tag ~len:(block_end - tag);
-  let il = block_il rt pieces ends in
   charge rt
     (rt.opts.Options.costs.Options.bb_build_base
-    + (List.length pieces * rt.opts.Options.costs.Options.bb_build_per_insn));
+    + (n_insns * rt.opts.Options.costs.Options.bb_build_per_insn));
   let il =
     match rt.client.basic_block with
     | Some hook ->
@@ -143,7 +130,7 @@ let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
     Emit.emit_fragment rt ts ~kind:Bb ~tag ~src_ranges:[ (tag, block_end) ] il
   in
   rt.stats.Stats.blocks_built <- rt.stats.Stats.blocks_built + 1;
-  if not (is_head ts tag) then Hashtbl.replace ts.ibl tag frag;
+  if not (is_head ts tag) then FI.set_ibl ts.index tag frag;
   log_flow rt "build bb 0x%x" tag;
   frag
 
@@ -151,37 +138,24 @@ let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
 (* Trace building                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type pending =
-  | P_jcc of Cond.t * int * int  (* cond, taken target, fall-through *)
-  | P_jmp of int
-  | P_ind of ind_kind
-  | P_halt
-  | P_start                      (* no block stitched yet *)
-
-(* The trace builder's private working state, attached to ts.tracegen
-   via closures over this record. *)
-type tg_state = {
-  tg : tracegen;
-  mutable pending : pending;
-  mutable checks : Instr.t list;  (* jne instrs of inline checks, for flags fixup *)
-}
-
-let tg_table : (int, tg_state) Hashtbl.t = Hashtbl.create 8
-(* keyed by thread id; a thread has at most one trace generation going *)
-
 let start_tracegen (rt : runtime) (ts : thread_state) head =
-  let tg =
-    { tg_head = head; tg_tags = []; tg_il = Instrlist.create (); tg_insns = 0 }
-  in
-  ts.tracegen <- Some tg;
-  Hashtbl.replace tg_table ts.ts_tid { tg; pending = P_start; checks = [] };
+  ts.tracegen <-
+    Some
+      {
+        tg_head = head;
+        tg_tags = [];
+        tg_il = Instrlist.create ();
+        tg_insns = 0;
+        tg_pending = P_start;
+        tg_checks = [];
+      };
   log_flow rt "start trace 0x%x" head
 
 (* Splice the client-view IL of block [tag]'s bb fragment into the
-   growing trace, returning the new pending CTI. *)
-let stitch_block (rt : runtime) (ts : thread_state) (st : tg_state) tag : unit =
+   growing trace, recording the new pending CTI. *)
+let stitch_block (rt : runtime) (ts : thread_state) (tg : tracegen) tag : unit =
   let frag =
-    match Hashtbl.find_opt ts.bbs tag with
+    match FI.find_bb ts.index tag with
     | Some f -> f
     | None -> build_bb rt ts tag
   in
@@ -222,14 +196,14 @@ let stitch_block (rt : runtime) (ts : thread_state) (st : tg_state) tag : unit =
             | _ -> P_jmp t))
     | _ -> rio_error "trace stitch: block 0x%x does not end in an exit" tag
   in
-  st.tg.tg_insns <- st.tg.tg_insns + Instrlist.length il;
-  Instrlist.append_all ~dst:st.tg.tg_il il;
-  st.tg.tg_tags <- tag :: st.tg.tg_tags;
-  st.pending <- pending
+  tg.tg_insns <- tg.tg_insns + Instrlist.length il;
+  Instrlist.append_all ~dst:tg.tg_il il;
+  tg.tg_tags <- tag :: tg.tg_tags;
+  tg.tg_pending <- pending
 
 (* Resolve the pending CTI knowing execution continued at [next]. *)
-let resolve_pending (ts : thread_state) (st : tg_state) ~next : unit =
-  match st.pending with
+let resolve_pending (ts : thread_state) (tg : tracegen) ~next : unit =
+  match tg.tg_pending with
   | P_start -> ()
   | P_halt -> rio_error "trace continued past hlt"
   | P_jmp t ->
@@ -240,8 +214,8 @@ let resolve_pending (ts : thread_state) (st : tg_state) ~next : unit =
         else if next = ft then Create.jcc c taken
         else rio_error "trace stitch: jcc targets 0x%x/0x%x but executed 0x%x" taken ft next
       in
-      st.tg.tg_insns <- st.tg.tg_insns + 1;
-      Instrlist.append st.tg.tg_il exit_instr
+      tg.tg_insns <- tg.tg_insns + 1;
+      Instrlist.append tg.tg_il exit_instr
   | P_ind k ->
       (* inline the observed target with a check; flags handling is
          fixed up at finalize time when the whole trace is known *)
@@ -250,17 +224,17 @@ let resolve_pending (ts : thread_state) (st : tg_state) ~next : unit =
       in
       List.iter
         (fun i ->
-          st.tg.tg_insns <- st.tg.tg_insns + 1;
-          Instrlist.append st.tg.tg_il i)
+          tg.tg_insns <- tg.tg_insns + 1;
+          Instrlist.append tg.tg_il i)
         instrs;
       (match List.rev instrs with
-       | jne :: _ -> st.checks <- jne :: st.checks
+       | jne :: _ -> tg.tg_checks <- jne :: tg.tg_checks
        | [] -> assert false)
 
 (* Materialize the final pending CTI as trace exits. *)
-let finalize_pending (st : tg_state) : unit =
-  let app i = Instrlist.append st.tg.tg_il i in
-  match st.pending with
+let finalize_pending (tg : tracegen) : unit =
+  let app i = Instrlist.append tg.tg_il i in
+  match tg.tg_pending with
   | P_start -> rio_error "empty trace"
   | P_halt -> app (Create.of_insn (Insn.mk_hlt ()))
   | P_jmp t -> app (Create.jmp t)
@@ -272,8 +246,8 @@ let finalize_pending (st : tg_state) : unit =
 (* For every inline check inserted without flags preservation, scan
    forward: if the application flags are live at the check, bracket it
    with save/restore and attach the stub restore. *)
-let fixup_check_flags (rt : runtime) (ts : thread_state) (st : tg_state) : unit =
-  let il = st.tg.tg_il in
+let fixup_check_flags (rt : runtime) (ts : thread_state) (tg : tracegen) : unit =
+  let il = tg.tg_il in
   let fslot = Mangle.abs_slot ~tid:ts.ts_tid slot_eflags in
   List.iter
     (fun (jne : Instr.t) ->
@@ -293,15 +267,15 @@ let fixup_check_flags (rt : runtime) (ts : thread_state) (st : tg_state) : unit 
         Instrlist.append stub (Create.push fslot);
         Instrlist.append stub (Create.popf ());
         jne.Instr.note <- Instr.Any_note (Stub_note (stub, false));
-        st.tg.tg_insns <- st.tg.tg_insns + 4
+        tg.tg_insns <- tg.tg_insns + 4
       end)
-    st.checks
+    tg.tg_checks
 
-let finalize_trace (rt : runtime) (ts : thread_state) (st : tg_state) : fragment =
-  finalize_pending st;
-  fixup_check_flags rt ts st;
-  let head = st.tg.tg_head in
-  let il = st.tg.tg_il in
+let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) : fragment =
+  finalize_pending tg;
+  fixup_check_flags rt ts tg;
+  let head = tg.tg_head in
+  let il = tg.tg_il in
   (* the client sees the completely processed trace (paper §3.3);
      instructions are fully decoded with raw bits valid (Level 3) *)
   Instrlist.decode_to il Level.L3;
@@ -318,73 +292,72 @@ let finalize_trace (rt : runtime) (ts : thread_state) (st : tg_state) : fragment
   let src_ranges =
     List.concat_map
       (fun tag ->
-        match Hashtbl.find_opt ts.bbs tag with
+        match FI.find_bb ts.index tag with
         | Some f -> f.src_ranges
         | None -> [])
-      st.tg.tg_tags
+      tg.tg_tags
   in
   let frag = Emit.emit_fragment rt ts ~kind:Trace ~tag:head ~src_ranges il in
   rt.stats.Stats.traces_built <- rt.stats.Stats.traces_built + 1;
   (* the trace shadows the head's bb: lookups prefer traces, the ibl
      entry moves to the trace, and the bb's links are already severed
      (it is a head).  Targets of the trace's direct exits become heads. *)
-  Hashtbl.replace ts.ibl head frag;
+  FI.set_ibl ts.index head frag;
   Array.iter
     (fun e ->
       match e.e_kind with
       | Exit_direct ->
           if
             e.target_tag <> head
-            && not (Hashtbl.mem ts.traces e.target_tag)
+            && FI.find_trace ts.index e.target_tag = None
           then make_head rt ts e.target_tag
       | Exit_indirect _ -> ())
     frag.exits;
   ts.tracegen <- None;
-  Hashtbl.remove tg_table ts.ts_tid;
-  log_flow rt "built trace 0x%x (%d blocks)" head (List.length st.tg.tg_tags);
+  log_flow rt "built trace 0x%x (%d blocks)" head (List.length tg.tg_tags);
   frag
 
 (* Default end-of-trace test (paper §3.5: stop at a backward branch —
    approximated as reaching another trace head — or an existing trace). *)
-let default_end (rt : runtime) (ts : thread_state) (st : tg_state) ~next =
-  Hashtbl.mem ts.traces next
+let default_end (rt : runtime) (ts : thread_state) (tg : tracegen) ~next =
+  FI.find_trace ts.index next <> None
   || is_head ts next
-  || List.length st.tg.tg_tags >= rt.opts.Options.max_trace_blocks
+  || List.length tg.tg_tags >= rt.opts.Options.max_trace_blocks
 
 (* One dispatcher step while generating a trace.  Returns the fragment
    to execute next (always the bb for [next], unlinked). *)
 let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
-  let st = Hashtbl.find tg_table ts.ts_tid in
+  let tg = match ts.tracegen with Some tg -> tg | None -> assert false in
   let should_end =
-    if st.pending = P_start then false (* always take the head block *)
-    else if st.pending = P_halt then true
+    if tg.tg_pending = P_start then false (* always take the head block *)
+    else if tg.tg_pending = P_halt then true
     else
       match rt.client.end_trace with
-      | None -> default_end rt ts st ~next
+      | None -> default_end rt ts tg ~next
       | Some hook -> (
           match
             Guard.protect_end_trace rt ~hook:"end_trace" ~default:Default_end
-              (fun () -> hook { rt; ts } ~trace_tag:st.tg.tg_head ~next_tag:next)
+              (fun () -> hook { rt; ts } ~trace_tag:tg.tg_head ~next_tag:next)
           with
           | End_trace -> true
           | Continue_trace -> false
-          | Default_end -> default_end rt ts st ~next)
+          | Default_end -> default_end rt ts tg ~next)
   in
-  if should_end || st.pending = P_halt then begin
-    ignore (finalize_trace rt ts st);
+  if should_end || tg.tg_pending = P_halt then begin
+    ignore (finalize_trace rt ts tg);
     None (* re-dispatch [next] normally *)
   end
   else begin
-    resolve_pending ts st ~next;
-    stitch_block rt ts st next;
-    if st.pending = P_halt then begin
+    resolve_pending ts tg ~next;
+    stitch_block rt ts tg next;
+    if tg.tg_pending = P_halt then begin
       (* block ends the program: close the trace now *)
-      ignore (finalize_trace rt ts st)
+      ignore (finalize_trace rt ts tg)
     end;
     (* execute the constituent block, unlinked, so control returns to
        the dispatcher to observe where execution goes *)
     let frag =
-      match Hashtbl.find_opt ts.bbs next with
+      match FI.find_bb ts.index next with
       | Some f -> f
       | None -> build_bb rt ts next
     in
@@ -427,21 +400,23 @@ let rec deliver_signals (rt : runtime) (ts : thread_state) =
       end
 
 (* Look up (or create) the fragment to run for [tag] outside trace
-   generation, honouring trace-head counters. *)
+   generation, honouring trace-head counters.  One index probe serves
+   the trace lookup, the bb lookup, and the head-counter bump. *)
 let fragment_for_normal (rt : runtime) (ts : thread_state) tag : fragment =
-  match Hashtbl.find_opt ts.traces tag with
+  let e = FI.ensure ts.index tag in
+  match e.FI.trace with
   | Some f ->
       log_flow rt "enter trace 0x%x" tag;
       f
   | None ->
       let frag =
-        match Hashtbl.find_opt ts.bbs tag with
+        match e.FI.bb with
         | Some f -> f
         | None -> build_bb rt ts tag
       in
-      if is_head ts tag && rt.opts.Options.enable_traces then begin
-        let c = 1 + Option.value (Hashtbl.find_opt ts.head_counters tag) ~default:0 in
-        Hashtbl.replace ts.head_counters tag c;
+      if (e.FI.head >= 0 || e.FI.marked) && rt.opts.Options.enable_traces then begin
+        let c = 1 + (if e.FI.head >= 0 then e.FI.head else 0) in
+        e.FI.head <- c;
         if c >= rt.opts.Options.trace_threshold && ts.tracegen = None then begin
           start_tracegen rt ts tag;
           match tracegen_step rt ts ~next:tag with
@@ -478,7 +453,6 @@ let abort_tracegen (rt : runtime) (ts : thread_state) =
   | None -> ()
   | Some _ ->
       ts.tracegen <- None;
-      Hashtbl.remove tg_table ts.ts_tid;
       log_flow rt "abort trace generation"
 
 (** Graceful degradation for a damaged [tag], escalating one rung per
@@ -492,7 +466,11 @@ let recover_tag (rt : runtime) (ts : thread_state) ~tag ~(reason : string) :
   let rung = Option.value (Hashtbl.find_opt rt.recover_attempts tag) ~default:0 in
   Hashtbl.replace rt.recover_attempts tag (rung + 1);
   let frags_of_tag () =
-    List.filter_map (fun tbl -> Hashtbl.find_opt tbl tag) [ ts.traces; ts.bbs ]
+    match FI.find ts.index tag with
+    | None -> []
+    | Some e ->
+        (match e.FI.trace with Some f -> [ f ] | None -> [])
+        @ (match e.FI.bb with Some f -> [ f ] | None -> [])
   in
   let delete_tag () =
     List.iter
@@ -557,18 +535,20 @@ let audit_and_heal (rt : runtime) : unit =
 type quantum_result = Q_budget | Q_thread_done | Q_fault of string
 
 (* Handle a direct exit: set next_tag, apply head heuristics, and link
-   the exit to its target fragment when allowed. *)
+   the exit to its target fragment when allowed.  One index probe
+   serves the head heuristic and the link target lookup. *)
 let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
   let target = e.target_tag in
   ts.next_tag <- target;
   let owner = match e.e_owner with Some f -> f | None -> rio_error "orphan exit" in
+  let te = FI.ensure ts.index target in
   (* backward direct branches identify loop heads (Dynamo's heuristic) *)
   if
     rt.opts.Options.enable_traces
     && owner.kind = Bb
     && target <= owner.tag
-    && not (Hashtbl.mem ts.traces target)
-  then make_head rt ts target;
+    && te.FI.trace = None
+  then make_head_entry rt te;
   (* lazy linking: once the target fragment exists, patch the branch *)
   if
     rt.opts.Options.link_direct
@@ -577,11 +557,11 @@ let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
     && e.linked = None
   then begin
     let target_frag =
-      match Hashtbl.find_opt ts.traces target with
+      match te.FI.trace with
       | Some f -> Some f
       | None -> (
-          match Hashtbl.find_opt ts.bbs target with
-          | Some f when not (is_head ts target) -> Some f
+          match te.FI.bb with
+          | Some f when te.FI.head < 0 && not te.FI.marked -> Some f
           | _ -> None)
     in
     match target_frag with
@@ -601,7 +581,7 @@ let handle_indirect_exit (rt : runtime) (ts : thread_state) :
     (* the in-cache hashtable lookup *)
     rt.stats.Stats.ibl_lookups <- rt.stats.Stats.ibl_lookups + 1;
     charge rt rt.opts.Options.costs.Options.ibl_lookup;
-    match Hashtbl.find_opt ts.ibl target with
+    match FI.find_ibl ts.index target with
     | Some f when not f.deleted ->
         log_flow rt "ibl hit 0x%x" target;
         `Stay f
@@ -653,12 +633,11 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
     if Hashtbl.mem rt.emulate_only ts.next_tag then begin
       (match ts.tracegen with
        | None -> ()
-       | Some _ ->
+       | Some tg ->
            (* close out (or discard) the trace before leaving cache
               execution: its next block will never be a fragment *)
-           let st = Hashtbl.find tg_table ts.ts_tid in
-           if st.pending = P_start then abort_tracegen rt ts
-           else ignore (finalize_trace rt ts st));
+           if tg.tg_pending = P_start then abort_tracegen rt ts
+           else ignore (finalize_trace rt ts tg));
       emulate_block ()
     end
     else
@@ -789,7 +768,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
       | Vm.Interp.Trap addr -> (
           charge rt rt.opts.Options.costs.Options.stub_exec;
           let id = (addr - trap_base) / 4 in
-          match Hashtbl.find_opt rt.exit_by_id id with
+          match exit_of_id rt id with
           | None -> Q_fault (Printf.sprintf "unknown trap 0x%x" addr)
           | Some e -> (
               match e.e_kind with
@@ -815,4 +794,3 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
     | s -> Q_fault ("unexpected emulation stop: " ^ Vm.Interp.stop_to_string s)
   end
   else from_dispatcher ()
-

@@ -230,7 +230,7 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
             e_owner = None;
           }
         in
-        Hashtbl.replace rt.exit_by_id id e;
+        register_exit rt e;
         (p, e))
       planned
   in
@@ -275,10 +275,10 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
   Audit.refresh rt frag;
   (match kind with
    | Bb ->
-       Hashtbl.replace ts.bbs tag frag;
+       Fragindex.set_bb ts.index tag frag;
        rt.stats.Stats.cache_bytes_bb <- rt.stats.Stats.cache_bytes_bb + total
    | Trace ->
-       Hashtbl.replace ts.traces tag frag;
+       Fragindex.set_trace ts.index tag frag;
        rt.stats.Stats.cache_bytes_trace <- rt.stats.Stats.cache_bytes_trace + total);
   frag
 
@@ -335,16 +335,22 @@ let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit 
     frag.deleted <- true;
     List.iter (fun e -> unlink rt e) frag.incoming;
     Array.iter (fun e -> unlink rt e) frag.exits;
-    Array.iter (fun e -> Hashtbl.remove rt.exit_by_id e.exit_id) frag.exits;
-    let remove_if_current tbl =
-      match Hashtbl.find_opt tbl frag.tag with
-      | Some f when f == frag -> Hashtbl.remove tbl frag.tag
-      | _ -> ()
-    in
-    (match frag.kind with
-     | Bb -> remove_if_current ts.bbs
-     | Trace -> remove_if_current ts.traces);
-    remove_if_current ts.ibl;
+    Array.iter (fun e -> drop_exit rt e) frag.exits;
+    (match Fragindex.find ts.index frag.tag with
+     | None -> ()
+     | Some en ->
+         (match frag.kind with
+          | Bb -> (
+              match en.Fragindex.bb with
+              | Some f when f == frag -> en.Fragindex.bb <- None
+              | _ -> ())
+          | Trace -> (
+              match en.Fragindex.trace with
+              | Some f when f == frag -> en.Fragindex.trace <- None
+              | _ -> ()));
+         (match en.Fragindex.ibl with
+          | Some f when f == frag -> en.Fragindex.ibl <- None
+          | _ -> ()));
     rt.stats.Stats.fragments_deleted <- rt.stats.Stats.fragments_deleted + 1;
     match rt.client.fragment_deleted with
     | Some hook ->
@@ -371,7 +377,7 @@ let decode_fragment_il (rt : runtime) (frag : fragment) : Instrlist.t =
   let pc = ref frag.entry in
   while !pc < frag.body_end do
     let insn, len = Decode.full_exn fetch !pc in
-    let raw = Bytes.init len (fun k -> Char.chr (fetch (!pc + k))) in
+    let raw = Vm.Memory.read_bytes mem ~addr:!pc ~len in
     let instr =
       match Hashtbl.find_opt by_branch_pc !pc with
       | Some e ->
@@ -434,7 +440,9 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
   (* the old fragment's stubs stay alive — a thread may still be
      executing inside the old body; emit_fragment already re-pointed
      the tag tables at the fresh fragment *)
-  if Hashtbl.mem ts.ibl old_frag.tag then Hashtbl.replace ts.ibl old_frag.tag fresh;
+  (match Fragindex.find ts.index old_frag.tag with
+   | Some en when en.Fragindex.ibl <> None -> en.Fragindex.ibl <- Some fresh
+   | _ -> ());
   old_frag.deleted <- true;
   rt.stats.Stats.fragments_replaced <- rt.stats.Stats.fragments_replaced + 1;
   charge_opt rt rt.opts.Options.costs.Options.replace_fragment;
@@ -462,8 +470,8 @@ let flush_ranges (rt : runtime) (ts : thread_state) (ranges : (int * int) list) 
   in
   let victims = ref [] in
   let collect _ f = if (not f.deleted) && overlaps f then victims := f :: !victims in
-  Hashtbl.iter collect ts.bbs;
-  Hashtbl.iter collect ts.traces;
+  Fragindex.iter_bbs ts.index collect;
+  Fragindex.iter_traces ts.index collect;
   List.iter (fun f -> delete_fragment rt ts f) !victims;
   !victims
 
@@ -478,10 +486,12 @@ let flush_all (rt : runtime) : unit =
   List.iter
     (fun ts ->
       let frags = ref [] in
-      Hashtbl.iter (fun _ f -> frags := f :: !frags) ts.bbs;
-      Hashtbl.iter (fun _ f -> frags := f :: !frags) ts.traces;
+      Fragindex.iter_bbs ts.index (fun _ f -> frags := f :: !frags);
+      Fragindex.iter_traces ts.index (fun _ f -> frags := f :: !frags);
       List.iter (fun f -> delete_fragment rt ts f) !frags;
-      Hashtbl.reset ts.ibl)
+      (* O(1) invalidation of every remaining slot (ibl included);
+         head counters survive, as before *)
+      Fragindex.flush_fragments ts.index)
     rt.thread_states;
   rt.cache_cursor <- cache_base;
   rt.flush_pending <- false;
@@ -559,12 +569,11 @@ let check_invariants (rt : runtime) : (unit, string) result =
   in
   List.iter
     (fun ts ->
-      Hashtbl.iter (fun _ f -> if not f.deleted then check_fragment ts f) ts.bbs;
-      Hashtbl.iter (fun _ f -> if not f.deleted then check_fragment ts f) ts.traces;
+      Fragindex.iter_bbs ts.index (fun _ f -> if not f.deleted then check_fragment ts f);
+      Fragindex.iter_traces ts.index (fun _ f -> if not f.deleted then check_fragment ts f);
       (* ibl entries must be live and not bb trace-heads *)
-      Hashtbl.iter
+      Fragindex.iter_ibl ts.index
         (fun tag f ->
-          if f.deleted then fail "ibl entry 0x%x points to a deleted fragment" tag)
-        ts.ibl)
+          if f.deleted then fail "ibl entry 0x%x points to a deleted fragment" tag))
     rt.thread_states;
   match !err with None -> Ok () | Some e -> Error e

@@ -1,0 +1,166 @@
+(** Open-addressing fragment index — see the interface for the design.
+
+    Layout: a power-of-two array of per-tag entries, Fibonacci-hashed
+    key, linear probing.  An array cell is either [Empty] or an
+    [entry]; keys are never removed, so a probe can stop at the first
+    [Empty] both for lookups and inserts (no tombstones).  Fragment
+    slots are valid only while [entry.fgen] equals the table's
+    generation; {!flush_fragments} bumps the generation, invalidating
+    every slot at once without walking the table. *)
+
+type 'a entry = {
+  key : int;
+  mutable fgen : int;
+  mutable bb : 'a option;
+  mutable trace : 'a option;
+  mutable ibl : 'a option;
+  mutable head : int;
+  mutable marked : bool;
+}
+
+type 'a cell = Empty | Entry of 'a entry
+
+type 'a t = {
+  mutable cells : 'a cell array;
+  mutable mask : int;          (* capacity - 1; capacity is a power of two *)
+  mutable count : int;         (* live keys *)
+  mutable gen : int;           (* fragment-slot generation *)
+}
+
+let create ?(bits = 9) () =
+  let cap = 1 lsl bits in
+  { cells = Array.make cap Empty; mask = cap - 1; count = 0; gen = 0 }
+
+(* Fibonacci hashing: tags are small word-aligned-ish addresses whose
+   low bits carry little entropy; the golden-ratio multiply spreads
+   them across the table before masking. *)
+let[@inline] slot_of t tag = (tag * 0x2545F4914F6CDD1D) lsr 16 land t.mask
+
+(* Lazily reset fragment slots left over from a pre-flush generation. *)
+let[@inline] normalize t (e : 'a entry) =
+  if e.fgen <> t.gen then begin
+    e.fgen <- t.gen;
+    e.bb <- None;
+    e.trace <- None;
+    e.ibl <- None
+  end
+
+let rec probe t tag i =
+  match t.cells.(i) with
+  | Empty -> None
+  | Entry e when e.key = tag ->
+      normalize t e;
+      Some e
+  | Entry _ -> probe t tag ((i + 1) land t.mask)
+
+let find t tag = probe t tag (slot_of t tag)
+
+let grow t =
+  let old = t.cells in
+  let cap = (t.mask + 1) * 2 in
+  t.cells <- Array.make cap Empty;
+  t.mask <- cap - 1;
+  Array.iter
+    (fun c ->
+      match c with
+      | Empty -> ()
+      | Entry e ->
+          let rec place i =
+            match t.cells.(i) with
+            | Empty -> t.cells.(i) <- c
+            | Entry _ -> place ((i + 1) land t.mask)
+          in
+          place (slot_of t e.key))
+    old
+
+let ensure t tag =
+  let rec go i =
+    match t.cells.(i) with
+    | Empty ->
+        let e =
+          { key = tag; fgen = t.gen; bb = None; trace = None; ibl = None;
+            head = -1; marked = false }
+        in
+        t.cells.(i) <- Entry e;
+        t.count <- t.count + 1;
+        if t.count * 4 > (t.mask + 1) * 3 then grow t;
+        e
+    | Entry e when e.key = tag ->
+        normalize t e;
+        e
+    | Entry _ -> go ((i + 1) land t.mask)
+  in
+  go (slot_of t tag)
+
+(* Allocation-free single-slot probes for the dispatcher's hot path:
+   the returned option is the one stored in the entry, not a fresh
+   box. *)
+
+let find_ibl t tag =
+  let rec go i =
+    match t.cells.(i) with
+    | Empty -> None
+    | Entry e when e.key = tag -> if e.fgen = t.gen then e.ibl else None
+    | Entry _ -> go ((i + 1) land t.mask)
+  in
+  go (slot_of t tag)
+
+let find_bb t tag =
+  let rec go i =
+    match t.cells.(i) with
+    | Empty -> None
+    | Entry e when e.key = tag -> if e.fgen = t.gen then e.bb else None
+    | Entry _ -> go ((i + 1) land t.mask)
+  in
+  go (slot_of t tag)
+
+let find_trace t tag =
+  let rec go i =
+    match t.cells.(i) with
+    | Empty -> None
+    | Entry e when e.key = tag -> if e.fgen = t.gen then e.trace else None
+    | Entry _ -> go ((i + 1) land t.mask)
+  in
+  go (slot_of t tag)
+
+let set_bb t tag f = (ensure t tag).bb <- Some f
+let set_trace t tag f = (ensure t tag).trace <- Some f
+let set_ibl t tag f = (ensure t tag).ibl <- Some f
+
+let clear_ibl t tag =
+  match find t tag with None -> () | Some e -> e.ibl <- None
+
+let is_head t tag =
+  match find t tag with
+  | None -> false
+  | Some e -> e.head >= 0 || e.marked
+
+let flush_fragments t = t.gen <- t.gen + 1
+
+let iter_entries t f =
+  Array.iter (fun c -> match c with Empty -> () | Entry e -> f e) t.cells
+
+let iter_bbs t f =
+  iter_entries t (fun e ->
+      if e.fgen = t.gen then
+        match e.bb with Some frag -> f e.key frag | None -> ())
+
+let iter_ibl t f =
+  iter_entries t (fun e ->
+      if e.fgen = t.gen then
+        match e.ibl with Some frag -> f e.key frag | None -> ())
+
+let iter_traces t f =
+  iter_entries t (fun e ->
+      if e.fgen = t.gen then
+        match e.trace with Some frag -> f e.key frag | None -> ())
+
+let bb_count t =
+  let n = ref 0 in
+  iter_bbs t (fun _ _ -> incr n);
+  !n
+
+let trace_count t =
+  let n = ref 0 in
+  iter_traces t (fun _ _ -> incr n);
+  !n

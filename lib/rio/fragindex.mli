@@ -1,0 +1,65 @@
+(** The unified per-thread fragment index: one open-addressing,
+    power-of-two hash table keyed by application tag, replacing the
+    four separate [Hashtbl]s ([bbs], [traces], [ibl], head state) the
+    dispatcher used to probe on every exit from the code cache.  This
+    mirrors the paper's in-cache indirect-branch hashtable (§2.3): the
+    hot lookups — "is there a trace for this tag", "is there a basic
+    block", "is this tag a trace head and how hot is it", "what does
+    the indirect-branch lookup resolve to" — are all answered by a
+    single linear probe.
+
+    Keys are never individually deleted, so probe chains never break
+    and there are no tombstones.  Emptying a per-tag {e slot} (one
+    fragment kind) just clears that field; evicting {e every} fragment
+    at once (flush-the-world) bumps a table-wide generation counter in
+    O(1) — entries whose generation is stale read as empty and are
+    lazily reset on next touch.  Trace-head counters deliberately
+    survive a fragment flush, exactly as the old separate
+    [head_counters] table did. *)
+
+type 'a entry = {
+  key : int;                   (** application tag *)
+  mutable fgen : int;          (** fragment-slot generation (internal) *)
+  mutable bb : 'a option;      (** basic-block fragment *)
+  mutable trace : 'a option;   (** trace fragment *)
+  mutable ibl : 'a option;     (** indirect-branch lookup target *)
+  mutable head : int;          (** trace-head counter; -1 = not a head *)
+  mutable marked : bool;       (** client-marked head (dr_mark_trace_head) *)
+}
+
+type 'a t
+
+val create : ?bits:int -> unit -> 'a t
+(** [create ~bits ()] — initial capacity [2^bits] (default 9). *)
+
+val find : 'a t -> int -> 'a entry option
+(** The entry for a tag, with fragment slots already normalized against
+    the current generation; [None] if the tag was never indexed. *)
+
+val ensure : 'a t -> int -> 'a entry
+(** The entry for a tag, creating it (all slots empty) if absent. *)
+
+val find_ibl : 'a t -> int -> 'a option
+(** Allocation-free probe of just the indirect-branch slot. *)
+
+val find_bb : 'a t -> int -> 'a option
+val find_trace : 'a t -> int -> 'a option
+
+val set_bb : 'a t -> int -> 'a -> unit
+val set_trace : 'a t -> int -> 'a -> unit
+val set_ibl : 'a t -> int -> 'a -> unit
+val clear_ibl : 'a t -> int -> unit
+
+val is_head : 'a t -> int -> bool
+(** True when the tag has a head counter or a client mark. *)
+
+val flush_fragments : 'a t -> unit
+(** Invalidate every bb/trace/ibl slot in O(1) (generation bump);
+    head counters and marks survive. *)
+
+val iter_bbs : 'a t -> (int -> 'a -> unit) -> unit
+val iter_traces : 'a t -> (int -> 'a -> unit) -> unit
+val iter_ibl : 'a t -> (int -> 'a -> unit) -> unit
+
+val bb_count : 'a t -> int
+val trace_count : 'a t -> int

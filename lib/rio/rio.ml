@@ -17,6 +17,7 @@ module Create = Create
 module Options = Options
 module Stats = Stats
 module Types = Types
+module Fragindex = Fragindex
 module Flags_analysis = Flags_analysis
 module Mangle = Mangle
 module Emit = Emit
@@ -56,7 +57,7 @@ let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) 
     stats = Stats.create ();
     client;
     thread_states = [];
-    exit_by_id = Hashtbl.create 1024;
+    exits_by_id = Array.make 1024 None;
     next_exit_id = 1;
     ccalls = Hashtbl.create 64;
     next_ccall_id = 1;
@@ -87,11 +88,7 @@ let make_thread_state (rt : t) (thread : Vm.Machine.thread) : thread_state =
       ts_tid = thread.Vm.Machine.tid;
       thread;
       next_tag = thread.Vm.Machine.pc;
-      bbs = Hashtbl.create 256;
-      traces = Hashtbl.create 64;
-      ibl = Hashtbl.create 256;
-      head_counters = Hashtbl.create 64;
-      marked_heads = Hashtbl.create 16;
+      index = Fragindex.create ();
       tracegen = None;
       client_field = None;
       exited = false;

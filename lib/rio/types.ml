@@ -102,11 +102,22 @@ let token_of_exit (e : exit_) = trap_base + (4 * e.exit_id)
 
 (* ------------------------------------------------------------------ *)
 
+(** The trace builder's pending CTI: what the last stitched block ended
+    with, resolved once execution shows where control actually went. *)
+type pending_cti =
+  | P_jcc of Isa.Cond.t * int * int  (* cond, taken target, fall-through *)
+  | P_jmp of int
+  | P_ind of ind_kind
+  | P_halt
+  | P_start                          (* no block stitched yet *)
+
 type tracegen = {
   tg_head : int;
   mutable tg_tags : int list;            (* constituent block tags, reversed *)
   mutable tg_il : Instrlist.t;           (* stitched client-view IL so far *)
   mutable tg_insns : int;
+  mutable tg_pending : pending_cti;
+  mutable tg_checks : Instr.t list;      (* jne instrs of inline checks, for flags fixup *)
 }
 
 type end_trace_directive = End_trace | Continue_trace | Default_end
@@ -115,14 +126,12 @@ type thread_state = {
   ts_tid : int;
   thread : Vm.Machine.thread;
   mutable next_tag : int;
-  bbs : (int, fragment) Hashtbl.t;       (* tag -> basic block *)
-  traces : (int, fragment) Hashtbl.t;    (* tag -> trace *)
-  (* in-cache indirect-branch lookup table: tag -> fragment.
-     Trace heads are deliberately absent so their executions pass
+  (* the unified fragment index: basic blocks, traces, the in-cache
+     indirect-branch lookup table, and trace-head state, all in one
+     open-addressing table probed once per dispatch.  Trace heads are
+     deliberately absent from the ibl slots so their executions pass
      through the dispatcher and bump the head counter. *)
-  ibl : (int, fragment) Hashtbl.t;
-  head_counters : (int, int) Hashtbl.t;
-  marked_heads : (int, unit) Hashtbl.t;  (* client-marked (dr_mark_trace_head) *)
+  index : fragment Fragindex.t;
   mutable tracegen : tracegen option;
   mutable client_field : exn option;     (* per-thread client storage *)
   mutable exited : bool;                 (* thread_exit hook delivered *)
@@ -135,7 +144,10 @@ type runtime = {
   stats : Stats.t;
   mutable client : client;
   mutable thread_states : thread_state list;
-  exit_by_id : (int, exit_) Hashtbl.t;
+  (* exit ids are dense (allocated sequentially), so the trap-token →
+     exit mapping is a flat array: one bounds check per cache exit
+     instead of a hashed lookup *)
+  mutable exits_by_id : exit_ option array;
   mutable next_exit_id : int;
   ccalls : (int, ccall_fn) Hashtbl.t;
   mutable next_ccall_id : int;
@@ -201,6 +213,28 @@ exception Rio_error of string
 exception Client_abort of string
 
 let rio_error fmt = Printf.ksprintf (fun s -> raise (Rio_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Exit-id registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let register_exit (rt : runtime) (e : exit_) : unit =
+  let id = e.exit_id in
+  let n = Array.length rt.exits_by_id in
+  if id >= n then begin
+    let bigger = Array.make (max (2 * n) (id + 1)) None in
+    Array.blit rt.exits_by_id 0 bigger 0 n;
+    rt.exits_by_id <- bigger
+  end;
+  rt.exits_by_id.(id) <- Some e
+
+let exit_of_id (rt : runtime) id : exit_ option =
+  if id >= 0 && id < Array.length rt.exits_by_id then rt.exits_by_id.(id)
+  else None
+
+let drop_exit (rt : runtime) (e : exit_) : unit =
+  let id = e.exit_id in
+  if id >= 0 && id < Array.length rt.exits_by_id then rt.exits_by_id.(id) <- None
 
 let charge (rt : runtime) n =
   Vm.Machine.add_cycles rt.machine n;

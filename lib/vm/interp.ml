@@ -73,6 +73,13 @@ let pop (m : Machine.t) (t : thread) : int =
   set_reg t Reg.Esp (Arith.wrap (sp + 4));
   v
 
+(* Top-level (not a per-instruction closure) so the hot loop's only
+   allocation is the arithmetic result record itself. *)
+let apply (m : Machine.t) (t : thread) (d : Operand.t array) (r : Arith.result)
+    : unit =
+  dst_write m t d.(0) r.value;
+  t.eflags <- r.flags
+
 (* ------------------------------------------------------------------ *)
 
 let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
@@ -127,23 +134,18 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
   in
   let exec_one () : bool =
     let pc = t.pc in
-    let insn, len, scost =
-      if emulate then fetch_insn_nocache m pc else fetch_insn m pc
-    in
-    m.cycles <- m.cycles + scost + (if emulate then m.cost.emu_overhead else 0);
+    let slot = if emulate then fetch_slot_nocache m pc else fetch_slot m pc in
+    m.cycles <-
+      m.cycles + slot.is_cost + (if emulate then m.cost.emu_overhead else 0);
     m.insns_retired <- m.insns_retired + 1;
-    let next = pc + len in
+    let insn = slot.is_insn in
+    let next = pc + slot.is_len in
     let fl = t.eflags in
     let s = insn.Insn.srcs and d = insn.Insn.dsts in
-    let binval n = src_value m t s.(n) in
-    let apply (r : Arith.result) =
-      dst_write m t d.(0) r.value;
-      t.eflags <- r.flags
-    in
     match insn.Insn.opcode with
     (* --- data movement --- *)
     | Mov ->
-        dst_write m t d.(0) (binval 0);
+        dst_write m t d.(0) (src_value m t s.(0));
         t.pc <- next;
         true
     | Movzx8 ->
@@ -173,7 +175,7 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         t.pc <- next;
         true
     | Push ->
-        push m t (binval 0);
+        push m t (src_value m t s.(0));
         t.pc <- next;
         true
     | Pop ->
@@ -196,39 +198,39 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         t.pc <- next;
         true
     (* --- integer arithmetic --- *)
-    | Add -> apply (Arith.add (binval 1) (binval 0) fl); t.pc <- next; true
+    | Add -> apply m t d (Arith.add (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
     | Adc ->
-        apply (Arith.add ~carry_in:(Eflags.is_set fl CF) (binval 1) (binval 0) fl);
+        apply m t d (Arith.add ~carry_in:(Eflags.is_set fl CF) (src_value m t s.(1)) (src_value m t s.(0)) fl);
         t.pc <- next; true
-    | Sub -> apply (Arith.sub (binval 1) (binval 0) fl); t.pc <- next; true
+    | Sub -> apply m t d (Arith.sub (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
     | Sbb ->
-        apply (Arith.sub ~borrow_in:(Eflags.is_set fl CF) (binval 1) (binval 0) fl);
+        apply m t d (Arith.sub ~borrow_in:(Eflags.is_set fl CF) (src_value m t s.(1)) (src_value m t s.(0)) fl);
         t.pc <- next; true
-    | Inc -> apply (Arith.inc (binval 0) fl); t.pc <- next; true
-    | Dec -> apply (Arith.dec (binval 0) fl); t.pc <- next; true
-    | Neg -> apply (Arith.neg (binval 0) fl); t.pc <- next; true
+    | Inc -> apply m t d (Arith.inc (src_value m t s.(0)) fl); t.pc <- next; true
+    | Dec -> apply m t d (Arith.dec (src_value m t s.(0)) fl); t.pc <- next; true
+    | Neg -> apply m t d (Arith.neg (src_value m t s.(0)) fl); t.pc <- next; true
     | Cmp ->
-        t.eflags <- (Arith.sub (binval 0) (binval 1) fl).flags;
+        t.eflags <- (Arith.sub (src_value m t s.(0)) (src_value m t s.(1)) fl).flags;
         t.pc <- next; true
     | Test ->
-        t.eflags <- (Arith.land_ (binval 0) (binval 1) fl).flags;
+        t.eflags <- (Arith.land_ (src_value m t s.(0)) (src_value m t s.(1)) fl).flags;
         t.pc <- next; true
-    | And -> apply (Arith.land_ (binval 1) (binval 0) fl); t.pc <- next; true
-    | Or -> apply (Arith.lor_ (binval 1) (binval 0) fl); t.pc <- next; true
-    | Xor -> apply (Arith.lxor_ (binval 1) (binval 0) fl); t.pc <- next; true
+    | And -> apply m t d (Arith.land_ (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
+    | Or -> apply m t d (Arith.lor_ (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
+    | Xor -> apply m t d (Arith.lxor_ (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
     | Not ->
-        dst_write m t d.(0) (lnot (binval 0) land Arith.mask32);
+        dst_write m t d.(0) (lnot (src_value m t s.(0)) land Arith.mask32);
         t.pc <- next; true
-    | Imul -> apply (Arith.imul (binval 1) (binval 0) fl); t.pc <- next; true
+    | Imul -> apply m t d (Arith.imul (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
     | Idiv ->
-        let q, r, fl' = Arith.idiv ~eax:(get_reg t Reg.Eax) (binval 0) fl in
+        let q, r, fl' = Arith.idiv ~eax:(get_reg t Reg.Eax) (src_value m t s.(0)) fl in
         set_reg t Reg.Eax q;
         set_reg t Reg.Edx r;
         t.eflags <- fl';
         t.pc <- next; true
-    | Shl -> apply (Arith.shl (binval 1) (binval 0) fl); t.pc <- next; true
-    | Shr -> apply (Arith.shr (binval 1) (binval 0) fl); t.pc <- next; true
-    | Sar -> apply (Arith.sar (binval 1) (binval 0) fl); t.pc <- next; true
+    | Shl -> apply m t d (Arith.shl (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
+    | Shr -> apply m t d (Arith.shr (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
+    | Sar -> apply m t d (Arith.sar (src_value m t s.(1)) (src_value m t s.(0)) fl); t.pc <- next; true
     (* --- control transfer --- *)
     | Jmp ->
         m.cycles <- m.cycles + Cost.direct_jump m.cost;
@@ -238,7 +240,7 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         m.cycles <- m.cycles + Cost.cond_branch m.cost m.pred ~site:pc ~taken;
         goto (if taken then Operand.get_target s.(0) else next)
     | JmpInd ->
-        let target = binval 0 in
+        let target = src_value m t s.(0) in
         m.cycles <- m.cycles + Cost.indirect_jump m.cost m.pred ~site:pc ~target;
         goto target
     | Call ->
@@ -247,7 +249,7 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         m.cycles <- m.cycles + Cost.direct_jump m.cost;
         goto (Operand.get_target s.(0))
     | CallInd ->
-        let target = binval 0 in
+        let target = src_value m t s.(0) in
         push m t next;
         Cost.ras_push m.pred next;
         m.cycles <- m.cycles + Cost.indirect_jump m.cost m.pred ~site:pc ~target;
@@ -307,7 +309,7 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         t.pc <- next; true
     | Cvtsi ->
         (match d.(0) with
-         | Freg f -> set_freg t f (float_of_int (Arith.to_signed (binval 0)))
+         | Freg f -> set_freg t f (float_of_int (Arith.to_signed (src_value m t s.(0))))
          | _ -> assert false);
         t.pc <- next; true
     | Cvtfi ->
@@ -330,7 +332,7 @@ let run (m : Machine.t) (t : thread) ~budget ~emulate : stop =
         result := Some Halted;
         false
     | Out ->
-        Machine.push_output m (binval 0);
+        Machine.push_output m (src_value m t s.(0));
         t.pc <- next; true
     | In ->
         dst_write m t d.(0) (Machine.pop_input m);

@@ -10,6 +10,16 @@
 
 open Isa
 
+(* One line of the decoded-instruction cache.  Slots are mutated in
+   place on refill so steady-state fetch allocates nothing. *)
+type islot = {
+  mutable is_pc : int;               (* -1 = never filled *)
+  mutable is_gen : int;              (* page generation when filled *)
+  mutable is_insn : Insn.t;
+  mutable is_len : int;
+  mutable is_cost : int;             (* static (operand-shape) cycles *)
+}
+
 type thread = {
   tid : int;
   regs : int array;                  (* 8 GPRs, unsigned 32-bit values *)
@@ -32,9 +42,13 @@ type t = {
   mutable next_tid : int;
   mutable trap_base : int;           (* addresses >= trap_base trap to the runtime *)
   (* decoded-instruction cache: models the hardware fetch/decode path.
-     Keyed by address; the RIO layer must invalidate after patching
-     code (the simulated equivalent of self-modifying-code handling). *)
-  icache : (int, Insn.t * int * int) Hashtbl.t;  (* pc -> insn, len, static cost *)
+     Direct-mapped on the low pc bits; invalidation is a per-4KB-page
+     generation bump, so the RIO layer's post-patch invalidations are
+     O(pages touched) instead of O(bytes).  Hit/miss behaviour is purely
+     a host-time concern — decode is free in the cost model. *)
+  icache : islot array;
+  icache_gens : int array;           (* one generation per 4KB page *)
+  emu_slot : islot;                  (* scratch slot for uncached decode *)
   (* timed signal queue: (deliver_at_cycle, tid, handler_addr) *)
   mutable signal_queue : (int * int * int) list;
   (* when true the runtime intercepts signal delivery (RIO active) *)
@@ -44,6 +58,18 @@ type t = {
   mutable smc_trap : bool;
   mutable pending_smc : (int * int) list;
 }
+
+let icache_bits = 15
+let icache_mask = (1 lsl icache_bits) - 1
+
+let fresh_islot () =
+  { is_pc = -1; is_gen = 0; is_insn = Insn.mk_hlt (); is_len = 0; is_cost = 0 }
+
+(* All lines start out pointing at one shared never-filled slot
+   (is_pc = -1, so it can never hit); a line gets its own record on
+   first refill.  Creating a machine then costs one pointer fill, not
+   32K record allocations. *)
+let dummy_islot = fresh_islot ()
 
 let create ?(family = Cost.Pentium4) ?(mem_size = 1 lsl 26) () =
   {
@@ -57,7 +83,9 @@ let create ?(family = Cost.Pentium4) ?(mem_size = 1 lsl 26) () =
     threads = [];
     next_tid = 0;
     trap_base = max_int;
-    icache = Hashtbl.create 4096;
+    icache = Array.make (1 lsl icache_bits) dummy_islot;
+    icache_gens = Array.make ((mem_size lsr Memory.page_bits) + 1) 0;
+    emu_slot = fresh_islot ();
     signal_queue = [];
     intercept_signals = false;
     smc_trap = false;
@@ -156,37 +184,66 @@ let static_cost (c : Cost.t) (i : Insn.t) : int =
 
 exception Bad_code of { pc : int; err : Decode.error }
 
-(** Fetch-and-decode with caching.  Returns (insn, len, static cost). *)
-let fetch_insn m pc : Insn.t * int * int =
-  match Hashtbl.find_opt m.icache pc with
-  | Some r -> r
-  | None -> (
-      match Decode.full (Memory.fetch m.mem) pc with
-      | Error err -> raise (Bad_code { pc; err })
-      | Ok (insn, len) ->
-          let r = (insn, len, static_cost m.cost insn) in
-          Hashtbl.replace m.icache pc r;
-          (* executed code becomes write-watched so self-modification
-             is detected (code-cache / icache consistency) *)
-          Memory.watch_code m.mem ~addr:pc ~len;
-          r)
+(** Fetch-and-decode with caching.  Returns the (mutable, reused) cache
+    slot — valid until the next fetch that maps to the same line. *)
+let fetch_slot m pc : islot =
+  let slot = Array.unsafe_get m.icache (pc land icache_mask) in
+  let gens = m.icache_gens in
+  let gi = pc lsr Memory.page_bits in
+  (* a pc outside memory never matches (slots are only filled after a
+     successful decode) and faults in the decoder below *)
+  let gen = if gi < Array.length gens then Array.unsafe_get gens gi else 0 in
+  if slot.is_pc = pc && slot.is_gen = gen then slot
+  else
+    match Decode.full (Memory.fetch m.mem) pc with
+    | Error err -> raise (Bad_code { pc; err })
+    | Ok (insn, len) ->
+        let slot =
+          if slot == dummy_islot then begin
+            let s = fresh_islot () in
+            Array.unsafe_set m.icache (pc land icache_mask) s;
+            s
+          end
+          else slot
+        in
+        slot.is_pc <- pc;
+        slot.is_gen <- gen;
+        slot.is_insn <- insn;
+        slot.is_len <- len;
+        slot.is_cost <- static_cost m.cost insn;
+        (* executed code becomes write-watched so self-modification
+           is detected (code-cache / icache consistency) *)
+        Memory.watch_code m.mem ~addr:pc ~len;
+        slot
 
 (** Decode without caching (the pure-emulation path re-decodes every
-    time, which is the point of Table 1's first row). *)
-let fetch_insn_nocache m pc : Insn.t * int * int =
+    time, which is the point of Table 1's first row).  Fills the
+    machine's scratch slot. *)
+let fetch_slot_nocache m pc : islot =
   match Decode.full (Memory.fetch m.mem) pc with
   | Error err -> raise (Bad_code { pc; err })
-  | Ok (insn, len) -> (insn, len, static_cost m.cost insn)
+  | Ok (insn, len) ->
+      let slot = m.emu_slot in
+      slot.is_pc <- pc;
+      slot.is_insn <- insn;
+      slot.is_len <- len;
+      slot.is_cost <- static_cost m.cost insn;
+      slot
 
 (** Invalidate cached decodes for [len] bytes at [addr].  The RIO layer
     calls this after writing code (patching links, emitting fragments). *)
 let invalidate_icache m ~addr ~len =
   (* conservative: decoded instructions are at most 13 bytes long, so
-     also drop entries that start shortly before the range *)
-  for a = addr - 13 to addr + len - 1 do
-    Hashtbl.remove m.icache a
+     also cover decodes starting shortly before the range; the page
+     generation bump invalidates every cached decode on those pages *)
+  let lo = max 0 (addr - 13) in
+  let hi = addr + len - 1 in
+  let gens = m.icache_gens in
+  let p1 = min (Array.length gens - 1) (hi lsr Memory.page_bits) in
+  for p = lo lsr Memory.page_bits to p1 do
+    gens.(p) <- gens.(p) + 1
   done
 
 let reset_hardware m =
-  Hashtbl.reset m.icache;
+  Array.iter (fun s -> s.is_pc <- -1) m.icache;
   Cost.reset_predictor m.pred

@@ -2,12 +2,20 @@
 
     Addresses are plain ints in [0, size).  Out-of-range accesses raise
     {!Fault}, which the machine surfaces as a program fault (the
-    simulated equivalent of a segfault). *)
+    simulated equivalent of a segfault).
+
+    The store is a private [/dev/zero] mapping: the kernel hands out
+    zero pages on first touch, so creating a 64MB machine costs
+    microseconds instead of a 64MB memset — the same trick a real VMM
+    uses for guest RAM.  Byte loads and stores compile to direct
+    unchecked accesses on the Bigarray. *)
 
 exception Fault of { addr : int; size : int; write : bool }
 
+type buf = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  bytes : Bytes.t;
+  bytes : buf;
   size : int;
   (* write-watching for code-cache consistency: one byte per 4KB page;
      stores into watched pages are recorded in [dirty] (the simulated
@@ -18,9 +26,26 @@ type t = {
 
 let page_bits = 12
 
+let alloc_zeroed size : buf =
+  match Unix.openfile "/dev/zero" [ Unix.O_RDWR ] 0 with
+  | fd ->
+      let ga =
+        Unix.map_file fd Bigarray.int8_unsigned Bigarray.c_layout false
+          [| size |]
+      in
+      Unix.close fd;
+      Bigarray.array1_of_genarray ga
+  | exception Unix.Unix_error _ ->
+      (* no /dev/zero (exotic host): allocate and zero explicitly *)
+      let a =
+        Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout size
+      in
+      Bigarray.Array1.fill a 0;
+      a
+
 let create size =
   {
-    bytes = Bytes.make size '\000';
+    bytes = alloc_zeroed size;
     size;
     watched_pages = Bytes.make ((size lsr page_bits) + 1) '\000';
     dirty = [];
@@ -54,55 +79,94 @@ let check m addr n write =
 
 let read_u8 m addr =
   check m addr 1 false;
-  Char.code (Bytes.unsafe_get m.bytes addr)
+  Bigarray.Array1.unsafe_get m.bytes addr
 
 let write_u8 m addr v =
   check m addr 1 true;
-  Bytes.unsafe_set m.bytes addr (Char.unsafe_chr (v land 0xFF))
+  Bigarray.Array1.unsafe_set m.bytes addr (v land 0xFF)
 
 let read_u16 m addr =
   check m addr 2 false;
-  Char.code (Bytes.unsafe_get m.bytes addr)
-  lor (Char.code (Bytes.unsafe_get m.bytes (addr + 1)) lsl 8)
+  Bigarray.Array1.unsafe_get m.bytes addr
+  lor (Bigarray.Array1.unsafe_get m.bytes (addr + 1) lsl 8)
 
 let write_u16 m addr v =
   check m addr 2 true;
-  Bytes.unsafe_set m.bytes addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set m.bytes (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  Bigarray.Array1.unsafe_set m.bytes addr (v land 0xFF);
+  Bigarray.Array1.unsafe_set m.bytes (addr + 1) ((v lsr 8) land 0xFF)
 
 (** 32-bit reads return an unsigned value in [0, 2^32). *)
 let read_u32 m addr =
   check m addr 4 false;
   let b = m.bytes in
-  Char.code (Bytes.unsafe_get b addr)
-  lor (Char.code (Bytes.unsafe_get b (addr + 1)) lsl 8)
-  lor (Char.code (Bytes.unsafe_get b (addr + 2)) lsl 16)
-  lor (Char.code (Bytes.unsafe_get b (addr + 3)) lsl 24)
+  Bigarray.Array1.unsafe_get b addr
+  lor (Bigarray.Array1.unsafe_get b (addr + 1) lsl 8)
+  lor (Bigarray.Array1.unsafe_get b (addr + 2) lsl 16)
+  lor (Bigarray.Array1.unsafe_get b (addr + 3) lsl 24)
 
 let write_u32 m addr v =
   check m addr 4 true;
   let b = m.bytes in
-  Bytes.unsafe_set b addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set b (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
-  Bytes.unsafe_set b (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
-  Bytes.unsafe_set b (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  Bigarray.Array1.unsafe_set b addr (v land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 1) ((v lsr 8) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 2) ((v lsr 16) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 3) ((v lsr 24) land 0xFF)
+
+(* f64 values travel through an int64 built from two 32-bit halves
+   (a 63-bit OCaml int cannot carry all 64 payload bits) *)
 
 let read_f64 m addr =
   check m addr 8 false;
-  Int64.float_of_bits (Bytes.get_int64_le m.bytes addr)
+  let b = m.bytes in
+  let half o =
+    Bigarray.Array1.unsafe_get b (addr + o)
+    lor (Bigarray.Array1.unsafe_get b (addr + o + 1) lsl 8)
+    lor (Bigarray.Array1.unsafe_get b (addr + o + 2) lsl 16)
+    lor (Bigarray.Array1.unsafe_get b (addr + o + 3) lsl 24)
+  in
+  Int64.float_of_bits
+    (Int64.logor
+       (Int64.of_int (half 0))
+       (Int64.shift_left (Int64.of_int (half 4)) 32))
 
 let write_f64 m addr v =
   check m addr 8 true;
-  Bytes.set_int64_le m.bytes addr (Int64.bits_of_float v)
+  let bits = Int64.bits_of_float v in
+  let lo = Int64.to_int (Int64.logand bits 0xFFFF_FFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+  let b = m.bytes in
+  Bigarray.Array1.unsafe_set b addr (lo land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 1) ((lo lsr 8) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 2) ((lo lsr 16) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 3) ((lo lsr 24) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 4) (hi land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 5) ((hi lsr 8) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 6) ((hi lsr 16) land 0xFF);
+  Bigarray.Array1.unsafe_set b (addr + 7) ((hi lsr 24) land 0xFF)
+
+(** Bulk read of [len] bytes starting at [addr]: one bounds check for
+    the whole range instead of [len] bounds-checked byte fetches. *)
+let read_bytes m ~addr ~len =
+  check m addr len false;
+  let b = m.bytes in
+  Bytes.init len (fun i -> Char.unsafe_chr (Bigarray.Array1.unsafe_get b (addr + i)))
 
 (** Bulk copy [len] bytes of [src] starting at [src_pos] into memory. *)
 let blit_bytes m ~src ~src_pos ~dst ~len =
   check m dst len true;
-  Bytes.blit src src_pos m.bytes dst len
+  let b = m.bytes in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set b (dst + i)
+      (Char.code (Bytes.unsafe_get src (src_pos + i)))
+  done
 
 let blit_string m ~src ~dst =
-  check m dst (String.length src) true;
-  Bytes.blit_string src 0 m.bytes dst (String.length src)
+  let len = String.length src in
+  check m dst len true;
+  let b = m.bytes in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set b (dst + i) (Char.code (String.unsafe_get src i))
+  done
 
 (** A {!Isa.Decode.fetch} view of this memory (bounds-checked). *)
 let fetch (m : t) : Isa.Decode.fetch = fun addr -> read_u8 m addr

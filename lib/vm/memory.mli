@@ -11,6 +11,9 @@ exception Fault of { addr : int; size : int; write : bool }
 
 type t
 
+val page_bits : int
+(** Log2 of the watch/invalidation page size (4KB pages). *)
+
 val create : int -> t
 val size : t -> int
 
@@ -32,6 +35,10 @@ val read_u32 : t -> int -> int
 val write_u32 : t -> int -> int -> unit
 val read_f64 : t -> int -> float
 val write_f64 : t -> int -> float -> unit
+
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+(** Fresh copy of the [len] bytes at [addr]; one bounds check for the
+    whole range. *)
 
 val blit_bytes : t -> src:Bytes.t -> src_pos:int -> dst:int -> len:int -> unit
 val blit_string : t -> src:string -> dst:int -> unit

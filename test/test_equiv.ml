@@ -62,6 +62,50 @@ let emulation_case () =
       expect_equal w "emulation" r)
     [ "gzip"; "gcc"; "eon"; "perlbmk"; "vortex" ]
 
+(* Golden simulated cycle counts per workload: (native, rio with
+   default options, rio with the four optimization clients combined).
+   Captured from the seed implementation — host-side performance work
+   must never move these, because the cost model is what the paper's
+   Figure 5 numbers rest on.  Regenerate only when the cost model
+   itself deliberately changes. *)
+let golden_cycles =
+  [
+    ("gzip", (82595, 120189, 107844));
+    ("vpr", (2109008, 2206938, 1944816));
+    ("parser", (234595, 493033, 462040));
+    ("gcc", (436263, 1183414, 1970603));
+    ("mcf", (2529953, 2496477, 2496462));
+    ("crafty", (332340, 542385, 501863));
+    ("eon", (330727, 536517, 404531));
+    ("perlbmk", (67611, 156850, 148544));
+    ("gap", (738584, 1012140, 812254));
+    ("vortex", (540039, 686319, 572379));
+    ("bzip2", (5750917, 5811245, 5248241));
+    ("twolf", (569440, 594918, 568476));
+    ("wupwise", (503869, 560010, 477798));
+    ("swim", (2773546, 2808446, 2396633));
+    ("mgrid", (5906418, 5927786, 3913136));
+    ("applu", (202510, 269056, 234151));
+    ("mesa", (306555, 830203, 603955));
+    ("art", (2452689, 2502225, 2169753));
+    ("equake", (2376868, 2504431, 2258038));
+    ("ammp", (1685615, 1741877, 1645205));
+  ]
+
+let checki = Alcotest.(check int)
+
+let golden_case () =
+  List.iter
+    (fun w ->
+      let name = w.Workload.name in
+      let native_c, rio_c, opt_c = List.assoc name golden_cycles in
+      checki (name ^ " native cycles") native_c (native w).Workload.cycles;
+      let r, _ = Workload.run_rio w in
+      checki (name ^ " rio cycles") rio_c r.Workload.cycles;
+      let r, _ = Workload.run_rio ~client:(Clients.Compose.all_four ()) w in
+      checki (name ^ " rio+clients cycles") opt_c r.Workload.cycles)
+    Suite.all
+
 let p3_case () =
   (* the whole suite also runs on the other processor family *)
   List.iter
@@ -102,4 +146,6 @@ let () =
             ("combined", fun () -> Clients.Compose.all_four ());
           ] );
       ("processor families", [ Alcotest.test_case "pentium 3" `Slow p3_case ]);
+      ( "golden cycle counts",
+        [ Alcotest.test_case "seed cycle counts unchanged" `Slow golden_case ] );
     ]

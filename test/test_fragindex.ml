@@ -1,0 +1,226 @@
+(** The open-addressing fragment index against a reference model.
+
+    The index replaces four separate [Hashtbl]s on the dispatcher's
+    hottest path, so its behaviour under arbitrary interleavings of
+    inserts, slot clears, head bumps, marks, and O(1) generation
+    flushes must match the obvious hashtable semantics exactly —
+    including across table growth, probe-chain collisions, and the
+    lazy post-flush normalization of stale entries. *)
+
+module FI = Rio.Fragindex
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: plain hashtables with eager flush                 *)
+(* ------------------------------------------------------------------ *)
+
+type model = {
+  m_bb : (int, int) Hashtbl.t;
+  m_trace : (int, int) Hashtbl.t;
+  m_ibl : (int, int) Hashtbl.t;
+  m_head : (int, int) Hashtbl.t;     (* tag -> counter (>= 0) *)
+  m_marked : (int, unit) Hashtbl.t;
+}
+
+let model_create () =
+  {
+    m_bb = Hashtbl.create 16;
+    m_trace = Hashtbl.create 16;
+    m_ibl = Hashtbl.create 16;
+    m_head = Hashtbl.create 16;
+    m_marked = Hashtbl.create 16;
+  }
+
+type op =
+  | Set_bb of int * int
+  | Set_trace of int * int
+  | Set_ibl of int * int
+  | Clear_ibl of int
+  | Bump_head of int                  (* the dispatcher's head-counter bump *)
+  | Mark of int                       (* dr_mark_trace_head *)
+  | Flush                             (* flush_fragments: heads survive *)
+
+let op_to_string = function
+  | Set_bb (t, v) -> Printf.sprintf "set_bb %d %d" t v
+  | Set_trace (t, v) -> Printf.sprintf "set_trace %d %d" t v
+  | Set_ibl (t, v) -> Printf.sprintf "set_ibl %d %d" t v
+  | Clear_ibl t -> Printf.sprintf "clear_ibl %d" t
+  | Bump_head t -> Printf.sprintf "bump_head %d" t
+  | Mark t -> Printf.sprintf "mark %d" t
+  | Flush -> "flush"
+
+let model_apply (m : model) = function
+  | Set_bb (t, v) -> Hashtbl.replace m.m_bb t v
+  | Set_trace (t, v) -> Hashtbl.replace m.m_trace t v
+  | Set_ibl (t, v) -> Hashtbl.replace m.m_ibl t v
+  | Clear_ibl t -> Hashtbl.remove m.m_ibl t
+  | Bump_head t ->
+      let c = Option.value (Hashtbl.find_opt m.m_head t) ~default:0 in
+      Hashtbl.replace m.m_head t (c + 1)
+  | Mark t ->
+      Hashtbl.replace m.m_marked t ();
+      if not (Hashtbl.mem m.m_head t) then Hashtbl.replace m.m_head t 0
+  | Flush ->
+      Hashtbl.reset m.m_bb;
+      Hashtbl.reset m.m_trace;
+      Hashtbl.reset m.m_ibl
+
+let index_apply (idx : int FI.t) = function
+  | Set_bb (t, v) -> FI.set_bb idx t v
+  | Set_trace (t, v) -> FI.set_trace idx t v
+  | Set_ibl (t, v) -> FI.set_ibl idx t v
+  | Clear_ibl t -> FI.clear_ibl idx t
+  | Bump_head t ->
+      let e = FI.ensure idx t in
+      e.FI.head <- 1 + (if e.FI.head >= 0 then e.FI.head else 0)
+  | Mark t ->
+      let e = FI.ensure idx t in
+      e.FI.marked <- true;
+      if e.FI.head < 0 then e.FI.head <- 0
+  | Flush -> FI.flush_fragments idx
+
+(* ------------------------------------------------------------------ *)
+(* Agreement check over the whole tag universe                        *)
+(* ------------------------------------------------------------------ *)
+
+let tag_universe = 700
+
+let agree (idx : int FI.t) (m : model) : string option =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  for tag = 0 to tag_universe - 1 do
+    let eq name got want =
+      if got <> want then fail "tag %d: %s disagrees" tag name
+    in
+    eq "bb" (FI.find_bb idx tag) (Hashtbl.find_opt m.m_bb tag);
+    eq "trace" (FI.find_trace idx tag) (Hashtbl.find_opt m.m_trace tag);
+    eq "ibl" (FI.find_ibl idx tag) (Hashtbl.find_opt m.m_ibl tag);
+    if FI.is_head idx tag <> (Hashtbl.mem m.m_head tag || Hashtbl.mem m.m_marked tag)
+    then fail "tag %d: is_head disagrees" tag;
+    match FI.find idx tag with
+    | Some e when Hashtbl.mem m.m_head tag ->
+        eq "head counter" (Some e.FI.head) (Hashtbl.find_opt m.m_head tag)
+    | _ -> ()
+  done;
+  if FI.bb_count idx <> Hashtbl.length m.m_bb then fail "bb_count disagrees";
+  if FI.trace_count idx <> Hashtbl.length m.m_trace then
+    fail "trace_count disagrees";
+  (* iterators surface exactly the model's live bindings *)
+  let collect iter =
+    let acc = ref [] in
+    iter idx (fun k v -> acc := (k, v) :: !acc);
+    List.sort compare !acc
+  in
+  let model_bindings tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  if collect FI.iter_bbs <> model_bindings m.m_bb then fail "iter_bbs disagrees";
+  if collect FI.iter_traces <> model_bindings m.m_trace then
+    fail "iter_traces disagrees";
+  if collect FI.iter_ibl <> model_bindings m.m_ibl then fail "iter_ibl disagrees";
+  !err
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let op_gen : op QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* a small universe so probe chains collide and the table grows *)
+  let tag = int_bound (tag_universe - 1) in
+  let v = int_bound 10_000 in
+  frequency
+    [
+      (4, map2 (fun t x -> Set_bb (t, x)) tag v);
+      (3, map2 (fun t x -> Set_trace (t, x)) tag v);
+      (3, map2 (fun t x -> Set_ibl (t, x)) tag v);
+      (1, map (fun t -> Clear_ibl t) tag);
+      (3, map (fun t -> Bump_head t) tag);
+      (1, map (fun t -> Mark t) tag);
+      (1, return Flush);
+    ]
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+    QCheck.Gen.(list_size (int_bound 1500) op_gen)
+
+let prop_index_matches_model =
+  QCheck.Test.make ~count:60 ~name:"index agrees with hashtable model" ops_arb
+    (fun ops ->
+      (* tiny initial table: growth and collisions on every run *)
+      let idx = FI.create ~bits:2 () in
+      let m = model_create () in
+      List.iter
+        (fun op ->
+          index_apply idx op;
+          model_apply m op)
+        ops;
+      match agree idx m with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+let prop_entries_stable_across_growth =
+  QCheck.Test.make ~count:30 ~name:"entry records survive rehash"
+    QCheck.(make Gen.(int_bound (tag_universe - 1)))
+    (fun tag ->
+      let idx = FI.create ~bits:2 () in
+      let e = FI.ensure idx tag in
+      e.FI.head <- 7;
+      (* force several growths *)
+      for k = 0 to 999 do
+        FI.set_bb idx (tag_universe + (7 * k)) k
+      done;
+      (* the held reference is still THE entry for the tag *)
+      FI.ensure idx tag == e && e.FI.head = 7 && FI.is_head idx tag)
+
+(* ------------------------------------------------------------------ *)
+(* Directed cases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_flush_preserves_heads () =
+  let idx = FI.create () in
+  FI.set_bb idx 10 111;
+  FI.set_trace idx 10 222;
+  FI.set_ibl idx 10 333;
+  let e = FI.ensure idx 10 in
+  e.FI.head <- 5;
+  FI.flush_fragments idx;
+  checkb "bb gone" true (FI.find_bb idx 10 = None);
+  checkb "trace gone" true (FI.find_trace idx 10 = None);
+  checkb "ibl gone" true (FI.find_ibl idx 10 = None);
+  checki "bb_count" 0 (FI.bb_count idx);
+  checkb "still a head" true (FI.is_head idx 10);
+  checki "counter survives" 5 (FI.ensure idx 10).FI.head;
+  (* the slot is reusable after the flush *)
+  FI.set_bb idx 10 444;
+  checkb "re-set works" true (FI.find_bb idx 10 = Some 444)
+
+let test_repeated_flushes () =
+  let idx = FI.create ~bits:2 () in
+  for round = 1 to 50 do
+    FI.set_bb idx round round;
+    FI.flush_fragments idx
+  done;
+  checki "all flushed" 0 (FI.bb_count idx);
+  for round = 1 to 50 do
+    assert (FI.find_bb idx round = None)
+  done
+
+let () =
+  Alcotest.run "fragindex"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_index_matches_model;
+          QCheck_alcotest.to_alcotest prop_entries_stable_across_growth;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "flush preserves heads" `Quick
+            test_flush_preserves_heads;
+          Alcotest.test_case "repeated flushes" `Quick test_repeated_flushes;
+        ] );
+    ]

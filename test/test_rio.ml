@@ -315,6 +315,27 @@ let test_table1_config_equivalence () =
       check_ilist name expected out)
     Rio.Options.table1_configs
 
+let test_max_size_block () =
+  (* a straight-line run longer than max_bb_insns: the builder must cap
+     each block, chain them by fallthrough, and compute the same answer *)
+  let n = 300 in
+  let cap = Rio.Options.default.Rio.Options.max_bb_insns in
+  assert (n > 2 * cap);
+  let adds = List.init n (fun _ -> add eax (i 1)) in
+  let prog =
+    program ~name:"p"
+      ~text:([ label "main"; mov eax (i 0) ] @ adds @ [ out eax; hlt ])
+      ()
+  in
+  let expected = native_out prog in
+  check_ilist "native sum" [ n ] expected;
+  let out, o, rt = run_with prog in
+  checkb "finished" true (o.Rio.reason = Rio.All_exited);
+  check_ilist "output" expected out;
+  (* 302 straight-line instructions at <= 128 per block: >= 3 blocks *)
+  checkb "blocks capped" true
+    ((Rio.stats rt).Rio.Stats.blocks_built >= (n + 2 + cap - 1) / cap)
+
 (* ------------------------------------------------------------------ *)
 (* Client hooks (Table 3)                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1012,6 +1033,7 @@ let () =
           Alcotest.test_case "cold code gets no trace" `Quick test_no_trace_below_threshold;
           Alcotest.test_case "links cut context switches" `Quick test_links_reduce_context_switches;
           Alcotest.test_case "table-1 configs equivalent" `Quick test_table1_config_equivalence;
+          Alcotest.test_case "max-size block splits" `Quick test_max_size_block;
         ] );
       ( "client interface",
         [

@@ -451,7 +451,18 @@ let ablation () =
       pr "%-9s" name;
       List.iter
         (fun cache_capacity ->
-          let r, _ = ratio_of ~opts:{ Rio.Options.default with cache_capacity } w in
+          let r, _ =
+            ratio_of
+              ~opts:
+                { Rio.Options.default with
+                  cache_capacity;
+                  (* this table is specifically about the legacy
+                     flush-the-world policy; the FIFO policy gets its
+                     own `cachesweep` subcommand *)
+                  flush_policy = Rio.Options.Flush_full;
+                }
+              w
+          in
           pr " %9.3f" r)
         [ None; Some 65536; Some 16384; Some 4096 ];
       pr "\n%!")
@@ -805,6 +816,139 @@ let throughput ~quick ~baseline_path ~out_path () =
   pr "wrote %s\n%!" out_path
 
 (* ------------------------------------------------------------------ *)
+(* Cache sweep: capacity ladder x flush policy                        *)
+(* ------------------------------------------------------------------ *)
+
+(* How do the two capacity policies degrade as the code cache shrinks
+   from unbounded to tiny?  Simulated cycle ratios tell the paper-side
+   story (eviction cost vs. flush-and-rebuild cost); host MIPS tracks
+   what the allocator churn costs this implementation.  Every run's
+   output is checked against native, and FIFO runs must never fall back
+   to a full flush on these single-threaded workloads. *)
+
+type cs_row = {
+  cs_bench : string;
+  cs_policy : string;               (* "fifo" | "full" | "unbounded" *)
+  cs_cap : int option;
+  cs_ratio : float;                 (* simulated cycles / native cycles *)
+  cs_mips : float;                  (* host throughput of the one run *)
+  cs_evictions : int;
+  cs_flushes : int;
+  cs_dropped : int;
+  cs_fallbacks : int;
+}
+
+let cachesweep_one (w : Workload.t) ~policy_name ~policy ~cap : cs_row =
+  let native = Workload.run_native w in
+  if not native.Workload.ok then failwith (w.Workload.name ^ ": native failed");
+  let opts =
+    { Rio.Options.default with
+      cache_capacity = cap;
+      flush_policy = policy;
+      max_cycles = max_int / 2;
+    }
+  in
+  let t0 = time_now () in
+  let r, rt = Workload.run_rio ~opts w in
+  let host_s = time_now () -. t0 in
+  if not r.Workload.ok then
+    failwith
+      (Printf.sprintf "cachesweep: %s @ %s/%s diverged: %s" w.Workload.name
+         policy_name
+         (match cap with None -> "unbounded" | Some c -> string_of_int c)
+         r.Workload.detail);
+  let s = Rio.stats rt in
+  {
+    cs_bench = w.Workload.name;
+    cs_policy = policy_name;
+    cs_cap = cap;
+    cs_ratio = float_of_int r.Workload.cycles /. float_of_int native.Workload.cycles;
+    cs_mips = float_of_int native.Workload.insns /. host_s /. 1.0e6;
+    cs_evictions = s.Rio.Stats.evictions;
+    cs_flushes = s.Rio.Stats.cache_flushes;
+    cs_dropped = s.Rio.Stats.traces_dropped;
+    cs_fallbacks = s.Rio.Stats.full_flush_fallbacks;
+  }
+
+let cachesweep ~quick ~out_path () =
+  let ladder =
+    if quick then [ Some 16384; Some 4096 ]
+    else [ Some 65536; Some 32768; Some 16384; Some 8192; Some 4096 ]
+  in
+  let wl =
+    if quick then
+      List.filter_map Suite.by_name
+        [ "gcc"; "crafty"; "eon"; "vpr"; "mgrid"; "gzip" ]
+    else Suite.all
+  in
+  pr "\n=== Cache sweep: capacity ladder x flush policy (%s mode) ===\n"
+    (if quick then "quick" else "full");
+  pr "(%d workloads; every run's output checked against native)\n"
+    (List.length wl);
+  let configs =
+    ("unbounded", Rio.Options.Flush_fifo, None)
+    :: List.concat_map
+         (fun cap ->
+           [
+             ("fifo", Rio.Options.Flush_fifo, cap);
+             ("full", Rio.Options.Flush_full, cap);
+           ])
+         ladder
+  in
+  pr "%-9s %10s %14s %10s %10s %8s %8s %9s\n" "policy" "capacity" "geomean-ratio"
+    "gm-MIPS" "evictions" "flushes" "dropped" "fallbacks";
+  let rows =
+    List.concat_map
+      (fun (policy_name, policy, cap) ->
+        let rs =
+          List.map (fun w -> cachesweep_one w ~policy_name ~policy ~cap) wl
+        in
+        let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+        pr "%-9s %10s %14.3f %10.3f %10d %8d %8d %9d\n%!" policy_name
+          (match cap with None -> "unbounded" | Some c -> string_of_int c)
+          (geomean (List.map (fun r -> r.cs_ratio) rs))
+          (geomean (List.map (fun r -> r.cs_mips) rs))
+          (sum (fun r -> r.cs_evictions))
+          (sum (fun r -> r.cs_flushes))
+          (sum (fun r -> r.cs_dropped))
+          (sum (fun r -> r.cs_fallbacks))
+        ;
+        rs)
+      configs
+  in
+  let fifo_flushes =
+    List.fold_left
+      (fun a r -> if r.cs_policy = "fifo" then a + r.cs_flushes else a)
+      0 rows
+  in
+  if fifo_flushes = 0 then
+    pr "\nall outputs identical to native; FIFO rows ran with zero full flushes\n%!"
+  else pr "\n!! FIFO rows fell back to %d full flushes\n%!" fifo_flushes;
+  (* write the JSON datapoint *)
+  let oc = open_out out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"rio-cachesweep-v1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"fifo_full_flushes\": %d,\n" fifo_flushes;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun k r ->
+      p "    { \"bench\": %S, \"policy\": %S, \"capacity\": %s,\n" r.cs_bench
+        r.cs_policy
+        (match r.cs_cap with None -> "null" | Some c -> string_of_int c);
+      p "      \"cycle_ratio\": %.4f, \"mips\": %.4f, \"evictions\": %d,\n"
+        r.cs_ratio r.cs_mips r.cs_evictions;
+      p "      \"cache_flushes\": %d, \"traces_dropped\": %d, \"full_flush_fallbacks\": %d }%s\n"
+        r.cs_flushes r.cs_dropped r.cs_fallbacks
+        (if k < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  pr "wrote %s\n%!" out_path;
+  if fifo_flushes > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table1 ();
@@ -835,6 +979,17 @@ let () =
       in
       parse rest;
       throughput ~quick:!quick ~baseline_path:!baseline_path ~out_path:!out_path ()
+  | _ :: "cachesweep" :: rest ->
+      let quick = ref false in
+      let out_path = ref "BENCH_cache.json" in
+      let rec parse = function
+        | [] -> ()
+        | "--quick" :: tl -> quick := true; parse tl
+        | "--out" :: p :: tl -> out_path := p; parse tl
+        | a :: _ -> failwith ("cachesweep: unknown argument " ^ a)
+      in
+      parse rest;
+      cachesweep ~quick:!quick ~out_path:!out_path ()
   | _ :: args ->
       List.iter
         (function
@@ -852,6 +1007,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

@@ -34,8 +34,8 @@ let client_names =
     "counter"; "edgeprof"; "opmix"; "redundant-cmp"; "combined" ]
 
 let run list workload_name file clients mode family no_link_direct
-    no_link_indirect no_traces threshold sideline cache_capacity faults
-    fault_period audit stats flow_log dump_cache =
+    no_link_indirect no_traces threshold sideline cache_capacity flush_policy
+    faults fault_period audit stats flow_log dump_cache =
   if list then begin
     Printf.printf "workloads:\n";
     List.iter
@@ -117,6 +117,7 @@ let run list workload_name file clients mode family no_link_direct
                 trace_threshold = threshold;
                 sideline;
                 cache_capacity;
+                flush_policy;
                 faults = fault_opts;
                 (* with injection on, audit every dispatch unless the
                    user chose a period explicitly *)
@@ -128,6 +129,13 @@ let run list workload_name file clients mode family no_link_direct
                 max_cycles = max_int / 2;
               }
             in
+            (* reject bad capacities here, as a CLI error — not as a
+               runtime failure halfway through emission *)
+            (match Rio.Options.validate opts with
+             | Ok () -> ()
+             | Error msg ->
+                 Printf.eprintf "invalid options: %s\n" msg;
+                 exit 1);
             let image = Asm.Assemble.assemble w.Workload.program in
             let m = Vm.Machine.create ~family () in
             Vm.Machine.set_input m w.Workload.input;
@@ -149,6 +157,8 @@ let run list workload_name file clients mode family no_link_direct
             if co <> "" then Printf.printf "client output:\n%s" co;
             if stats then begin
               Format.printf "%a@." Rio.Stats.pp (Rio.stats rt);
+              Rio.Emit.refresh_cache_gauges rt;
+              Format.printf "%a@." Rio.Stats.pp_cache (Rio.stats rt);
               if faults <> None || audit <> None then
                 Format.printf "%a@." Rio.Stats.pp_faults (Rio.stats rt)
             end;
@@ -201,7 +211,19 @@ let cmd =
   in
   let cache_capacity =
     Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"BYTES"
-           ~doc:"Bound the code cache; flush-the-world on overflow.")
+           ~doc:"Bound the code cache; see --flush-policy for what \
+                 happens on overflow.")
+  in
+  let flush_policy =
+    let p =
+      Arg.enum
+        [ ("fifo", Rio.Options.Flush_fifo); ("full", Rio.Options.Flush_full) ]
+    in
+    Arg.(value & opt p Rio.Options.default.Rio.Options.flush_policy
+         & info [ "flush-policy" ] ~docv:"POLICY"
+             ~doc:"Capacity policy for a bounded cache: $(b,fifo) evicts \
+                   the oldest fragments incrementally; $(b,full) flushes \
+                   the whole cache on overflow.")
   in
   let faults =
     Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED"
@@ -226,8 +248,8 @@ let cmd =
   let term =
     Term.(
       const run $ list $ workload $ file $ clients $ mode $ family $ no_ld $ no_li
-      $ no_tr $ threshold $ sideline $ cache_capacity $ faults $ fault_period
-      $ audit $ stats $ flow $ dump)
+      $ no_tr $ threshold $ sideline $ cache_capacity $ flush_policy $ faults
+      $ fault_period $ audit $ stats $ flow $ dump)
   in
   Cmd.v (Cmd.info "rio_run" ~doc:"Run workloads under the RIO dynamic optimizer") term
 

@@ -1,0 +1,94 @@
+(** Basic-block building (Figure 1's "basic block builder", split out
+    of the dispatcher): decode the application code at a tag, run the
+    client's [basic_block] hook, mangle, seal, and emit a bb fragment. *)
+
+open Isa
+open Types
+module FI = Fragindex
+
+(* Decode the application code starting at [tag] — all instructions up
+   to and including the first CTI (or up to the size cap) — and build
+   the client-view IL in the same forward pass.  Without a client hook,
+   non-CTI instructions are kept as a single Level-0 bundle and only
+   the final CTI is decoded (the paper's two-Instr fast path); with a
+   hook, instructions are split to Level 1 so the client can walk them.
+   Returns the IL, the instruction count, and the address just past the
+   block. *)
+let scan_and_build (rt : runtime) tag : Instrlist.t * int * int =
+  let mem = Vm.Machine.mem rt.machine in
+  let fetch = Vm.Memory.fetch mem in
+  let max_insns = rt.opts.Options.max_bb_insns in
+  let with_hook = rt.client.basic_block <> None && not rt.client_quarantined in
+  let il = Instrlist.create () in
+  let grab addr len = Vm.Memory.read_bytes mem ~addr ~len in
+  let rec go addr n ~body_start =
+    match Decode.opcode_eflags fetch addr with
+    | Error e ->
+        rio_error "bad application code at 0x%x: %s" addr
+          (Decode.error_to_string e)
+    | Ok (op, len) ->
+        if Opcode.is_cti op then begin
+          if (not with_hook) && addr > body_start then
+            Instrlist.append il
+              (Instr.of_bundle ~addr:body_start (grab body_start (addr - body_start)));
+          let raw = grab addr len in
+          (* decode against the true address so pc-relative targets resolve *)
+          let f a = Char.code (Bytes.get raw (a - addr)) in
+          (match Decode.full f addr with
+           | Error e ->
+               rio_error "bad CTI at 0x%x: %s" addr (Decode.error_to_string e)
+           | Ok (insn, _) -> Instrlist.append il (Instr.of_decoded ~addr ~raw insn));
+          (il, n + 1, addr + len)
+        end
+        else begin
+          if with_hook then Instrlist.append il (Instr.of_raw ~addr (grab addr len));
+          if n + 1 >= max_insns then begin
+            if not with_hook then
+              Instrlist.append il
+                (Instr.of_bundle ~addr:body_start
+                   (grab body_start (addr + len - body_start)));
+            (il, n + 1, addr + len)
+          end
+          else go (addr + len) (n + 1) ~body_start
+        end
+  in
+  go tag 0 ~body_start:tag
+
+(* After mangling, guarantee the block's IL ends by leaving the
+   fragment: a trailing conditional branch gets an explicit jmp to its
+   fall-through; a capped block gets a jmp to the next instruction. *)
+let seal_il (il : Instrlist.t) ~(fallthrough : int) : unit =
+  match Instrlist.last il with
+  | None -> rio_error "empty block"
+  | Some last when Instr.is_bundle last ->
+      (* capped block kept as one bundle: bundles never end in a CTI *)
+      Instrlist.append il (Create.jmp fallthrough)
+  | Some last -> (
+      match Instr.get_opcode last with
+      | Opcode.Jcc _ -> Instrlist.append il (Create.jmp fallthrough)
+      | Opcode.Jmp | Opcode.Hlt -> ()
+      | _ -> Instrlist.append il (Create.jmp fallthrough))
+
+let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
+  let il, n_insns, block_end = scan_and_build rt tag in
+  (* watch the source code so writes to it trigger fragment flushes *)
+  Vm.Memory.watch_code (Vm.Machine.mem rt.machine) ~addr:tag ~len:(block_end - tag);
+  charge rt
+    (rt.opts.Options.costs.Options.bb_build_base
+    + (n_insns * rt.opts.Options.costs.Options.bb_build_per_insn));
+  let il =
+    match rt.client.basic_block with
+    | Some hook ->
+        Guard.protect_il rt ~hook:"basic_block" il (fun il ->
+            hook { rt; ts } ~tag il)
+    | None -> il
+  in
+  Mangle.mangle_il ~tid:ts.ts_tid il;
+  seal_il il ~fallthrough:block_end;
+  let frag =
+    Emit.emit_fragment rt ts ~kind:Bb ~tag ~src_ranges:[ (tag, block_end) ] il
+  in
+  rt.stats.Stats.blocks_built <- rt.stats.Stats.blocks_built + 1;
+  if not (FI.is_head ts.index tag) then FI.set_ibl ts.index tag frag;
+  log_flow rt "build bb 0x%x" tag;
+  frag

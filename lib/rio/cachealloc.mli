@@ -1,0 +1,44 @@
+(** Unit-granular allocator for a bounded code-cache region.
+
+    The cache-management layer (DESIGN.md §6.3): a fixed address range
+    is carved into fixed-size units; fragments occupy contiguous unit
+    runs handed out first-fit from a sorted free list and returned one
+    run at a time as the runtime evicts fragments in FIFO order.  The
+    allocator is a pure address-space manager — it knows nothing about
+    fragments, threads, or eviction policy; {!Emit} owns those
+    decisions and the runtime keeps separate instances for the
+    basic-block and trace regions. *)
+
+type t
+
+val default_unit_bytes : int
+(** 64: small enough that a typical basic block wastes under one unit,
+    large enough to keep free lists short. *)
+
+val create : base:int -> size:int -> ?unit_bytes:int -> unit -> t
+(** An allocator over [\[base, base + size)]. [size] is rounded down to
+    a whole number of units. *)
+
+val alloc : t -> int -> int option
+(** [alloc t bytes] — first-fit allocation of a contiguous run covering
+    [bytes]; [None] when no free run is large enough (the caller evicts
+    and retries, or gives up). *)
+
+val free : t -> addr:int -> int
+(** Release the allocation starting at [addr]; returns the bytes
+    reclaimed.  Raises [Invalid_argument] if [addr] is not a live
+    allocation of this allocator. *)
+
+val reset : t -> unit
+(** Drop every allocation (flush-the-world). *)
+
+val capacity : t -> int
+val used_bytes : t -> int
+val free_bytes : t -> int
+
+val holes : t -> int
+(** Number of maximal free runs — the free-list fragmentation gauge. *)
+
+val largest_free_bytes : t -> int
+(** Size of the largest free run: the biggest fragment that could be
+    emitted without evicting. *)

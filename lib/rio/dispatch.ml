@@ -10,6 +10,13 @@
     One dispatcher drives each application thread; code caches and all
     dispatch state are thread-private (paper §2).
 
+    This module is only the dispatch loop itself: block building lives
+    in {!Blockbuild}, trace selection in {!Trace}, and the
+    indirect-branch lookup in {!Ibl}.  The dispatcher's safe points do
+    the cross-cutting work — signal delivery, fault injection and
+    audit, pending full flushes, and (under the FIFO policy) the
+    fallback when incremental eviction cannot make room.
+
     The hot path (exit → lookup → re-enter) is engineered to be
     allocation-free on the host: fragment lookups are single probes of
     the unified open-addressing {!Fragindex}, and trap tokens resolve
@@ -20,353 +27,7 @@ open Types
 module FI = Fragindex
 
 (* ------------------------------------------------------------------ *)
-(* Trace heads                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let is_head (ts : thread_state) tag = FI.is_head ts.index tag
-
-(** Promote the tag of [e] to trace-head status: it loses its in-cache
-    lookup entry and its incoming links, so every future execution
-    passes through the dispatcher and bumps its counter. *)
-let make_head_entry (rt : runtime) (e : fragment FI.entry) =
-  if e.FI.head < 0 && not e.FI.marked then begin
-    e.FI.head <- 0;
-    rt.stats.Stats.trace_head_promotions <- rt.stats.Stats.trace_head_promotions + 1;
-    (match e.FI.ibl with
-     | Some f when f.kind = Bb -> e.FI.ibl <- None
-     | _ -> ());
-    match e.FI.bb with
-    | Some frag -> List.iter (Emit.unlink rt) frag.incoming
-    | None -> ()
-  end
-
-let make_head (rt : runtime) (ts : thread_state) tag =
-  make_head_entry rt (FI.ensure ts.index tag)
-
-(* ------------------------------------------------------------------ *)
-(* Basic block building                                               *)
-(* ------------------------------------------------------------------ *)
-
-(* Decode the application code starting at [tag] — all instructions up
-   to and including the first CTI (or up to the size cap) — and build
-   the client-view IL in the same forward pass.  Without a client hook,
-   non-CTI instructions are kept as a single Level-0 bundle and only
-   the final CTI is decoded (the paper's two-Instr fast path); with a
-   hook, instructions are split to Level 1 so the client can walk them.
-   Returns the IL, the instruction count, and the address just past the
-   block. *)
-let scan_and_build (rt : runtime) tag : Instrlist.t * int * int =
-  let mem = Vm.Machine.mem rt.machine in
-  let fetch = Vm.Memory.fetch mem in
-  let max_insns = rt.opts.Options.max_bb_insns in
-  let with_hook = rt.client.basic_block <> None && not rt.client_quarantined in
-  let il = Instrlist.create () in
-  let grab addr len = Vm.Memory.read_bytes mem ~addr ~len in
-  let rec go addr n ~body_start =
-    match Decode.opcode_eflags fetch addr with
-    | Error e ->
-        rio_error "bad application code at 0x%x: %s" addr
-          (Decode.error_to_string e)
-    | Ok (op, len) ->
-        if Opcode.is_cti op then begin
-          if (not with_hook) && addr > body_start then
-            Instrlist.append il
-              (Instr.of_bundle ~addr:body_start (grab body_start (addr - body_start)));
-          let raw = grab addr len in
-          (* decode against the true address so pc-relative targets resolve *)
-          let f a = Char.code (Bytes.get raw (a - addr)) in
-          (match Decode.full f addr with
-           | Error e ->
-               rio_error "bad CTI at 0x%x: %s" addr (Decode.error_to_string e)
-           | Ok (insn, _) -> Instrlist.append il (Instr.of_decoded ~addr ~raw insn));
-          (il, n + 1, addr + len)
-        end
-        else begin
-          if with_hook then Instrlist.append il (Instr.of_raw ~addr (grab addr len));
-          if n + 1 >= max_insns then begin
-            if not with_hook then
-              Instrlist.append il
-                (Instr.of_bundle ~addr:body_start
-                   (grab body_start (addr + len - body_start)));
-            (il, n + 1, addr + len)
-          end
-          else go (addr + len) (n + 1) ~body_start
-        end
-  in
-  go tag 0 ~body_start:tag
-
-(* After mangling, guarantee the block's IL ends by leaving the
-   fragment: a trailing conditional branch gets an explicit jmp to its
-   fall-through; a capped block gets a jmp to the next instruction. *)
-let seal_il (il : Instrlist.t) ~(fallthrough : int) : unit =
-  match Instrlist.last il with
-  | None -> rio_error "empty block"
-  | Some last when Instr.is_bundle last ->
-      (* capped block kept as one bundle: bundles never end in a CTI *)
-      Instrlist.append il (Create.jmp fallthrough)
-  | Some last -> (
-      match Instr.get_opcode last with
-      | Opcode.Jcc _ -> Instrlist.append il (Create.jmp fallthrough)
-      | Opcode.Jmp | Opcode.Hlt -> ()
-      | _ -> Instrlist.append il (Create.jmp fallthrough))
-
-let build_bb (rt : runtime) (ts : thread_state) tag : fragment =
-  let il, n_insns, block_end = scan_and_build rt tag in
-  (* watch the source code so writes to it trigger fragment flushes *)
-  Vm.Memory.watch_code (Vm.Machine.mem rt.machine) ~addr:tag ~len:(block_end - tag);
-  charge rt
-    (rt.opts.Options.costs.Options.bb_build_base
-    + (n_insns * rt.opts.Options.costs.Options.bb_build_per_insn));
-  let il =
-    match rt.client.basic_block with
-    | Some hook ->
-        Guard.protect_il rt ~hook:"basic_block" il (fun il ->
-            hook { rt; ts } ~tag il)
-    | None -> il
-  in
-  Mangle.mangle_il ~tid:ts.ts_tid il;
-  seal_il il ~fallthrough:block_end;
-  let frag =
-    Emit.emit_fragment rt ts ~kind:Bb ~tag ~src_ranges:[ (tag, block_end) ] il
-  in
-  rt.stats.Stats.blocks_built <- rt.stats.Stats.blocks_built + 1;
-  if not (is_head ts tag) then FI.set_ibl ts.index tag frag;
-  log_flow rt "build bb 0x%x" tag;
-  frag
-
-(* ------------------------------------------------------------------ *)
-(* Trace building                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let start_tracegen (rt : runtime) (ts : thread_state) head =
-  ts.tracegen <-
-    Some
-      {
-        tg_head = head;
-        tg_tags = [];
-        tg_il = Instrlist.create ();
-        tg_insns = 0;
-        tg_pending = P_start;
-        tg_checks = [];
-      };
-  log_flow rt "start trace 0x%x" head
-
-(* Splice the client-view IL of block [tag]'s bb fragment into the
-   growing trace, recording the new pending CTI. *)
-let stitch_block (rt : runtime) (ts : thread_state) (tg : tracegen) tag : unit =
-  let frag =
-    match FI.find_bb ts.index tag with
-    | Some f -> f
-    | None -> build_bb rt ts tag
-  in
-  let il = Emit.decode_fragment_il rt frag in
-  (* peel the trailing exit structure *)
-  let target_of (i : Instr.t) =
-    match Insn.src (Instr.get_insn i) 0 with
-    | Operand.Target t -> t
-    | _ -> rio_error "trace stitch: malformed exit"
-  in
-  let last = Option.get (Instrlist.last il) in
-  let pending =
-    match Instr.get_opcode last with
-    | Opcode.Hlt ->
-        Instrlist.remove il last;
-        P_halt
-    | Opcode.Jmp -> (
-        let t = target_of last in
-        Instrlist.remove il last;
-        match ind_kind_of_token t with
-        | Some k -> P_ind k
-        | None -> (
-            (* is the (new) last instruction a conditional exit? *)
-            match Instrlist.last il with
-            | Some prev
-              when (not (Instr.is_bundle prev))
-                   && (match Instr.get_opcode prev with
-                      | Opcode.Jcc _ -> true
-                      | _ -> false) ->
-                let c =
-                  match Instr.get_opcode prev with
-                  | Opcode.Jcc c -> c
-                  | _ -> assert false
-                in
-                let taken = target_of prev in
-                Instrlist.remove il prev;
-                P_jcc (c, taken, t)
-            | _ -> P_jmp t))
-    | _ -> rio_error "trace stitch: block 0x%x does not end in an exit" tag
-  in
-  tg.tg_insns <- tg.tg_insns + Instrlist.length il;
-  Instrlist.append_all ~dst:tg.tg_il il;
-  tg.tg_tags <- tag :: tg.tg_tags;
-  tg.tg_pending <- pending
-
-(* Resolve the pending CTI knowing execution continued at [next]. *)
-let resolve_pending (ts : thread_state) (tg : tracegen) ~next : unit =
-  match tg.tg_pending with
-  | P_start -> ()
-  | P_halt -> rio_error "trace continued past hlt"
-  | P_jmp t ->
-      if t <> next then rio_error "trace stitch: jmp to 0x%x but executed 0x%x" t next
-  | P_jcc (c, taken, ft) ->
-      let exit_instr =
-        if next = taken then Create.jcc (Cond.invert c) ft
-        else if next = ft then Create.jcc c taken
-        else rio_error "trace stitch: jcc targets 0x%x/0x%x but executed 0x%x" taken ft next
-      in
-      tg.tg_insns <- tg.tg_insns + 1;
-      Instrlist.append tg.tg_il exit_instr
-  | P_ind k ->
-      (* inline the observed target with a check; flags handling is
-         fixed up at finalize time when the whole trace is known *)
-      let instrs =
-        Mangle.inline_check ~tid:ts.ts_tid ~expected:next ~kind:k ~flags_live:false
-      in
-      List.iter
-        (fun i ->
-          tg.tg_insns <- tg.tg_insns + 1;
-          Instrlist.append tg.tg_il i)
-        instrs;
-      (match List.rev instrs with
-       | jne :: _ -> tg.tg_checks <- jne :: tg.tg_checks
-       | [] -> assert false)
-
-(* Materialize the final pending CTI as trace exits. *)
-let finalize_pending (tg : tracegen) : unit =
-  let app i = Instrlist.append tg.tg_il i in
-  match tg.tg_pending with
-  | P_start -> rio_error "empty trace"
-  | P_halt -> app (Create.of_insn (Insn.mk_hlt ()))
-  | P_jmp t -> app (Create.jmp t)
-  | P_jcc (c, taken, ft) ->
-      app (Create.jcc c taken);
-      app (Create.jmp ft)
-  | P_ind k -> app (Create.jmp (ind_token k))
-
-(* For every inline check inserted without flags preservation, scan
-   forward: if the application flags are live at the check, bracket it
-   with save/restore and attach the stub restore. *)
-let fixup_check_flags (rt : runtime) (ts : thread_state) (tg : tracegen) : unit =
-  let il = tg.tg_il in
-  let fslot = Mangle.abs_slot ~tid:ts.ts_tid slot_eflags in
-  List.iter
-    (fun (jne : Instr.t) ->
-      (* the check is [cmp; jne]; flags are live if anything after the
-         jne reads them before writing *)
-      let after = jne.Instr.next in
-      if
-        rt.opts.Options.always_save_flags
-        || not (Flags_analysis.dead_after after)
-      then begin
-        let cmp = Option.get jne.Instr.prev in
-        Instrlist.insert_before il cmp (Create.pushf ());
-        Instrlist.insert_before il cmp (Create.pop fslot);
-        Instrlist.insert_after il jne (Create.popf ());
-        Instrlist.insert_after il jne (Create.push fslot);
-        let stub = Instrlist.create () in
-        Instrlist.append stub (Create.push fslot);
-        Instrlist.append stub (Create.popf ());
-        jne.Instr.note <- Instr.Any_note (Stub_note (stub, false));
-        tg.tg_insns <- tg.tg_insns + 4
-      end)
-    tg.tg_checks
-
-let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) : fragment =
-  finalize_pending tg;
-  fixup_check_flags rt ts tg;
-  let head = tg.tg_head in
-  let il = tg.tg_il in
-  (* the client sees the completely processed trace (paper §3.3);
-     instructions are fully decoded with raw bits valid (Level 3) *)
-  Instrlist.decode_to il Level.L3;
-  let il =
-    match rt.client.trace_hook with
-    | Some hook ->
-        Guard.protect_il rt ~hook:"trace" il (fun il ->
-            hook { rt; ts } ~tag:head il)
-    | None -> il
-  in
-  charge_opt rt
-    (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
-  Mangle.mangle_il ~tid:ts.ts_tid il;
-  let src_ranges =
-    List.concat_map
-      (fun tag ->
-        match FI.find_bb ts.index tag with
-        | Some f -> f.src_ranges
-        | None -> [])
-      tg.tg_tags
-  in
-  let frag = Emit.emit_fragment rt ts ~kind:Trace ~tag:head ~src_ranges il in
-  rt.stats.Stats.traces_built <- rt.stats.Stats.traces_built + 1;
-  (* the trace shadows the head's bb: lookups prefer traces, the ibl
-     entry moves to the trace, and the bb's links are already severed
-     (it is a head).  Targets of the trace's direct exits become heads. *)
-  FI.set_ibl ts.index head frag;
-  Array.iter
-    (fun e ->
-      match e.e_kind with
-      | Exit_direct ->
-          if
-            e.target_tag <> head
-            && FI.find_trace ts.index e.target_tag = None
-          then make_head rt ts e.target_tag
-      | Exit_indirect _ -> ())
-    frag.exits;
-  ts.tracegen <- None;
-  log_flow rt "built trace 0x%x (%d blocks)" head (List.length tg.tg_tags);
-  frag
-
-(* Default end-of-trace test (paper §3.5: stop at a backward branch —
-   approximated as reaching another trace head — or an existing trace). *)
-let default_end (rt : runtime) (ts : thread_state) (tg : tracegen) ~next =
-  FI.find_trace ts.index next <> None
-  || is_head ts next
-  || List.length tg.tg_tags >= rt.opts.Options.max_trace_blocks
-
-(* One dispatcher step while generating a trace.  Returns the fragment
-   to execute next (always the bb for [next], unlinked). *)
-let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
-  let tg = match ts.tracegen with Some tg -> tg | None -> assert false in
-  let should_end =
-    if tg.tg_pending = P_start then false (* always take the head block *)
-    else if tg.tg_pending = P_halt then true
-    else
-      match rt.client.end_trace with
-      | None -> default_end rt ts tg ~next
-      | Some hook -> (
-          match
-            Guard.protect_end_trace rt ~hook:"end_trace" ~default:Default_end
-              (fun () -> hook { rt; ts } ~trace_tag:tg.tg_head ~next_tag:next)
-          with
-          | End_trace -> true
-          | Continue_trace -> false
-          | Default_end -> default_end rt ts tg ~next)
-  in
-  if should_end || tg.tg_pending = P_halt then begin
-    ignore (finalize_trace rt ts tg);
-    None (* re-dispatch [next] normally *)
-  end
-  else begin
-    resolve_pending ts tg ~next;
-    stitch_block rt ts tg next;
-    if tg.tg_pending = P_halt then begin
-      (* block ends the program: close the trace now *)
-      ignore (finalize_trace rt ts tg)
-    end;
-    (* execute the constituent block, unlinked, so control returns to
-       the dispatcher to observe where execution goes *)
-    let frag =
-      match FI.find_bb ts.index next with
-      | Some f -> f
-      | None -> build_bb rt ts next
-    in
-    Array.iter (fun e -> Emit.unlink rt e) frag.exits;
-    Some frag
-  end
-
-(* ------------------------------------------------------------------ *)
-(* The dispatcher proper                                              *)
+(* Safe-point services                                                *)
 (* ------------------------------------------------------------------ *)
 
 (* Push a value on the application stack of [ts]'s thread. *)
@@ -399,6 +60,10 @@ let rec deliver_signals (rt : runtime) (ts : thread_state) =
         log_flow rt "deliver signal -> 0x%x" h
       end
 
+(* ------------------------------------------------------------------ *)
+(* Fragment lookup                                                    *)
+(* ------------------------------------------------------------------ *)
+
 (* Look up (or create) the fragment to run for [tag] outside trace
    generation, honouring trace-head counters.  One index probe serves
    the trace lookup, the bb lookup, and the head-counter bump. *)
@@ -412,14 +77,14 @@ let fragment_for_normal (rt : runtime) (ts : thread_state) tag : fragment =
       let frag =
         match e.FI.bb with
         | Some f -> f
-        | None -> build_bb rt ts tag
+        | None -> Blockbuild.build_bb rt ts tag
       in
       if (e.FI.head >= 0 || e.FI.marked) && rt.opts.Options.enable_traces then begin
         let c = 1 + (if e.FI.head >= 0 then e.FI.head else 0) in
         e.FI.head <- c;
         if c >= rt.opts.Options.trace_threshold && ts.tracegen = None then begin
-          start_tracegen rt ts tag;
-          match tracegen_step rt ts ~next:tag with
+          Trace.start_tracegen rt ts tag;
+          match Trace.tracegen_step rt ts ~next:tag with
           | Some f -> f
           | None -> frag
         end
@@ -434,7 +99,7 @@ let rec fragment_for (rt : runtime) (ts : thread_state) : fragment =
   let tag = ts.next_tag in
   match ts.tracegen with
   | Some _ -> (
-      match tracegen_step rt ts ~next:tag with
+      match Trace.tracegen_step rt ts ~next:tag with
       | Some frag -> frag
       | None ->
           (* trace was finalized; dispatch [tag] normally (it may even
@@ -445,15 +110,6 @@ let rec fragment_for (rt : runtime) (ts : thread_state) : fragment =
 (* ------------------------------------------------------------------ *)
 (* Recovery ladder (S34)                                              *)
 (* ------------------------------------------------------------------ *)
-
-(* Discard an in-progress trace generation (used when a constituent
-   block turned out to be damaged mid-stitch). *)
-let abort_tracegen (rt : runtime) (ts : thread_state) =
-  match ts.tracegen with
-  | None -> ()
-  | Some _ ->
-      ts.tracegen <- None;
-      log_flow rt "abort trace generation"
 
 (** Graceful degradation for a damaged [tag], escalating one rung per
     detection: re-emit the fragment → flush every fragment built from
@@ -548,7 +204,7 @@ let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
     && owner.kind = Bb
     && target <= owner.tag
     && te.FI.trace = None
-  then make_head_entry rt te;
+  then Trace.make_head_entry rt te;
   (* lazy linking: once the target fragment exists, patch the branch *)
   if
     rt.opts.Options.link_direct
@@ -568,29 +224,6 @@ let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
     | Some f when not f.deleted -> Emit.link rt e f
     | _ -> ()
   end
-
-(* Handle an indirect exit: consult the in-cache lookup table.  A hit
-   continues in the cache (no context switch); a miss (or disabled
-   in-cache lookup) pays the full context switch and dispatches. *)
-let handle_indirect_exit (rt : runtime) (ts : thread_state) :
-    [ `Stay of fragment | `Dispatch ] =
-  let mem = Vm.Machine.mem rt.machine in
-  let target = Vm.Memory.read_u32 mem (tls_addr ~tid:ts.ts_tid ~slot:slot_ibl_target) in
-  ts.next_tag <- target;
-  if rt.opts.Options.link_indirect && ts.tracegen = None then begin
-    (* the in-cache hashtable lookup *)
-    rt.stats.Stats.ibl_lookups <- rt.stats.Stats.ibl_lookups + 1;
-    charge rt rt.opts.Options.costs.Options.ibl_lookup;
-    match FI.find_ibl ts.index target with
-    | Some f when not f.deleted ->
-        log_flow rt "ibl hit 0x%x" target;
-        `Stay f
-    | _ ->
-        rt.stats.Stats.ibl_misses <- rt.stats.Stats.ibl_misses + 1;
-        log_flow rt "ibl miss 0x%x" target;
-        `Dispatch
-  end
-  else `Dispatch
 
 (* Run one scheduling quantum of [ts]'s thread. *)
 let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
@@ -636,8 +269,8 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
        | Some tg ->
            (* close out (or discard) the trace before leaving cache
               execution: its next block will never be a fragment *)
-           if tg.tg_pending = P_start then abort_tracegen rt ts
-           else ignore (finalize_trace rt ts tg));
+           if tg.tg_pending = P_start then Trace.abort_tracegen rt ts
+           else ignore (Trace.finalize_trace rt ts tg));
       emulate_block ()
     end
     else
@@ -647,10 +280,29 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
           (* undecodable raw bits surfaced while building a fragment:
              heal whatever cache state fed them and retry (the ladder
              bounds the retries, ending in pure emulation) *)
-          abort_tracegen rt ts;
+          Trace.abort_tracegen rt ts;
           recover_tag rt ts ~tag:ts.next_tag
             ~reason:(Printf.sprintf "bad raw bits at 0x%x: %s" addr msg);
           from_dispatcher ()
+      | exception Emit.No_room retry ->
+          (* incremental eviction could not host the new basic block *)
+          Trace.abort_tracegen rt ts;
+          if retry then begin
+            (* pinned fragments hold the region: fall back to
+               flush-the-world once every thread is out of the cache.
+               Ending the quantum lets the pinned threads run and exit;
+               the charge keeps simulated time advancing. *)
+            rt.flush_pending <- true;
+            rt.stats.Stats.full_flush_fallbacks <-
+              rt.stats.Stats.full_flush_fallbacks + 1;
+            charge rt rt.opts.Options.costs.Options.context_switch;
+            log_flow rt "no room for bb 0x%x: full flush requested" ts.next_tag;
+            Q_budget
+          end
+          else
+            (* an empty region cannot fit this block at all (option
+               validation makes this unreachable for sane capacities) *)
+            raise Emit.Cache_full
   and emulate_block () =
     (* ladder rung 4: this tag runs by pure interpretation, forever *)
     rt.stats.Stats.blocks_emulated <- rt.stats.Stats.blocks_emulated + 1;
@@ -723,7 +375,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
           then begin
             (* undecodable bytes inside the code cache: the cache, not
                the application, is damaged — heal and retry the block *)
-            abort_tracegen rt ts;
+            Trace.abort_tracegen rt ts;
             recover_tag rt ts ~tag:ts.next_tag ~reason:f;
             from_dispatcher ()
           end
@@ -776,7 +428,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
                   handle_direct_exit rt ts e;
                   from_dispatcher ()
               | Exit_indirect _ -> (
-                  match handle_indirect_exit rt ts with
+                  match Ibl.handle_indirect_exit rt ts with
                   | `Stay f -> enter f
                   | `Dispatch -> from_dispatcher ())))
   in

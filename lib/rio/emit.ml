@@ -1,4 +1,5 @@
-(** Fragment emission, linking, deletion, and cache-resident decoding.
+(** Fragment emission, linking, deletion, eviction, and cache-resident
+    decoding.
 
     A fragment's cache image is:
 
@@ -13,7 +14,14 @@
     for always-through-stub exits, the stub's final jump) to the target
     fragment's entry, and {!unlink} restores it.  All patches re-encode
     in place — lengths cannot change because exit branches are emitted
-    in their long forms. *)
+    in their long forms.
+
+    Cache space comes from one of two allocators (DESIGN.md §6.3): the
+    historical bump allocator ([rt.cache_cursor]) when the cache is
+    unbounded or under the full flush policy, or a pair of bounded
+    {!Cachealloc} regions (basic blocks / traces) under the FIFO
+    policy, where emission reclaims the oldest unpinned fragments until
+    the new one fits. *)
 
 open Isa
 open Types
@@ -72,6 +80,202 @@ let patch_branch (rt : runtime) ~pc ~target =
   write_bytes rt ~addr:pc b
 
 (* ------------------------------------------------------------------ *)
+(* Linking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every legitimate patch of an exit's bytes re-stamps the owning
+   fragment's checksum, so the auditor only flags foreign writes. *)
+let refresh_owner (rt : runtime) (e : exit_) =
+  match e.e_owner with Some f -> Audit.refresh rt f | None -> ()
+
+let link (rt : runtime) (e : exit_) (target : fragment) : unit =
+  if e.linked <> None then rio_error "link: exit already linked";
+  if target.deleted then rio_error "link: target deleted";
+  e.linked <- Some target;
+  target.incoming <- e :: target.incoming;
+  if e.always_through_stub then patch_branch rt ~pc:e.stub_jmp_pc ~target:target.entry
+  else patch_branch rt ~pc:e.branch_pc ~target:target.entry;
+  refresh_owner rt e;
+  rt.stats.Stats.direct_links <- rt.stats.Stats.direct_links + 1
+
+let unlink (rt : runtime) (e : exit_) : unit =
+  match e.linked with
+  | None -> ()
+  | Some target ->
+      e.linked <- None;
+      target.incoming <- List.filter (fun x -> x != e) target.incoming;
+      (try
+         if e.always_through_stub then
+           patch_branch rt ~pc:e.stub_jmp_pc ~target:(token_of_exit e)
+         else patch_branch rt ~pc:e.branch_pc ~target:e.stub_pc
+       with
+      | (Rio_error _ | Decode.Decode_error _)
+        when (match e.e_owner with Some f -> f.deleted | None -> false) ->
+          (* sabotaged branch bytes on a fragment being torn down: the
+             site no longer decodes, and will never execute again *)
+          ());
+      refresh_owner rt e;
+      rt.stats.Stats.unlinks <- rt.stats.Stats.unlinks + 1
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Remove a fragment: unlink everything in and out, drop table
+    entries, fire the client hook (exactly once — the [deleted] flag
+    guards every deletion path).  Under the FIFO policy the cache bytes
+    are reclaimed later, when the fragment reaches the front of its age
+    queue; under the bump allocator space is only reclaimed by a full
+    flush. *)
+let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit =
+  if not frag.deleted then begin
+    (* marked first: if the fragment's own bytes were corrupted, unlink
+       of its exits may find an undecodable patch site and must know
+       the fragment is already condemned *)
+    frag.deleted <- true;
+    List.iter (fun e -> unlink rt e) frag.incoming;
+    Array.iter (fun e -> unlink rt e) frag.exits;
+    Array.iter (fun e -> drop_exit rt e) frag.exits;
+    (match Fragindex.find ts.index frag.tag with
+     | None -> ()
+     | Some en ->
+         (match frag.kind with
+          | Bb -> (
+              match en.Fragindex.bb with
+              | Some f when f == frag -> en.Fragindex.bb <- None
+              | _ -> ())
+          | Trace -> (
+              match en.Fragindex.trace with
+              | Some f when f == frag -> en.Fragindex.trace <- None
+              | _ -> ()));
+         (match en.Fragindex.ibl with
+          | Some f when f == frag -> en.Fragindex.ibl <- None
+          | _ -> ());
+         (* no ghost entries: once nothing lives under the key — no
+            fragment of either kind, no ibl target, no trace-head
+            counter or client mark — drop it from the index entirely.
+            Trace heads deliberately keep their entry (and counter). *)
+         if
+           en.Fragindex.bb = None && en.Fragindex.trace = None
+           && en.Fragindex.ibl = None && en.Fragindex.head < 0
+           && not en.Fragindex.marked
+         then Fragindex.delete ts.index frag.tag);
+    rt.stats.Stats.fragments_deleted <- rt.stats.Stats.fragments_deleted + 1;
+    match rt.client.fragment_deleted with
+    | Some hook ->
+        Guard.protect rt ~hook:"fragment_deleted" (fun () ->
+            hook { rt; ts } ~tag:frag.tag)
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Cache_full
+(** The runtime's own address region is exhausted — fatal. *)
+
+exception No_room of bool
+(** A bounded FIFO region could not host the fragment even after
+    evicting every unpinned fragment.  The payload is [true] when
+    pinned fragments were skipped — a full flush at the next globally
+    safe point would still make room — and [false] when the region
+    simply cannot fit a fragment of this size.  Trace emission drops
+    the trace on either; basic-block emission requests the flush and
+    retries, or surfaces {!Cache_full}. *)
+
+let owner_ts (rt : runtime) (f : fragment) ~(fallback : thread_state) =
+  match List.find_opt (fun ts -> ts.ts_tid = f.f_tid) rt.thread_states with
+  | Some ts -> ts
+  | None -> fallback
+
+(* Allocate [bytes] in a bounded FIFO region, reclaiming the oldest
+   fragments until it fits.  Queue entries come in two flavours:
+   already-deleted fragments (replaced, SMC-flushed, recovered) whose
+   space was merely not yet reclaimed, and live fragments, which are
+   deleted here (firing the client hook and repairing incoming links
+   via delete_fragment).  A pinned fragment — some preempted thread
+   resumes inside it (Types.thread_inside) — is never touched: it is
+   re-queued at the back and effectively treated as young. *)
+let alloc_fifo (rt : runtime) (ts : thread_state) region queue bytes : int =
+  match Cachealloc.alloc region bytes with
+  | Some a -> a
+  | None ->
+      let skipped = ref [] in
+      let requeue () =
+        List.iter (fun f -> Queue.push f queue) (List.rev !skipped)
+      in
+      let rec go () =
+        match Cachealloc.alloc region bytes with
+        | Some a -> a
+        | None -> (
+            match Queue.take_opt queue with
+            | None ->
+                (* everything evictable is gone; whether pinned
+                   fragments hold the rest decides if a full flush can
+                   still help — the caller's policy, not ours *)
+                let retry = !skipped <> [] in
+                requeue ();
+                raise (No_room retry)
+            | Some f ->
+                if thread_inside rt f then begin
+                  skipped := f :: !skipped;
+                  go ()
+                end
+                else begin
+                  if not f.deleted then begin
+                    delete_fragment rt (owner_ts rt f ~fallback:ts) f;
+                    rt.stats.Stats.evictions <- rt.stats.Stats.evictions + 1;
+                    rt.stats.Stats.evicted_bytes <-
+                      rt.stats.Stats.evicted_bytes + (f.total_end - f.entry);
+                    charge rt rt.opts.Options.costs.Options.evict_fragment;
+                    log_flow rt "evict %s 0x%x"
+                      (match f.kind with Bb -> "bb" | Trace -> "trace")
+                      f.tag
+                  end;
+                  ignore (Cachealloc.free region ~addr:f.entry);
+                  go ()
+                end)
+      in
+      let a = go () in
+      requeue ();
+      a
+
+let alloc (rt : runtime) (ts : thread_state) ~(kind : fragment_kind) n =
+  match rt.cache_alloc with
+  | None ->
+      (* unbounded cache, or a bounded one under the full flush policy:
+         bump allocation with a soft capacity check (the fragment being
+         built must land somewhere; the flush happens at the next
+         globally safe point) *)
+      let a = rt.cache_cursor in
+      if a + n > rt.heap_cursor then raise Cache_full;
+      (match rt.opts.Options.cache_capacity with
+       | Some cap when a + n - cache_base > cap -> rt.flush_pending <- true
+       | _ -> ());
+      rt.cache_cursor <- a + n;
+      a
+  | Some (bb_region, trace_region) -> (
+      match kind with
+      | Bb -> alloc_fifo rt ts bb_region rt.fifo_bb n
+      | Trace -> alloc_fifo rt ts trace_region rt.fifo_trace n)
+
+(** Refresh the free-list gauges in {!Stats} from the live allocators
+    (no-op under the bump allocator). *)
+let refresh_cache_gauges (rt : runtime) : unit =
+  match rt.cache_alloc with
+  | None -> ()
+  | Some (bb_region, trace_region) ->
+      rt.stats.Stats.freelist_holes <-
+        Cachealloc.holes bb_region + Cachealloc.holes trace_region;
+      rt.stats.Stats.freelist_free_bytes <-
+        Cachealloc.free_bytes bb_region + Cachealloc.free_bytes trace_region;
+      rt.stats.Stats.freelist_largest_hole <-
+        max
+          (Cachealloc.largest_free_bytes bb_region)
+          (Cachealloc.largest_free_bytes trace_region)
+
+(* ------------------------------------------------------------------ *)
 (* Emission                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -87,20 +291,6 @@ type planned_exit = {
   mutable px_stub_pc : int;
   mutable px_stub_jmp_pc : int;
 }
-
-exception Cache_full
-
-let alloc (rt : runtime) n =
-  let a = rt.cache_cursor in
-  if a + n > rt.heap_cursor then raise Cache_full;
-  (match rt.opts.Options.cache_capacity with
-   | Some cap when a + n - cache_base > cap ->
-       (* over capacity: keep going (the fragment being built must
-          land somewhere) but request a flush at the next safe point *)
-       rt.flush_pending <- true
-   | _ -> ());
-  rt.cache_cursor <- a + n;
-  a
 
 (** Emit a client-view (already mangled) IL as a fragment for [tag].
 
@@ -173,7 +363,7 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
   in
   let stub_sizes = List.map stub_size planned in
   let total = body_size + List.fold_left ( + ) 0 stub_sizes in
-  let entry = alloc rt total in
+  let entry = alloc rt ts ~kind total in
   let body_end = entry + body_size in
   let _ =
     List.fold_left2
@@ -280,84 +470,13 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
    | Trace ->
        Fragindex.set_trace ts.index tag frag;
        rt.stats.Stats.cache_bytes_trace <- rt.stats.Stats.cache_bytes_trace + total);
+  (* FIFO age tracking: every bounded-cache fragment joins its region's
+     queue once, at emission; it leaves when its space is reclaimed *)
+  (if rt.cache_alloc <> None then
+     match kind with
+     | Bb -> Queue.push frag rt.fifo_bb
+     | Trace -> Queue.push frag rt.fifo_trace);
   frag
-
-(* ------------------------------------------------------------------ *)
-(* Linking                                                            *)
-(* ------------------------------------------------------------------ *)
-
-(* Every legitimate patch of an exit's bytes re-stamps the owning
-   fragment's checksum, so the auditor only flags foreign writes. *)
-let refresh_owner (rt : runtime) (e : exit_) =
-  match e.e_owner with Some f -> Audit.refresh rt f | None -> ()
-
-let link (rt : runtime) (e : exit_) (target : fragment) : unit =
-  if e.linked <> None then rio_error "link: exit already linked";
-  if target.deleted then rio_error "link: target deleted";
-  e.linked <- Some target;
-  target.incoming <- e :: target.incoming;
-  if e.always_through_stub then patch_branch rt ~pc:e.stub_jmp_pc ~target:target.entry
-  else patch_branch rt ~pc:e.branch_pc ~target:target.entry;
-  refresh_owner rt e;
-  rt.stats.Stats.direct_links <- rt.stats.Stats.direct_links + 1
-
-let unlink (rt : runtime) (e : exit_) : unit =
-  match e.linked with
-  | None -> ()
-  | Some target ->
-      e.linked <- None;
-      target.incoming <- List.filter (fun x -> x != e) target.incoming;
-      (try
-         if e.always_through_stub then
-           patch_branch rt ~pc:e.stub_jmp_pc ~target:(token_of_exit e)
-         else patch_branch rt ~pc:e.branch_pc ~target:e.stub_pc
-       with
-      | (Rio_error _ | Decode.Decode_error _)
-        when (match e.e_owner with Some f -> f.deleted | None -> false) ->
-          (* sabotaged branch bytes on a fragment being torn down: the
-             site no longer decodes, and will never execute again *)
-          ());
-      refresh_owner rt e;
-      rt.stats.Stats.unlinks <- rt.stats.Stats.unlinks + 1
-
-(* ------------------------------------------------------------------ *)
-(* Deletion                                                           *)
-(* ------------------------------------------------------------------ *)
-
-(** Remove a fragment: unlink everything in and out, drop table
-    entries, fire the client hook.  Cache space is not reclaimed (the
-    experiments run with unlimited cache, like the paper's). *)
-let delete_fragment (rt : runtime) (ts : thread_state) (frag : fragment) : unit =
-  if not frag.deleted then begin
-    (* marked first: if the fragment's own bytes were corrupted, unlink
-       of its exits may find an undecodable patch site and must know
-       the fragment is already condemned *)
-    frag.deleted <- true;
-    List.iter (fun e -> unlink rt e) frag.incoming;
-    Array.iter (fun e -> unlink rt e) frag.exits;
-    Array.iter (fun e -> drop_exit rt e) frag.exits;
-    (match Fragindex.find ts.index frag.tag with
-     | None -> ()
-     | Some en ->
-         (match frag.kind with
-          | Bb -> (
-              match en.Fragindex.bb with
-              | Some f when f == frag -> en.Fragindex.bb <- None
-              | _ -> ())
-          | Trace -> (
-              match en.Fragindex.trace with
-              | Some f when f == frag -> en.Fragindex.trace <- None
-              | _ -> ()));
-         (match en.Fragindex.ibl with
-          | Some f when f == frag -> en.Fragindex.ibl <- None
-          | _ -> ()));
-    rt.stats.Stats.fragments_deleted <- rt.stats.Stats.fragments_deleted + 1;
-    match rt.client.fragment_deleted with
-    | Some hook ->
-        Guard.protect rt ~hook:"fragment_deleted" (fun () ->
-            hook { rt; ts } ~tag:frag.tag)
-    | None -> ()
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Cache-resident decode (client view)                                *)
@@ -428,14 +547,20 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
   in
   List.iter
     (fun e ->
-      e.linked <- None;
-      (* re-point each incoming branch at the new entry *)
-      if e.always_through_stub then
-        patch_branch rt ~pc:e.stub_jmp_pc ~target:fresh.entry
-      else patch_branch rt ~pc:e.branch_pc ~target:fresh.entry;
-      refresh_owner rt e;
-      e.linked <- Some fresh;
-      fresh.incoming <- e :: fresh.incoming)
+      (* under FIFO capacity pressure the emission above may already
+         have evicted the fragment owning this incoming exit — its
+         patch sites are reclaimed space now; leave it unlinked *)
+      match e.e_owner with
+      | Some o when not o.deleted ->
+          e.linked <- None;
+          (* re-point each incoming branch at the new entry *)
+          if e.always_through_stub then
+            patch_branch rt ~pc:e.stub_jmp_pc ~target:fresh.entry
+          else patch_branch rt ~pc:e.branch_pc ~target:fresh.entry;
+          refresh_owner rt e;
+          e.linked <- Some fresh;
+          fresh.incoming <- e :: fresh.incoming
+      | _ -> e.linked <- None)
     incoming;
   (* the old fragment's stubs stay alive — a thread may still be
      executing inside the old body; emit_fragment already re-pointed
@@ -443,14 +568,19 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
   (match Fragindex.find ts.index old_frag.tag with
    | Some en when en.Fragindex.ibl <> None -> en.Fragindex.ibl <- Some fresh
    | _ -> ());
-  old_frag.deleted <- true;
-  rt.stats.Stats.fragments_replaced <- rt.stats.Stats.fragments_replaced + 1;
-  charge_opt rt rt.opts.Options.costs.Options.replace_fragment;
-  (match rt.client.fragment_deleted with
-   | Some hook ->
-       Guard.protect rt ~hook:"fragment_deleted" (fun () ->
-           hook { rt; ts } ~tag:old_frag.tag)
-   | None -> ());
+  (* delayed delete, exactly once: capacity eviction may have torn the
+     old fragment down during the emission above, firing the hook
+     already *)
+  if not old_frag.deleted then begin
+    old_frag.deleted <- true;
+    rt.stats.Stats.fragments_replaced <- rt.stats.Stats.fragments_replaced + 1;
+    charge_opt rt rt.opts.Options.costs.Options.replace_fragment;
+    match rt.client.fragment_deleted with
+    | Some hook ->
+        Guard.protect rt ~hook:"fragment_deleted" (fun () ->
+            hook { rt; ts } ~tag:old_frag.tag)
+    | None -> ()
+  end;
   fresh
 
 (* ------------------------------------------------------------------ *)
@@ -493,7 +623,16 @@ let flush_all (rt : runtime) : unit =
          head counters survive, as before *)
       Fragindex.flush_fragments ts.index)
     rt.thread_states;
-  rt.cache_cursor <- cache_base;
+  (match rt.cache_alloc with
+   | None -> rt.cache_cursor <- cache_base
+   | Some (bb_region, trace_region) ->
+       (* FIFO mode: drop the age queues (deleted-but-unreclaimed
+          entries included) and reopen both regions empty; the bump
+          cursor stays pinned at the region end guarding the heap *)
+       Queue.clear rt.fifo_bb;
+       Queue.clear rt.fifo_trace;
+       Cachealloc.reset bb_region;
+       Cachealloc.reset trace_region);
   rt.flush_pending <- false;
   rt.stats.Stats.cache_flushes <- rt.stats.Stats.cache_flushes + 1
 

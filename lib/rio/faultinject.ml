@@ -35,16 +35,8 @@ let rand (rt : runtime) (n : int) : int =
 
 (* A fragment is a safe corruption victim only if no preempted thread
    is currently executing inside it: the damage must be repairable at
-   this safe point, before the bytes can run. *)
-let thread_inside (rt : runtime) (f : fragment) : bool =
-  List.exists
-    (fun ts ->
-      ts.in_cache
-      &&
-      let pc = ts.thread.Vm.Machine.pc in
-      pc >= f.entry && pc < f.total_end)
-    rt.thread_states
-
+   this safe point, before the bytes can run.  The pinning test is
+   {!Types.thread_inside}, shared with capacity eviction. *)
 let candidate_fragments (rt : runtime) : fragment list =
   List.filter (fun f -> not (thread_inside rt f)) (Audit.live_fragments rt)
 

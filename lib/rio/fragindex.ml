@@ -2,11 +2,12 @@
 
     Layout: a power-of-two array of per-tag entries, Fibonacci-hashed
     key, linear probing.  An array cell is either [Empty] or an
-    [entry]; keys are never removed, so a probe can stop at the first
-    [Empty] both for lookups and inserts (no tombstones).  Fragment
-    slots are valid only while [entry.fgen] equals the table's
-    generation; {!flush_fragments} bumps the generation, invalidating
-    every slot at once without walking the table. *)
+    [entry]; a probe can stop at the first [Empty] both for lookups and
+    inserts because {!delete} removes keys by backward-shifting the
+    probe chain closed (no tombstones, so chains never accumulate dead
+    cells).  Fragment slots are valid only while [entry.fgen] equals
+    the table's generation; {!flush_fragments} bumps the generation,
+    invalidating every slot at once without walking the table. *)
 
 type 'a entry = {
   key : int;
@@ -129,6 +130,41 @@ let set_ibl t tag f = (ensure t tag).ibl <- Some f
 
 let clear_ibl t tag =
   match find t tag with None -> () | Some e -> e.ibl <- None
+
+(* Backward-shift deletion for linear probing: after emptying slot [i],
+   walk the chain forward; an entry at [j] whose ideal slot lies
+   cyclically at or before [i] moves back into the hole (which then
+   becomes [j]), preserving the invariant that every key is reachable
+   from its ideal slot without crossing an [Empty].  Entries move by
+   cell reference only — the records themselves are stable, so entry
+   references held across a delete of a *different* key stay valid. *)
+let delete t tag =
+  let rec locate i =
+    match t.cells.(i) with
+    | Empty -> None
+    | Entry e when e.key = tag -> Some i
+    | Entry _ -> locate ((i + 1) land t.mask)
+  in
+  match locate (slot_of t tag) with
+  | None -> ()
+  | Some hole ->
+      t.count <- t.count - 1;
+      let rec shift hole j =
+        match t.cells.(j) with
+        | Empty -> t.cells.(hole) <- Empty
+        | Entry e ->
+            let ideal = slot_of t e.key in
+            (* e may fill the hole iff its ideal slot is not inside the
+               cyclic range (hole, j] *)
+            if (j - ideal) land t.mask >= (j - hole) land t.mask then begin
+              t.cells.(hole) <- t.cells.(j);
+              shift j ((j + 1) land t.mask)
+            end
+            else shift hole ((j + 1) land t.mask)
+      in
+      shift hole ((hole + 1) land t.mask)
+
+let count t = t.count
 
 let is_head t tag =
   match find t tag with

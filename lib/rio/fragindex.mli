@@ -8,14 +8,15 @@
     the indirect-branch lookup resolve to" — are all answered by a
     single linear probe.
 
-    Keys are never individually deleted, so probe chains never break
-    and there are no tombstones.  Emptying a per-tag {e slot} (one
-    fragment kind) just clears that field; evicting {e every} fragment
-    at once (flush-the-world) bumps a table-wide generation counter in
-    O(1) — entries whose generation is stale read as empty and are
-    lazily reset on next touch.  Trace-head counters deliberately
-    survive a fragment flush, exactly as the old separate
-    [head_counters] table did. *)
+    Emptying a per-tag {e slot} (one fragment kind) just clears that
+    field; {!delete} removes a whole key by backward-shift (no
+    tombstones), so an evicted fragment leaves no ghost entry behind;
+    evicting {e every} fragment at once (flush-the-world) bumps a
+    table-wide generation counter in O(1) — entries whose generation is
+    stale read as empty and are lazily reset on next touch.  Trace-head
+    counters deliberately survive a fragment flush, exactly as the old
+    separate [head_counters] table did (capacity eviction therefore
+    only deletes keys with no head state left). *)
 
 type 'a entry = {
   key : int;                   (** application tag *)
@@ -52,6 +53,16 @@ val clear_ibl : 'a t -> int -> unit
 
 val is_head : 'a t -> int -> bool
 (** True when the tag has a head counter or a client mark. *)
+
+val delete : 'a t -> int -> unit
+(** Remove the key entirely — fragment slots, head counter, and mark —
+    closing its probe chain by backward shift.  No-op when absent.
+    Entry references for {e other} keys stay valid (records move by
+    cell, not by copy); a reference to the deleted key's entry becomes
+    detached and must not be reused. *)
+
+val count : 'a t -> int
+(** Live keys in the table. *)
 
 val flush_fragments : 'a t -> unit
 (** Invalidate every bb/trace/ibl slot in O(1) (generation bump);

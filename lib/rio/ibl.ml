@@ -1,0 +1,29 @@
+(** Indirect-branch lookup (paper §2.3), split out of the dispatcher.
+
+    The simulated in-cache hashtable is the [ibl] slot of the unified
+    {!Fragindex}: a hit continues in the cache paying only the lookup
+    cost; a miss (or disabled in-cache lookup) pays the full context
+    switch and goes back to the dispatcher. *)
+
+open Types
+module FI = Fragindex
+
+let handle_indirect_exit (rt : runtime) (ts : thread_state) :
+    [ `Stay of fragment | `Dispatch ] =
+  let mem = Vm.Machine.mem rt.machine in
+  let target = Vm.Memory.read_u32 mem (tls_addr ~tid:ts.ts_tid ~slot:slot_ibl_target) in
+  ts.next_tag <- target;
+  if rt.opts.Options.link_indirect && ts.tracegen = None then begin
+    (* the in-cache hashtable lookup *)
+    rt.stats.Stats.ibl_lookups <- rt.stats.Stats.ibl_lookups + 1;
+    charge rt rt.opts.Options.costs.Options.ibl_lookup;
+    match FI.find_ibl ts.index target with
+    | Some f when not f.deleted ->
+        log_flow rt "ibl hit 0x%x" target;
+        `Stay f
+    | _ ->
+        rt.stats.Stats.ibl_misses <- rt.stats.Stats.ibl_misses + 1;
+        log_flow rt "ibl miss 0x%x" target;
+        `Dispatch
+  end
+  else `Dispatch

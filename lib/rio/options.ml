@@ -21,6 +21,9 @@ type costs = {
   audit_per_fragment : int;
       (** modelled cost of auditing one fragment (checksum walk +
           link-state validation) at a dispatch safe point *)
+  evict_fragment : int;
+      (** unlinking and reclaiming one fragment under incremental
+          (FIFO) capacity eviction *)
 }
 
 let default_costs =
@@ -34,6 +37,7 @@ let default_costs =
     clean_call = 60;
     replace_fragment = 500;
     audit_per_fragment = 20;
+    evict_fragment = 40;
   }
 
 (** Deterministic fault injection (S34).  The injector fires at
@@ -60,6 +64,17 @@ let default_faults =
     fi_signals = true;
   }
 
+(** What to do when a bounded code cache fills up (DESIGN.md §6.3). *)
+type flush_policy =
+  | Flush_fifo
+      (** incremental reclamation: evict the oldest unpinned fragments,
+          one at a time, until the new fragment fits.  The capacity is
+          a hard bound split between a basic-block and a trace region *)
+  | Flush_full
+      (** Dynamo's flush-the-world: the capacity is a soft bound over a
+          bump allocator; crossing it requests a whole-cache flush at
+          the next globally safe point (the pre-refactor behaviour) *)
+
 type t = {
   emulate : bool;         (** pure emulation: no cache at all (Table 1 row 1) *)
   link_direct : bool;     (** link direct branches between fragments *)
@@ -70,9 +85,11 @@ type t = {
   max_bb_insns : int;     (** basic blocks stop after this many instructions *)
   cache_capacity : int option;
       (** bound on total code-cache bytes; [None] = unlimited (the
-          paper's experimental setup).  On overflow the runtime flushes
-          all fragments at the next safe point and rebuilds — Dynamo's
-          flush-the-world policy *)
+          paper's experimental setup).  How overflow is handled is
+          [flush_policy]'s choice *)
+  flush_policy : flush_policy;
+      (** capacity response; irrelevant when [cache_capacity] is
+          [None] *)
   quantum : int;          (** scheduler quantum, cycles *)
   always_save_flags : bool;
       (** disable the Level-2 eflags liveness analysis: every inline
@@ -105,6 +122,7 @@ let default =
     max_trace_blocks = 16;
     max_bb_insns = 128;
     cache_capacity = None;
+    flush_policy = Flush_fifo;
     quantum = 100_000;
     always_save_flags = false;
     sideline = false;
@@ -114,6 +132,50 @@ let default =
     client_fail_limit = 3;
     costs = default_costs;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Invalid_options of string
+(** Raised by {!validate_exn} (and thus {!Rio.create}) on option
+    combinations that could only fail later, mid-emission. *)
+
+(* No SynISA encoding exceeds 12 bytes (opcode byte + modrm + two
+   4-byte immediates/displacements; see lib/isa/encode.ml). *)
+let max_insn_bytes = 12
+
+(** Worst-case cache bytes of a single basic-block fragment: the body
+    (up to [max_bb_insns] instructions, the final CTI mangled into a
+    handful of instructions, plus the sealing jmp) and two exit stubs
+    with flags-restore preambles.  Trace fragments can be far larger
+    but are droppable — a trace that does not fit is simply not built —
+    so only the bb bound is a hard floor. *)
+let max_bb_fragment_bytes (t : t) = ((t.max_bb_insns + 8) * max_insn_bytes) + 32
+
+(** Smallest [cache_capacity] the FIFO policy accepts: each region
+    (capacity/2 for basic blocks, the rest for traces) must fit the
+    largest possible bb fragment even with every other fragment
+    evicted. *)
+let min_cache_capacity (t : t) = 2 * max_bb_fragment_bytes t
+
+let validate (t : t) : (unit, string) result =
+  match t.cache_capacity with
+  | None -> Ok ()
+  | Some cap ->
+      if cap <= 0 then
+        Error (Printf.sprintf "cache capacity must be positive (got %d)" cap)
+      else if t.flush_policy = Flush_fifo && cap < min_cache_capacity t then
+        Error
+          (Printf.sprintf
+             "cache capacity %d is below the FIFO floor of %d bytes (twice \
+              the worst-case basic-block fragment for max-bb-insns=%d); \
+              raise the capacity or use the full flush policy"
+             cap (min_cache_capacity t) t.max_bb_insns)
+      else Ok ()
+
+let validate_exn (t : t) : unit =
+  match validate t with Ok () -> () | Error msg -> raise (Invalid_options msg)
 
 (** The five configurations of Table 1, in order. *)
 let table1_configs =

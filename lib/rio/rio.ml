@@ -18,12 +18,16 @@ module Options = Options
 module Stats = Stats
 module Types = Types
 module Fragindex = Fragindex
+module Cachealloc = Cachealloc
 module Flags_analysis = Flags_analysis
 module Mangle = Mangle
 module Emit = Emit
 module Guard = Guard
 module Audit = Audit
 module Faultinject = Faultinject
+module Blockbuild = Blockbuild
+module Trace = Trace
+module Ibl = Ibl
 module Dispatch = Dispatch
 module Api = Api
 
@@ -48,9 +52,26 @@ let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) 
     =
   if Vm.Memory.size (Vm.Machine.mem m) <= cache_base then
     rio_error "machine memory too small for a code cache (need > 16MB)";
+  Options.validate_exn opts;
   m.Vm.Machine.trap_base <- trap_base;
   m.Vm.Machine.intercept_signals <- not opts.Options.emulate;
   m.Vm.Machine.smc_trap <- not opts.Options.emulate;
+  (* A bounded capacity under the FIFO policy gets a pair of free-list
+     allocators (half each for basic blocks and traces) and the bump
+     cursor pinned at the region end, so transparent heap allocations
+     can never grow into the managed cache.  Otherwise the historical
+     bump-and-flush scheme is selected by [cache_alloc = None]. *)
+  let cache_alloc, cursor0 =
+    match (opts.Options.cache_capacity, opts.Options.flush_policy) with
+    | Some cap, Options.Flush_fifo ->
+        let bb_size = cap / 2 in
+        let bb = Cachealloc.create ~base:cache_base ~size:bb_size () in
+        let tr =
+          Cachealloc.create ~base:(cache_base + bb_size) ~size:(cap - bb_size) ()
+        in
+        (Some (bb, tr), cache_base + cap)
+    | _ -> (None, cache_base)
+  in
   {
     machine = m;
     opts;
@@ -61,10 +82,13 @@ let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) 
     next_exit_id = 1;
     ccalls = Hashtbl.create 64;
     next_ccall_id = 1;
-    cache_cursor = cache_base;
+    cache_cursor = cursor0;
     cache_end = Vm.Memory.size (Vm.Machine.mem m);
     heap_cursor = Vm.Memory.size (Vm.Machine.mem m);
     flush_pending = false;
+    cache_alloc;
+    fifo_bb = Queue.create ();
+    fifo_trace = Queue.create ();
     client_output = Buffer.create 256;
     client_global = None;
     flow_log = [];

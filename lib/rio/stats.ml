@@ -18,6 +18,17 @@ type t = {
   mutable runtime_cycles : int;      (** modelled cycles spent in the runtime *)
   mutable sideline_cycles : int;     (** optimization cycles offloaded to a spare processor *)
   mutable cache_flushes : int;       (** capacity-driven flush-the-world events *)
+  (* --- incremental (FIFO) cache management --- *)
+  mutable evictions : int;           (** live fragments deleted to make room *)
+  mutable evicted_bytes : int;       (** cache bytes reclaimed by eviction *)
+  mutable traces_dropped : int;      (** traces abandoned because no room could be made *)
+  mutable full_flush_fallbacks : int;
+      (** FIFO eviction defeated (everything left was pinned): a full
+          flush was requested instead *)
+  mutable freelist_holes : int;      (** gauge: maximal free runs across both regions *)
+  mutable freelist_free_bytes : int; (** gauge: total free bytes across both regions *)
+  mutable freelist_largest_hole : int;
+      (** gauge: largest single free run (biggest emittable fragment) *)
   mutable enters_bb : int;           (** fragment entries landing on basic blocks *)
   mutable enters_trace : int;        (** fragment entries landing on traces *)
   (* --- fault injection (S34) --- *)
@@ -62,6 +73,13 @@ let create () =
     runtime_cycles = 0;
     sideline_cycles = 0;
     cache_flushes = 0;
+    evictions = 0;
+    evicted_bytes = 0;
+    traces_dropped = 0;
+    full_flush_fallbacks = 0;
+    freelist_holes = 0;
+    freelist_free_bytes = 0;
+    freelist_largest_hole = 0;
     enters_bb = 0;
     enters_trace = 0;
     faults_injected = 0;
@@ -104,6 +122,19 @@ let pp ppf (s : t) =
     s.clean_calls s.cache_bytes_bb s.cache_bytes_trace s.trace_head_promotions
     s.signals_delivered s.runtime_cycles s.sideline_cycles s.cache_flushes
     s.enters_bb s.enters_trace
+
+(** Cache-management counters (DESIGN.md §6.3); printed separately so
+    existing stats output stays stable.  The free-list gauges are
+    refreshed by {!Emit.refresh_cache_gauges} and stay zero under the
+    unbounded bump allocator. *)
+let pp_cache ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>evictions:           %d@,evicted bytes:       %d@,\
+     traces dropped:      %d@,full-flush fallbacks: %d@,\
+     free-list holes:     %d@,free-list free bytes: %d@,\
+     largest free hole:   %d@]"
+    s.evictions s.evicted_bytes s.traces_dropped s.full_flush_fallbacks
+    s.freelist_holes s.freelist_free_bytes s.freelist_largest_hole
 
 (** Fault-tolerance counters; printed separately so existing stats
     output stays stable. *)

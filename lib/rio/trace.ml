@@ -1,0 +1,293 @@
+(** Trace selection and generation (paper §2.4 / §3.3), split out of
+    the dispatcher: trace-head promotion, block stitching, pending-CTI
+    resolution, inline-check flags fixup, and trace finalization.
+
+    Under a bounded FIFO cache a trace that no longer fits is simply
+    {e dropped} — the constituent blocks keep running, the head's
+    counter restarts, and no full flush is forced: basic blocks are the
+    only fragments whose emission must succeed. *)
+
+open Isa
+open Types
+module FI = Fragindex
+
+(* ------------------------------------------------------------------ *)
+(* Trace heads                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Promote the tag of [e] to trace-head status: it loses its in-cache
+    lookup entry and its incoming links, so every future execution
+    passes through the dispatcher and bumps its counter. *)
+let make_head_entry (rt : runtime) (e : fragment FI.entry) =
+  if e.FI.head < 0 && not e.FI.marked then begin
+    e.FI.head <- 0;
+    rt.stats.Stats.trace_head_promotions <- rt.stats.Stats.trace_head_promotions + 1;
+    (match e.FI.ibl with
+     | Some f when f.kind = Bb -> e.FI.ibl <- None
+     | _ -> ());
+    match e.FI.bb with
+    | Some frag -> List.iter (Emit.unlink rt) frag.incoming
+    | None -> ()
+  end
+
+let make_head (rt : runtime) (ts : thread_state) tag =
+  make_head_entry rt (FI.ensure ts.index tag)
+
+(* ------------------------------------------------------------------ *)
+(* Trace building                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let start_tracegen (rt : runtime) (ts : thread_state) head =
+  ts.tracegen <-
+    Some
+      {
+        tg_head = head;
+        tg_tags = [];
+        tg_il = Instrlist.create ();
+        tg_insns = 0;
+        tg_pending = P_start;
+        tg_checks = [];
+      };
+  log_flow rt "start trace 0x%x" head
+
+(* Splice the client-view IL of block [tag]'s bb fragment into the
+   growing trace, recording the new pending CTI. *)
+let stitch_block (rt : runtime) (ts : thread_state) (tg : tracegen) tag : unit =
+  let frag =
+    match FI.find_bb ts.index tag with
+    | Some f -> f
+    | None -> Blockbuild.build_bb rt ts tag
+  in
+  let il = Emit.decode_fragment_il rt frag in
+  (* peel the trailing exit structure *)
+  let target_of (i : Instr.t) =
+    match Insn.src (Instr.get_insn i) 0 with
+    | Operand.Target t -> t
+    | _ -> rio_error "trace stitch: malformed exit"
+  in
+  let last = Option.get (Instrlist.last il) in
+  let pending =
+    match Instr.get_opcode last with
+    | Opcode.Hlt ->
+        Instrlist.remove il last;
+        P_halt
+    | Opcode.Jmp -> (
+        let t = target_of last in
+        Instrlist.remove il last;
+        match ind_kind_of_token t with
+        | Some k -> P_ind k
+        | None -> (
+            (* is the (new) last instruction a conditional exit? *)
+            match Instrlist.last il with
+            | Some prev
+              when (not (Instr.is_bundle prev))
+                   && (match Instr.get_opcode prev with
+                      | Opcode.Jcc _ -> true
+                      | _ -> false) ->
+                let c =
+                  match Instr.get_opcode prev with
+                  | Opcode.Jcc c -> c
+                  | _ -> assert false
+                in
+                let taken = target_of prev in
+                Instrlist.remove il prev;
+                P_jcc (c, taken, t)
+            | _ -> P_jmp t))
+    | _ -> rio_error "trace stitch: block 0x%x does not end in an exit" tag
+  in
+  tg.tg_insns <- tg.tg_insns + Instrlist.length il;
+  Instrlist.append_all ~dst:tg.tg_il il;
+  tg.tg_tags <- tag :: tg.tg_tags;
+  tg.tg_pending <- pending
+
+(* Resolve the pending CTI knowing execution continued at [next]. *)
+let resolve_pending (ts : thread_state) (tg : tracegen) ~next : unit =
+  match tg.tg_pending with
+  | P_start -> ()
+  | P_halt -> rio_error "trace continued past hlt"
+  | P_jmp t ->
+      if t <> next then rio_error "trace stitch: jmp to 0x%x but executed 0x%x" t next
+  | P_jcc (c, taken, ft) ->
+      let exit_instr =
+        if next = taken then Create.jcc (Cond.invert c) ft
+        else if next = ft then Create.jcc c taken
+        else rio_error "trace stitch: jcc targets 0x%x/0x%x but executed 0x%x" taken ft next
+      in
+      tg.tg_insns <- tg.tg_insns + 1;
+      Instrlist.append tg.tg_il exit_instr
+  | P_ind k ->
+      (* inline the observed target with a check; flags handling is
+         fixed up at finalize time when the whole trace is known *)
+      let instrs =
+        Mangle.inline_check ~tid:ts.ts_tid ~expected:next ~kind:k ~flags_live:false
+      in
+      List.iter
+        (fun i ->
+          tg.tg_insns <- tg.tg_insns + 1;
+          Instrlist.append tg.tg_il i)
+        instrs;
+      (match List.rev instrs with
+       | jne :: _ -> tg.tg_checks <- jne :: tg.tg_checks
+       | [] -> assert false)
+
+(* Materialize the final pending CTI as trace exits. *)
+let finalize_pending (tg : tracegen) : unit =
+  let app i = Instrlist.append tg.tg_il i in
+  match tg.tg_pending with
+  | P_start -> rio_error "empty trace"
+  | P_halt -> app (Create.of_insn (Insn.mk_hlt ()))
+  | P_jmp t -> app (Create.jmp t)
+  | P_jcc (c, taken, ft) ->
+      app (Create.jcc c taken);
+      app (Create.jmp ft)
+  | P_ind k -> app (Create.jmp (ind_token k))
+
+(* For every inline check inserted without flags preservation, scan
+   forward: if the application flags are live at the check, bracket it
+   with save/restore and attach the stub restore. *)
+let fixup_check_flags (rt : runtime) (ts : thread_state) (tg : tracegen) : unit =
+  let il = tg.tg_il in
+  let fslot = Mangle.abs_slot ~tid:ts.ts_tid slot_eflags in
+  List.iter
+    (fun (jne : Instr.t) ->
+      (* the check is [cmp; jne]; flags are live if anything after the
+         jne reads them before writing *)
+      let after = jne.Instr.next in
+      if
+        rt.opts.Options.always_save_flags
+        || not (Flags_analysis.dead_after after)
+      then begin
+        let cmp = Option.get jne.Instr.prev in
+        Instrlist.insert_before il cmp (Create.pushf ());
+        Instrlist.insert_before il cmp (Create.pop fslot);
+        Instrlist.insert_after il jne (Create.popf ());
+        Instrlist.insert_after il jne (Create.push fslot);
+        let stub = Instrlist.create () in
+        Instrlist.append stub (Create.push fslot);
+        Instrlist.append stub (Create.popf ());
+        jne.Instr.note <- Instr.Any_note (Stub_note (stub, false));
+        tg.tg_insns <- tg.tg_insns + 4
+      end)
+    tg.tg_checks
+
+(** Close out a trace: run the trace hook, mangle, and emit.  Returns
+    [None] when a bounded FIFO cache could not host the trace — the
+    trace is dropped, the head's counter restarts, and execution
+    continues on the constituent blocks. *)
+let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) :
+    fragment option =
+  finalize_pending tg;
+  fixup_check_flags rt ts tg;
+  let head = tg.tg_head in
+  let il = tg.tg_il in
+  (* the client sees the completely processed trace (paper §3.3);
+     instructions are fully decoded with raw bits valid (Level 3) *)
+  Instrlist.decode_to il Level.L3;
+  let il =
+    match rt.client.trace_hook with
+    | Some hook ->
+        Guard.protect_il rt ~hook:"trace" il (fun il ->
+            hook { rt; ts } ~tag:head il)
+    | None -> il
+  in
+  charge_opt rt
+    (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
+  Mangle.mangle_il ~tid:ts.ts_tid il;
+  let src_ranges =
+    List.concat_map
+      (fun tag ->
+        match FI.find_bb ts.index tag with
+        | Some f -> f.src_ranges
+        | None -> [])
+      tg.tg_tags
+  in
+  match Emit.emit_fragment rt ts ~kind:Trace ~tag:head ~src_ranges il with
+  | exception Emit.No_room _ ->
+      (* the trace region cannot host it even after evicting: drop the
+         trace rather than force a full flush — only bb emission is a
+         hard requirement.  Restarting the head counter keeps a still-hot
+         head eligible for re-selection once the cache churns. *)
+      rt.stats.Stats.traces_dropped <- rt.stats.Stats.traces_dropped + 1;
+      (match FI.find ts.index head with
+       | Some e when e.FI.head >= 0 -> e.FI.head <- 0
+       | _ -> ());
+      ts.tracegen <- None;
+      log_flow rt "dropped trace 0x%x (no room)" head;
+      None
+  | frag ->
+      rt.stats.Stats.traces_built <- rt.stats.Stats.traces_built + 1;
+      (* the trace shadows the head's bb: lookups prefer traces, the ibl
+         entry moves to the trace, and the bb's links are already severed
+         (it is a head).  Targets of the trace's direct exits become heads. *)
+      FI.set_ibl ts.index head frag;
+      Array.iter
+        (fun e ->
+          match e.e_kind with
+          | Exit_direct ->
+              if
+                e.target_tag <> head
+                && FI.find_trace ts.index e.target_tag = None
+              then make_head rt ts e.target_tag
+          | Exit_indirect _ -> ())
+        frag.exits;
+      ts.tracegen <- None;
+      log_flow rt "built trace 0x%x (%d blocks)" head (List.length tg.tg_tags);
+      Some frag
+
+(* Default end-of-trace test (paper §3.5: stop at a backward branch —
+   approximated as reaching another trace head — or an existing trace). *)
+let default_end (rt : runtime) (ts : thread_state) (tg : tracegen) ~next =
+  FI.find_trace ts.index next <> None
+  || FI.is_head ts.index next
+  || List.length tg.tg_tags >= rt.opts.Options.max_trace_blocks
+
+(* One dispatcher step while generating a trace.  Returns the fragment
+   to execute next (always the bb for [next], unlinked). *)
+let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
+  let tg = match ts.tracegen with Some tg -> tg | None -> assert false in
+  let should_end =
+    if tg.tg_pending = P_start then false (* always take the head block *)
+    else if tg.tg_pending = P_halt then true
+    else
+      match rt.client.end_trace with
+      | None -> default_end rt ts tg ~next
+      | Some hook -> (
+          match
+            Guard.protect_end_trace rt ~hook:"end_trace" ~default:Default_end
+              (fun () -> hook { rt; ts } ~trace_tag:tg.tg_head ~next_tag:next)
+          with
+          | End_trace -> true
+          | Continue_trace -> false
+          | Default_end -> default_end rt ts tg ~next)
+  in
+  if should_end || tg.tg_pending = P_halt then begin
+    ignore (finalize_trace rt ts tg);
+    None (* re-dispatch [next] normally *)
+  end
+  else begin
+    resolve_pending ts tg ~next;
+    stitch_block rt ts tg next;
+    if tg.tg_pending = P_halt then begin
+      (* block ends the program: close the trace now *)
+      ignore (finalize_trace rt ts tg)
+    end;
+    (* execute the constituent block, unlinked, so control returns to
+       the dispatcher to observe where execution goes *)
+    let frag =
+      match FI.find_bb ts.index next with
+      | Some f -> f
+      | None -> Blockbuild.build_bb rt ts next
+    in
+    Array.iter (fun e -> Emit.unlink rt e) frag.exits;
+    Some frag
+  end
+
+(* Discard an in-progress trace generation (used when a constituent
+   block turned out to be damaged mid-stitch, or when bb emission ran
+   out of room). *)
+let abort_tracegen (rt : runtime) (ts : thread_state) =
+  match ts.tracegen with
+  | None -> ()
+  | Some _ ->
+      ts.tracegen <- None;
+      log_flow rt "abort trace generation"

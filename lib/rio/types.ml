@@ -152,9 +152,18 @@ type runtime = {
   ccalls : (int, ccall_fn) Hashtbl.t;
   mutable next_ccall_id : int;
   mutable cache_cursor : int;
+      (* bump cursor for the unbounded / full-flush-policy cache; under
+         the FIFO policy it is pinned at the region end so transparent
+         heap allocations cannot grow into the bounded cache *)
   cache_end : int;
   mutable heap_cursor : int;          (* transparent allocations grow down from cache_end *)
   mutable flush_pending : bool;       (* capacity exceeded: flush at next safe point *)
+  (* --- incremental cache management (FIFO policy, DESIGN.md §6.3) --- *)
+  cache_alloc : (Cachealloc.t * Cachealloc.t) option;
+      (* (bb region, trace region); [Some] only with a bounded capacity
+         under the FIFO policy — [None] selects the legacy bump path *)
+  fifo_bb : fragment Queue.t;         (* bb fragments in emission order *)
+  fifo_trace : fragment Queue.t;      (* trace fragments in emission order *)
   mutable client_output : Buffer.t;      (* transparent I/O: dr_printf *)
   mutable client_global : exn option;    (* dr global storage *)
   mutable flow_log : string list;        (* optional dispatch-event log (Figure 1) *)
@@ -235,6 +244,19 @@ let exit_of_id (rt : runtime) id : exit_ option =
 let drop_exit (rt : runtime) (e : exit_) : unit =
   let id = e.exit_id in
   if id >= 0 && id < Array.length rt.exits_by_id then rt.exits_by_id.(id) <- None
+
+(** True when some preempted thread will resume execution inside [f]:
+    such a fragment is pinned — it may be neither corrupted (fault
+    injection) nor reclaimed (capacity eviction) until the thread
+    leaves the cache. *)
+let thread_inside (rt : runtime) (f : fragment) : bool =
+  List.exists
+    (fun ts ->
+      ts.in_cache
+      &&
+      let pc = ts.thread.Vm.Machine.pc in
+      pc >= f.entry && pc < f.total_end)
+    rt.thread_states
 
 let charge (rt : runtime) n =
   Vm.Machine.add_cycles rt.machine n;

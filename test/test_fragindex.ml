@@ -37,6 +37,7 @@ type op =
   | Clear_ibl of int
   | Bump_head of int                  (* the dispatcher's head-counter bump *)
   | Mark of int                       (* dr_mark_trace_head *)
+  | Delete of int                     (* per-key backward-shift delete *)
   | Flush                             (* flush_fragments: heads survive *)
 
 let op_to_string = function
@@ -46,6 +47,7 @@ let op_to_string = function
   | Clear_ibl t -> Printf.sprintf "clear_ibl %d" t
   | Bump_head t -> Printf.sprintf "bump_head %d" t
   | Mark t -> Printf.sprintf "mark %d" t
+  | Delete t -> Printf.sprintf "delete %d" t
   | Flush -> "flush"
 
 let model_apply (m : model) = function
@@ -59,6 +61,12 @@ let model_apply (m : model) = function
   | Mark t ->
       Hashtbl.replace m.m_marked t ();
       if not (Hashtbl.mem m.m_head t) then Hashtbl.replace m.m_head t 0
+  | Delete t ->
+      Hashtbl.remove m.m_bb t;
+      Hashtbl.remove m.m_trace t;
+      Hashtbl.remove m.m_ibl t;
+      Hashtbl.remove m.m_head t;
+      Hashtbl.remove m.m_marked t
   | Flush ->
       Hashtbl.reset m.m_bb;
       Hashtbl.reset m.m_trace;
@@ -76,6 +84,7 @@ let index_apply (idx : int FI.t) = function
       let e = FI.ensure idx t in
       e.FI.marked <- true;
       if e.FI.head < 0 then e.FI.head <- 0
+  | Delete t -> FI.delete idx t
   | Flush -> FI.flush_fragments idx
 
 (* ------------------------------------------------------------------ *)
@@ -136,6 +145,9 @@ let op_gen : op QCheck.Gen.t =
       (1, map (fun t -> Clear_ibl t) tag);
       (3, map (fun t -> Bump_head t) tag);
       (1, map (fun t -> Mark t) tag);
+      (* deletes are frequent enough that probe chains shrink and
+         re-close under churn, exercising the backward shift *)
+      (3, map (fun t -> Delete t) tag);
       (1, return Flush);
     ]
 
@@ -173,12 +185,64 @@ let prop_entries_stable_across_growth =
       (* the held reference is still THE entry for the tag *)
       FI.ensure idx tag == e && e.FI.head = 7 && FI.is_head idx tag)
 
+let prop_entries_stable_across_delete =
+  QCheck.Test.make ~count:50 ~name:"entry records survive deletes of other keys"
+    QCheck.(pair (make Gen.(int_bound 99)) (make Gen.(int_bound 99)))
+    (fun (keep, del) ->
+      let del = if del = keep then (del + 1) mod 100 else del in
+      let idx = FI.create ~bits:2 () in
+      for k = 0 to 99 do
+        FI.set_bb idx k k
+      done;
+      let e = FI.ensure idx keep in
+      e.FI.head <- 3;
+      FI.delete idx del;
+      FI.ensure idx keep == e
+      && FI.find_bb idx keep = Some keep
+      && FI.find_bb idx del = None)
+
 (* ------------------------------------------------------------------ *)
 (* Directed cases                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
+
+let test_delete_removes_everything () =
+  let idx = FI.create () in
+  FI.set_bb idx 10 1;
+  FI.set_trace idx 10 2;
+  FI.set_ibl idx 10 3;
+  (FI.ensure idx 10).FI.head <- 5;
+  FI.delete idx 10;
+  checkb "no entry" true (FI.find idx 10 = None);
+  checkb "not a head" false (FI.is_head idx 10);
+  checki "count" 0 (FI.count idx);
+  (* deleting an absent key is a no-op *)
+  FI.delete idx 10;
+  checki "still empty" 0 (FI.count idx)
+
+let test_delete_closes_probe_chains () =
+  (* a tiny initial table guarantees long collision chains; deleting
+     interior keys must backward-shift the chains closed so every
+     surviving key stays reachable from its ideal slot *)
+  let idx = FI.create ~bits:2 () in
+  for k = 0 to 99 do
+    FI.set_bb idx k k
+  done;
+  for k = 0 to 99 do
+    if k mod 3 = 0 then FI.delete idx k
+  done;
+  for k = 0 to 99 do
+    let want = if k mod 3 = 0 then None else Some k in
+    if FI.find_bb idx k <> want then Alcotest.failf "key %d wrong after deletes" k
+  done;
+  checki "live keys" 66 (FI.count idx);
+  (* deleted slots are genuinely reusable *)
+  for k = 0 to 99 do
+    if k mod 3 = 0 then FI.set_bb idx k (k * 2)
+  done;
+  checki "refilled" 100 (FI.count idx)
 
 let test_flush_preserves_heads () =
   let idx = FI.create () in
@@ -216,11 +280,16 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_index_matches_model;
           QCheck_alcotest.to_alcotest prop_entries_stable_across_growth;
+          QCheck_alcotest.to_alcotest prop_entries_stable_across_delete;
         ] );
       ( "directed",
         [
           Alcotest.test_case "flush preserves heads" `Quick
             test_flush_preserves_heads;
           Alcotest.test_case "repeated flushes" `Quick test_repeated_flushes;
+          Alcotest.test_case "delete removes everything" `Quick
+            test_delete_removes_everything;
+          Alcotest.test_case "delete closes probe chains" `Quick
+            test_delete_closes_probe_chains;
         ] );
     ]

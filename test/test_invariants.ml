@@ -28,11 +28,30 @@ let test_consistency_after_runs () =
 let test_consistency_with_capacity_flushes () =
   let w = Option.get (Suite.by_name "gcc") in
   let r, rt =
-    Workload.run_rio ~opts:{ Rio.Options.default with cache_capacity = Some 8192 } w
+    Workload.run_rio
+      ~opts:
+        { Rio.Options.default with
+          cache_capacity = Some 8192;
+          flush_policy = Rio.Options.Flush_full;
+        }
+      w
   in
   checkb "ok" true r.Workload.ok;
   checkb "flushes occurred" true ((Rio.stats rt).Rio.Stats.cache_flushes >= 1);
   check_consistency "gcc/flushed" rt
+
+let test_consistency_with_fifo_eviction () =
+  (* same pressure, incremental policy: evictions instead of flushes,
+     links must stay coherent over the churning free list *)
+  let w = Option.get (Suite.by_name "gcc") in
+  let r, rt =
+    Workload.run_rio
+      ~opts:{ Rio.Options.default with cache_capacity = Some 8192 } w
+  in
+  checkb "ok" true r.Workload.ok;
+  checkb "evictions occurred" true ((Rio.stats rt).Rio.Stats.evictions >= 1);
+  checkb "no full flushes" true ((Rio.stats rt).Rio.Stats.cache_flushes = 0);
+  check_consistency "gcc/evicted" rt
 
 let test_consistency_after_replacements () =
   (* ibdispatch replaces fragments mid-run: links must stay coherent *)
@@ -120,6 +139,7 @@ let () =
         [
           Alcotest.test_case "after plain and optimized runs" `Slow test_consistency_after_runs;
           Alcotest.test_case "after capacity flushes" `Quick test_consistency_with_capacity_flushes;
+          Alcotest.test_case "after fifo eviction" `Quick test_consistency_with_fifo_eviction;
           Alcotest.test_case "after fragment replacement" `Quick test_consistency_after_replacements;
         ] );
       ( "trace linearity",

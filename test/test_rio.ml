@@ -947,7 +947,14 @@ let test_cache_capacity_flush () =
       ()
   in
   let expected = native_out prog in
-  let opts = { Rio.Options.default with cache_capacity = Some 256 } in
+  let opts =
+    { Rio.Options.default with
+      cache_capacity = Some 256;
+      (* this test exercises the legacy flush-the-world path; 256 bytes
+         is far below the FIFO policy's validated minimum *)
+      flush_policy = Rio.Options.Flush_full;
+    }
+  in
   let out, o, rt = run_with ~opts prog in
   checkb "completed" true (o.Rio.reason = Rio.All_exited);
   check_ilist "output equal under tiny cache" expected out;
@@ -974,7 +981,11 @@ let test_cache_capacity_two_threads () =
   ignore (Asm.Image.load m image);
   ignore (Asm.Image.spawn m image "main");
   let opts =
-    { Rio.Options.default with cache_capacity = Some 128; quantum = 700 }
+    { Rio.Options.default with
+      cache_capacity = Some 128;
+      flush_policy = Rio.Options.Flush_full;
+      quantum = 700;
+    }
   in
   let rt = Rio.create ~opts m in
   let o = Rio.run rt in

@@ -949,6 +949,196 @@ let cachesweep ~quick ~out_path () =
   if fifo_flushes > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Opt sweep: the trace-optimizer evaluation (DESIGN.md §6.4)         *)
+(* ------------------------------------------------------------------ *)
+
+(* How much simulated time do the in-core -O passes recover?  Every
+   run's output is checked against native (with and without fault
+   injection); -O0 must reproduce the plain-RIO cycle counts exactly;
+   and a bounded-FIFO configuration with a low re-optimization
+   threshold must exercise the decode/replace path without ever falling
+   back to a full flush. *)
+
+type os_row = {
+  os_bench : string;
+  os_level : int;
+  os_cycles : int;
+  os_ratio : float;          (* simulated cycles / native cycles *)
+  os_removed : int;          (* instructions removed by the optimizer *)
+}
+
+let optsweep_run (w : Workload.t) ~label ~opts : Workload.run_result * Rio.t =
+  let native = Workload.run_native w in
+  if not native.Workload.ok then failwith (w.Workload.name ^ ": native failed");
+  let r, rt = Workload.run_rio ~opts w in
+  if (not r.Workload.ok) || r.Workload.output <> native.Workload.output then
+    failwith
+      (Printf.sprintf "optsweep: %s @ %s diverged from native: %s"
+         w.Workload.name label r.Workload.detail);
+  (r, rt)
+
+let optsweep ~quick ~out_path () =
+  let wl =
+    if quick then
+      List.filter_map Suite.by_name
+        [ "gzip"; "gcc"; "crafty"; "perlbmk"; "swim"; "mgrid"; "art" ]
+    else Suite.all
+  in
+  let levels = [ 0; 1; 2 ] in
+  pr "\n=== Opt sweep: -O levels x workloads (%s mode) ===\n"
+    (if quick then "quick" else "full");
+  pr "(%d workloads; every run's output checked against native)\n"
+    (List.length wl);
+  pr "%-9s %5s" "bench" "";
+  List.iter (fun l -> pr " %9s" (Printf.sprintf "-O%d" l)) levels;
+  pr " %9s\n" "O2/O0";
+  let rows = ref [] in
+  let o0_by_bench = Hashtbl.create 32 in
+  List.iter
+    (fun w ->
+      let native = Workload.run_native w in
+      let per_level =
+        List.map
+          (fun level ->
+            let opts =
+              { Rio.Options.default with opt_level = level;
+                max_cycles = max_int / 2 }
+            in
+            let r, rt =
+              optsweep_run w ~label:(Printf.sprintf "-O%d" level) ~opts
+            in
+            let row =
+              {
+                os_bench = w.Workload.name;
+                os_level = level;
+                os_cycles = r.Workload.cycles;
+                os_ratio =
+                  float_of_int r.Workload.cycles
+                  /. float_of_int native.Workload.cycles;
+                os_removed = (Rio.stats rt).Rio.Stats.opt_insns_removed;
+              }
+            in
+            if level = 0 then
+              Hashtbl.replace o0_by_bench w.Workload.name r.Workload.cycles;
+            rows := row :: !rows;
+            row)
+          levels
+      in
+      pr "%-9s %5s" w.Workload.name (if w.Workload.fp then "fp" else "int");
+      List.iter (fun r -> pr " %9.3f" r.os_ratio) per_level;
+      let o0 = (List.hd per_level).os_cycles
+      and o2 = (List.nth per_level 2).os_cycles in
+      pr " %9.3f\n%!" (float_of_int o2 /. float_of_int o0))
+    wl;
+  let rows = List.rev !rows in
+  let level_rows l = List.filter (fun r -> r.os_level = l) rows in
+  pr "%-9s %5s" "geomean" "";
+  List.iter
+    (fun l -> pr " %9.3f" (geomean (List.map (fun r -> r.os_ratio) (level_rows l))))
+    levels;
+  let o2_vs_o0 =
+    geomean
+      (List.map
+         (fun (r : os_row) ->
+           float_of_int r.os_cycles
+           /. float_of_int (Hashtbl.find o0_by_bench r.os_bench))
+         (level_rows 2))
+  in
+  pr " %9.3f\n" o2_vs_o0;
+  let reduction_pct = (1.0 -. o2_vs_o0) *. 100.0 in
+  pr "-O2 removes %.1f%% of simulated app cycles (geomean vs -O0)\n%!"
+    reduction_pct;
+
+  (* -O0 must reproduce the plain-RIO golden cycle counts exactly *)
+  let o0_drift = ref 0 in
+  List.iter
+    (fun w ->
+      let plain, _ =
+        Workload.run_rio
+          ~opts:{ Rio.Options.default with max_cycles = max_int / 2 } w
+      in
+      let o0 = Hashtbl.find o0_by_bench w.Workload.name in
+      if plain.Workload.cycles <> o0 then begin
+        incr o0_drift;
+        pr "!! %s: -O0 cycles %d differ from plain RIO %d\n%!" w.Workload.name
+          o0 plain.Workload.cycles
+      end)
+    wl;
+  if !o0_drift = 0 then pr "-O0 cycle counts identical to plain RIO on every workload\n%!";
+
+  (* the same levels under deterministic fault injection *)
+  pr "\n-- fault-injection variants (seed %d, audit every dispatch):\n"
+    Rio.Options.default_faults.Rio.Options.fi_seed;
+  List.iter
+    (fun level ->
+      List.iter
+        (fun w ->
+          let opts =
+            { Rio.Options.default with
+              opt_level = level;
+              faults = Some Rio.Options.default_faults;
+              audit_period = 1;
+              max_cycles = max_int / 2 }
+          in
+          ignore (optsweep_run w ~label:(Printf.sprintf "-O%d+faults" level) ~opts))
+        wl;
+      pr "   -O%d: all outputs identical to native under injection\n%!" level)
+    levels;
+
+  (* hot-trace re-optimization under a bounded FIFO cache *)
+  pr "\n-- hot-trace re-optimization (bounded FIFO, --reopt 2):\n";
+  let reopt_total = ref 0 and reopt_fallbacks = ref 0 and reopt_benches = ref 0 in
+  List.iter
+    (fun w ->
+      let opts =
+        { Rio.Options.default with
+          opt_level = 2;
+          reopt_threshold = Some 2;
+          cache_capacity = Some (Rio.Options.min_cache_capacity Rio.Options.default * 3);
+          flush_policy = Rio.Options.Flush_fifo;
+          max_cycles = max_int / 2 }
+      in
+      let _, rt = optsweep_run w ~label:"-O2+reopt" ~opts in
+      let s = Rio.stats rt in
+      reopt_total := !reopt_total + s.Rio.Stats.traces_reoptimized;
+      reopt_fallbacks := !reopt_fallbacks + s.Rio.Stats.full_flush_fallbacks;
+      if s.Rio.Stats.traces_reoptimized > 0 then incr reopt_benches)
+    wl;
+  pr "   %d traces re-optimized in place across %d/%d workloads; %d full-flush fallbacks\n%!"
+    !reopt_total !reopt_benches (List.length wl) !reopt_fallbacks;
+
+  (* write the JSON datapoint *)
+  let oc = open_out out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"rio-optsweep-v1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"o2_vs_o0_geomean_cycle_ratio\": %.4f,\n" o2_vs_o0;
+  p "  \"o2_geomean_cycles_removed_pct\": %.2f,\n" reduction_pct;
+  p "  \"o0_cycle_drift\": %d,\n" !o0_drift;
+  p "  \"traces_reoptimized\": %d,\n" !reopt_total;
+  p "  \"reopt_workloads\": %d,\n" !reopt_benches;
+  p "  \"reopt_full_flush_fallbacks\": %d,\n" !reopt_fallbacks;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun k r ->
+      p "    { \"bench\": %S, \"level\": %d, \"sim_cycles\": %d, \"cycle_ratio\": %.4f, \"insns_removed\": %d }%s\n"
+        r.os_bench r.os_level r.os_cycles r.os_ratio r.os_removed
+        (if k < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  pr "wrote %s\n%!" out_path;
+  (* hard gates: -O0 byte-identical; re-opt exercised with no full-flush
+     fallback; and (full mode) the >=5% geomean win *)
+  if !o0_drift > 0 then exit 1;
+  if !reopt_total = 0 || !reopt_fallbacks > 0 then exit 1;
+  if (not quick) && reduction_pct < 5.0 then begin
+    pr "!! -O2 geomean reduction %.2f%% below the 5%% target\n%!" reduction_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table1 ();
@@ -979,6 +1169,17 @@ let () =
       in
       parse rest;
       throughput ~quick:!quick ~baseline_path:!baseline_path ~out_path:!out_path ()
+  | _ :: "optsweep" :: rest ->
+      let quick = ref false in
+      let out_path = ref "BENCH_opt.json" in
+      let rec parse = function
+        | [] -> ()
+        | "--quick" :: tl -> quick := true; parse tl
+        | "--out" :: p :: tl -> out_path := p; parse tl
+        | a :: _ -> failwith ("optsweep: unknown argument " ^ a)
+      in
+      parse rest;
+      optsweep ~quick:!quick ~out_path:!out_path ()
   | _ :: "cachesweep" :: rest ->
       let quick = ref false in
       let out_path = ref "BENCH_cache.json" in
@@ -1007,6 +1208,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

@@ -35,7 +35,8 @@ let client_names =
 
 let run list workload_name file clients mode family no_link_direct
     no_link_indirect no_traces threshold sideline cache_capacity flush_policy
-    faults fault_period audit stats flow_log dump_cache =
+    faults fault_period audit opt_level opt_enable opt_disable reopt stats
+    flow_log dump_cache =
   if list then begin
     Printf.printf "workloads:\n";
     List.iter
@@ -108,6 +109,19 @@ let run list workload_name file clients mode family no_link_direct
                       fi_seed = seed;
                       fi_period = fault_period }
             in
+            let pass_list which names =
+              List.map
+                (fun n ->
+                  match Rio.Options.pass_of_name n with
+                  | Some p -> p
+                  | None ->
+                      Printf.eprintf "unknown pass %S for --%s (one of: %s)\n" n
+                        which
+                        (String.concat ", "
+                           (List.map Rio.Options.pass_name Rio.Options.all_passes));
+                      exit 1)
+                names
+            in
             let opts =
               {
                 Rio.Options.default with
@@ -118,6 +132,10 @@ let run list workload_name file clients mode family no_link_direct
                 sideline;
                 cache_capacity;
                 flush_policy;
+                opt_level;
+                opt_enable = pass_list "opt-enable" opt_enable;
+                opt_disable = pass_list "opt-disable" opt_disable;
+                reopt_threshold = reopt;
                 faults = fault_opts;
                 (* with injection on, audit every dispatch unless the
                    user chose a period explicitly *)
@@ -159,6 +177,8 @@ let run list workload_name file clients mode family no_link_direct
               Format.printf "%a@." Rio.Stats.pp (Rio.stats rt);
               Rio.Emit.refresh_cache_gauges rt;
               Format.printf "%a@." Rio.Stats.pp_cache (Rio.stats rt);
+              if Rio.Options.effective_passes opts <> [] then
+                Format.printf "%a@." Rio.Stats.pp_opt (Rio.stats rt);
               if faults <> None || audit <> None then
                 Format.printf "%a@." Rio.Stats.pp_faults (Rio.stats rt)
             end;
@@ -239,6 +259,29 @@ let cmd =
            ~doc:"Audit the code cache every N context switches \
                  (defaults to 1 when --faults is on).")
   in
+  let opt_level =
+    Arg.(value & opt int 0 & info [ "O"; "opt" ] ~docv:"N"
+           ~doc:"Trace optimization level: 0 (off), 1 (copy/constant \
+                 propagation, strength reduction, flag-save elision) or \
+                 2 (adds redundant-load removal, dead-store elimination \
+                 and exit-check peepholes).")
+  in
+  let opt_enable =
+    Arg.(value & opt_all string [] & info [ "opt-enable" ] ~docv:"PASS"
+           ~doc:"Enable a single optimizer pass on top of the -O level; \
+                 repeatable.  Passes: copyprop, strength, loadrem, \
+                 deadstore, peephole, flagelide.")
+  in
+  let opt_disable =
+    Arg.(value & opt_all string [] & info [ "opt-disable" ] ~docv:"PASS"
+           ~doc:"Disable a single optimizer pass from the -O level; \
+                 repeatable.")
+  in
+  let reopt =
+    Arg.(value & opt (some int) None & info [ "reopt" ] ~docv:"N"
+           ~doc:"Re-optimize a hot trace in place (decode + replace) \
+                 after N extra dispatcher entries.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime statistics.") in
   let flow = Arg.(value & flag & info [ "flow-log" ] ~doc:"Print dispatch events.") in
   let dump =
@@ -249,7 +292,8 @@ let cmd =
     Term.(
       const run $ list $ workload $ file $ clients $ mode $ family $ no_ld $ no_li
       $ no_tr $ threshold $ sideline $ cache_capacity $ flush_policy $ faults
-      $ fault_period $ audit $ stats $ flow $ dump)
+      $ fault_period $ audit $ opt_level $ opt_enable $ opt_disable $ reopt
+      $ stats $ flow $ dump)
   in
   Cmd.v (Cmd.info "rio_run" ~doc:"Run workloads under the RIO dynamic optimizer") term
 

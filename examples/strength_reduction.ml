@@ -1,85 +1,42 @@
-(** The paper's Figure 3 client, written out in full against the public
-    API: inc→add / dec→sub strength reduction, enabled only when the
-    processor is a Pentium 4.
+(** The paper's Figure 3 client — inc→add / dec→sub strength
+    reduction, enabled only when the processor is a Pentium 4 — now
+    calling the {e in-core} optimizer pass through the public API
+    instead of reimplementing the walk by hand
+    ({!Rio.Api.opt_strength_reduce}; the same code the [-O1] pipeline
+    runs on every trace).
 
     {v dune exec examples/strength_reduction.exe v}
 
     Runs the bzip2-like workload (inc/dec-dense) on both simulated
-    processor families and prints the speedup: the transformation helps
-    on the P4 and stays disabled on the P3. *)
+    processor families and prints the speedup three ways: base RIO, the
+    client calling the core pass from its trace hook, and the built-in
+    [-O1] pipeline with every other pass disabled.  The transformation
+    helps on the P4 and stays disabled on the P3. *)
 
-open Isa
 open Rio.Types
 
-(* --- the client, transliterated from Figure 3 --- *)
+(* --- the client: Figure 3 reduced to one API call --- *)
 
-let enable = ref false
-let num_examined = ref 0
 let num_converted = ref 0
 
-(* static bool inc2add(...) — walk forward checking CF effects *)
-let inc2add (trace : Rio.Instrlist.t) (instr : Rio.Instr.t) : bool =
-  let rec check in_ =
-    match in_ with
-    | None -> false
-    | Some i ->
-        let eflags = Rio.Instr.get_eflags i in
-        if Eflags.reads_flag eflags Eflags.CF then false
-          (* add writes CF, inc does not: a later CF read blocks us *)
-        else if Eflags.writes_flag eflags Eflags.CF then true
-          (* if it writes but doesn't read, we can replace *)
-        else if Rio.Instr.is_cti i then false
-          (* simplification: stop at first exit *)
-        else check i.Rio.Instr.next
-  in
-  if not (check instr.Rio.Instr.next) then false
-  else begin
-    let opcode = Rio.Instr.get_opcode instr in
-    let dst = Rio.Instr.get_dst instr 0 in
-    let in_ =
-      if opcode = Opcode.Inc then
-        Rio.Create.add dst (Rio.Create.opnd_int8 1)
-      else Rio.Create.sub dst (Rio.Create.opnd_int8 1)
-    in
-    Rio.Instr.set_prefixes in_ (Rio.Instr.get_prefixes instr);
-    Rio.Instrlist.replace trace instr in_;
-    true
-  end
-
-(* EXPORT void dynamorio_trace(...) *)
-let dynamorio_trace _ctx ~tag:_ (trace : Rio.Instrlist.t) =
-  if !enable then begin
-    Rio.Instrlist.split_bundles trace;
-    let rec walk instr =
-      match instr with
-      | None -> ()
-      | Some i ->
-          let next_instr = i.Rio.Instr.next in
-          let opcode = Rio.Instr.get_opcode i in
-          if opcode = Opcode.Inc || opcode = Opcode.Dec then begin
-            incr num_examined;
-            if inc2add trace i then incr num_converted
-          end;
-          walk next_instr
-    in
-    walk (Rio.Instrlist.first trace)
-  end
+(* EXPORT void dynamorio_trace(...) — the CF-liveness walk, operand
+   rewrite and prefix preservation all live in the core pass; the
+   client only decides where to apply it. *)
+let dynamorio_trace (ctx : context) ~tag:_ (trace : Rio.Instrlist.t) =
+  Rio.Instrlist.split_bundles trace;
+  num_converted := !num_converted + Rio.Api.opt_strength_reduce ctx.rt trace
 
 let client =
   {
     null_client with
     name = "inc2add";
     (* EXPORT void dynamorio_init() *)
-    init =
-      (fun rt ->
-        enable := Rio.Api.proc_get_family rt = Vm.Cost.Pentium4;
-        num_examined := 0;
-        num_converted := 0);
+    init = (fun _rt -> num_converted := 0);
     (* EXPORT void dynamorio_exit() *)
     exit_hook =
       (fun rt ->
-        if !enable then
-          Rio.Api.printf rt "converted %d out of %d\n" !num_converted !num_examined
+        if Rio.Api.proc_get_family rt = Vm.Cost.Pentium4 then
+          Rio.Api.printf rt "converted %d inc/dec\n" !num_converted
         else Rio.Api.printf rt "kept original inc/dec\n");
     trace_hook = Some dynamorio_trace;
   }
@@ -88,17 +45,29 @@ let client =
 
 let () =
   let w = Option.get (Workloads.Suite.by_name "bzip2") in
+  (* the same pass via the -O pipeline, everything else switched off *)
+  let o1_strength_only =
+    {
+      Rio.Options.default with
+      opt_level = 1;
+      opt_disable = [ Rio.Options.Copy_prop; Rio.Options.Flag_elide ];
+    }
+  in
   List.iter
     (fun family ->
       Printf.printf "--- %s ---\n" (Vm.Cost.family_name family);
       let native = Workloads.Workload.run_native ~family w in
       let base, _ = Workloads.Workload.run_rio ~family w in
       let opt, rt = Workloads.Workload.run_rio ~family ~client w in
+      let core, _ = Workloads.Workload.run_rio ~family ~opts:o1_strength_only w in
       assert (opt.output = native.output);
+      assert (core.output = native.output);
       Printf.printf "  native:          %9d cycles\n" native.cycles;
       Printf.printf "  base RIO:        %9d cycles (%.3fx)\n" base.cycles
         (float_of_int base.cycles /. float_of_int native.cycles);
       Printf.printf "  with inc2add:    %9d cycles (%.3fx)\n" opt.cycles
         (float_of_int opt.cycles /. float_of_int native.cycles);
+      Printf.printf "  -O1 strength:    %9d cycles (%.3fx)\n" core.cycles
+        (float_of_int core.cycles /. float_of_int native.cycles);
       Printf.printf "  client says:     %s" (Rio.Api.client_output rt))
     [ Vm.Cost.Pentium4; Vm.Cost.Pentium3 ]

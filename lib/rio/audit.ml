@@ -38,7 +38,7 @@ let refresh (rt : runtime) (f : fragment) : unit =
 
 let branch_target fetch pc =
   match Decode.full fetch pc with
-  | Ok (insn, _) when Insn.is_cti insn -> (
+  | Ok (insn, _) when Insn.is_cti insn && Insn.num_srcs insn > 0 -> (
       match Insn.src insn 0 with Operand.Target t -> Some t | _ -> None)
   | _ -> None
 

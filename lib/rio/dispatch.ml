@@ -350,6 +350,10 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
                pc0)
     end
   and enter (frag : fragment) =
+    (* hot-trace re-optimization fires here, covering both dispatcher
+       entries and IBL hits; ts.in_cache is still false, so the old
+       body is unpinned while its replacement is emitted *)
+    let frag = Opt.maybe_reoptimize rt ts frag in
     (match frag.kind with
      | Bb -> rt.stats.Stats.enters_bb <- rt.stats.Stats.enters_bb + 1
      | Trace -> rt.stats.Stats.enters_trace <- rt.stats.Stats.enters_trace + 1);

@@ -457,6 +457,8 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
       exits = Array.of_list exits;
       incoming = [];
       deleted = false;
+      exec_count = 0;
+      reopted = false;
       checksum = 0;
       src_ranges;
     }
@@ -542,16 +544,56 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
   (* detach incoming first so delete doesn't restore them to stubs *)
   old_frag.incoming <- [];
   let fresh =
-    emit_fragment rt ts ~kind:old_frag.kind ~tag:old_frag.tag
-      ~src_ranges:old_frag.src_ranges il
+    try
+      emit_fragment rt ts ~kind:old_frag.kind ~tag:old_frag.tag
+        ~src_ranges:old_frag.src_ranges il
+    with No_room _ as e ->
+      (* the bounded region refused the replacement: repair the link
+         invariants broken by the detach above before giving up.  The
+         failed emission may itself have evicted fragments — including
+         [old_frag], whose deletion saw an empty incoming list *)
+      if old_frag.deleted then
+        (* old body is gone: surviving incoming branches must fall back
+           to their stubs (unlink still sees e.linked = old_frag) *)
+        List.iter
+          (fun ex ->
+            match ex.e_owner with
+            | Some o when not o.deleted -> unlink rt ex
+            | _ -> ex.linked <- None)
+          incoming
+      else
+        (* old body stays live: re-attach the survivors *)
+        old_frag.incoming <-
+          List.filter
+            (fun ex ->
+              match ex.e_owner with
+              | Some o when not o.deleted -> true
+              | _ ->
+                  ex.linked <- None;
+                  false)
+            incoming;
+      raise e
   in
+  (* Detach the old body from the link graph.  Its outgoing exits fall
+     back to their stubs, so a thread still inside the old body leaves
+     through the dispatcher — and no other fragment's incoming list
+     keeps a patch site that would go stale when the old body's space
+     is reclaimed and reused by the FIFO allocator.  If capacity
+     pressure already evicted the old fragment during the emission
+     above, delete_fragment did this (and its body bytes may be gone —
+     do not touch them again). *)
+  if not old_frag.deleted then
+    Array.iter (fun e -> unlink rt e) old_frag.exits;
   List.iter
     (fun e ->
       (* under FIFO capacity pressure the emission above may already
          have evicted the fragment owning this incoming exit — its
-         patch sites are reclaimed space now; leave it unlinked *)
+         patch sites are reclaimed space now; leave it unlinked.  The
+         old fragment's own self-loop exits were just unlinked above:
+         they must not be re-pointed at [fresh], or its incoming list
+         would keep a patch site inside the old body's dying space. *)
       match e.e_owner with
-      | Some o when not o.deleted ->
+      | Some o when (not o.deleted) && o != old_frag ->
           e.linked <- None;
           (* re-point each incoming branch at the new entry *)
           if e.always_through_stub then
@@ -560,6 +602,7 @@ let replace_fragment (rt : runtime) (ts : thread_state) (old_frag : fragment)
           refresh_owner rt e;
           e.linked <- Some fresh;
           fresh.incoming <- e :: fresh.incoming
+      | Some o when o == old_frag -> () (* already unlinked above *)
       | _ -> e.linked <- None)
     incoming;
   (* the old fragment's stubs stay alive — a thread may still be

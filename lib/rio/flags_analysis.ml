@@ -8,13 +8,34 @@
 
 open Isa
 
+(* A shift whose count masks to zero leaves every flag untouched at run
+   time (Arith.shl/shr/sar short-circuit on [count land 31 = 0]), so
+   the static write mask only counts as a kill when the count is a
+   provably nonzero immediate.  A variable count may write or may not:
+   for liveness that is "writes nothing" (flags pass through).  Shifts
+   never read flags, so the read mask is unaffected.  Raising to
+   Level 3 happens only for the three shift opcodes. *)
+let certain_write_mask (i : Instr.t) : int =
+  let m = Eflags.write_mask (Instr.get_eflags i) in
+  match Instr.get_opcode i with
+  | Opcode.Shl | Opcode.Shr | Opcode.Sar -> (
+      let insn = Instr.get_insn i in
+      if Array.length insn.Insn.srcs = 0 then 0
+      else
+        match insn.Insn.srcs.(0) with
+        | Operand.Imm k when k land 31 <> 0 -> m
+        | _ -> 0)
+  | _ -> m
+
 (** [dead_after i] — true when the application flags are provably dead
     at the program point {e before} instruction [i] (walking forward
     from [i], every flag is written before it is read, without leaving
     the fragment).  [None] (end of list) and exit CTIs are conservative
     [live] boundaries: code outside the fragment may read anything.
 
-    Only Level-2 information (opcode → eflags mask) is consulted. *)
+    Only Level-2 information (opcode → eflags mask) is consulted,
+    except shifts, whose conditional flag write needs the count
+    operand. *)
 let dead_after (start : Instr.t option) : bool =
   let rec go (cur : Instr.t option) (still_live : int) =
     if still_live = 0 then true
@@ -31,13 +52,33 @@ let dead_after (start : Instr.t option) : bool =
             let reads = Eflags.read_mask m land still_live in
             if reads <> 0 then false
             else
-              let still_live = still_live land lnot (Eflags.write_mask m) in
+              let still_live = still_live land lnot (certain_write_mask i) in
               if Instr.is_cti i then
                 (* leaving (or possibly leaving) the fragment *)
                 still_live = 0
               else go i.Instr.next still_live
   in
   go start Eflags.all_mask
+
+(** [flags_dead_after ~mask i] — like {!dead_after} but for a subset of
+    flags: true when every flag in [mask] is written before read,
+    without leaving the fragment (what inc→add needs for CF alone). *)
+let flags_dead_after ~(mask : int) (start : Instr.t option) : bool =
+  let rec go (cur : Instr.t option) (still_live : int) =
+    if still_live = 0 then true
+    else
+      match cur with
+      | None -> false
+      | Some i ->
+          if Instr.is_bundle i then false
+          else
+            let m = Instr.get_eflags i in
+            if Eflags.read_mask m land still_live <> 0 then false
+            else
+              let still_live = still_live land lnot (certain_write_mask i) in
+              if Instr.is_cti i then still_live = 0 else go i.Instr.next still_live
+  in
+  go start (mask land Eflags.all_mask)
 
 (** [flags_written_set il_from] — the set of flags certainly written
     before any read, as a bit mask (used by tests). *)
@@ -51,8 +92,192 @@ let written_before_read (start : Instr.t option) : int =
           let m = Instr.get_eflags i in
           (* within one instruction, reads happen before writes *)
           let unread = unread land lnot (Eflags.read_mask m) in
-          let written = written lor (Eflags.write_mask m land unread) in
+          let written = written lor (certain_write_mask i land unread) in
           if Instr.is_cti i then written
           else go i.Instr.next ~unread ~written
   in
   go start ~unread:Eflags.all_mask ~written:0
+
+(* ------------------------------------------------------------------ *)
+(* Backward register/memory liveness (DESIGN.md §6.4)                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Liveness at a program point, as bit sets: one bit per GPR
+    ({!Reg.number}), one per FP register, plus the eflags mask. *)
+type live = {
+  live_regs : int;
+  live_fregs : int;
+  live_flags : int;
+}
+
+let all_gprs = 0xFF
+let all_fprs = 0xFF
+
+(** Everything live: the state at every fragment boundary (exit CTIs,
+    list ends) — code outside the fragment may read anything. *)
+let all_live =
+  { live_regs = all_gprs; live_fregs = all_fprs; live_flags = Eflags.all_mask }
+
+let reg_bit r = 1 lsl Reg.number r
+let freg_bit f = 1 lsl Reg.F.number f
+
+let live_reg l r = l.live_regs land reg_bit r <> 0
+let live_freg l f = l.live_fregs land freg_bit f <> 0
+
+(* register uses / defs of one operand position *)
+let operand_uses (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> (reg_bit r, 0)
+  | Operand.Freg f -> (0, freg_bit f)
+  | Operand.Mem m ->
+      (List.fold_left (fun acc r -> acc lor reg_bit r) 0 (Operand.mem_regs m), 0)
+  | Operand.Imm _ | Operand.Target _ -> (0, 0)
+
+(* Instructions whose effects the transfer function cannot summarise
+   precisely: treat as "everything live" barriers.  CTIs leave the
+   fragment; clean calls run arbitrary host code; in/out touch the
+   machine's ports; hlt ends the program (conservatively live, matching
+   {!dead_after}'s end-of-list rule). *)
+let is_barrier (i : Instr.t) =
+  Instr.is_cti i
+  ||
+  match Instr.get_opcode i with
+  | Opcode.Ccall | Opcode.In | Opcode.Out | Opcode.Hlt -> true
+  | _ -> false
+
+(* live-before from live-after for one instruction *)
+let transfer (i : Instr.t) (after : live) : live =
+  if Instr.is_bundle i || is_barrier i then all_live
+  else
+    let insn = Instr.get_insn i in
+    let defs_r, defs_f =
+      Array.fold_left
+        (fun (dr, df) (d : Operand.t) ->
+          match d with
+          | Operand.Reg r -> (dr lor reg_bit r, df)
+          | Operand.Freg f -> (dr, df lor freg_bit f)
+          | _ -> (dr, df))
+        (0, 0) insn.Isa.Insn.dsts
+    in
+    let uses_r, uses_f =
+      let add (ur, uf) o =
+        let r, f = operand_uses o in
+        (ur lor r, uf lor f)
+      in
+      let u = Array.fold_left add (0, 0) insn.Isa.Insn.srcs in
+      (* address registers of memory *destinations* are reads too *)
+      Array.fold_left
+        (fun acc (d : Operand.t) ->
+          match d with Operand.Mem _ -> add acc d | _ -> acc)
+        u insn.Isa.Insn.dsts
+    in
+    let m = Instr.get_eflags i in
+    {
+      live_regs = (after.live_regs land lnot defs_r) lor uses_r;
+      live_fregs = (after.live_fregs land lnot defs_f) lor uses_f;
+      live_flags =
+        (after.live_flags land lnot (certain_write_mask i))
+        lor Eflags.read_mask m;
+    }
+
+(** [backward_liveness il] — one backward walk over the list, pairing
+    every instruction with the registers, FP registers and flags live
+    {e after} it (in program order).  Exit CTIs and the list end are
+    all-live boundaries, mirroring {!dead_after}'s conservatism. *)
+let backward_liveness (il : Instrlist.t) : (Instr.t * live) list =
+  let acc = ref [] in
+  let live = ref all_live in
+  Instrlist.iter_rev il (fun i ->
+      acc := (i, !live) :: !acc;
+      live := transfer i !live);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Memory deadness (forward, per-store)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Conservative alias test between memory operands [a] (width [wa])
+    and [b] (width [wb]): identical address expressions are disjoint
+    exactly when their displacement ranges cannot overlap; different
+    bases may point anywhere. *)
+let may_alias (a : Operand.mem) wa (b : Operand.mem) wb =
+  let same_index =
+    Option.equal
+      (fun (r1, s1) (r2, s2) -> Reg.equal r1 r2 && s1 = s2)
+      a.Operand.index b.Operand.index
+  in
+  let same_base = Option.equal Reg.equal a.Operand.base b.Operand.base in
+  if same_base && same_index then
+    not (a.Operand.disp + wa <= b.Operand.disp || b.Operand.disp + wb <= a.Operand.disp)
+  else true
+
+(* does executing [i] change any register an address expression uses? *)
+let writes_addr_reg (insn : Isa.Insn.t) (m : Operand.mem) =
+  let addr_regs = Operand.mem_regs m in
+  Array.exists
+    (fun (d : Operand.t) ->
+      match d with
+      | Operand.Reg r -> List.exists (Reg.equal r) addr_regs
+      | _ -> false)
+    insn.Isa.Insn.dsts
+  || (Opcode.implicit_stack_read insn.Isa.Insn.opcode
+      || Opcode.implicit_stack_write insn.Isa.Insn.opcode)
+     && List.exists (Reg.equal Reg.Esp) addr_regs
+
+(** [store_dead_after ~mem ~width start] — true when the [width]-byte
+    store to [mem] is provably dead at the program point before
+    [start]: walking forward, an equal-address store of at least the
+    same width overwrites it before any instruction that could observe
+    it (an aliasing read, a CTI or other barrier leaving the fragment,
+    an implicit stack access, or a write to one of its address
+    registers). *)
+let store_dead_after ~(mem : Operand.mem) ~(width : int) (start : Instr.t option) :
+    bool =
+  let rec go (cur : Instr.t option) =
+    match cur with
+    | None -> false (* fell off the fragment: assume observed *)
+    | Some i ->
+        if Instr.is_bundle i || is_barrier i then false
+        else
+          let insn = Instr.get_insn i in
+          let op = insn.Isa.Insn.opcode in
+          if Opcode.implicit_stack_read op || Opcode.implicit_stack_write op
+          then false (* esp-relative access may alias anything esp-based *)
+          else if
+            (* any aliasing memory read observes the store *)
+            Array.exists
+              (fun (s : Operand.t) ->
+                match s with
+                | Operand.Mem m ->
+                    let w = if Opcode.is_fp op then 8 else 4 in
+                    may_alias m w mem width
+                | _ -> false)
+              insn.Isa.Insn.srcs
+          then false
+          else
+            (* an exactly-covering store kills it; a partial aliasing
+               write is conservatively an observation *)
+            let verdict =
+              Array.fold_left
+                (fun acc (d : Operand.t) ->
+                  match (acc, d) with
+                  | (Some _ as v), _ -> v
+                  | None, Operand.Mem m ->
+                      let w = if Opcode.is_fp op then 8 else 4 in
+                      if
+                        Operand.equal_mem m mem && w >= width
+                        && not (writes_addr_reg insn mem)
+                      then Some true
+                      else if may_alias m w mem width then Some false
+                      else None
+                  | None, _ -> None)
+                None insn.Isa.Insn.dsts
+            in
+            match verdict with
+            | Some dead -> dead
+            | None ->
+                (* writing an address register changes what [mem] means
+                   downstream: stop, conservatively observed *)
+                if writes_addr_reg insn mem then false else go i.Instr.next
+  in
+  go start

@@ -11,3 +11,44 @@ val dead_after : Instr.t option -> bool
 val written_before_read : Instr.t option -> int
 (** The set of flags certainly written before any read, as a
     flag-register bit mask. *)
+
+val flags_dead_after : mask:int -> Instr.t option -> bool
+(** Like {!dead_after} but for a subset of flags: true when every flag
+    in [mask] is written before read, without leaving the fragment
+    (what inc→add needs for CF alone). *)
+
+(** {1 Backward register/memory liveness (DESIGN.md §6.4)} *)
+
+type live = {
+  live_regs : int;   (** GPR bit set, bit = {!Isa.Reg.number} *)
+  live_fregs : int;  (** FP-register bit set, bit = {!Isa.Reg.F.number} *)
+  live_flags : int;  (** eflags mask, {!Isa.Eflags} bits *)
+}
+(** Liveness at a program point, as bit sets. *)
+
+val all_live : live
+(** Everything live: the state at every fragment boundary. *)
+
+val live_reg : live -> Isa.Reg.t -> bool
+val live_freg : live -> Isa.Reg.F.t -> bool
+
+val backward_liveness : Instrlist.t -> (Instr.t * live) list
+(** One backward walk over the list, pairing every instruction with the
+    registers, FP registers and flags live {e after} it (returned in
+    program order).  Exit CTIs, clean calls, I/O, bundles and the list
+    end are all-live boundaries, mirroring {!dead_after}'s
+    conservatism. *)
+
+val may_alias : Isa.Operand.mem -> int -> Isa.Operand.mem -> int -> bool
+(** [may_alias a wa b wb] — conservative alias test between a
+    [wa]-byte access at [a] and a [wb]-byte access at [b]: identical
+    address expressions are disjoint exactly when their displacement
+    ranges cannot overlap; different bases may point anywhere. *)
+
+val store_dead_after : mem:Isa.Operand.mem -> width:int -> Instr.t option -> bool
+(** True when a [width]-byte store to [mem] is provably dead at the
+    program point before the given instruction: an equal-address store
+    of at least the same width overwrites it before anything could
+    observe it (an aliasing read, a barrier leaving the fragment, an
+    implicit stack access, or a write to one of its address
+    registers). *)

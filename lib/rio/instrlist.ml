@@ -102,6 +102,16 @@ let iter t f =
   in
   go t.first
 
+let iter_rev t f =
+  let rec go = function
+    | None -> ()
+    | Some (i : Instr.t) ->
+        let prv = i.Instr.prev in
+        f i;
+        go prv
+  in
+  go t.last
+
 let fold t ~init f =
   let acc = ref init in
   iter t (fun i -> acc := f !acc i);

@@ -28,6 +28,10 @@ val replace : t -> Instr.t -> Instr.t -> unit
 val iter : t -> (Instr.t -> unit) -> unit
 (** Safe against removal/replacement of the visited instr. *)
 
+val iter_rev : t -> (Instr.t -> unit) -> unit
+(** Last-to-first iteration (backward analyses); safe against
+    removal/replacement of the visited instr. *)
+
 val fold : t -> init:'a -> ('a -> Instr.t -> 'a) -> 'a
 val to_list : t -> Instr.t list
 val exists : t -> (Instr.t -> bool) -> bool

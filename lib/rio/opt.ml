@@ -1,0 +1,725 @@
+(** The in-core trace optimizer (DESIGN.md §6.4).
+
+    Six passes over the client-view trace IL, selected by
+    {!Options.effective_passes} and run at trace finalization — after
+    the client's trace hook, before mangling and emission — so every
+    simulated execution of the trace pays for fewer, cheaper
+    instructions.  Hot traces are additionally {e re}-optimized through
+    the decode/replace path ({!maybe_reoptimize}) once their entry
+    counter crosses [reopt_threshold]: the decoded cache image exposes
+    mangled sequences (indirect-branch slot stores, inline checks) the
+    finalize-time run never sees.
+
+    Soundness frame: a trace is linear code with a single entrance;
+    every exit CTI is a full liveness boundary (registers, memory and —
+    matching the system's existing flags fixup — flags on the
+    fall-through only).  All passes either rewrite one instruction into
+    a cheaper equal-semantics form or delete a provably unobservable
+    one, so the instruction count never grows. *)
+
+open Isa
+open Types
+module FA = Flags_analysis
+
+(** Per-run pass counters; folded into {!Stats.t} by {!run}. *)
+type counters = {
+  mutable copies : int;            (* register copies propagated *)
+  mutable consts : int;            (* constants propagated *)
+  mutable strength : int;          (* inc→add / dec→sub conversions *)
+  mutable loads_removed : int;     (* redundant loads deleted *)
+  mutable loads_rewritten : int;   (* loads turned into reg moves / consts *)
+  mutable stores_removed : int;    (* dead stores deleted *)
+  mutable dead_removed : int;      (* dead register/flag writes deleted *)
+  mutable checks_simplified : int; (* exit-check peepholes applied *)
+  mutable flag_saves_elided : int; (* save/restore brackets removed *)
+}
+
+let fresh_counters () =
+  {
+    copies = 0;
+    consts = 0;
+    strength = 0;
+    loads_removed = 0;
+    loads_rewritten = 0;
+    stores_removed = 0;
+    dead_removed = 0;
+    checks_simplified = 0;
+    flag_saves_elided = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Copy / constant propagation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward dataflow over the linear IL: what value a GPR is known to
+   hold right now.  [Esp] is never tracked or substituted — the stack
+   pointer is load-bearing for every implicit stack operation.  Facts
+   are resolved transitively at creation time, so a chain of copies
+   collapses to its root and redefinition kills are a single scan. *)
+type cp_fact = C_none | C_copy of Reg.t | C_const of int
+
+let copy_prop (c : counters) (il : Instrlist.t) : unit =
+  let facts = Array.make 8 C_none in
+  let kill (r : Reg.t) =
+    facts.(Reg.number r) <- C_none;
+    Array.iteri
+      (fun j f ->
+        match f with
+        | C_copy r' when Reg.equal r' r -> facts.(j) <- C_none
+        | _ -> ())
+      facts
+  in
+  let kill_all () = Array.fill facts 0 8 C_none in
+  let resolve (s : Reg.t) : cp_fact =
+    match facts.(Reg.number s) with
+    | C_copy r -> C_copy r
+    | C_const k -> C_const k
+    | C_none -> C_copy s
+  in
+  (* replacement register for an address component, copies only *)
+  let sub_addr_reg (r : Reg.t) : Reg.t option =
+    if Reg.equal r Reg.Esp then None
+    else
+      match facts.(Reg.number r) with
+      | C_copy r' when not (Reg.equal r' Reg.Esp) -> Some r'
+      | _ -> None
+  in
+  let subst_mem (m : Operand.mem) : Operand.mem option =
+    let changed = ref false in
+    let base =
+      match m.Operand.base with
+      | Some r -> (
+          match sub_addr_reg r with
+          | Some r' ->
+              changed := true;
+              Some r'
+          | None -> Some r)
+      | None -> None
+    in
+    let index =
+      match m.Operand.index with
+      | Some (r, s) -> (
+          match sub_addr_reg r with
+          | Some r' ->
+              changed := true;
+              Some (r', s)
+          | None -> Some (r, s))
+      | None -> None
+    in
+    if !changed then Some { m with Operand.base; Operand.index } else None
+  in
+  (* try one candidate insn; commit only if the encoder accepts it *)
+  let try_commit (i : Instr.t) (candidate : Insn.t) : bool =
+    match Insn.validate candidate with
+    | Ok () ->
+        Instr.set_insn i candidate;
+        true
+    | Error _ -> false
+  in
+  Instrlist.iter il (fun i ->
+      if not (Instr.is_bundle i) then begin
+        let insn = Instr.get_insn i in
+        let op = insn.Insn.opcode in
+        if (not (Insn.is_cti insn)) && op <> Opcode.Ccall then begin
+          (* stage 1: rewrite address registers, uniformly across both
+             operand arrays so alu mirror operands stay consistent *)
+          let mem_changed = ref 0 in
+          let sub_opnd (o : Operand.t) =
+            match o with
+            | Operand.Mem m -> (
+                match subst_mem m with
+                | Some m' ->
+                    incr mem_changed;
+                    Operand.Mem m'
+                | None -> o)
+            | _ -> o
+          in
+          let srcs = Array.map sub_opnd insn.Insn.srcs in
+          let dsts = Array.map sub_opnd insn.Insn.dsts in
+          if !mem_changed > 0 then
+            if
+              try_commit i
+                (Insn.make ~prefixes:insn.Insn.prefixes op ~srcs ~dsts)
+            then c.copies <- c.copies + !mem_changed;
+          (* stage 2: substitute plain register sources, one at a time;
+             positions mirrored in the destination array (alu dst, push's
+             esp, idiv's eax) are structural and must stay untouched *)
+          let insn = Instr.get_insn i in
+          Array.iteri
+            (fun k s ->
+              match s with
+              | Operand.Reg r
+                when (not (Reg.equal r Reg.Esp))
+                     && not (Array.exists (Operand.equal s) insn.Insn.dsts)
+                -> (
+                  let commit repl count =
+                    let insn = Instr.get_insn i in
+                    let srcs = Array.copy insn.Insn.srcs in
+                    srcs.(k) <- repl;
+                    if
+                      try_commit i
+                        (Insn.make ~prefixes:insn.Insn.prefixes
+                           insn.Insn.opcode ~srcs ~dsts:insn.Insn.dsts)
+                    then count ()
+                  in
+                  match facts.(Reg.number r) with
+                  | C_copy r' when not (Reg.equal r' r) ->
+                      commit (Operand.Reg r') (fun () ->
+                          c.copies <- c.copies + 1)
+                  | C_const k' ->
+                      commit (Operand.Imm k') (fun () ->
+                          c.consts <- c.consts + 1)
+                  | _ -> ())
+              | _ -> ())
+            insn.Insn.srcs
+        end;
+        (* state update, from the (possibly rewritten) instruction *)
+        let insn = Instr.get_insn i in
+        if insn.Insn.opcode = Opcode.Ccall then kill_all ()
+        else begin
+          match (insn.Insn.opcode, insn.Insn.dsts, insn.Insn.srcs) with
+          | Opcode.Mov, [| Operand.Reg d |], [| Operand.Reg s |]
+            when (not (Reg.equal d Reg.Esp))
+                 && (not (Reg.equal s Reg.Esp))
+                 && not (Reg.equal d s) ->
+              let v = resolve s in
+              kill d;
+              facts.(Reg.number d) <-
+                (match v with
+                | C_copy r when Reg.equal r d -> C_none
+                | v -> v)
+          | Opcode.Mov, [| Operand.Reg d |], [| Operand.Imm k |]
+            when not (Reg.equal d Reg.Esp) ->
+              kill d;
+              facts.(Reg.number d) <- C_const k
+          | _ ->
+              Array.iter
+                (fun dd ->
+                  match dd with Operand.Reg r -> kill r | _ -> ())
+                insn.Insn.dsts
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction: inc → add, dec → sub                           *)
+(* ------------------------------------------------------------------ *)
+
+(* On the Pentium 4, [inc]/[dec] merge into the flags register instead
+   of overwriting it (they preserve CF) and cost 4 cycles to [add]'s 1;
+   on the Pentium 3 the original forms are already optimal.  The
+   conversion is flag-correct exactly when CF is dead after the
+   instruction — [add] clobbers it (paper §4.2, Figure 3). *)
+let strength_reduce ~(family : Vm.Cost.family) (c : counters)
+    (il : Instrlist.t) : unit =
+  if family = Vm.Cost.Pentium4 then
+    Instrlist.iter il (fun i ->
+        if not (Instr.is_bundle i) then
+          match Instr.get_opcode i with
+          | (Opcode.Inc | Opcode.Dec) as op
+            when FA.flags_dead_after ~mask:(Eflags.bit Eflags.CF)
+                   i.Instr.next ->
+              let dst = Instr.get_dst i 0 in
+              let repl =
+                match op with
+                | Opcode.Inc -> Insn.mk_add dst (Operand.Imm 1)
+                | _ -> Insn.mk_sub dst (Operand.Imm 1)
+              in
+              let prefixes = Instr.get_prefixes i in
+              Instr.set_insn i repl;
+              Instr.set_prefixes i prefixes;
+              c.strength <- c.strength + 1
+          | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Redundant load removal                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward facts "register r (or FP register f) currently holds the
+   value of memory operand M" plus "M currently holds constant k" —
+   the same analysis the bundled RLR client runs (paper §4.1), here as
+   a core pass so [-O2] gets it without a client.  Loads and moves
+   touch no eflags, so every rewrite is flag-safe. *)
+type rl_fact =
+  | Gpr_holds of Reg.t * Operand.mem * int
+  | Fpr_holds of Reg.F.t * Operand.mem * int
+  | Mem_const of Operand.mem * int * int  (* mem, value, width *)
+
+let remove_redundant_loads (c : counters) (il : Instrlist.t) : unit =
+  let facts = ref [] in
+  let fact_mem = function
+    | Gpr_holds (_, m, w) -> (m, w)
+    | Fpr_holds (_, m, w) -> (m, w)
+    | Mem_const (m, _, w) -> (m, w)
+  in
+  let kill_aliasing (m : Operand.mem) w =
+    facts :=
+      List.filter
+        (fun f ->
+          let fm, fw = fact_mem f in
+          not (FA.may_alias m w fm fw))
+        !facts
+  in
+  let kill_reg (r : Reg.t) =
+    facts :=
+      List.filter
+        (fun f ->
+          let fm, _ = fact_mem f in
+          (match f with
+          | Gpr_holds (h, _, _) -> not (Reg.equal h r)
+          | _ -> true)
+          && not (List.exists (Reg.equal r) (Operand.mem_regs fm)))
+        !facts
+  in
+  let kill_freg (fr : Reg.F.t) =
+    facts :=
+      List.filter
+        (function
+          | Fpr_holds (h, _, _) -> not (Reg.F.equal h fr)
+          | _ -> true)
+        !facts
+  in
+  let kill_esp_based () =
+    facts :=
+      List.filter
+        (fun f ->
+          let m, _ = fact_mem f in
+          not (List.exists (Reg.equal Reg.Esp) (Operand.mem_regs m)))
+        !facts
+  in
+  let find_gpr (m : Operand.mem) w =
+    List.find_map
+      (function
+        | Gpr_holds (r, fm, fw) when fw = w && Operand.equal_mem fm m ->
+            Some r
+        | _ -> None)
+      !facts
+  in
+  let find_fpr (m : Operand.mem) =
+    List.find_map
+      (function
+        | Fpr_holds (f, fm, 8) when Operand.equal_mem fm m -> Some f
+        | _ -> None)
+      !facts
+  in
+  let find_const (m : Operand.mem) w =
+    List.find_map
+      (function
+        | Mem_const (fm, k, fw) when fw = w && Operand.equal_mem fm m ->
+            Some k
+        | _ -> None)
+      !facts
+  in
+  let add_fact f = facts := f :: !facts in
+  (* generic state transfer for instructions with no special handling *)
+  let update_state (i : Instr.t) =
+    let insn = Instr.get_insn i in
+    Array.iter
+      (fun d ->
+        match d with
+        | Operand.Mem m ->
+            let w = if Opcode.is_fp insn.Insn.opcode then 8 else 4 in
+            kill_aliasing m w
+        | _ -> ())
+      insn.Insn.dsts;
+    if
+      Opcode.implicit_stack_write insn.Insn.opcode
+      || Opcode.implicit_stack_read insn.Insn.opcode
+    then kill_esp_based ();
+    Array.iter
+      (fun d ->
+        match d with
+        | Operand.Reg r -> kill_reg r
+        | Operand.Freg f -> kill_freg f
+        | _ -> ())
+      insn.Insn.dsts;
+    if insn.Insn.opcode = Opcode.Ccall then facts := []
+  in
+  Instrlist.iter il (fun i ->
+      if Instr.is_bundle i then facts := []
+      else
+        let insn = Instr.get_insn i in
+        match (insn.Insn.opcode, insn.Insn.dsts, insn.Insn.srcs) with
+        (* pure 32-bit load *)
+        | Opcode.Mov, [| Operand.Reg r |], [| Operand.Mem m |] -> (
+            match find_gpr m 4 with
+            | Some r' ->
+                if Reg.equal r r' then begin
+                  Instrlist.remove il i;
+                  c.loads_removed <- c.loads_removed + 1
+                end
+                else begin
+                  Instr.set_insn i
+                    (Insn.mk_mov (Operand.Reg r) (Operand.Reg r'));
+                  c.loads_rewritten <- c.loads_rewritten + 1;
+                  kill_reg r;
+                  if not (List.exists (Reg.equal r) (Operand.mem_regs m))
+                  then add_fact (Gpr_holds (r, m, 4))
+                end
+            | None -> (
+                match find_const m 4 with
+                | Some k ->
+                    Instr.set_insn i
+                      (Insn.mk_mov (Operand.Reg r) (Operand.Imm k));
+                    c.loads_rewritten <- c.loads_rewritten + 1;
+                    kill_reg r;
+                    if not (List.exists (Reg.equal r) (Operand.mem_regs m))
+                    then add_fact (Gpr_holds (r, m, 4))
+                | None ->
+                    kill_reg r;
+                    (* a load whose address uses its own destination
+                       cannot be remembered: the address changes with r *)
+                    if not (List.exists (Reg.equal r) (Operand.mem_regs m))
+                    then add_fact (Gpr_holds (r, m, 4))))
+        (* 32-bit store: the register (or constant) mirrors the slot *)
+        | Opcode.Mov, [| Operand.Mem m |], [| Operand.Reg r |] ->
+            kill_aliasing m 4;
+            add_fact (Gpr_holds (r, m, 4))
+        | Opcode.Mov, [| Operand.Mem m |], [| Operand.Imm k |] ->
+            kill_aliasing m 4;
+            add_fact (Mem_const (m, k, 4))
+        (* FP load *)
+        | Opcode.Fld, [| Operand.Freg f |], [| Operand.Mem m |] -> (
+            match find_fpr m with
+            | Some f' ->
+                if Reg.F.equal f f' then begin
+                  Instrlist.remove il i;
+                  c.loads_removed <- c.loads_removed + 1
+                end
+                else begin
+                  Instr.set_insn i (Insn.mk_fmov f f');
+                  c.loads_rewritten <- c.loads_rewritten + 1;
+                  kill_freg f;
+                  add_fact (Fpr_holds (f, m, 8))
+                end
+            | None ->
+                kill_freg f;
+                add_fact (Fpr_holds (f, m, 8)))
+        (* FP store *)
+        | Opcode.Fst, [| Operand.Mem m |], [| Operand.Freg f |] ->
+            kill_aliasing m 8;
+            add_fact (Fpr_holds (f, m, 8))
+        | _ -> update_state i)
+
+(* ------------------------------------------------------------------ *)
+(* Dead-store and dead-write elimination                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Opcodes whose only effects are their declared register/flag writes:
+   removing one cannot change memory, I/O, control flow, or raise a
+   fault ([idiv] can fault on a zero divisor and stays).  Memory
+   destinations are checked separately. *)
+let side_effect_free (op : Opcode.t) : bool =
+  match op with
+  | Opcode.Mov | Opcode.Movzx8 | Opcode.Movzx16 | Opcode.Lea | Opcode.Add
+  | Opcode.Adc | Opcode.Sub | Opcode.Sbb | Opcode.Inc | Opcode.Dec
+  | Opcode.Neg | Opcode.Cmp | Opcode.Imul | Opcode.And | Opcode.Or
+  | Opcode.Xor | Opcode.Not | Opcode.Test | Opcode.Shl | Opcode.Shr
+  | Opcode.Sar | Opcode.Fld | Opcode.Fmov | Opcode.Fadd | Opcode.Fsub
+  | Opcode.Fmul | Opcode.Fdiv | Opcode.Fabs | Opcode.Fneg | Opcode.Fsqrt
+  | Opcode.Fcmp | Opcode.Cvtsi | Opcode.Cvtfi | Opcode.Nop ->
+      true
+  | _ -> false
+
+(* one backward-liveness round of dead register/flag-write removal *)
+let dead_writes_round (c : counters) (il : Instrlist.t) : bool =
+  let changed = ref false in
+  List.iter
+    (fun ((i : Instr.t), (after : FA.live)) ->
+      if (not (Instr.is_bundle i)) && not (Instr.is_cti i) then begin
+        let insn = Instr.get_insn i in
+        let op = insn.Insn.opcode in
+        let dsts_dead =
+          Array.for_all
+            (fun d ->
+              match d with
+              | Operand.Reg r -> not (FA.live_reg after r)
+              | Operand.Freg f -> not (FA.live_freg after f)
+              | _ -> false)
+            insn.Insn.dsts
+        in
+        let flag_writes = Eflags.write_mask (Insn.eflags insn) in
+        if
+          side_effect_free op && dsts_dead
+          && flag_writes land after.FA.live_flags = 0
+          && (Array.length insn.Insn.dsts > 0
+             || flag_writes <> 0 || op = Opcode.Nop)
+        then begin
+          Instrlist.remove il i;
+          c.dead_removed <- c.dead_removed + 1;
+          changed := true
+        end
+      end)
+    (FA.backward_liveness il);
+  !changed
+
+(* one forward round of dead-store removal *)
+let dead_stores_round (c : counters) (il : Instrlist.t) : bool =
+  let changed = ref false in
+  Instrlist.iter il (fun i ->
+      if not (Instr.is_bundle i) then
+        let insn = Instr.get_insn i in
+        match (insn.Insn.opcode, insn.Insn.dsts, insn.Insn.srcs) with
+        | Opcode.Mov, [| Operand.Mem m |], [| (Operand.Reg _ | Operand.Imm _) |]
+          when FA.store_dead_after ~mem:m ~width:4 i.Instr.next ->
+            Instrlist.remove il i;
+            c.stores_removed <- c.stores_removed + 1;
+            changed := true
+        | Opcode.Fst, [| Operand.Mem m |], [| Operand.Freg _ |]
+          when FA.store_dead_after ~mem:m ~width:8 i.Instr.next ->
+            Instrlist.remove il i;
+            c.stores_removed <- c.stores_removed + 1;
+            changed := true
+        | _ -> ());
+  !changed
+
+(* Each removal can expose more dead code upstream (a store's source
+   becomes unused, a flag producer loses its reader), so iterate to a
+   fixpoint, bounded to keep the pass linear in practice. *)
+let eliminate_dead (c : counters) (il : Instrlist.t) : unit =
+  let rec go rounds =
+    if rounds > 0 then begin
+      let a = dead_writes_round c il in
+      let b = dead_stores_round c il in
+      if a || b then go (rounds - 1)
+    end
+  in
+  go 4
+
+(* ------------------------------------------------------------------ *)
+(* Exit-check peephole                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Two local rewrites around trace exits:
+
+   (a) [mov [slot], r; cmp [slot], $tag] → compare the register
+       directly.  The store stays — the IBL reads the slot on a miss —
+       but the re-read of the slot (2 modelled cycles) goes away.  This
+       fires on decoded cache images, where the mangled slot store is
+       visible.
+
+   (b) [jcc T; jmp T] — both arms leave for the same target: the
+       conditional is unobservable and is removed (only when it carries
+       no custom stub). *)
+let simplify_exit_checks (c : counters) (il : Instrlist.t) : unit =
+  Instrlist.iter il (fun i ->
+      if not (Instr.is_bundle i) then
+        let insn = Instr.get_insn i in
+        match (insn.Insn.opcode, insn.Insn.dsts, insn.Insn.srcs) with
+        | Opcode.Mov, [| Operand.Mem m |], [| Operand.Reg r |] -> (
+            match i.Instr.next with
+            | Some j when not (Instr.is_bundle j) -> (
+                let jn = Instr.get_insn j in
+                match (jn.Insn.opcode, jn.Insn.srcs) with
+                | Opcode.Cmp, [| Operand.Mem m'; Operand.Imm k |]
+                  when Operand.equal_mem m m' ->
+                    Instr.set_insn j
+                      (Insn.mk_cmp (Operand.Reg r) (Operand.Imm k));
+                    c.checks_simplified <- c.checks_simplified + 1
+                | _ -> ())
+            | _ -> ())
+        | Opcode.Jcc _, _, [| Operand.Target t |] -> (
+            match (i.Instr.note, i.Instr.next) with
+            | Instr.No_note, Some j when not (Instr.is_bundle j) -> (
+                let jn = Instr.get_insn j in
+                match (jn.Insn.opcode, jn.Insn.srcs, j.Instr.note) with
+                | Opcode.Jmp, [| Operand.Target t' |], Instr.No_note
+                  when t = t' ->
+                    Instrlist.remove il i;
+                    c.checks_simplified <- c.checks_simplified + 1
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Dead flag-save elision                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace builder brackets an inline check with a flags save when
+   the application's flags were live at fixup time:
+
+     pushf; pop [fslot]; cmp ...; jne(stub=[push [fslot]; popf]); push [fslot]; popf
+
+   Earlier passes can make those flags dead (an inc→add conversion
+   downstream now clobbers CF; a dead flag-reader was removed), at
+   which point the whole bracket — four instructions plus the stub
+   restore — is unobservable on the fall-through, the only path the
+   system's flags analysis ever considered (the same criterion
+   [fixup_check_flags] applies).  Runs last for exactly this reason. *)
+let elide_flag_saves (c : counters) (il : Instrlist.t) : unit =
+  let insn_of (i : Instr.t) =
+    if Instr.is_bundle i then None else Some (Instr.get_insn i)
+  in
+  (* anchor on the closing popf so removals stay behind the iterator *)
+  Instrlist.iter il (fun p6 ->
+      match insn_of p6 with
+      | Some i6 when i6.Insn.opcode = Opcode.Popf -> (
+          match (p6.Instr.prev : Instr.t option) with
+          | Some p5 -> (
+              match (insn_of p5, p5.Instr.prev) with
+              | Some i5, Some p4
+                when i5.Insn.opcode = Opcode.Push
+                     && Array.length i5.Insn.srcs > 0 -> (
+                  match (i5.Insn.srcs.(0), insn_of p4, p4.Instr.note) with
+                  | ( Operand.Mem fslot,
+                      Some i4,
+                      Instr.Any_note (Stub_note (stub, false)) )
+                    when (match i4.Insn.opcode with
+                         | Opcode.Jcc _ -> true
+                         | _ -> false)
+                         && Instrlist.length stub = 2 -> (
+                      let stub_ok =
+                        match
+                          (Instrlist.first stub, Instrlist.last stub)
+                        with
+                        | Some s1, Some s2 -> (
+                            match (insn_of s1, insn_of s2) with
+                            | Some j1, Some j2 ->
+                                j1.Insn.opcode = Opcode.Push
+                                && Array.length j1.Insn.srcs > 0
+                                && (match j1.Insn.srcs.(0) with
+                                   | Operand.Mem ms ->
+                                       Operand.equal_mem ms fslot
+                                   | _ -> false)
+                                && j2.Insn.opcode = Opcode.Popf
+                            | _ -> false)
+                        | _ -> false
+                      in
+                      match (stub_ok, p4.Instr.prev) with
+                      | true, Some p3 -> (
+                          match (insn_of p3, p3.Instr.prev) with
+                          | Some i3, Some p2 when i3.Insn.opcode = Opcode.Cmp
+                            -> (
+                              match (insn_of p2, p2.Instr.prev) with
+                              | Some i2, Some p1
+                                when i2.Insn.opcode = Opcode.Pop
+                                     && Array.length i2.Insn.dsts > 0
+                                     && (match i2.Insn.dsts.(0) with
+                                        | Operand.Mem md ->
+                                            Operand.equal_mem md fslot
+                                        | _ -> false) -> (
+                                  match insn_of p1 with
+                                  | Some i1
+                                    when i1.Insn.opcode = Opcode.Pushf
+                                         && FA.dead_after p6.Instr.next ->
+                                      Instrlist.remove il p1;
+                                      Instrlist.remove il p2;
+                                      Instrlist.remove il p5;
+                                      Instrlist.remove il p6;
+                                      p4.Instr.note <- Instr.No_note;
+                                      c.flag_saves_elided <-
+                                        c.flag_saves_elided + 1
+                                  | _ -> ())
+                              | _ -> ())
+                          | _ -> ())
+                      | _ -> ())
+                  | _ -> ())
+              | _ -> ())
+          | None -> ())
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Pass driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_pass ~(family : Vm.Cost.family) (c : counters) (il : Instrlist.t) :
+    Options.opt_pass -> unit = function
+  | Options.Copy_prop -> copy_prop c il
+  | Options.Strength -> strength_reduce ~family c il
+  | Options.Load_removal -> remove_redundant_loads c il
+  | Options.Dead_store -> eliminate_dead c il
+  | Options.Exit_peephole -> simplify_exit_checks c il
+  | Options.Flag_elide -> elide_flag_saves c il
+
+(** Run [passes] in order over [il].  [always_save_flags] suppresses
+    the flag-save elision (that ablation must keep every bracket). *)
+let run_passes ?(always_save_flags = false) ~(family : Vm.Cost.family)
+    (c : counters) (passes : Options.opt_pass list) (il : Instrlist.t) : unit =
+  List.iter
+    (fun p ->
+      match p with
+      | Options.Flag_elide when always_save_flags -> ()
+      | p -> run_pass ~family c il p)
+    passes
+
+let fold_into_stats (s : Stats.t) (c : counters) : unit =
+  s.Stats.opt_copies_propagated <- s.Stats.opt_copies_propagated + c.copies;
+  s.Stats.opt_consts_propagated <- s.Stats.opt_consts_propagated + c.consts;
+  s.Stats.opt_strength_reduced <- s.Stats.opt_strength_reduced + c.strength;
+  s.Stats.opt_loads_removed <- s.Stats.opt_loads_removed + c.loads_removed;
+  s.Stats.opt_loads_rewritten <-
+    s.Stats.opt_loads_rewritten + c.loads_rewritten;
+  s.Stats.opt_stores_removed <- s.Stats.opt_stores_removed + c.stores_removed;
+  s.Stats.opt_dead_removed <- s.Stats.opt_dead_removed + c.dead_removed;
+  s.Stats.opt_checks_simplified <-
+    s.Stats.opt_checks_simplified + c.checks_simplified;
+  s.Stats.opt_flag_saves_elided <-
+    s.Stats.opt_flag_saves_elided + c.flag_saves_elided
+
+let family_of (rt : runtime) : Vm.Cost.family =
+  (Vm.Machine.cost rt.machine).Vm.Cost.family
+
+(* run the configured pipeline over one IL, with cost charging and
+   stats folding shared by the finalize-time and re-optimization paths *)
+let run_configured (rt : runtime) (il : Instrlist.t)
+    (passes : Options.opt_pass list) : unit =
+  let n0 = Instrlist.length il in
+  let c = fresh_counters () in
+  run_passes ~always_save_flags:rt.opts.Options.always_save_flags
+    ~family:(family_of rt) c passes il;
+  charge_opt rt
+    (n0 * List.length passes * rt.opts.Options.costs.Options.opt_per_insn_pass);
+  let s = rt.stats in
+  s.Stats.opt_traces <- s.Stats.opt_traces + 1;
+  s.Stats.opt_insns_removed <-
+    s.Stats.opt_insns_removed + (n0 - Instrlist.length il);
+  fold_into_stats s c
+
+(** Optimize a freshly finalized trace IL in place (called between the
+    client's trace hook and mangling/emission).  No-op at [-O0]. *)
+let run (rt : runtime) (il : Instrlist.t) : unit =
+  match Options.effective_passes rt.opts with
+  | [] -> ()
+  | passes -> run_configured rt il passes
+
+(* ------------------------------------------------------------------ *)
+(* Hot-trace re-optimization (paper §3.4)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Decode the trace's cache image, re-run the pipeline (the mangled
+   view exposes slot stores the finalize-time run could not see), and
+   swap the body in through the delayed-delete replace path. *)
+let reoptimize (rt : runtime) (ts : thread_state) (frag : fragment) : fragment =
+  let passes = Options.effective_passes rt.opts in
+  let il = Emit.decode_fragment_il rt frag in
+  run_configured rt il passes;
+  match Emit.replace_fragment rt ts frag il with
+  | fresh ->
+      fresh.reopted <- true;
+      rt.stats.Stats.traces_reoptimized <-
+        rt.stats.Stats.traces_reoptimized + 1;
+      log_flow rt "reoptimized trace 0x%x" frag.tag;
+      fresh
+  | exception Emit.No_room _ ->
+      (* the trace region cannot host the replacement right now; keep
+         running the original body *)
+      log_flow rt "reopt of trace 0x%x dropped (no room)" frag.tag;
+      frag
+
+(** Called on every fragment entry from the dispatcher and the IBL:
+    counts trace entries and, once a hot trace crosses
+    [reopt_threshold], re-optimizes it in place.  Returns the fragment
+    to actually enter. *)
+let maybe_reoptimize (rt : runtime) (ts : thread_state) (frag : fragment) :
+    fragment =
+  match rt.opts.Options.reopt_threshold with
+  | Some thr when frag.kind = Trace && (not frag.deleted) && not frag.reopted
+    ->
+      frag.exec_count <- frag.exec_count + 1;
+      if frag.exec_count >= thr then begin
+        (* marked before the attempt so a failed replacement is not
+           retried on every subsequent entry *)
+        frag.reopted <- true;
+        reoptimize rt ts frag
+      end
+      else frag
+  | _ -> frag

@@ -1,0 +1,60 @@
+(** The in-core trace optimizer (DESIGN.md §6.4): copy/constant
+    propagation, strength reduction, redundant-load removal, dead-store
+    elimination, exit-check peepholes and dead flag-save elision, run
+    over the trace IL at finalization and again — through the
+    decode/replace path — when a hot trace crosses the re-optimization
+    threshold.
+
+    Every pass either rewrites one instruction into a cheaper
+    equal-semantics form or deletes a provably unobservable one: the
+    instruction count never grows, and exit CTIs are treated as full
+    liveness boundaries. *)
+
+open Types
+
+(** Per-run pass counters; folded into {!Stats.t} by {!run}. *)
+type counters = {
+  mutable copies : int;
+  mutable consts : int;
+  mutable strength : int;
+  mutable loads_removed : int;
+  mutable loads_rewritten : int;
+  mutable stores_removed : int;
+  mutable dead_removed : int;
+  mutable checks_simplified : int;
+  mutable flag_saves_elided : int;
+}
+
+val fresh_counters : unit -> counters
+
+(** {2 Individual passes} — exported for clients, examples and tests;
+    each mutates the IL in place and bumps its counters. *)
+
+val copy_prop : counters -> Instrlist.t -> unit
+val strength_reduce : family:Vm.Cost.family -> counters -> Instrlist.t -> unit
+val remove_redundant_loads : counters -> Instrlist.t -> unit
+val eliminate_dead : counters -> Instrlist.t -> unit
+val simplify_exit_checks : counters -> Instrlist.t -> unit
+val elide_flag_saves : counters -> Instrlist.t -> unit
+
+val run_passes :
+  ?always_save_flags:bool ->
+  family:Vm.Cost.family ->
+  counters ->
+  Options.opt_pass list ->
+  Instrlist.t ->
+  unit
+(** Run the passes in order.  [always_save_flags] suppresses the
+    flag-save elision (that ablation must keep every bracket). *)
+
+val run : runtime -> Instrlist.t -> unit
+(** Optimize a freshly finalized trace IL in place, charging the
+    modelled pass cost and folding counters into the runtime's stats.
+    No-op when {!Options.effective_passes} is empty ([-O0]). *)
+
+val maybe_reoptimize : runtime -> thread_state -> fragment -> fragment
+(** Called on every fragment entry: counts trace entries and, once a
+    hot trace crosses [reopt_threshold], decodes its cache image,
+    re-runs the pipeline and replaces the fragment (delayed delete).
+    Returns the fragment to actually enter — the fresh one on success,
+    the original when replacement found no room. *)

@@ -24,6 +24,10 @@ type costs = {
   evict_fragment : int;
       (** unlinking and reclaiming one fragment under incremental
           (FIFO) capacity eviction *)
+  opt_per_insn_pass : int;
+      (** running one optimizer pass over one trace instruction (each
+          pass is a linear scan, far cheaper than the full decode +
+          re-encode already covered by [trace_build_per_insn]) *)
 }
 
 let default_costs =
@@ -38,7 +42,45 @@ let default_costs =
     replace_fragment = 500;
     audit_per_fragment = 20;
     evict_fragment = 40;
+    opt_per_insn_pass = 6;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Trace optimization (DESIGN.md §6.4)                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The in-core optimizer's passes, runnable individually (see
+    {!Opt}).  [opt_level] selects a canonical set; [opt_enable] /
+    [opt_disable] fine-tune it. *)
+type opt_pass =
+  | Copy_prop       (** copy + constant propagation *)
+  | Strength        (** inc→add / dec→sub (architecture-gated) *)
+  | Load_removal    (** redundant load removal *)
+  | Dead_store      (** dead stores + dead register/flag writes *)
+  | Exit_peephole   (** exit-check simplification *)
+  | Flag_elide      (** dead flag-save/restore bracket elision *)
+
+let all_passes =
+  [ Copy_prop; Strength; Load_removal; Dead_store; Exit_peephole; Flag_elide ]
+
+let pass_name = function
+  | Copy_prop -> "copyprop"
+  | Strength -> "strength"
+  | Load_removal -> "loadrem"
+  | Dead_store -> "deadstore"
+  | Exit_peephole -> "peephole"
+  | Flag_elide -> "flagelide"
+
+let pass_of_name n =
+  List.find_opt (fun p -> pass_name p = n) all_passes
+
+(** Canonical pass set per level: [-O1] runs the flag-safe rewrites,
+    [-O2] adds the passes backed by the register/memory liveness
+    analysis. *)
+let passes_at_level = function
+  | 0 -> []
+  | 1 -> [ Copy_prop; Strength; Flag_elide ]
+  | _ -> [ Copy_prop; Strength; Load_removal; Dead_store; Exit_peephole; Flag_elide ]
 
 (** Deterministic fault injection (S34).  The injector fires at
     dispatcher safe points, roughly once every [fi_period] dispatches,
@@ -100,6 +142,18 @@ type t = {
           simulated spare processor: their cost is tracked but not
           charged to the application thread (paper §3.4's "sideline
           optimization" direction) *)
+  opt_level : int;
+      (** trace-optimization level 0–2 ([-O]); 0 disables the in-core
+          optimizer entirely so seed cycle counts are unchanged *)
+  opt_enable : opt_pass list;
+      (** individual passes added on top of [opt_level]'s set (requires
+          [opt_level >= 1]) *)
+  opt_disable : opt_pass list;
+      (** individual passes removed from [opt_level]'s set *)
+  reopt_threshold : int option;
+      (** re-optimize a trace through decode/replace once it has been
+          entered this many times ([None] = never; requires
+          [opt_level >= 1] and a positive threshold) *)
   max_cycles : int;       (** safety stop *)
   faults : fault_opts option;
       (** deterministic fault injection; [None] = injector off *)
@@ -126,6 +180,10 @@ let default =
     quantum = 100_000;
     always_save_flags = false;
     sideline = false;
+    opt_level = 0;
+    opt_enable = [];
+    opt_disable = [];
+    reopt_threshold = None;
     max_cycles = 2_000_000_000;
     faults = None;
     audit_period = 0;
@@ -159,20 +217,56 @@ let max_bb_fragment_bytes (t : t) = ((t.max_bb_insns + 8) * max_insn_bytes) + 32
     evicted. *)
 let min_cache_capacity (t : t) = 2 * max_bb_fragment_bytes t
 
-let validate (t : t) : (unit, string) result =
-  match t.cache_capacity with
-  | None -> Ok ()
-  | Some cap ->
-      if cap <= 0 then
-        Error (Printf.sprintf "cache capacity must be positive (got %d)" cap)
-      else if t.flush_policy = Flush_fifo && cap < min_cache_capacity t then
+(** The pass set a configuration actually runs: the level's canonical
+    passes, plus [opt_enable], minus [opt_disable], in canonical order. *)
+let effective_passes (t : t) : opt_pass list =
+  let base = passes_at_level t.opt_level in
+  List.filter
+    (fun p ->
+      (List.mem p base || List.mem p t.opt_enable)
+      && not (List.mem p t.opt_disable))
+    all_passes
+
+let validate_opt (t : t) : (unit, string) result =
+  if t.opt_level < 0 || t.opt_level > 2 then
+    Error
+      (Printf.sprintf "optimization level must be 0, 1 or 2 (got %d)"
+         t.opt_level)
+  else if t.opt_level = 0 && t.opt_enable <> [] then
+    Error
+      (Printf.sprintf
+         "pass %s is enabled but the optimizer is off (-O0); raise the \
+          level to -O1 or higher or drop the per-pass enable"
+         (pass_name (List.hd t.opt_enable)))
+  else
+    match t.reopt_threshold with
+    | Some n when n <= 0 ->
         Error
           (Printf.sprintf
-             "cache capacity %d is below the FIFO floor of %d bytes (twice \
-              the worst-case basic-block fragment for max-bb-insns=%d); \
-              raise the capacity or use the full flush policy"
-             cap (min_cache_capacity t) t.max_bb_insns)
-      else Ok ()
+             "re-optimization threshold must be positive (got %d)" n)
+    | Some _ when t.opt_level = 0 ->
+        Error
+          "re-optimization is requested but the optimizer is off (-O0); \
+           raise the level to -O1 or higher or drop the threshold"
+    | _ -> Ok ()
+
+let validate (t : t) : (unit, string) result =
+  let cache =
+    match t.cache_capacity with
+    | None -> Ok ()
+    | Some cap ->
+        if cap <= 0 then
+          Error (Printf.sprintf "cache capacity must be positive (got %d)" cap)
+        else if t.flush_policy = Flush_fifo && cap < min_cache_capacity t then
+          Error
+            (Printf.sprintf
+               "cache capacity %d is below the FIFO floor of %d bytes (twice \
+                the worst-case basic-block fragment for max-bb-insns=%d); \
+                raise the capacity or use the full flush policy"
+               cap (min_cache_capacity t) t.max_bb_insns)
+        else Ok ()
+  in
+  match cache with Error _ as e -> e | Ok () -> validate_opt t
 
 let validate_exn (t : t) : unit =
   match validate t with Ok () -> () | Error msg -> raise (Invalid_options msg)

@@ -26,6 +26,7 @@ module Guard = Guard
 module Audit = Audit
 module Faultinject = Faultinject
 module Blockbuild = Blockbuild
+module Opt = Opt
 module Trace = Trace
 module Ibl = Ibl
 module Dispatch = Dispatch

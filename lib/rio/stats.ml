@@ -31,6 +31,20 @@ type t = {
       (** gauge: largest single free run (biggest emittable fragment) *)
   mutable enters_bb : int;           (** fragment entries landing on basic blocks *)
   mutable enters_trace : int;        (** fragment entries landing on traces *)
+  (* --- trace optimization (DESIGN.md §6.4) --- *)
+  mutable opt_traces : int;          (** traces run through the optimizer *)
+  mutable opt_insns_removed : int;   (** total instructions deleted, all passes *)
+  mutable opt_copies_propagated : int;
+  mutable opt_consts_propagated : int;
+  mutable opt_strength_reduced : int;   (** inc→add / dec→sub conversions *)
+  mutable opt_loads_removed : int;      (** redundant loads deleted *)
+  mutable opt_loads_rewritten : int;    (** loads turned into register moves *)
+  mutable opt_stores_removed : int;     (** dead stores deleted *)
+  mutable opt_dead_removed : int;       (** dead register/flag writes deleted *)
+  mutable opt_checks_simplified : int;  (** exit-check peepholes applied *)
+  mutable opt_flag_saves_elided : int;  (** save/restore brackets removed *)
+  mutable traces_reoptimized : int;
+      (** hot traces re-optimized in place via decode/replace *)
   (* --- fault injection (S34) --- *)
   mutable faults_injected : int;     (** total faults the injector introduced *)
   mutable faults_corrupt : int;      (** cache-byte corruptions injected *)
@@ -82,6 +96,18 @@ let create () =
     freelist_largest_hole = 0;
     enters_bb = 0;
     enters_trace = 0;
+    opt_traces = 0;
+    opt_insns_removed = 0;
+    opt_copies_propagated = 0;
+    opt_consts_propagated = 0;
+    opt_strength_reduced = 0;
+    opt_loads_removed = 0;
+    opt_loads_rewritten = 0;
+    opt_stores_removed = 0;
+    opt_dead_removed = 0;
+    opt_checks_simplified = 0;
+    opt_flag_saves_elided = 0;
+    traces_reoptimized = 0;
     faults_injected = 0;
     faults_corrupt = 0;
     faults_link = 0;
@@ -135,6 +161,21 @@ let pp_cache ppf (s : t) =
      largest free hole:   %d@]"
     s.evictions s.evicted_bytes s.traces_dropped s.full_flush_fallbacks
     s.freelist_holes s.freelist_free_bytes s.freelist_largest_hole
+
+(** Trace-optimizer counters (DESIGN.md §6.4); printed separately so
+    existing stats output stays stable. *)
+let pp_opt ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>traces optimized:    %d@,insns removed:       %d@,\
+     copies propagated:   %d@,consts propagated:   %d@,\
+     strength reduced:    %d@,loads removed:       %d@,\
+     loads rewritten:     %d@,stores removed:      %d@,\
+     dead writes removed: %d@,checks simplified:   %d@,\
+     flag saves elided:   %d@,traces reoptimized:  %d@]"
+    s.opt_traces s.opt_insns_removed s.opt_copies_propagated
+    s.opt_consts_propagated s.opt_strength_reduced s.opt_loads_removed
+    s.opt_loads_rewritten s.opt_stores_removed s.opt_dead_removed
+    s.opt_checks_simplified s.opt_flag_saves_elided s.traces_reoptimized
 
 (** Fault-tolerance counters; printed separately so existing stats
     output stays stable. *)

@@ -190,6 +190,9 @@ let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) :
             hook { rt; ts } ~tag:head il)
     | None -> il
   in
+  (* the in-core optimizer sees the same client-view IL (DESIGN.md
+     §6.4); it charges its own pass cost and is a no-op at -O0 *)
+  Opt.run rt il;
   charge_opt rt
     (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
   Mangle.mangle_il ~tid:ts.ts_tid il;

@@ -89,6 +89,12 @@ and fragment = {
   exits : exit_ array;
   mutable incoming : exit_ list;      (* exits of (other) fragments linked to me *)
   mutable deleted : bool;
+  mutable exec_count : int;
+      (* entries observed at dispatch/IBL safe points, counted only
+         while hot-trace re-optimization is armed (reopt_threshold) *)
+  mutable reopted : bool;
+      (* this body already went through (or resulted from) hot-trace
+         re-optimization: never re-optimize twice *)
   mutable checksum : int;
       (* FNV-1a hash of the fragment's cache bytes [entry, total_end),
          refreshed after every legitimate patch (link/unlink/replace);

@@ -132,3 +132,118 @@ let insn_at : (Insn.t * int) QCheck2.Gen.t =
 
 let print_insn i = Disasm.insn_to_string i
 let print_insn_at (i, pc) = Printf.sprintf "%s @ 0x%x" (Disasm.insn_to_string i) pc
+
+(* ------------------------------------------------------------------ *)
+(* Safe straight-line programs (differential optimizer testing)       *)
+(* ------------------------------------------------------------------ *)
+
+(* A "safe" IL is one a test harness can actually execute to [Hlt]
+   from a fixed initial state: no control transfers, no environment
+   interaction, and all memory operands confined to two scratch
+   regions addressed off [Ebp]/[Esi] — which are therefore never
+   written.  Straight-line by construction, so the optimizer's
+   trace-shaped soundness frame applies verbatim. *)
+
+let safe_slots = 16
+
+let writable_reg : Reg.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl Reg.[ Eax; Ebx; Ecx; Edx; Edi ]
+
+let readable_reg : Reg.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl Reg.[ Eax; Ebx; Ecx; Edx; Edi; Ebp; Esi ]
+
+let safe_mem : Operand.mem QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* base = oneofl Reg.[ Ebp; Esi ] in
+  let* slot = int_range 0 (safe_slots - 1) in
+  return { Operand.base = Some base; index = None; disp = 8 * slot }
+
+let safe_mem_op = QCheck2.Gen.map (fun m -> Operand.Mem m) safe_mem
+let safe_wreg_op = QCheck2.Gen.map (fun r -> Operand.Reg r) writable_reg
+let safe_rreg_op = QCheck2.Gen.map (fun r -> Operand.Reg r) readable_reg
+let safe_rm : Operand.t QCheck2.Gen.t =
+  QCheck2.Gen.oneof [ safe_wreg_op; safe_mem_op ]
+
+let safe_src : Operand.t QCheck2.Gen.t =
+  QCheck2.Gen.oneof [ safe_rreg_op; safe_mem_op; imm_op ]
+
+(* binary ALU over safe operands: avoid mem,mem *)
+let safe_alu_pair : (Operand.t * Operand.t) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* d = safe_wreg_op and* s = safe_src in
+       return (d, s));
+      (let* d = safe_mem_op and* s = oneof [ safe_rreg_op; imm_op ] in
+       return (d, s));
+    ]
+
+(** One safe straight-line instruction: no CTIs, no [Hlt], no [Ccall],
+    no [In], no [Idiv]; [Out] kept because it makes mid-program state
+    observable.  Every memory operand is a scratch slot; [Ebp], [Esi]
+    and [Esp] are never explicitly written. *)
+let safe_insn : Insn.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let alu mk =
+    let* d, s = safe_alu_pair in
+    return (mk d s)
+  in
+  let unary mk =
+    let* x = safe_rm in
+    return (mk x)
+  in
+  let shift mk =
+    let* d = safe_rm in
+    let* s =
+      oneof
+        [
+          map (fun n -> Operand.Imm n) (int_range 0 31);
+          return (Operand.Reg Reg.Ecx);
+        ]
+    in
+    return (mk d s)
+  in
+  let fsrc =
+    oneof [ map (fun f -> Operand.Freg f) freg; safe_mem_op ]
+  in
+  oneof
+    [
+      alu Insn.mk_add; alu Insn.mk_adc; alu Insn.mk_sub; alu Insn.mk_sbb;
+      alu Insn.mk_and; alu Insn.mk_or; alu Insn.mk_xor; alu Insn.mk_cmp;
+      alu Insn.mk_mov;
+      (let* a = safe_rm and* b = oneof [ safe_rreg_op; imm_op ] in
+       return (Insn.mk_test a b));
+      (let* d = safe_wreg_op and* s = safe_rm in return (Insn.mk_imul d s));
+      (let* d = safe_wreg_op and* s = safe_rm in return (Insn.mk_movzx8 d s));
+      (let* d = safe_wreg_op and* s = safe_rm in return (Insn.mk_movzx16 d s));
+      (let* d = safe_wreg_op and* m = safe_mem_op in return (Insn.mk_lea d m));
+      unary Insn.mk_inc; unary Insn.mk_dec; unary Insn.mk_neg; unary Insn.mk_not;
+      shift Insn.mk_shl; shift Insn.mk_shr; shift Insn.mk_sar;
+      (let* s = safe_src in return (Insn.mk_push s));
+      unary Insn.mk_pop;
+      (let* a = safe_wreg_op and* b = safe_rm in return (Insn.mk_xchg a b));
+      return (Insn.mk_pushf ());
+      return (Insn.mk_popf ());
+      (let* f = freg and* m = safe_mem_op in return (Insn.mk_fld f m));
+      (let* f = freg and* m = safe_mem_op in return (Insn.mk_fst m f));
+      (let* d = freg and* s = freg in return (Insn.mk_fmov d s));
+      (let* d = freg and* s = fsrc in return (Insn.mk_fadd d s));
+      (let* d = freg and* s = fsrc in return (Insn.mk_fsub d s));
+      (let* d = freg and* s = fsrc in return (Insn.mk_fmul d s));
+      (let* d = freg and* s = fsrc in return (Insn.mk_fdiv d s));
+      (let* f = freg in return (Insn.mk_fabs f));
+      (let* f = freg in return (Insn.mk_fneg f));
+      (let* f = freg in return (Insn.mk_fsqrt f));
+      (let* a = freg and* b = fsrc in return (Insn.mk_fcmp a b));
+      (let* f = freg and* s = safe_rm in return (Insn.mk_cvtsi f s));
+      (let* d = safe_wreg_op and* f = freg in return (Insn.mk_cvtfi d f));
+      (let* r = safe_rreg_op in return (Insn.mk_out r));
+      return (Insn.mk_nop ());
+    ]
+
+(** A safe straight-line program, 1–30 instructions. *)
+let safe_il : Insn.t list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 30) safe_insn)
+
+let print_il (l : Insn.t list) : string =
+  String.concat "\n" (List.map print_insn l)

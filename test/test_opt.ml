@@ -1,0 +1,320 @@
+(** Differential tests for the trace optimizer (DESIGN.md §6.4).
+
+    The core property: running a safe straight-line program through the
+    VM gives the same final machine state — every GPR, every FP
+    register, the arithmetic flags, the output stream and both scratch
+    memory regions — whether or not the [-O] passes rewrote it first,
+    and the passes never increase the instruction count.  Directed
+    units pin the conservatism boundaries (end of list, exit CTIs,
+    undecoded bundles) and prove each structural peephole can fire. *)
+
+open Isa
+
+let check = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Harness: encode an IL, execute it, capture the full final state    *)
+(* ------------------------------------------------------------------ *)
+
+let code_base = 0x1000
+let ebp_base = 0x20000
+let esi_base = 0x30000
+let stack_top = 0x50000
+
+type final = {
+  f_regs : int array;
+  f_fregs : int64 array;
+  f_flags : int;
+  f_out : int list;
+  f_ebp_mem : Bytes.t;
+  f_esi_mem : Bytes.t;
+  f_stack_mem : Bytes.t;
+}
+
+let il_of_insns (insns : Insn.t list) : Rio.Instrlist.t =
+  let il = Rio.Instrlist.create () in
+  List.iter (fun i -> Rio.Instrlist.append il (Rio.Create.of_insn i)) insns;
+  il
+
+(* Encode the IL followed by a terminating [hlt].  The [hlt] is outside
+   the optimized region on purpose: the passes must already be fully
+   conservative at the bare end of the list. *)
+let encode_il (il : Rio.Instrlist.t) : Bytes.t =
+  let buf = Buffer.create 256 in
+  Rio.Instrlist.iter il (fun i ->
+      Buffer.add_bytes buf
+        (Rio.Instr.encode ~pc:(code_base + Buffer.length buf) i));
+  Buffer.add_bytes buf
+    (Rio.Instr.encode
+       ~pc:(code_base + Buffer.length buf)
+       (Rio.Create.of_insn (Insn.mk_hlt ())));
+  Buffer.to_bytes buf
+
+let run_code (code : Bytes.t) : final =
+  let m = Vm.Machine.create ~mem_size:(1 lsl 20) () in
+  let mem = Vm.Machine.mem m in
+  Vm.Memory.blit_bytes mem ~src:code ~src_pos:0 ~dst:code_base
+    ~len:(Bytes.length code);
+  (* non-trivial scratch data so loads see varied values *)
+  for k = 0 to Gen.safe_slots - 1 do
+    Vm.Memory.write_u32 mem (ebp_base + (8 * k)) ((k + 1) * 0x01010101);
+    Vm.Memory.write_u32 mem (esi_base + (8 * k)) ((k + 3) * 0x00f0f0f1)
+  done;
+  let t = Vm.Machine.add_thread m ~entry:code_base ~stack_top in
+  Vm.Machine.set_reg t Reg.Eax 0x1234;
+  Vm.Machine.set_reg t Reg.Ebx 7;
+  Vm.Machine.set_reg t Reg.Ecx 3;
+  Vm.Machine.set_reg t Reg.Edx (-5);
+  Vm.Machine.set_reg t Reg.Edi 0x55AA;
+  Vm.Machine.set_reg t Reg.Ebp ebp_base;
+  Vm.Machine.set_reg t Reg.Esi esi_base;
+  Array.iteri
+    (fun k f -> Vm.Machine.set_freg t f ((float_of_int k *. 1.5) -. 2.25))
+    (Array.of_list Reg.F.all);
+  (match Vm.Interp.run m t ~budget:100_000 ~emulate:true with
+  | Vm.Interp.Halted -> ()
+  | stop ->
+      Alcotest.failf "safe program stopped with %s"
+        (Vm.Interp.stop_to_string stop));
+  {
+    f_regs = Array.map (Vm.Machine.get_reg t) (Array.of_list Reg.all);
+    f_fregs =
+      Array.map
+        (fun f -> Int64.bits_of_float (Vm.Machine.get_freg t f))
+        (Array.of_list Reg.F.all);
+    f_flags = t.Vm.Machine.eflags;
+    f_out = Vm.Machine.output m;
+    f_ebp_mem = Vm.Memory.read_bytes mem ~addr:ebp_base ~len:(8 * Gen.safe_slots);
+    f_esi_mem = Vm.Memory.read_bytes mem ~addr:esi_base ~len:(8 * Gen.safe_slots);
+    f_stack_mem = Vm.Memory.read_bytes mem ~addr:(stack_top - 256) ~len:512;
+  }
+
+let diff_final (a : final) (b : final) : string option =
+  let probs = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> probs := s :: !probs) fmt in
+  List.iteri
+    (fun k r ->
+      if a.f_regs.(k) <> b.f_regs.(k) then
+        note "%s: 0x%x vs 0x%x" (Reg.name r) a.f_regs.(k) b.f_regs.(k))
+    Reg.all;
+  Array.iteri
+    (fun k x ->
+      if x <> b.f_fregs.(k) then note "f%d: %Lx vs %Lx" k x b.f_fregs.(k))
+    a.f_fregs;
+  if a.f_flags <> b.f_flags then
+    note "eflags: 0x%x vs 0x%x" a.f_flags b.f_flags;
+  if a.f_out <> b.f_out then
+    note "output: [%s] vs [%s]"
+      (String.concat ";" (List.map string_of_int a.f_out))
+      (String.concat ";" (List.map string_of_int b.f_out));
+  if not (Bytes.equal a.f_ebp_mem b.f_ebp_mem) then note "ebp scratch differs";
+  if not (Bytes.equal a.f_esi_mem b.f_esi_mem) then note "esi scratch differs";
+  if not (Bytes.equal a.f_stack_mem b.f_stack_mem) then note "stack window differs";
+  match !probs with [] -> None | l -> Some (String.concat "; " l)
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                          *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_at level (il : Rio.Instrlist.t) : Rio.Opt.counters =
+  let c = Rio.Opt.fresh_counters () in
+  Rio.Opt.run_passes ~family:Vm.Cost.Pentium4 c
+    (Rio.Options.passes_at_level level)
+    il;
+  c
+
+let prop_differential level =
+  QCheck2.Test.make ~count:300
+    ~name:(Printf.sprintf "-O%d preserves final machine state" level)
+    ~print:Gen.print_il Gen.safe_il
+    (fun insns ->
+      let base = il_of_insns insns in
+      let opt = il_of_insns insns in
+      let _c = optimize_at level opt in
+      let n_before = List.length insns in
+      let n_after = Rio.Instrlist.length opt in
+      if n_after > n_before then
+        QCheck2.Test.fail_reportf "instruction count grew: %d -> %d" n_before
+          n_after
+      else
+        let s0 = run_code (encode_il base) in
+        let s1 = run_code (encode_il opt) in
+        match diff_final s0 s1 with
+        | None -> true
+        | Some d -> QCheck2.Test.fail_reportf "state diverged: %s" d)
+
+(* Idempotence: a second pipeline run over already-optimized IL must
+   not change the program's behaviour either (re-optimization feeds
+   optimizer output back through the same passes). *)
+let prop_reopt_stable =
+  QCheck2.Test.make ~count:150 ~name:"second -O2 run stays state-preserving"
+    ~print:Gen.print_il Gen.safe_il
+    (fun insns ->
+      let base = il_of_insns insns in
+      let opt = il_of_insns insns in
+      let _ = optimize_at 2 opt in
+      let once = Rio.Instrlist.length opt in
+      let _ = optimize_at 2 opt in
+      if Rio.Instrlist.length opt > once then
+        QCheck2.Test.fail_reportf "second run grew the IL"
+      else
+        let s0 = run_code (encode_il base) in
+        let s1 = run_code (encode_il opt) in
+        match diff_final s0 s1 with
+        | None -> true
+        | Some d -> QCheck2.Test.fail_reportf "state diverged after reopt: %s" d)
+
+(* ------------------------------------------------------------------ *)
+(* Directed units: conservatism boundaries                            *)
+(* ------------------------------------------------------------------ *)
+
+let mov_imm r k = Insn.mk_mov (Operand.Reg r) (Operand.Imm k)
+
+(* A register written at the very end of the IL is live-out: nothing
+   after it proves the write dead, so it must survive. *)
+let test_end_of_list_conservative () =
+  let il = il_of_insns [ mov_imm Reg.Eax 5 ] in
+  let c = Rio.Opt.fresh_counters () in
+  Rio.Opt.eliminate_dead c il;
+  check "trailing write kept" 1 (Rio.Instrlist.length il);
+  check "no removals" 0 c.Rio.Opt.dead_removed;
+  (* ... while the same write is removed when provably overwritten *)
+  let il2 = il_of_insns [ mov_imm Reg.Eax 5; mov_imm Reg.Eax 6 ] in
+  let c2 = Rio.Opt.fresh_counters () in
+  Rio.Opt.eliminate_dead c2 il2;
+  check "overwritten write removed" 1 (Rio.Instrlist.length il2);
+  check "one removal" 1 c2.Rio.Opt.dead_removed
+
+(* An undecoded bundle may read anything: every fact must die at its
+   boundary, so the overwrite on the far side proves nothing. *)
+let test_bundle_boundary_conservative () =
+  let nop_raw = Isa.Encode.encode_exn ~pc:0 (Insn.mk_nop ()) in
+  let il = Rio.Instrlist.create () in
+  Rio.Instrlist.append il (Rio.Create.of_insn (mov_imm Reg.Eax 5));
+  Rio.Instrlist.append il (Rio.Instr.of_bundle ~addr:0x2000 nop_raw);
+  Rio.Instrlist.append il (Rio.Create.of_insn (mov_imm Reg.Eax 6));
+  let c = Rio.Opt.fresh_counters () in
+  Rio.Opt.eliminate_dead c il;
+  check "bundle blocks dead-write removal" 3 (Rio.Instrlist.length il);
+  check "no removals across bundle" 0 c.Rio.Opt.dead_removed
+
+(* Exit CTIs are full liveness boundaries: an inc whose carry flag is
+   only clobbered on the far side of a conditional exit must not be
+   converted — the exit path could observe CF. *)
+let test_exit_cti_conservative () =
+  let inc_eax = Insn.mk_inc (Operand.Reg Reg.Eax) in
+  let kill_flags = Insn.mk_add (Operand.Reg Reg.Ebx) (Operand.Imm 1) in
+  (* straight line: the add rewrites CF before anything reads it *)
+  let il_ok = il_of_insns [ inc_eax; kill_flags ] in
+  let c_ok = Rio.Opt.fresh_counters () in
+  Rio.Opt.strength_reduce ~family:Vm.Cost.Pentium4 c_ok il_ok;
+  check "inc converted on straight line" 1 c_ok.Rio.Opt.strength;
+  (* same add, but behind a conditional exit *)
+  let il_cti =
+    il_of_insns [ inc_eax; Insn.mk_jcc Cond.NZ 0x4000; kill_flags ]
+  in
+  let c_cti = Rio.Opt.fresh_counters () in
+  Rio.Opt.strength_reduce ~family:Vm.Cost.Pentium4 c_cti il_cti;
+  check "inc kept before exit CTI" 0 c_cti.Rio.Opt.strength;
+  (* and the whole transformation is gated on the processor family *)
+  let il_p3 = il_of_insns [ inc_eax; kill_flags ] in
+  let c_p3 = Rio.Opt.fresh_counters () in
+  Rio.Opt.strength_reduce ~family:Vm.Cost.Pentium3 c_p3 il_p3;
+  check "inc kept on P3" 0 c_p3.Rio.Opt.strength
+
+(* ------------------------------------------------------------------ *)
+(* Directed units: structural peepholes can fire                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_exit_check_peephole () =
+  let slot = { Operand.base = Some Reg.Ebp; index = None; disp = 64 } in
+  let il =
+    il_of_insns
+      [
+        Insn.mk_mov (Operand.Mem slot) (Operand.Reg Reg.Eax);
+        Insn.mk_cmp (Operand.Mem slot) (Operand.Imm 7);
+      ]
+  in
+  let c = Rio.Opt.fresh_counters () in
+  Rio.Opt.simplify_exit_checks c il;
+  check "check simplified" 1 c.Rio.Opt.checks_simplified;
+  check "store kept" 2 (Rio.Instrlist.length il);
+  (match Rio.Instrlist.last il with
+  | Some i ->
+      let insn = Rio.Instr.get_insn i in
+      Alcotest.(check bool)
+        "cmp now reads the register" true
+        (Operand.equal insn.Insn.srcs.(0) (Operand.Reg Reg.Eax))
+  | None -> Alcotest.fail "empty IL");
+  (* jcc T; jmp T — the conditional is unobservable *)
+  let il2 = il_of_insns [ Insn.mk_jcc Cond.NZ 0x4000; Insn.mk_jmp 0x4000 ] in
+  let c2 = Rio.Opt.fresh_counters () in
+  Rio.Opt.simplify_exit_checks c2 il2;
+  check "same-target jcc removed" 1 (Rio.Instrlist.length il2)
+
+(* Build the trace builder's flag-save bracket by hand and show the
+   elision actually fires once the flags are provably dead. *)
+let flag_bracket ~tail =
+  let fslot = { Operand.base = Some Reg.Ebp; index = None; disp = 120 } in
+  let stub = Rio.Instrlist.create () in
+  Rio.Instrlist.append stub (Rio.Create.push (Operand.Mem fslot));
+  Rio.Instrlist.append stub (Rio.Create.popf ());
+  let jcc = Rio.Create.jcc Cond.NZ 0x4000 in
+  Rio.Instr.set_note jcc
+    (Rio.Instr.Any_note (Rio.Types.Stub_note (stub, false)));
+  let il = Rio.Instrlist.create () in
+  Rio.Instrlist.append il (Rio.Create.pushf ());
+  Rio.Instrlist.append il (Rio.Create.pop (Operand.Mem fslot));
+  Rio.Instrlist.append il
+    (Rio.Create.of_insn
+       (Insn.mk_cmp (Operand.Reg Reg.Ebx) (Operand.Imm 42)));
+  Rio.Instrlist.append il jcc;
+  Rio.Instrlist.append il (Rio.Create.push (Operand.Mem fslot));
+  Rio.Instrlist.append il (Rio.Create.popf ());
+  List.iter (fun i -> Rio.Instrlist.append il (Rio.Create.of_insn i)) tail;
+  (il, jcc)
+
+let test_flag_elide_fires () =
+  (* the trailing cmp rewrites every arithmetic flag before any read,
+     so the restored flags are dead and the bracket must go *)
+  let dead_tail = [ Insn.mk_cmp (Operand.Reg Reg.Eax) (Operand.Imm 0) ] in
+  let il, jcc = flag_bracket ~tail:dead_tail in
+  let before = Rio.Instrlist.length il in
+  let c = Rio.Opt.fresh_counters () in
+  Rio.Opt.elide_flag_saves c il;
+  check "bracket elided" 1 c.Rio.Opt.flag_saves_elided;
+  check "four instructions gone" (before - 4) (Rio.Instrlist.length il);
+  Alcotest.(check bool)
+    "custom stub note cleared" true
+    (Rio.Instr.get_note jcc = Rio.Instr.No_note);
+  (* without the flag-killing tail the flags are live-out: keep it *)
+  let il2, _ = flag_bracket ~tail:[] in
+  let before2 = Rio.Instrlist.length il2 in
+  let c2 = Rio.Opt.fresh_counters () in
+  Rio.Opt.elide_flag_saves c2 il2;
+  check "live flags keep the bracket" before2 (Rio.Instrlist.length il2);
+  check "no elisions" 0 c2.Rio.Opt.flag_saves_elided
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_differential 1; prop_differential 2; prop_reopt_stable ]
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "conservatism",
+        [
+          Alcotest.test_case "end of list" `Quick test_end_of_list_conservative;
+          Alcotest.test_case "bundle boundary" `Quick
+            test_bundle_boundary_conservative;
+          Alcotest.test_case "exit CTI" `Quick test_exit_cti_conservative;
+        ] );
+      ( "peepholes",
+        [
+          Alcotest.test_case "exit check" `Quick test_exit_check_peephole;
+          Alcotest.test_case "flag-save elision" `Quick test_flag_elide_fires;
+        ] );
+      ("differential", qcheck_tests);
+    ]

@@ -15,8 +15,9 @@ open Workloads
 
 let pr fmt = Printf.printf fmt
 
-let geomean xs =
-  exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+(* shared sweep scaffolding (CLI parsing, JSON emission, native checks)
+   lives in [Sweep]; alias the helpers used throughout *)
+let geomean = Sweep.geomean
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
@@ -325,7 +326,7 @@ let figure4 () =
 let figure5_bars () =
   [
     ("base", fun () -> Rio.Types.null_client);
-    ("rlr", fun () -> Clients.Rlr.client);
+    ("rlr", fun () -> Clients.Rlr.make ());
     ("strength", fun () -> Clients.Strength.make ~on_bb:false);
     ("ibdispatch", fun () -> Clients.Ibdispatch.make ());
     ("ctraces", fun () -> Stdlib.fst (Clients.Ctraces.make ()));
@@ -674,7 +675,7 @@ let faultsweep () =
    must never change from host-side optimization; this subcommand is
    the perf trajectory future PRs regress against. *)
 
-let time_now () = Unix.gettimeofday ()
+let time_now = Sweep.time_now
 
 type tp_row = {
   tp_name : string;
@@ -700,8 +701,7 @@ let throughput_one ~target_s ~min_runs (w : Workload.t) : tp_row =
       failwith (w.Workload.name ^ ": throughput run did not complete");
     o.Rio.cycles
   in
-  let native = Workload.run_native w in
-  if not native.Workload.ok then failwith (w.Workload.name ^ ": native failed");
+  let native = Sweep.native_checked w in
   (* warm-up run, also records the simulated cycle count *)
   let cycles = run_once () in
   let t0 = time_now () in
@@ -723,26 +723,7 @@ let throughput_one ~target_s ~min_runs (w : Workload.t) : tp_row =
     tp_cycles = cycles;
   }
 
-(* Baseline file: one "<name> <mips>" pair per line, '#' comments. *)
-let read_baseline path : (string * float) list =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let acc = ref [] in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if line <> "" && line.[0] <> '#' then
-           match String.split_on_char ' ' line with
-           | name :: rest -> (
-               match List.filter (fun s -> s <> "") rest with
-               | [ v ] -> acc := (name, float_of_string v) :: !acc
-               | _ -> ())
-           | [] -> ()
-       done
-     with End_of_file -> close_in ic);
-    List.rev !acc
-  end
+let read_baseline = Sweep.read_baseline
 
 let throughput ~quick ~baseline_path ~out_path () =
   let target_s = if quick then 0.25 else 1.0 in
@@ -785,35 +766,38 @@ let throughput ~quick ~baseline_path ~out_path () =
    | Some bg, Some s -> pr " %10.3f %8.2f\n" bg s
    | _ -> pr " %10s %8s\n" "-" "-");
   (* write the JSON datapoint *)
-  let oc = open_out out_path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"rio-throughput-v1\",\n";
-  p "  \"quick\": %b,\n" quick;
-  p "  \"geomean_mips\": %.4f,\n" gm;
-  (match base_gm with
-   | Some bg -> p "  \"baseline_geomean_mips\": %.4f,\n" bg
-   | None -> ());
-  (match gm_speedup with
-   | Some s -> p "  \"geomean_speedup_vs_baseline\": %.4f,\n" s
-   | None -> ());
-  p "  \"workloads\": [\n";
-  List.iteri
-    (fun k (r, base) ->
-      p "    { \"name\": %S, \"app_insns\": %d, \"runs\": %d,\n" r.tp_name
-        r.tp_app_insns r.tp_runs;
-      p "      \"host_seconds\": %.6f, \"mips\": %.4f, \"sim_cycles\": %d"
-        r.tp_host_s r.tp_mips r.tp_cycles;
-      (match base with
-       | Some b ->
-           p ",\n      \"baseline_mips\": %.4f, \"speedup\": %.4f }" b
-             (r.tp_mips /. b)
-       | None -> p " }");
-      p "%s\n" (if k < List.length rows - 1 then "," else ""))
-    rows;
-  p "  ]\n}\n";
-  close_out oc;
-  pr "wrote %s\n%!" out_path
+  let open Sweep in
+  write_json ~path:out_path
+    (Obj
+       ([ ("schema", Str "rio-throughput-v1");
+          ("quick", Bool quick);
+          ("geomean_mips", Float gm) ]
+       @ (match base_gm with
+         | Some bg -> [ ("baseline_geomean_mips", Float bg) ]
+         | None -> [])
+       @ (match gm_speedup with
+         | Some s -> [ ("geomean_speedup_vs_baseline", Float s) ]
+         | None -> [])
+       @ [
+           ( "workloads",
+             Arr
+               (List.map
+                  (fun (r, base) ->
+                    Obj
+                      ([ ("name", Str r.tp_name);
+                         ("app_insns", Int r.tp_app_insns);
+                         ("runs", Int r.tp_runs);
+                         ("host_seconds", Float r.tp_host_s);
+                         ("mips", Float r.tp_mips);
+                         ("sim_cycles", Int r.tp_cycles) ]
+                      @
+                      match base with
+                      | Some b ->
+                          [ ("baseline_mips", Float b);
+                            ("speedup", Float (r.tp_mips /. b)) ]
+                      | None -> []))
+                  rows) );
+         ]))
 
 (* ------------------------------------------------------------------ *)
 (* Cache sweep: capacity ladder x flush policy                        *)
@@ -925,27 +909,29 @@ let cachesweep ~quick ~out_path () =
     pr "\nall outputs identical to native; FIFO rows ran with zero full flushes\n%!"
   else pr "\n!! FIFO rows fell back to %d full flushes\n%!" fifo_flushes;
   (* write the JSON datapoint *)
-  let oc = open_out out_path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"rio-cachesweep-v1\",\n";
-  p "  \"quick\": %b,\n" quick;
-  p "  \"fifo_full_flushes\": %d,\n" fifo_flushes;
-  p "  \"rows\": [\n";
-  List.iteri
-    (fun k r ->
-      p "    { \"bench\": %S, \"policy\": %S, \"capacity\": %s,\n" r.cs_bench
-        r.cs_policy
-        (match r.cs_cap with None -> "null" | Some c -> string_of_int c);
-      p "      \"cycle_ratio\": %.4f, \"mips\": %.4f, \"evictions\": %d,\n"
-        r.cs_ratio r.cs_mips r.cs_evictions;
-      p "      \"cache_flushes\": %d, \"traces_dropped\": %d, \"full_flush_fallbacks\": %d }%s\n"
-        r.cs_flushes r.cs_dropped r.cs_fallbacks
-        (if k < List.length rows - 1 then "," else ""))
-    rows;
-  p "  ]\n}\n";
-  close_out oc;
-  pr "wrote %s\n%!" out_path;
+  let open Sweep in
+  write_json ~path:out_path
+    (Obj
+       [ ("schema", Str "rio-cachesweep-v1");
+         ("quick", Bool quick);
+         ("fifo_full_flushes", Int fifo_flushes);
+         ( "rows",
+           Arr
+             (List.map
+                (fun r ->
+                  Obj
+                    [ ("bench", Str r.cs_bench);
+                      ("policy", Str r.cs_policy);
+                      ( "capacity",
+                        match r.cs_cap with None -> Null | Some c -> Int c );
+                      ("cycle_ratio", Float r.cs_ratio);
+                      ("mips", Float r.cs_mips);
+                      ("evictions", Int r.cs_evictions);
+                      ("cache_flushes", Int r.cs_flushes);
+                      ("traces_dropped", Int r.cs_dropped);
+                      ("full_flush_fallbacks", Int r.cs_fallbacks) ])
+                rows) );
+       ]);
   if fifo_flushes > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1108,27 +1094,29 @@ let optsweep ~quick ~out_path () =
     !reopt_total !reopt_benches (List.length wl) !reopt_fallbacks;
 
   (* write the JSON datapoint *)
-  let oc = open_out out_path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"rio-optsweep-v1\",\n";
-  p "  \"quick\": %b,\n" quick;
-  p "  \"o2_vs_o0_geomean_cycle_ratio\": %.4f,\n" o2_vs_o0;
-  p "  \"o2_geomean_cycles_removed_pct\": %.2f,\n" reduction_pct;
-  p "  \"o0_cycle_drift\": %d,\n" !o0_drift;
-  p "  \"traces_reoptimized\": %d,\n" !reopt_total;
-  p "  \"reopt_workloads\": %d,\n" !reopt_benches;
-  p "  \"reopt_full_flush_fallbacks\": %d,\n" !reopt_fallbacks;
-  p "  \"rows\": [\n";
-  List.iteri
-    (fun k r ->
-      p "    { \"bench\": %S, \"level\": %d, \"sim_cycles\": %d, \"cycle_ratio\": %.4f, \"insns_removed\": %d }%s\n"
-        r.os_bench r.os_level r.os_cycles r.os_ratio r.os_removed
-        (if k < List.length rows - 1 then "," else ""))
-    rows;
-  p "  ]\n}\n";
-  close_out oc;
-  pr "wrote %s\n%!" out_path;
+  let open Sweep in
+  write_json ~path:out_path
+    (Obj
+       [ ("schema", Str "rio-optsweep-v1");
+         ("quick", Bool quick);
+         ("o2_vs_o0_geomean_cycle_ratio", Float o2_vs_o0);
+         ("o2_geomean_cycles_removed_pct", Float reduction_pct);
+         ("o0_cycle_drift", Int !o0_drift);
+         ("traces_reoptimized", Int !reopt_total);
+         ("reopt_workloads", Int !reopt_benches);
+         ("reopt_full_flush_fallbacks", Int !reopt_fallbacks);
+         ( "rows",
+           Arr
+             (List.map
+                (fun r ->
+                  Obj
+                    [ ("bench", Str r.os_bench);
+                      ("level", Int r.os_level);
+                      ("sim_cycles", Int r.os_cycles);
+                      ("cycle_ratio", Float r.os_ratio);
+                      ("insns_removed", Int r.os_removed) ])
+                rows) );
+       ]);
   (* hard gates: -O0 byte-identical; re-opt exercised with no full-flush
      fallback; and (full mode) the >=5% geomean win *)
   if !o0_drift > 0 then exit 1;
@@ -1157,40 +1145,32 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: [] | [] -> all ()
   | _ :: "throughput" :: rest ->
-      let quick = ref false in
-      let baseline_path = ref "bench/BASELINE_throughput.txt" in
-      let out_path = ref "BENCH_throughput.json" in
-      let rec parse = function
-        | [] -> ()
-        | "--quick" :: tl -> quick := true; parse tl
-        | "--baseline" :: p :: tl -> baseline_path := p; parse tl
-        | "--out" :: p :: tl -> out_path := p; parse tl
-        | a :: _ -> failwith ("throughput: unknown argument " ^ a)
+      let cli =
+        Sweep.parse_cli ~cmd:"throughput" ~string_opts:[ "--baseline" ]
+          ~default_out:"BENCH_throughput.json" rest
       in
-      parse rest;
-      throughput ~quick:!quick ~baseline_path:!baseline_path ~out_path:!out_path ()
+      let baseline_path =
+        Option.value
+          (List.assoc_opt "--baseline" cli.Sweep.extra)
+          ~default:"bench/BASELINE_throughput.txt"
+      in
+      throughput ~quick:cli.Sweep.quick ~baseline_path
+        ~out_path:cli.Sweep.out_path ()
   | _ :: "optsweep" :: rest ->
-      let quick = ref false in
-      let out_path = ref "BENCH_opt.json" in
-      let rec parse = function
-        | [] -> ()
-        | "--quick" :: tl -> quick := true; parse tl
-        | "--out" :: p :: tl -> out_path := p; parse tl
-        | a :: _ -> failwith ("optsweep: unknown argument " ^ a)
+      let cli =
+        Sweep.parse_cli ~cmd:"optsweep" ~default_out:"BENCH_opt.json" rest
       in
-      parse rest;
-      optsweep ~quick:!quick ~out_path:!out_path ()
+      optsweep ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
   | _ :: "cachesweep" :: rest ->
-      let quick = ref false in
-      let out_path = ref "BENCH_cache.json" in
-      let rec parse = function
-        | [] -> ()
-        | "--quick" :: tl -> quick := true; parse tl
-        | "--out" :: p :: tl -> out_path := p; parse tl
-        | a :: _ -> failwith ("cachesweep: unknown argument " ^ a)
+      let cli =
+        Sweep.parse_cli ~cmd:"cachesweep" ~default_out:"BENCH_cache.json" rest
       in
-      parse rest;
-      cachesweep ~quick:!quick ~out_path:!out_path ()
+      cachesweep ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+  | _ :: "parsweep" :: rest ->
+      let cli =
+        Sweep.parse_cli ~cmd:"parsweep" ~default_out:"BENCH_parallel.json" rest
+      in
+      Parsweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
   | _ :: args ->
       List.iter
         (function
@@ -1208,6 +1188,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|parsweep [--quick] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

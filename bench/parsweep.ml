@@ -1,0 +1,279 @@
+(** Parallel serving sweep: domain-count scaling of the pool
+    (DESIGN.md §6.5), written to BENCH_parallel.json.
+
+    For each domain count on the ladder, a pool serves an interleaved
+    (workload x input-seed) request stream twice: an untimed warm-up
+    pass that populates every worker's code caches, then a measured
+    pass.  Every result — warm-up and measured, with and without fault
+    injection — is checked byte-for-byte against a native reference.
+
+    Scaling is gated on {e simulated-cycle makespan}: the longest
+    per-worker sum of served cycles.  Host wall-clock is reported but
+    informational — CI machines (and this one) may expose a single
+    core, where real parallel speedup is physically impossible, while
+    makespan measures exactly what the work-stealing dispatcher
+    controls: how evenly the stream spreads over d workers.
+
+    A second gate measures what warm reuse buys: host seconds to serve
+    the one-domain measured pass on warm instances vs. serving the
+    same requests with a fresh machine + runtime per request. *)
+
+open Workloads
+
+let pr fmt = Printf.printf fmt
+
+let mix_names ~quick =
+  if quick then [ "gzip"; "parser" ] else [ "gzip"; "parser"; "perlbmk"; "gcc" ]
+
+let ladder ~quick = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+let requests_for ~quick d = if quick then max 8 (4 * d) else max 16 (6 * d)
+
+type pass_row = {
+  pw_domains : int;
+  pw_requests : int;
+  pw_total_sim : int;       (* sum of per-request simulated cycles *)
+  pw_makespan_sim : int;    (* max per-worker simulated busy cycles *)
+  pw_eff_par : float;       (* total / makespan: effective parallelism *)
+  pw_host_s : float;
+  pw_steals : int;
+  pw_warm_hits : int;
+  pw_cold_boots : int;
+}
+
+let run ~quick ~out_path () =
+  let wls =
+    List.map
+      (fun n -> Workload.serving_variant (Option.get (Suite.by_name n)))
+      (mix_names ~quick)
+  in
+  let nwl = List.length wls in
+  pr "\n=== Parallel serving sweep (%s mode; mix: %s) ===\n"
+    (if quick then "quick" else "full")
+    (String.concat "," (mix_names ~quick));
+
+  (* native reference per (workload, seed), cached across passes *)
+  let refs : (string * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let native_ref (w : Workload.t) seed =
+    match Hashtbl.find_opt refs (w.Workload.name, seed) with
+    | Some out -> out
+    | None ->
+        let input = Workload.request_input ~seed @ w.Workload.input in
+        let r = Sweep.native_checked (Workload.with_input w input) in
+        Hashtbl.replace refs (w.Workload.name, seed) r.Workload.output;
+        r.Workload.output
+  in
+  let make_requests ~seed_base n =
+    List.init n (fun i ->
+        let w = List.nth wls (i mod nwl) in
+        let seed = seed_base + i in
+        {
+          Rio.Pool.req_key = w.Workload.name;
+          req_seed = seed;
+          req_input = Workload.request_input ~seed @ w.Workload.input;
+          req_expect = Some (native_ref w seed);
+        })
+  in
+  let boots ~opts =
+    List.map
+      (fun w ->
+        let image = Asm.Assemble.assemble w.Workload.program in
+        ( w.Workload.name,
+          {
+            Rio.Pool.boot_machine =
+              (fun () ->
+                let m = Vm.Machine.create () in
+                Asm.Image.load_cold m image;
+                m);
+            boot_entry = image.Asm.Image.entry;
+            boot_stack_top = Asm.Image.default_stack_top;
+            boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
+            boot_opts = opts;
+            boot_client = (fun () -> Rio.Types.null_client);
+          } ))
+      wls
+  in
+  let divergences = ref 0 in
+  let check_pass tag results =
+    List.iter
+      (fun r ->
+        if not r.Rio.Pool.res_ok then begin
+          incr divergences;
+          pr "!! %s: %s seed %d on domain %d diverged (%s)\n%!" tag
+            r.Rio.Pool.res_key r.Rio.Pool.res_seed r.Rio.Pool.res_worker
+            (Rio.Engine.stop_reason_to_string r.Rio.Pool.res_reason)
+        end)
+      results
+  in
+  let default_opts = { Rio.Options.default with max_cycles = max_int / 2 } in
+
+  (* ---------------- scaling ladder ---------------- *)
+  pr "%8s %9s %14s %14s %8s %8s %7s %6s\n" "domains" "requests" "total-Mcyc"
+    "makespan-Mcyc" "eff-par" "host-s" "steals" "warm";
+  let warm_1domain_secs = ref 0.0 in
+  let measured_1domain = ref [] in
+  let rows =
+    List.map
+      (fun d ->
+        let n = requests_for ~quick d in
+        let pool =
+          Rio.Pool.create ~domains:d ~boots:(boots ~opts:default_opts) ()
+        in
+        (* untimed warm-up: same size, distinct seeds — the text is
+           identical across seeds, so caches warm fully *)
+        List.iter (Rio.Pool.submit pool) (make_requests ~seed_base:10_000 n);
+        check_pass (Printf.sprintf "warmup d=%d" d) (Rio.Pool.drain pool);
+        Rio.Pool.reset_counters pool;
+        let reqs = make_requests ~seed_base:0 n in
+        let t0 = Sweep.time_now () in
+        List.iter (Rio.Pool.submit pool) reqs;
+        let results = Rio.Pool.drain pool in
+        let host_s = Sweep.time_now () -. t0 in
+        check_pass (Printf.sprintf "measured d=%d" d) results;
+        let snap = Rio.Pool.stats pool in
+        Rio.Pool.shutdown pool;
+        let total =
+          List.fold_left (fun a r -> a + r.Rio.Pool.res_cycles) 0 results
+        in
+        let makespan =
+          Array.fold_left max 0 snap.Rio.Pool.snap_busy_cycles
+        in
+        let eff = float_of_int total /. float_of_int (max 1 makespan) in
+        if d = 1 then begin
+          warm_1domain_secs := host_s;
+          measured_1domain := reqs
+        end;
+        pr "%8d %9d %14.2f %14.2f %8.2f %8.3f %7d %6d\n%!" d n
+          (float_of_int total /. 1e6)
+          (float_of_int makespan /. 1e6)
+          eff host_s snap.Rio.Pool.snap_steals snap.Rio.Pool.snap_warm_hits;
+        {
+          pw_domains = d;
+          pw_requests = n;
+          pw_total_sim = total;
+          pw_makespan_sim = makespan;
+          pw_eff_par = eff;
+          pw_host_s = host_s;
+          pw_steals = snap.Rio.Pool.snap_steals;
+          pw_warm_hits = snap.Rio.Pool.snap_warm_hits;
+          pw_cold_boots = snap.Rio.Pool.snap_cold_boots;
+        })
+      (ladder ~quick)
+  in
+
+  (* ---------------- warm reuse vs fresh-per-request ---------------- *)
+  (* serve the one-domain measured request list again, this time with a
+     fresh machine + runtime per request (no cache carry-over) *)
+  let boots1 = boots ~opts:default_opts in
+  let t0 = Sweep.time_now () in
+  List.iter
+    (fun (r : Rio.Pool.request) ->
+      let boot = List.assoc r.Rio.Pool.req_key boots1 in
+      let m = boot.Rio.Pool.boot_machine () in
+      let rt = Rio.create ~opts:boot.Rio.Pool.boot_opts m in
+      ignore
+        (Vm.Machine.add_thread m ~entry:boot.Rio.Pool.boot_entry
+           ~stack_top:boot.Rio.Pool.boot_stack_top);
+      Vm.Machine.set_input m r.Rio.Pool.req_input;
+      let o = Rio.run rt in
+      let out = Vm.Machine.output m in
+      if o.Rio.reason <> Rio.All_exited || Some out <> r.Rio.Pool.req_expect
+      then begin
+        incr divergences;
+        pr "!! fresh-per-request: %s seed %d diverged\n%!" r.Rio.Pool.req_key
+          r.Rio.Pool.req_seed
+      end)
+    !measured_1domain;
+  let fresh_secs = Sweep.time_now () -. t0 in
+  let warm_speedup = fresh_secs /. !warm_1domain_secs in
+  pr "warm reuse at 1 domain: %.3fs warm vs %.3fs fresh-per-request (%.2fx)\n%!"
+    !warm_1domain_secs fresh_secs warm_speedup;
+
+  (* ---------------- fault-injection correctness pass ---------------- *)
+  let fd = 2 in
+  let fn = requests_for ~quick fd in
+  let fault_opts =
+    {
+      Rio.Options.default with
+      max_cycles = max_int / 2;
+      faults = Some { Rio.Options.default_faults with fi_seed = 7 };
+      audit_period = 1;
+    }
+  in
+  let fpool = Rio.Pool.create ~domains:fd ~boots:(boots ~opts:fault_opts) () in
+  List.iter (Rio.Pool.submit fpool) (make_requests ~seed_base:20_000 fn);
+  check_pass "faults warmup" (Rio.Pool.drain fpool);
+  List.iter (Rio.Pool.submit fpool) (make_requests ~seed_base:0 fn);
+  let fresults = Rio.Pool.drain fpool in
+  check_pass "faults" fresults;
+  let fsnap = Rio.Pool.stats fpool in
+  Rio.Pool.shutdown fpool;
+  let injected = fsnap.Rio.Pool.snap_stats.Rio.Stats.faults_injected in
+  pr
+    "faults pass: %d requests on %d domains, %d faults injected, %d warm hits, \
+     outputs %s\n%!"
+    (2 * fn) fd injected fsnap.Rio.Pool.snap_warm_hits
+    (if !divergences = 0 then "all identical to native" else "DIVERGED");
+
+  (* ---------------- JSON + gates ---------------- *)
+  let eff4 =
+    List.find_opt (fun r -> r.pw_domains = 4) rows
+    |> Option.map (fun r -> r.pw_eff_par)
+  in
+  let open Sweep in
+  write_json ~path:out_path
+    (Obj
+       ([ ("schema", Str "rio-parsweep-v1");
+          ("quick", Bool quick);
+          ("mix", Arr (List.map (fun n -> Str n) (mix_names ~quick)));
+          ("divergences", Int !divergences);
+          ( "scaling",
+            Arr
+              (List.map
+                 (fun r ->
+                   Obj
+                     [ ("domains", Int r.pw_domains);
+                       ("requests", Int r.pw_requests);
+                       ("total_sim_cycles", Int r.pw_total_sim);
+                       ("makespan_sim_cycles", Int r.pw_makespan_sim);
+                       ("effective_parallelism", Float r.pw_eff_par);
+                       ("host_seconds", Float r.pw_host_s);
+                       ("steals", Int r.pw_steals);
+                       ("warm_hits", Int r.pw_warm_hits);
+                       ("cold_boots", Int r.pw_cold_boots) ])
+                 rows) );
+          ( "warm_reuse",
+            Obj
+              [ ("warm_seconds", Float !warm_1domain_secs);
+                ("fresh_seconds", Float fresh_secs);
+                ("speedup", Float warm_speedup) ] );
+          ( "faults",
+            Obj
+              [ ("domains", Int fd);
+                ("requests", Int (2 * fn));
+                ("faults_injected", Int injected);
+                ( "faults_detected",
+                  Int fsnap.Rio.Pool.snap_stats.Rio.Stats.faults_detected ) ] );
+        ]
+       @
+       match eff4 with
+       | Some e -> [ ("effective_parallelism_at_4", Float e) ]
+       | None -> []))
+  ;
+  (* hard gates: identical outputs always; scaling and warm-reuse
+     thresholds in full mode (quick mode runs a 2-domain smoke) *)
+  if !divergences > 0 then begin
+    pr "!! %d requests diverged from native\n%!" !divergences;
+    exit 1
+  end;
+  if not quick then begin
+    (match eff4 with
+     | Some e when e < 3.0 ->
+         pr "!! effective parallelism %.2f at 4 domains below the 3.0 target\n%!"
+           e;
+         exit 1
+     | _ -> ());
+    if warm_speedup < 1.3 then begin
+      pr "!! warm-reuse speedup %.2fx below the 1.3x target\n%!" warm_speedup;
+      exit 1
+    end
+  end

@@ -1,0 +1,136 @@
+(** Shared scaffolding for the bench sweep subcommands (throughput,
+    cachesweep, optsweep, parsweep): CLI parsing, native-checked runs,
+    and JSON datapoint emission.  Factoring it here keeps each sweep
+    about its experiment, not its plumbing. *)
+
+let pr fmt = Printf.printf fmt
+
+let geomean xs =
+  exp
+    (List.fold_left (fun a x -> a +. log x) 0.0 xs
+    /. float_of_int (List.length xs))
+
+let time_now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cli = {
+  quick : bool;
+  out_path : string;
+  extra : (string * string) list;  (* accepted --name value options *)
+}
+
+(** Parse a sweep's arguments: [--quick], [--out PATH], plus any
+    [--name VALUE] options named in [string_opts]. *)
+let parse_cli ~cmd ?(string_opts = []) ~default_out (args : string list) : cli =
+  let quick = ref false in
+  let out_path = ref default_out in
+  let extra = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: tl ->
+        quick := true;
+        parse tl
+    | "--out" :: p :: tl ->
+        out_path := p;
+        parse tl
+    | a :: v :: tl when List.mem a string_opts ->
+        extra := (a, v) :: !extra;
+        parse tl
+    | a :: _ -> failwith (cmd ^ ": unknown argument " ^ a)
+  in
+  parse args;
+  { quick = !quick; out_path = !out_path; extra = List.rev !extra }
+
+(* ------------------------------------------------------------------ *)
+(* Native references                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Native run that must complete; sweeps compare against it. *)
+let native_checked (w : Workloads.Workload.t) : Workloads.Workload.run_result =
+  let r = Workloads.Workload.run_native w in
+  if not r.Workloads.Workload.ok then
+    failwith (w.Workloads.Workload.name ^ ": native failed");
+  r
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
+
+let rec output_json oc ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> output_string oc "null"
+  | Bool b -> output_string oc (string_of_bool b)
+  | Int n -> output_string oc (string_of_int n)
+  | Float f -> Printf.fprintf oc "%.6g" f
+  | Str s -> Printf.fprintf oc "%S" s
+  | Arr [] -> output_string oc "[]"
+  | Arr vs ->
+      output_string oc "[\n";
+      List.iteri
+        (fun k x ->
+          output_string oc (pad (indent + 2));
+          output_json oc ~indent:(indent + 2) x;
+          if k < List.length vs - 1 then output_string oc ",";
+          output_string oc "\n")
+        vs;
+      output_string oc (pad indent);
+      output_string oc "]"
+  | Obj [] -> output_string oc "{}"
+  | Obj fields ->
+      output_string oc "{\n";
+      List.iteri
+        (fun k (name, x) ->
+          output_string oc (pad (indent + 2));
+          Printf.fprintf oc "%S: " name;
+          output_json oc ~indent:(indent + 2) x;
+          if k < List.length fields - 1 then output_string oc ",";
+          output_string oc "\n")
+        fields;
+      output_string oc (pad indent);
+      output_string oc "}"
+
+(** Write a sweep's JSON datapoint and report the path. *)
+let write_json ~path (v : json) : unit =
+  let oc = open_out path in
+  output_json oc ~indent:0 v;
+  output_string oc "\n";
+  close_out oc;
+  pr "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Baseline file: one "<name> <value>" pair per line, '#' comments. *)
+let read_baseline path : (string * float) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let acc = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | name :: rest -> (
+               match List.filter (fun s -> s <> "") rest with
+               | [ v ] -> acc := (name, float_of_string v) :: !acc
+               | _ -> ())
+           | [] -> ()
+       done
+     with End_of_file -> close_in ic);
+    List.rev !acc
+  end

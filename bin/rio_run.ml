@@ -16,7 +16,7 @@ type mode = Native | Emulate | Rio_mode
 
 let client_of_name = function
   | "null" -> Rio.Types.null_client
-  | "rlr" -> Clients.Rlr.client
+  | "rlr" -> Clients.Rlr.make ()
   | "strength" -> Clients.Strength.make ~on_bb:false
   | "strength-bb" -> Clients.Strength.make ~on_bb:true
   | "ibdispatch" -> Clients.Ibdispatch.make ()

@@ -1,0 +1,229 @@
+(** Domain-parallel serving driver: shard a request stream across a
+    pool of worker domains with warm code-cache reuse and
+    work-stealing dispatch.
+
+    {v
+    dune exec bin/rio_serve.exe -- -d 4 -n 64
+    dune exec bin/rio_serve.exe -- -d 2 -n 32 -w gzip -w parser -c rlr --stats
+    dune exec bin/rio_serve.exe -- -d 4 -n 64 --faults 7
+    v}
+
+    Each request is a (workload, input-seed) pair run to completion; a
+    native reference execution is computed per request up front and
+    every pool result is checked byte-for-byte against it.  Exit
+    status is non-zero on any divergence. *)
+
+open Cmdliner
+open Workloads
+
+let default_workloads = [ "gzip"; "parser"; "perlbmk"; "gcc" ]
+
+let client_of_name = function
+  | "null" -> Rio.Types.null_client
+  | "rlr" -> Clients.Rlr.make ()
+  | "strength" -> Clients.Strength.make ~on_bb:false
+  | "ibdispatch" -> Clients.Ibdispatch.make ()
+  | "ctraces" -> Stdlib.fst (Clients.Ctraces.make ())
+  | "combined" -> Clients.Compose.all_four ()
+  | n -> failwith ("unknown client: " ^ n)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let run nd nreq workload_names client_name seed0 affinity max_inflight faults
+    show_stats quiet =
+  let workload_names =
+    if workload_names = [] then default_workloads else workload_names
+  in
+  let wls =
+    List.map
+      (fun name ->
+        match Suite.by_name name with
+        | Some w -> Workload.serving_variant w
+        | None ->
+            Printf.eprintf "unknown workload %S\n" name;
+            exit 1)
+      workload_names
+  in
+  (try ignore (client_of_name client_name)
+   with Failure msg ->
+     Printf.eprintf "%s\n" msg;
+     exit 1);
+  let fault_opts =
+    match faults with
+    | None -> None
+    | Some seed -> Some { Rio.Options.default_faults with fi_seed = seed }
+  in
+  let opts =
+    {
+      Rio.Options.default with
+      max_cycles = max_int / 2;
+      faults = fault_opts;
+      audit_period = (match faults with Some _ -> 1 | None -> 0);
+    }
+  in
+  let boots =
+    List.map
+      (fun w ->
+        let image = Asm.Assemble.assemble w.Workload.program in
+        ( w.Workload.name,
+          {
+            Rio.Pool.boot_machine =
+              (fun () ->
+                let m = Vm.Machine.create () in
+                Asm.Image.load_cold m image;
+                m);
+            boot_entry = image.Asm.Image.entry;
+            boot_stack_top = Asm.Image.default_stack_top;
+            boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
+            boot_opts = opts;
+            boot_client = (fun () -> client_of_name client_name);
+          } ))
+      wls
+  in
+  (* the request stream, interleaved across workloads, with a native
+     reference execution per request *)
+  let requests =
+    List.init nreq (fun i ->
+        let w = List.nth wls (i mod List.length wls) in
+        let seed = seed0 + i in
+        let input = Workload.request_input ~seed @ w.Workload.input in
+        let native = Workload.run_native (Workload.with_input w input) in
+        if not native.Workload.ok then begin
+          Printf.eprintf "native reference failed for %s seed %d: %s\n"
+            w.Workload.name seed native.Workload.detail;
+          exit 1
+        end;
+        {
+          Rio.Pool.req_key = w.Workload.name;
+          req_seed = seed;
+          req_input = input;
+          req_expect = Some native.Workload.output;
+        })
+  in
+  let pool =
+    Rio.Pool.create ~max_inflight ~affinity ~domains:nd ~boots ()
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (Rio.Pool.submit pool) requests;
+  let results = Rio.Pool.drain pool in
+  let wall = Unix.gettimeofday () -. t0 in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  (* correctness: every result must match its native reference *)
+  let bad = List.filter (fun r -> not r.Rio.Pool.res_ok) results in
+  List.iter
+    (fun r ->
+      Printf.eprintf "DIVERGENCE: %s seed %d on domain %d (%s): [%s]\n"
+        r.Rio.Pool.res_key r.Rio.Pool.res_seed r.Rio.Pool.res_worker
+        (Rio.Engine.stop_reason_to_string r.Rio.Pool.res_reason)
+        (String.concat "; " (List.map string_of_int r.Rio.Pool.res_output)))
+    bad;
+  let insns =
+    List.fold_left (fun a r -> a + r.Rio.Pool.res_insns) 0 results
+  in
+  let cycles =
+    List.fold_left (fun a r -> a + r.Rio.Pool.res_cycles) 0 results
+  in
+  let lat = Array.of_list (List.map (fun r -> r.Rio.Pool.res_secs) results) in
+  Array.sort compare lat;
+  let warm = List.filter (fun r -> r.Rio.Pool.res_warm) results in
+  let cold = List.filter (fun r -> not r.Rio.Pool.res_warm) results in
+  let avg_blocks rs =
+    if rs = [] then 0.0
+    else
+      float_of_int
+        (List.fold_left (fun a r -> a + r.Rio.Pool.res_blocks_built) 0 rs)
+      /. float_of_int (List.length rs)
+  in
+  if not quiet then begin
+    Printf.printf
+      "served %d requests (%s) on %d domain%s in %.3fs host time\n"
+      (List.length results)
+      (String.concat "," workload_names)
+      nd
+      (if nd = 1 then "" else "s")
+      wall;
+    Printf.printf
+      "  %.1f MIPS aggregate (%d simulated insns, %d simulated cycles)\n"
+      (float_of_int insns /. wall /. 1e6)
+      insns cycles;
+    Printf.printf "  latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n"
+      (1e3 *. percentile lat 0.50)
+      (1e3 *. percentile lat 0.95)
+      (1e3 *. percentile lat 0.99);
+    Printf.printf "  steals %d  warm hits %d  cold boots %d\n"
+      snap.Rio.Pool.snap_steals snap.Rio.Pool.snap_warm_hits
+      snap.Rio.Pool.snap_cold_boots;
+    Printf.printf
+      "  block builds per request: %.1f warm vs %.1f cold (%d/%d requests warm)\n"
+      (avg_blocks warm) (avg_blocks cold) (List.length warm)
+      (List.length results);
+    Printf.printf "  per-domain simulated busy cycles: [%s]\n"
+      (String.concat "; "
+         (Array.to_list
+            (Array.map string_of_int snap.Rio.Pool.snap_busy_cycles)))
+  end;
+  if show_stats then begin
+    Format.printf "aggregate runtime stats (merged across instances):@.";
+    Format.printf "%a@." Rio.Stats.pp snap.Rio.Pool.snap_stats;
+    Format.printf "%a@." Rio.Stats.pp_cache snap.Rio.Pool.snap_stats;
+    if faults <> None then
+      Format.printf "%a@." Rio.Stats.pp_faults snap.Rio.Pool.snap_stats
+  end;
+  if bad = [] then 0 else 1
+
+let cmd =
+  let nd =
+    Arg.(value & opt int 2 & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"Worker domains in the pool.")
+  in
+  let nreq =
+    Arg.(value & opt int 16 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Requests to serve.")
+  in
+  let workloads =
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Workload(s) in the request mix; repeatable.  Default: \
+                 gzip, parser, perlbmk, gcc.")
+  in
+  let client =
+    Arg.(value & opt string "null" & info [ "c"; "client" ] ~docv:"CLIENT"
+           ~doc:"Client attached to every instance (null, rlr, strength, \
+                 ibdispatch, ctraces, combined).")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base request seed; request i uses seed S+i.")
+  in
+  let affinity =
+    Arg.(value & flag & info [ "affinity" ]
+           ~doc:"Shard by workload-key hash instead of round-robin.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Bound on submitted-but-incomplete requests (backpressure).")
+  in
+  let faults =
+    Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED"
+           ~doc:"Enable deterministic fault injection in every instance.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print aggregate runtime statistics (merged across all \
+                 warm instances).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only report divergences.") in
+  let term =
+    Term.(
+      const run $ nd $ nreq $ workloads $ client $ seed0 $ affinity
+      $ max_inflight $ faults $ stats $ quiet)
+  in
+  Cmd.v
+    (Cmd.info "rio_serve"
+       ~doc:"Serve workload requests on a domain-parallel RIO pool")
+    term
+
+let () = exit (Cmd.eval' cmd)

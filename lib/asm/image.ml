@@ -37,6 +37,42 @@ let load ?(stack_top = default_stack_top) (m : Vm.Machine.t) (t : t) :
     ~len:(Bytes.length t.data);
   Vm.Machine.add_thread m ~entry:t.entry ~stack_top
 
+(** [load_cold machine image] copies text and data into machine memory
+    without marking the written pages touched or dirty — the loader is
+    not the application writing to itself.  For long-lived (pooled)
+    machines, so the first between-request reset does not mistake the
+    image for request-written state and wipe it.  No thread is
+    created; the caller adds one per request. *)
+let load_cold (m : Vm.Machine.t) (t : t) : unit =
+  Vm.Memory.blit_bytes_raw (Vm.Machine.mem m) ~src:t.text ~src_pos:0
+    ~dst:t.text_base ~len:(Bytes.length t.text);
+  Vm.Memory.blit_bytes_raw (Vm.Machine.mem m) ~src:t.data ~src_pos:0
+    ~dst:t.data_base ~len:(Bytes.length t.data)
+
+(** [restore machine image ~zeroed] re-blits the image slices that
+    intersect the just-zeroed ranges (from {!Vm.Memory.zero_touched}),
+    returning the byte ranges rewritten.  Pages the previous request
+    never wrote still hold correct image bytes and cost nothing. *)
+let restore (m : Vm.Machine.t) (t : t) ~(zeroed : (int * int) list) :
+    (int * int) list =
+  let mem = Vm.Machine.mem m in
+  let sections =
+    [ (t.text_base, t.text); (t.data_base, t.data) ]
+  in
+  List.concat_map
+    (fun (lo, hi) ->
+      List.filter_map
+        (fun (base, bytes) ->
+          let slo = max lo base and shi = min hi (base + Bytes.length bytes) in
+          if slo >= shi then None
+          else begin
+            Vm.Memory.blit_bytes_raw mem ~src:bytes ~src_pos:(slo - base)
+              ~dst:slo ~len:(shi - slo);
+            Some (slo, shi)
+          end)
+        sections)
+    zeroed
+
 (** [spawn machine image "worker"] adds another thread entering at the
     given label, with its own stack below the previous thread's. *)
 let spawn ?(stack_size = 0x1_0000) (m : Vm.Machine.t) (t : t) entry_label :

@@ -25,5 +25,14 @@ val load : ?stack_top:int -> Vm.Machine.t -> t -> Vm.Machine.thread
 (** Copy text and data into machine memory; create the main thread at
     the entry point. *)
 
+val load_cold : Vm.Machine.t -> t -> unit
+(** Copy text and data into memory without touch/dirty marks and
+    without creating a thread; for long-lived (pooled) machines whose
+    between-request reset wipes only request-written pages. *)
+
+val restore : Vm.Machine.t -> t -> zeroed:(int * int) list -> (int * int) list
+(** Re-blit the image slices intersecting the just-zeroed ranges,
+    returning the byte ranges rewritten. *)
+
 val spawn : ?stack_size:int -> Vm.Machine.t -> t -> string -> Vm.Machine.thread
 (** Add another thread entering at the given label, with its own stack. *)

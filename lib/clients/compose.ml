@@ -52,7 +52,7 @@ let all_four () : client =
   compose ~name:"combined"
     [
       Stdlib.fst (Ctraces.make ());
-      Rlr.client;
+      Rlr.make ();
       Strength.make ~on_bb:false;
       Ibdispatch.make ();
     ]

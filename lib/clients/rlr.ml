@@ -187,12 +187,13 @@ let optimize_il (il : Rio.Instrlist.t) (st : state) =
 
 (* ------------------------------------------------------------------ *)
 
-let total_removed = ref 0
-let total_rewritten = ref 0
-
-(** The client record.  Only the trace hook is registered: like most
-    client optimizations, RLR restricts itself to hot code (§3.3). *)
-let client : client =
+(** Build a fresh client record.  All counters live in the closure, so
+    instances on different worker domains never share state.  Only the
+    trace hook is registered: like most client optimizations, RLR
+    restricts itself to hot code (§3.3). *)
+let make () : client =
+  let total_removed = ref 0 in
+  let total_rewritten = ref 0 in
   let st = { facts = []; removed = 0; rewritten = 0 } in
   {
     null_client with

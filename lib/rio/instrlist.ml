@@ -11,11 +11,13 @@ type t = {
   mutable count : int;
 }
 
-let next_id = ref 1
+(* atomic so lists created from different domains (one Rio instance
+   per worker domain) never share an id, which would confuse the
+   owner checks below *)
+let next_id = Atomic.make 1
 
 let create () =
-  incr next_id;
-  { id = !next_id; first = None; last = None; count = 0 }
+  { id = Atomic.fetch_and_add next_id 1; first = None; last = None; count = 0 }
 
 let first t = t.first
 let last t = t.last

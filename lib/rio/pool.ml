@@ -1,0 +1,383 @@
+(** Domain-parallel serving pool (DESIGN.md §6.5).
+
+    The pool owns N worker domains.  Each worker keeps {e warm}
+    long-lived {!Engine.t} instances, one per workload key: the code
+    cache, fragment index, and traces built while serving one request
+    survive into the next, so steady-state requests skip almost all
+    block building.  Instances never migrate between domains.
+
+    Requests are sharded to a home worker (round-robin by default,
+    key-hash affinity optionally) and pushed onto that worker's deque.
+    An idle worker first drains its own deque in arrival order, then
+    steals from the {e back} of a victim's deque — the request farthest
+    from the victim's service horizon — so stealing disturbs the
+    victim's imminent work least.  A stolen request cold-boots (or
+    warms) an instance on the {e thief}'s domain.
+
+    All queues and counters sit behind one pool mutex: requests are
+    coarse (each runs a whole workload to completion, millions of
+    simulated cycles), so queue operations are a vanishing fraction of
+    the work and a single lock keeps the invariants easy to audit.
+    Lock-ordering discipline: the pool mutex is never held while a
+    request executes. *)
+
+(* ------------------------------------------------------------------ *)
+(* Deques                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = struct
+  type 'a t = {
+    mutable buf : 'a option array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 16 None; head = 0; len = 0 }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let buf = Array.make (2 * n) None in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod n)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d x =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+    d.len <- d.len + 1
+
+  (* owner end: oldest request, preserving arrival order *)
+  let pop_front d =
+    if d.len = 0 then None
+    else begin
+      let x = d.buf.(d.head) in
+      d.buf.(d.head) <- None;
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      x
+    end
+
+  (* thief end: newest request *)
+  let pop_back d =
+    if d.len = 0 then None
+    else begin
+      let idx = (d.head + d.len - 1) mod Array.length d.buf in
+      let x = d.buf.(idx) in
+      d.buf.(idx) <- None;
+      d.len <- d.len - 1;
+      x
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requests and results                                               *)
+(* ------------------------------------------------------------------ *)
+
+type boot = {
+  boot_machine : unit -> Vm.Machine.t;
+      (** create a machine with the program image cold-loaded
+          (see {!Asm.Image.load_cold}); no thread yet *)
+  boot_entry : int;
+  boot_stack_top : int;
+  boot_restore : Vm.Machine.t -> zeroed:(int * int) list -> (int * int) list;
+      (** re-blit image slices over just-zeroed pages
+          (see {!Asm.Image.restore}) *)
+  boot_opts : Options.t;
+  boot_client : unit -> Types.client;
+      (** fresh client per instance: client state must be per-domain *)
+}
+
+type request = {
+  req_key : string;        (** workload key; selects the boot and the warm instance *)
+  req_seed : int;
+  req_input : int list;    (** full input stream for this request *)
+  req_expect : int list option;  (** expected output (native reference), if known *)
+}
+
+type result = {
+  res_key : string;
+  res_seed : int;
+  res_worker : int;        (** domain that executed the request *)
+  res_home : int;          (** domain the request was sharded to *)
+  res_stolen : bool;
+  res_warm : bool;         (** served by an already-warm instance *)
+  res_output : int list;
+  res_reason : Engine.stop_reason;
+  res_cycles : int;        (** simulated cycles for this request *)
+  res_insns : int;
+  res_blocks_built : int;  (** basic blocks built during this request *)
+  res_secs : float;        (** host wall-clock seconds *)
+  res_ok : bool;           (** exited normally and matched [req_expect] *)
+}
+
+type snapshot = {
+  snap_domains : int;
+  snap_submitted : int;
+  snap_completed : int;
+  snap_steals : int;
+  snap_warm_hits : int;
+  snap_cold_boots : int;
+  snap_busy_cycles : int array;  (** per-worker simulated cycles served *)
+  snap_stats : Stats.t;          (** merge over all live warm instances *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  w_id : int;
+  w_deque : request Deque.t;            (* under pool mutex *)
+  mutable w_busy_cycles : int;          (* under pool mutex *)
+  w_warm : (string, Engine.t) Hashtbl.t;
+      (* touched only by the owning domain while serving; readable by
+         others only when the pool is quiescent (after [drain]) *)
+}
+
+type t = {
+  mu : Mutex.t;
+  work_cv : Condition.t;    (* workers: new work or shutdown *)
+  space_cv : Condition.t;   (* submitters: in-flight fell below cap *)
+  done_cv : Condition.t;    (* drainers: completed caught up *)
+  workers : worker array;
+  boots : (string * boot) list;   (* immutable after create *)
+  max_inflight : int;
+  affinity : bool;
+  mutable next_home : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable steals : int;
+  mutable warm_hits : int;
+  mutable cold_boots : int;
+  mutable results : result list;  (* reversed completion order *)
+  mutable stopping : bool;
+  mutable handles : unit Domain.t array;
+}
+
+let domains pool = Array.length pool.workers
+
+(* ------------------------------------------------------------------ *)
+(* Serving one request (no pool lock held)                            *)
+(* ------------------------------------------------------------------ *)
+
+let serve pool (w : worker) (r : request) ~home ~stolen : result =
+  let boot =
+    match List.assoc_opt r.req_key pool.boots with
+    | Some b -> b
+    | None -> invalid_arg ("Pool: no boot registered for key " ^ r.req_key)
+  in
+  let t0 = Unix.gettimeofday () in
+  let warm, rt =
+    match Hashtbl.find_opt w.w_warm r.req_key with
+    | Some rt ->
+        Engine.reset_for_reuse rt ~restore:boot.boot_restore;
+        (true, rt)
+    | None ->
+        let m = boot.boot_machine () in
+        let rt =
+          Engine.create ~opts:boot.boot_opts ~client:(boot.boot_client ()) m
+        in
+        Hashtbl.replace w.w_warm r.req_key rt;
+        (false, rt)
+  in
+  let m = Engine.machine rt in
+  ignore
+    (Vm.Machine.add_thread m ~entry:boot.boot_entry
+       ~stack_top:boot.boot_stack_top);
+  Vm.Machine.set_input m r.req_input;
+  let b0 = (Engine.stats rt).Stats.blocks_built in
+  let o = Engine.run rt in
+  let output = Vm.Machine.output m in
+  let ok =
+    o.Engine.reason = Engine.All_exited
+    && match r.req_expect with None -> true | Some e -> output = e
+  in
+  (* a request that didn't exit cleanly leaves cache state we no longer
+     trust; drop the instance so the next request cold-boots *)
+  if o.Engine.reason <> Engine.All_exited then Hashtbl.remove w.w_warm r.req_key;
+  {
+    res_key = r.req_key;
+    res_seed = r.req_seed;
+    res_worker = w.w_id;
+    res_home = home;
+    res_stolen = stolen;
+    res_warm = warm;
+    res_output = output;
+    res_reason = o.Engine.reason;
+    res_cycles = o.Engine.cycles;
+    res_insns = o.Engine.insns;
+    res_blocks_built = (Engine.stats rt).Stats.blocks_built - b0;
+    res_secs = Unix.gettimeofday () -. t0;
+    res_ok = ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec worker_loop pool (w : worker) : unit =
+  Mutex.lock pool.mu;
+  let job =
+    match Deque.pop_front w.w_deque with
+    | Some r -> Some (r, w.w_id, false)
+    | None ->
+        let n = Array.length pool.workers in
+        let rec scan k =
+          if k >= n - 1 then None
+          else
+            let victim = pool.workers.((w.w_id + 1 + k) mod n) in
+            match Deque.pop_back victim.w_deque with
+            | Some r -> Some (r, victim.w_id, true)
+            | None -> scan (k + 1)
+        in
+        scan 0
+  in
+  match job with
+  | Some (r, home, stolen) ->
+      if stolen then pool.steals <- pool.steals + 1;
+      Mutex.unlock pool.mu;
+      let res = serve pool w r ~home ~stolen in
+      Mutex.lock pool.mu;
+      pool.completed <- pool.completed + 1;
+      w.w_busy_cycles <- w.w_busy_cycles + res.res_cycles;
+      if res.res_warm then pool.warm_hits <- pool.warm_hits + 1
+      else pool.cold_boots <- pool.cold_boots + 1;
+      pool.results <- res :: pool.results;
+      Condition.signal pool.space_cv;
+      if pool.completed = pool.submitted then Condition.broadcast pool.done_cv;
+      Mutex.unlock pool.mu;
+      worker_loop pool w
+  | None ->
+      if pool.stopping then Mutex.unlock pool.mu
+      else begin
+        Condition.wait pool.work_cv pool.mu;
+        Mutex.unlock pool.mu;
+        worker_loop pool w
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(max_inflight = 64) ?(affinity = false) ~domains
+    ~(boots : (string * boot) list) () : t =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if max_inflight < 1 then invalid_arg "Pool.create: max_inflight must be >= 1";
+  let workers =
+    Array.init domains (fun i ->
+        {
+          w_id = i;
+          w_deque = Deque.create ();
+          w_busy_cycles = 0;
+          w_warm = Hashtbl.create 8;
+        })
+  in
+  let pool =
+    {
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      space_cv = Condition.create ();
+      done_cv = Condition.create ();
+      workers;
+      boots;
+      max_inflight;
+      affinity;
+      next_home = 0;
+      submitted = 0;
+      completed = 0;
+      steals = 0;
+      warm_hits = 0;
+      cold_boots = 0;
+      results = [];
+      stopping = false;
+      handles = [||];
+    }
+  in
+  pool.handles <-
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop pool w)) workers;
+  pool
+
+let submit pool (r : request) : unit =
+  Mutex.lock pool.mu;
+  if pool.stopping then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  while pool.submitted - pool.completed >= pool.max_inflight do
+    Condition.wait pool.space_cv pool.mu
+  done;
+  let home =
+    if pool.affinity then Hashtbl.hash r.req_key mod Array.length pool.workers
+    else begin
+      let h = pool.next_home in
+      pool.next_home <- (h + 1) mod Array.length pool.workers;
+      h
+    end
+  in
+  Deque.push_back pool.workers.(home).w_deque r;
+  pool.submitted <- pool.submitted + 1;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mu
+
+let drain pool : result list =
+  Mutex.lock pool.mu;
+  while pool.completed < pool.submitted do
+    Condition.wait pool.done_cv pool.mu
+  done;
+  let rs = List.rev pool.results in
+  pool.results <- [];
+  Mutex.unlock pool.mu;
+  rs
+
+(** Zero the throughput counters between measurement passes.  Call only
+    when drained (no request in flight). *)
+let reset_counters pool : unit =
+  Mutex.lock pool.mu;
+  if pool.completed <> pool.submitted then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.reset_counters: requests still in flight"
+  end;
+  pool.submitted <- 0;
+  pool.completed <- 0;
+  pool.steals <- 0;
+  pool.warm_hits <- 0;
+  pool.cold_boots <- 0;
+  pool.results <- [];
+  Array.iter (fun w -> w.w_busy_cycles <- 0) pool.workers;
+  Mutex.unlock pool.mu
+
+(** Counter snapshot plus runtime stats merged across every live warm
+    instance.  The merged stats are coherent only when the pool is
+    quiescent (after {!drain}); instances dropped after failed requests
+    are not represented. *)
+let stats pool : snapshot =
+  Mutex.lock pool.mu;
+  let snap_stats =
+    Array.fold_left
+      (fun acc w ->
+        Hashtbl.fold (fun _ rt acc -> Stats.merge acc (Engine.stats rt)) w.w_warm
+          acc)
+      (Stats.create ()) pool.workers
+  in
+  let s =
+    {
+      snap_domains = Array.length pool.workers;
+      snap_submitted = pool.submitted;
+      snap_completed = pool.completed;
+      snap_steals = pool.steals;
+      snap_warm_hits = pool.warm_hits;
+      snap_cold_boots = pool.cold_boots;
+      snap_busy_cycles = Array.map (fun w -> w.w_busy_cycles) pool.workers;
+      snap_stats;
+    }
+  in
+  Mutex.unlock pool.mu;
+  s
+
+let shutdown pool : unit =
+  Mutex.lock pool.mu;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mu;
+  Array.iter Domain.join pool.handles;
+  pool.handles <- [||]

@@ -1,0 +1,87 @@
+(** Domain-parallel serving pool: N worker domains, each holding warm
+    long-lived {!Engine.t} instances whose code caches survive across
+    requests, with work-stealing dispatch and bounded in-flight
+    backpressure (DESIGN.md §6.5). *)
+
+type boot = {
+  boot_machine : unit -> Vm.Machine.t;
+      (** create a machine with the program image cold-loaded
+          (see {!Asm.Image.load_cold}); no thread yet *)
+  boot_entry : int;
+  boot_stack_top : int;
+  boot_restore : Vm.Machine.t -> zeroed:(int * int) list -> (int * int) list;
+      (** re-blit image slices over just-zeroed pages
+          (see {!Asm.Image.restore}) *)
+  boot_opts : Options.t;
+  boot_client : unit -> Types.client;
+      (** fresh client per instance: client state must be per-domain *)
+}
+
+type request = {
+  req_key : string;  (** workload key; selects the boot and the warm instance *)
+  req_seed : int;
+  req_input : int list;          (** full input stream for this request *)
+  req_expect : int list option;  (** expected output (native reference), if known *)
+}
+
+type result = {
+  res_key : string;
+  res_seed : int;
+  res_worker : int;        (** domain that executed the request *)
+  res_home : int;          (** domain the request was sharded to *)
+  res_stolen : bool;
+  res_warm : bool;         (** served by an already-warm instance *)
+  res_output : int list;
+  res_reason : Engine.stop_reason;
+  res_cycles : int;        (** simulated cycles for this request *)
+  res_insns : int;
+  res_blocks_built : int;  (** basic blocks built during this request *)
+  res_secs : float;        (** host wall-clock seconds *)
+  res_ok : bool;           (** exited normally and matched [req_expect] *)
+}
+
+type snapshot = {
+  snap_domains : int;
+  snap_submitted : int;
+  snap_completed : int;
+  snap_steals : int;
+  snap_warm_hits : int;
+  snap_cold_boots : int;
+  snap_busy_cycles : int array;  (** per-worker simulated cycles served *)
+  snap_stats : Stats.t;          (** merge over all live warm instances *)
+}
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?affinity:bool ->
+  domains:int ->
+  boots:(string * boot) list ->
+  unit ->
+  t
+(** Spawn the worker domains.  [max_inflight] (default 64) bounds
+    submitted-but-incomplete requests: {!submit} blocks at the cap.
+    [affinity] shards by key hash instead of round-robin. *)
+
+val domains : t -> int
+
+val submit : t -> request -> unit
+(** Enqueue on the request's home worker; blocks while the in-flight
+    cap is reached.  @raise Invalid_argument after {!shutdown}. *)
+
+val drain : t -> result list
+(** Wait until every submitted request has completed; return (and
+    clear) the accumulated results in completion order. *)
+
+val reset_counters : t -> unit
+(** Zero steal/warm/busy counters between measurement passes.  Call
+    only when drained. *)
+
+val stats : t -> snapshot
+(** Counters plus runtime stats merged across all live warm instances.
+    Merged stats are coherent only when the pool is quiescent. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let workers finish queued requests, join the
+    domains. *)

@@ -7,7 +7,11 @@
       let rt = Rio.create m in
       let outcome = Rio.run rt in
       ...
-    ]} *)
+    ]}
+
+    The lifecycle implementation lives in {!Engine}; the
+    domain-parallel serving pool in {!Pool}.  This module is the
+    library's public face and re-exports both. *)
 
 (* Re-exports: [Rio] is the library's public face. *)
 module Level = Level
@@ -31,174 +35,30 @@ module Trace = Trace
 module Ibl = Ibl
 module Dispatch = Dispatch
 module Api = Api
+module Engine = Engine
+module Pool = Pool
 
-open Types
+type t = Engine.t
 
-type t = runtime
+type stop_reason = Engine.stop_reason =
+  | All_exited
+  | App_fault of string
+  | Cycle_limit
 
-type stop_reason = All_exited | App_fault of string | Cycle_limit
-
-type outcome = {
+type outcome = Engine.outcome = {
   reason : stop_reason;
   cycles : int;
   insns : int;
 }
 
-let stats (rt : t) = rt.stats
-let machine (rt : t) = rt.machine
-let options (rt : t) = rt.opts
-let flow_log (rt : t) = List.rev rt.flow_log
-
-let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) : t
-    =
-  if Vm.Memory.size (Vm.Machine.mem m) <= cache_base then
-    rio_error "machine memory too small for a code cache (need > 16MB)";
-  Options.validate_exn opts;
-  m.Vm.Machine.trap_base <- trap_base;
-  m.Vm.Machine.intercept_signals <- not opts.Options.emulate;
-  m.Vm.Machine.smc_trap <- not opts.Options.emulate;
-  (* A bounded capacity under the FIFO policy gets a pair of free-list
-     allocators (half each for basic blocks and traces) and the bump
-     cursor pinned at the region end, so transparent heap allocations
-     can never grow into the managed cache.  Otherwise the historical
-     bump-and-flush scheme is selected by [cache_alloc = None]. *)
-  let cache_alloc, cursor0 =
-    match (opts.Options.cache_capacity, opts.Options.flush_policy) with
-    | Some cap, Options.Flush_fifo ->
-        let bb_size = cap / 2 in
-        let bb = Cachealloc.create ~base:cache_base ~size:bb_size () in
-        let tr =
-          Cachealloc.create ~base:(cache_base + bb_size) ~size:(cap - bb_size) ()
-        in
-        (Some (bb, tr), cache_base + cap)
-    | _ -> (None, cache_base)
-  in
-  {
-    machine = m;
-    opts;
-    stats = Stats.create ();
-    client;
-    thread_states = [];
-    exits_by_id = Array.make 1024 None;
-    next_exit_id = 1;
-    ccalls = Hashtbl.create 64;
-    next_ccall_id = 1;
-    cache_cursor = cursor0;
-    cache_end = Vm.Memory.size (Vm.Machine.mem m);
-    heap_cursor = Vm.Memory.size (Vm.Machine.mem m);
-    flush_pending = false;
-    cache_alloc;
-    fifo_bb = Queue.create ();
-    fifo_trace = Queue.create ();
-    client_output = Buffer.create 256;
-    client_global = None;
-    flow_log = [];
-    log_flow = false;
-    client_failures = 0;
-    client_quarantined = false;
-    fi_state =
-      (match opts.Options.faults with
-      | Some f -> if f.Options.fi_seed = 0 then 0x9e3779b9 else f.Options.fi_seed
-      | None -> 0);
-    fi_hook_pending = false;
-    recover_attempts = Hashtbl.create 16;
-    emulate_only = Hashtbl.create 16;
-  }
-
-let enable_flow_log (rt : t) = rt.log_flow <- true
-
-let make_thread_state (rt : t) (thread : Vm.Machine.thread) : thread_state =
-  let ts =
-    {
-      ts_tid = thread.Vm.Machine.tid;
-      thread;
-      next_tag = thread.Vm.Machine.pc;
-      index = Fragindex.create ();
-      tracegen = None;
-      client_field = None;
-      exited = false;
-      in_cache = false;
-    }
-  in
-  rt.thread_states <- rt.thread_states @ [ ts ];
-  ts
-
-(** Run the whole application under RIO: round-robin over threads,
-    dispatching and executing out of thread-private code caches. *)
-let run (rt : t) : outcome =
-  let m = rt.machine in
-  let c0 = Vm.Machine.cycles m in
-  let i0 = m.Vm.Machine.insns_retired in
-  Guard.protect rt ~hook:"init" (fun () -> rt.client.init rt);
-  List.iter
-    (fun th ->
-      let ts = make_thread_state rt th in
-      Guard.protect rt ~hook:"thread_init" (fun () ->
-          rt.client.thread_init { rt; ts }))
-    (Vm.Machine.live_threads m);
-  let deadline = c0 + rt.opts.Options.max_cycles in
-  let fault = ref None in
-  let rec loop () =
-    let runnable =
-      List.filter
-        (fun ts -> ts.thread.Vm.Machine.alive && not ts.exited)
-        rt.thread_states
-    in
-    if runnable <> [] && !fault = None && Vm.Machine.cycles m < deadline then begin
-      List.iter
-        (fun ts ->
-          if ts.thread.Vm.Machine.alive && !fault = None then
-            match Dispatch.run_quantum rt ts with
-            | exception Client_abort msg ->
-                fault := Some ("terminated by client: " ^ msg);
-                List.iter
-                  (fun t -> t.Vm.Machine.alive <- false)
-                  m.Vm.Machine.threads
-            | exception Emit.Cache_full ->
-                fault := Some "code cache exhausted (runtime region full)";
-                List.iter
-                  (fun t -> t.Vm.Machine.alive <- false)
-                  m.Vm.Machine.threads
-            | exception Rio_error msg ->
-                (* runtime invariant violation or client API misuse *)
-                fault := Some ("runtime error: " ^ msg);
-                List.iter
-                  (fun t -> t.Vm.Machine.alive <- false)
-                  m.Vm.Machine.threads
-            | Dispatch.Q_budget -> ()
-            | Dispatch.Q_thread_done ->
-                ts.thread.Vm.Machine.alive <- false;
-                Guard.protect rt ~hook:"thread_exit" (fun () ->
-                    rt.client.thread_exit { rt; ts });
-                ts.exited <- true
-            | Dispatch.Q_fault f ->
-                fault := Some f;
-                List.iter
-                  (fun t -> t.Vm.Machine.alive <- false)
-                  m.Vm.Machine.threads)
-        runnable;
-      loop ()
-    end
-  in
-  loop ();
-  (* threads killed by a fault still get their exit hooks *)
-  List.iter
-    (fun ts ->
-      if not ts.exited then begin
-        Guard.protect rt ~hook:"thread_exit" (fun () ->
-            rt.client.thread_exit { rt; ts });
-        ts.exited <- true
-      end)
-    rt.thread_states;
-  Guard.protect rt ~hook:"exit" (fun () -> rt.client.exit_hook rt);
-  let reason =
-    match !fault with
-    | Some f -> App_fault f
-    | None -> if Vm.Machine.cycles m >= deadline then Cycle_limit else All_exited
-  in
-  { reason; cycles = Vm.Machine.cycles m - c0; insns = m.Vm.Machine.insns_retired - i0 }
-
-let stop_reason_to_string = function
-  | All_exited -> "all threads exited"
-  | App_fault f -> "application fault: " ^ f
-  | Cycle_limit -> "cycle limit reached"
+let stats = Engine.stats
+let machine = Engine.machine
+let options = Engine.options
+let flow_log = Engine.flow_log
+let create = Engine.create
+let enable_flow_log = Engine.enable_flow_log
+let make_thread_state = Engine.make_thread_state
+let attach_thread_state = Engine.attach_thread_state
+let reset_for_reuse = Engine.reset_for_reuse
+let run = Engine.run
+let stop_reason_to_string = Engine.stop_reason_to_string

@@ -126,6 +126,69 @@ let create () =
     spurious_signals_dropped = 0;
   }
 
+(** Combine the counters of two instances into a fresh record, for
+    aggregate reporting across a pool of runtimes.  Monotonic counters
+    add; the free-list gauges (point-in-time snapshots of one cache,
+    meaningless summed) take the maximum. *)
+let merge (a : t) (b : t) : t =
+  {
+    blocks_built = a.blocks_built + b.blocks_built;
+    traces_built = a.traces_built + b.traces_built;
+    fragments_deleted = a.fragments_deleted + b.fragments_deleted;
+    fragments_replaced = a.fragments_replaced + b.fragments_replaced;
+    context_switches = a.context_switches + b.context_switches;
+    ibl_lookups = a.ibl_lookups + b.ibl_lookups;
+    ibl_misses = a.ibl_misses + b.ibl_misses;
+    direct_links = a.direct_links + b.direct_links;
+    unlinks = a.unlinks + b.unlinks;
+    clean_calls = a.clean_calls + b.clean_calls;
+    cache_bytes_bb = a.cache_bytes_bb + b.cache_bytes_bb;
+    cache_bytes_trace = a.cache_bytes_trace + b.cache_bytes_trace;
+    trace_head_promotions = a.trace_head_promotions + b.trace_head_promotions;
+    signals_delivered = a.signals_delivered + b.signals_delivered;
+    runtime_cycles = a.runtime_cycles + b.runtime_cycles;
+    sideline_cycles = a.sideline_cycles + b.sideline_cycles;
+    cache_flushes = a.cache_flushes + b.cache_flushes;
+    evictions = a.evictions + b.evictions;
+    evicted_bytes = a.evicted_bytes + b.evicted_bytes;
+    traces_dropped = a.traces_dropped + b.traces_dropped;
+    full_flush_fallbacks = a.full_flush_fallbacks + b.full_flush_fallbacks;
+    freelist_holes = max a.freelist_holes b.freelist_holes;
+    freelist_free_bytes = max a.freelist_free_bytes b.freelist_free_bytes;
+    freelist_largest_hole = max a.freelist_largest_hole b.freelist_largest_hole;
+    enters_bb = a.enters_bb + b.enters_bb;
+    enters_trace = a.enters_trace + b.enters_trace;
+    opt_traces = a.opt_traces + b.opt_traces;
+    opt_insns_removed = a.opt_insns_removed + b.opt_insns_removed;
+    opt_copies_propagated = a.opt_copies_propagated + b.opt_copies_propagated;
+    opt_consts_propagated = a.opt_consts_propagated + b.opt_consts_propagated;
+    opt_strength_reduced = a.opt_strength_reduced + b.opt_strength_reduced;
+    opt_loads_removed = a.opt_loads_removed + b.opt_loads_removed;
+    opt_loads_rewritten = a.opt_loads_rewritten + b.opt_loads_rewritten;
+    opt_stores_removed = a.opt_stores_removed + b.opt_stores_removed;
+    opt_dead_removed = a.opt_dead_removed + b.opt_dead_removed;
+    opt_checks_simplified = a.opt_checks_simplified + b.opt_checks_simplified;
+    opt_flag_saves_elided = a.opt_flag_saves_elided + b.opt_flag_saves_elided;
+    traces_reoptimized = a.traces_reoptimized + b.traces_reoptimized;
+    faults_injected = a.faults_injected + b.faults_injected;
+    faults_corrupt = a.faults_corrupt + b.faults_corrupt;
+    faults_link = a.faults_link + b.faults_link;
+    faults_hook = a.faults_hook + b.faults_hook;
+    faults_signal = a.faults_signal + b.faults_signal;
+    faults_detected = a.faults_detected + b.faults_detected;
+    recover_reemit = a.recover_reemit + b.recover_reemit;
+    recover_flush_frag = a.recover_flush_frag + b.recover_flush_frag;
+    recover_flush_world = a.recover_flush_world + b.recover_flush_world;
+    recover_emulate = a.recover_emulate + b.recover_emulate;
+    blocks_emulated = a.blocks_emulated + b.blocks_emulated;
+    audits_run = a.audits_run + b.audits_run;
+    audit_fragments = a.audit_fragments + b.audit_fragments;
+    hook_failures = a.hook_failures + b.hook_failures;
+    clients_quarantined = a.clients_quarantined + b.clients_quarantined;
+    spurious_signals_dropped =
+      a.spurious_signals_dropped + b.spurious_signals_dropped;
+  }
+
 (** Total recovery-ladder activations, all rungs. *)
 let recoveries (s : t) =
   s.recover_reemit + s.recover_flush_frag + s.recover_flush_world

@@ -130,7 +130,10 @@ type end_trace_directive = End_trace | Continue_trace | Default_end
 
 type thread_state = {
   ts_tid : int;
-  thread : Vm.Machine.thread;
+  mutable thread : Vm.Machine.thread;
+      (* rebound on warm reuse: each request brings a fresh machine
+         thread, but the fragment index (the warm cache) is keyed by
+         tid and survives *)
   mutable next_tag : int;
   (* the unified fragment index: basic blocks, traces, the in-cache
      indirect-branch lookup table, and trace-head state, all in one

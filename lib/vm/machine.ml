@@ -245,5 +245,24 @@ let invalidate_icache m ~addr ~len =
   done
 
 let reset_hardware m =
-  Array.iter (fun s -> s.is_pc <- -1) m.icache;
+  (* the shared never-filled slot is read-only: lines still pointing at
+     it were never filled, and writing it would race between domains *)
+  Array.iter (fun s -> if s != dummy_islot then s.is_pc <- -1) m.icache;
+  Cost.reset_predictor m.pred
+
+(** Reset the per-run machine state for serving a new request on a
+    reused machine: threads, I/O ports, cycle and instruction counters,
+    signals, and predictor go back to power-on.  Memory contents and
+    cached decodes are left alone — the warm-reuse path (Rio) zeroes
+    the pages the previous run wrote and restores the program image,
+    invalidating cached decodes only where bytes changed. *)
+let reset_for_run m =
+  m.cycles <- 0;
+  m.insns_retired <- 0;
+  m.output <- [];
+  m.input <- [];
+  m.threads <- [];
+  m.next_tid <- 0;
+  m.signal_queue <- [];
+  m.pending_smc <- [];
   Cost.reset_predictor m.pred

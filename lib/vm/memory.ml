@@ -22,6 +22,11 @@ type t = {
      analogue of write-protecting executed pages) *)
   watched_pages : Bytes.t;
   mutable dirty : (int * int) list;  (* [lo, hi) byte ranges *)
+  (* write-touch tracking for warm instance reuse: one byte per 4KB
+     page, set on any store.  {!zero_touched} wipes exactly the pages a
+     run wrote, so resetting a machine between requests costs pages
+     written, not address-space size. *)
+  touched_pages : Bytes.t;
 }
 
 let page_bits = 12
@@ -49,6 +54,7 @@ let create size =
     size;
     watched_pages = Bytes.make ((size lsr page_bits) + 1) '\000';
     dirty = [];
+    touched_pages = Bytes.make ((size lsr page_bits) + 1) '\000';
   }
 
 let size m = m.size
@@ -68,9 +74,13 @@ let take_dirty m =
   d
 
 let note_write m addr n =
+  let p0 = addr lsr page_bits and p1 = (addr + n - 1) lsr page_bits in
+  for p = p0 to p1 do
+    Bytes.unsafe_set m.touched_pages p '\001'
+  done;
   if
-    Bytes.unsafe_get m.watched_pages (addr lsr page_bits) <> '\000'
-    || Bytes.unsafe_get m.watched_pages ((addr + n - 1) lsr page_bits) <> '\000'
+    Bytes.unsafe_get m.watched_pages p0 <> '\000'
+    || Bytes.unsafe_get m.watched_pages p1 <> '\000'
   then m.dirty <- (addr, addr + n) :: m.dirty
 
 let check m addr n write =
@@ -159,6 +169,55 @@ let blit_bytes m ~src ~src_pos ~dst ~len =
     Bigarray.Array1.unsafe_set b (dst + i)
       (Char.code (Bytes.unsafe_get src (src_pos + i)))
   done
+
+(** Bulk copy without write tracking: neither marks pages touched nor
+    records dirty ranges.  For loaders that restore known-good image
+    bytes and must not perturb the watch/touch state (warm reuse). *)
+let blit_bytes_raw m ~src ~src_pos ~dst ~len =
+  if dst < 0 || dst + len > m.size then
+    raise (Fault { addr = dst; size = len; write = true });
+  let b = m.bytes in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set b (dst + i)
+      (Char.code (Bytes.unsafe_get src (src_pos + i)))
+  done
+
+(** Zero every page below [below] that has been written since the last
+    call, clearing its touch mark; returns the zeroed [lo, hi) ranges
+    (page-granular, coalesced).  [below] must be page-aligned. *)
+let zero_touched m ~below =
+  let npages = min (below lsr page_bits) ((m.size lsr page_bits) + 1) in
+  let ranges = ref [] in
+  let p = ref 0 in
+  while !p < npages do
+    if Bytes.unsafe_get m.touched_pages !p <> '\000' then begin
+      let q = ref !p in
+      while !q < npages && Bytes.unsafe_get m.touched_pages !q <> '\000' do
+        Bytes.unsafe_set m.touched_pages !q '\000';
+        incr q
+      done;
+      let lo = !p lsl page_bits in
+      let hi = min m.size (!q lsl page_bits) in
+      Bigarray.Array1.fill (Bigarray.Array1.sub m.bytes lo (hi - lo)) 0;
+      ranges := (lo, hi) :: !ranges;
+      p := !q
+    end
+    else incr p
+  done;
+  List.rev !ranges
+
+(** Byte-equality of [a] and [b] over [addr, addr+len). *)
+let equal_range (a : t) (b : t) ~addr ~len =
+  if addr < 0 || addr + len > a.size || addr + len > b.size then
+    raise (Fault { addr; size = len; write = false });
+  let ba = a.bytes and bb = b.bytes in
+  let rec go i =
+    i >= len
+    || Bigarray.Array1.unsafe_get ba (addr + i)
+         = Bigarray.Array1.unsafe_get bb (addr + i)
+       && go (i + 1)
+  in
+  go 0
 
 let blit_string m ~src ~dst =
   let len = String.length src in

@@ -43,5 +43,18 @@ val read_bytes : t -> addr:int -> len:int -> Bytes.t
 val blit_bytes : t -> src:Bytes.t -> src_pos:int -> dst:int -> len:int -> unit
 val blit_string : t -> src:string -> dst:int -> unit
 
+val blit_bytes_raw : t -> src:Bytes.t -> src_pos:int -> dst:int -> len:int -> unit
+(** Bulk copy without write tracking (no touch marks, no dirty ranges);
+    for loaders restoring known-good image bytes on a reused machine. *)
+
+val zero_touched : t -> below:int -> (int * int) list
+(** Zero every page below the (page-aligned) bound that has been
+    written since the last call; returns the zeroed ranges.  The cost
+    of resetting a machine between requests is proportional to pages
+    written, not address-space size. *)
+
+val equal_range : t -> t -> addr:int -> len:int -> bool
+(** Byte-equality of two memories over [addr, addr+len). *)
+
 val fetch : t -> Isa.Decode.fetch
 (** Bounds-checked byte-fetcher view for the decoders. *)

@@ -27,6 +27,20 @@ val lcg : ?seed:int -> int -> int list
 val lcg_mod : ?seed:int -> int -> int -> int list
 val lcg_floats : ?seed:int -> int -> float list
 
+(** {2 Request parameterization (serving)} *)
+
+val request_input : seed:int -> int list
+(** The four per-request input words the {!serving_variant} preamble
+    consumes, derived deterministically from the request seed. *)
+
+val with_input : t -> int list -> t
+
+val serving_variant : t -> t
+(** Wrap a workload for serving: a fixed preamble folds the four
+    request words into an output fingerprint, then jumps to the
+    original entry.  The text is identical across request seeds, so a
+    warm code cache carries over between requests. *)
+
 (** {2 Running} *)
 
 type run_result = {

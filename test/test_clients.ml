@@ -379,7 +379,7 @@ let run_pair w client =
 let test_rlr_speeds_up_mgrid () =
   let w = Option.get (Suite.by_name "mgrid") in
   let null, _, _ = (fun () -> run_pair w Rio.Types.null_client) () in
-  let _, rlr, _ = run_pair w Clients.Rlr.client in
+  let _, rlr, _ = run_pair w (Clients.Rlr.make ()) in
   ignore null;
   let base, _ = Workload.run_rio w in
   checkb "rlr beats base RIO on mgrid" true (rlr.cycles < base.cycles);

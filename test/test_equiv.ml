@@ -142,7 +142,7 @@ let () =
         List.map
           (fun (n, mk) -> Alcotest.test_case n `Slow (client_case (n, mk)))
           [
-            ("rlr", fun () -> Clients.Rlr.client);
+            ("rlr", fun () -> Clients.Rlr.make ());
             ("strength", fun () -> Clients.Strength.make ~on_bb:false);
             ("strength-bb", fun () -> Clients.Strength.make ~on_bb:true);
             ("ibdispatch", fun () -> Clients.Ibdispatch.make ());

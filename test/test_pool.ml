@@ -1,0 +1,304 @@
+(** Warm-reuse and domain-parallel serving tests (DESIGN.md §6.5).
+
+    The load-bearing property: serving a request on a {e warm} reused
+    instance — code cache, fragment index, and traces carried over from
+    arbitrary earlier requests — is observationally identical to
+    serving it on a fresh instance: same output, same stop reason, same
+    final registers, flags, pc, and application memory.  Simulated
+    cycle counts are allowed to differ (that is the point of reuse:
+    warm requests skip block building). *)
+
+open Workloads
+
+let serving_names = [ "perlbmk"; "gzip"; "parser"; "gcc" ]
+
+let serving =
+  List.map
+    (fun n -> Workload.serving_variant (Option.get (Suite.by_name n)))
+    serving_names
+
+type site = {
+  image : Asm.Image.t;
+  workload : Workload.t;
+}
+
+let sites =
+  List.map
+    (fun w -> (w.Workload.name, { image = Asm.Assemble.assemble w.Workload.program; workload = w }))
+    serving
+
+let fresh_machine (s : site) =
+  let m = Vm.Machine.create () in
+  Asm.Image.load_cold m s.image;
+  m
+
+let input_for (s : site) seed =
+  Workload.request_input ~seed @ s.workload.Workload.input
+
+(* Serve one request on [rt] (already reset or freshly created): add
+   the main thread, feed the input, run. *)
+let serve_on (rt : Rio.Engine.t) (s : site) seed =
+  let m = Rio.Engine.machine rt in
+  ignore
+    (Vm.Machine.add_thread m ~entry:s.image.Asm.Image.entry
+       ~stack_top:Asm.Image.default_stack_top);
+  Vm.Machine.set_input m (input_for s seed);
+  Rio.Engine.run rt
+
+(* One warm server: a table of long-lived instances keyed by workload,
+   exactly as a pool worker keeps them. *)
+let warm_server ~opts () =
+  let tbl : (string, Rio.Engine.t) Hashtbl.t = Hashtbl.create 8 in
+  fun (name, seed) ->
+    let s = List.assoc name sites in
+    let rt =
+      match Hashtbl.find_opt tbl name with
+      | Some rt ->
+          Rio.Engine.reset_for_reuse rt ~restore:(fun m ~zeroed ->
+              Asm.Image.restore m s.image ~zeroed);
+          rt
+      | None ->
+          let rt = Rio.Engine.create ~opts (fresh_machine s) in
+          Hashtbl.replace tbl name rt;
+          rt
+    in
+    (serve_on rt s seed, rt)
+
+let fresh_serve ~opts (name, seed) =
+  let s = List.assoc name sites in
+  let rt = Rio.Engine.create ~opts (fresh_machine s) in
+  (serve_on rt s seed, rt)
+
+(* Final observable state: output, stop reason, main-thread register
+   file, and all application memory below the TLS area. *)
+let state_equal (o1 : Rio.Engine.outcome) rt1 (o2 : Rio.Engine.outcome) rt2 =
+  let m1 = Rio.Engine.machine rt1 and m2 = Rio.Engine.machine rt2 in
+  let t1 = Vm.Machine.main_thread m1 and t2 = Vm.Machine.main_thread m2 in
+  let problems = ref [] in
+  let check name b = if not b then problems := name :: !problems in
+  check "output" (Vm.Machine.output m1 = Vm.Machine.output m2);
+  check "reason" (o1.Rio.Engine.reason = o2.Rio.Engine.reason);
+  check "regs" (t1.Vm.Machine.regs = t2.Vm.Machine.regs);
+  check "fregs" (t1.Vm.Machine.fregs = t2.Vm.Machine.fregs);
+  check "eflags" (t1.Vm.Machine.eflags = t2.Vm.Machine.eflags);
+  (* a thread that halts while executing inside the code cache leaves
+     pc at the halt's cache address, which legitimately depends on
+     cache layout (fresh RIO vs native differ the same way); pc is an
+     observable only while it points at application code *)
+  check "pc"
+    (if
+       Rio.Types.is_app_addr t1.Vm.Machine.pc
+       && Rio.Types.is_app_addr t2.Vm.Machine.pc
+     then t1.Vm.Machine.pc = t2.Vm.Machine.pc
+     else true);
+  check "app memory"
+    (Vm.Memory.equal_range
+       (Vm.Machine.mem m1) (Vm.Machine.mem m2)
+       ~addr:0 ~len:Rio.Types.tls_base);
+  !problems
+
+let default_opts = { Rio.Options.default with max_cycles = max_int / 2 }
+
+let pressure_opts =
+  {
+    default_opts with
+    Rio.Options.cache_capacity =
+      Some (2 * Rio.Options.min_cache_capacity Rio.Options.default);
+    flush_policy = Rio.Options.Flush_fifo;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: warm reused instance == fresh instance per request          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_sequence =
+  QCheck.(
+    list_of_size (Gen.int_range 3 6)
+      (pair (int_range 0 (List.length serving_names - 1)) (int_range 0 1000)))
+
+let warm_equals_fresh ~name ~opts =
+  QCheck.Test.make ~count:8 ~name gen_sequence (fun seq ->
+      let seq =
+        List.map (fun (k, seed) -> (List.nth serving_names k, seed)) seq
+      in
+      let warm = warm_server ~opts () in
+      List.for_all
+        (fun req ->
+          let ow, rtw = warm req in
+          let of_, rtf = fresh_serve ~opts req in
+          match state_equal ow rtw of_ rtf with
+          | [] -> true
+          | ps ->
+              QCheck.Test.fail_reportf "%s seed %d: %s differ" (fst req)
+                (snd req)
+                (String.concat ", " ps))
+        seq)
+
+(* ------------------------------------------------------------------ *)
+(* Two-domain smoke: concurrent independent instances                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two domains running full RIO instances at once: any domain-unsafe
+   global mutable state in lib/rio or lib/vm shows up here as
+   corruption or divergence. *)
+let two_domain_smoke same_workload () =
+  let pick i =
+    if same_workload then List.hd serving
+    else List.nth serving (i mod List.length serving)
+  in
+  let run_one i =
+    let w = pick i in
+    let s = List.assoc w.Workload.name sites in
+    let results = ref [] in
+    for seed = 10 * i to (10 * i) + 2 do
+      let o, rt = fresh_serve ~opts:default_opts (w.Workload.name, seed) in
+      let native =
+        Workload.run_native (Workload.with_input w (input_for s seed))
+      in
+      results :=
+        ( seed,
+          o.Rio.Engine.reason = Rio.Engine.All_exited,
+          Vm.Machine.output (Rio.Engine.machine rt) = native.Workload.output )
+        :: !results
+    done;
+    !results
+  in
+  let d1 = Domain.spawn (fun () -> run_one 0) in
+  let d2 = Domain.spawn (fun () -> run_one 1) in
+  let check who rs =
+    List.iter
+      (fun (seed, exited, matches) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d exited" who seed)
+          true exited;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d matches native" who seed)
+          true matches)
+      rs
+  in
+  check "domain0" (Domain.join d1);
+  check "domain1" (Domain.join d2)
+
+(* ------------------------------------------------------------------ *)
+(* Pool integration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pool_boots ~opts =
+  List.map
+    (fun (name, s) ->
+      ( name,
+        {
+          Rio.Pool.boot_machine = (fun () -> fresh_machine s);
+          boot_entry = s.image.Asm.Image.entry;
+          boot_stack_top = Asm.Image.default_stack_top;
+          boot_restore =
+            (fun m ~zeroed -> Asm.Image.restore m s.image ~zeroed);
+          boot_opts = opts;
+          boot_client = (fun () -> Rio.Types.null_client);
+        } ))
+    sites
+
+let pool_requests n =
+  List.init n (fun i ->
+      let name = List.nth serving_names (i mod List.length serving_names) in
+      let s = List.assoc name sites in
+      let seed = 100 + i in
+      let native =
+        Workload.run_native (Workload.with_input s.workload (input_for s seed))
+      in
+      {
+        Rio.Pool.req_key = name;
+        req_seed = seed;
+        req_input = input_for s seed;
+        req_expect = Some native.Workload.output;
+      })
+
+let pool_case () =
+  let pool =
+    Rio.Pool.create ~max_inflight:2 ~domains:2
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  let n = 12 in
+  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  let results = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Alcotest.(check int) "all completed" n (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d ok" r.Rio.Pool.res_key r.Rio.Pool.res_seed)
+        true r.Rio.Pool.res_ok)
+    results;
+  Alcotest.(check int) "warm + cold covers all"
+    n
+    (snap.Rio.Pool.snap_warm_hits + snap.Rio.Pool.snap_cold_boots);
+  (* 12 requests over 4 workloads x 2 domains: at most 8 cold boots *)
+  Alcotest.(check bool) "some requests served warm" true
+    (snap.Rio.Pool.snap_warm_hits > 0);
+  (* a second, all-warm pass on the same pool *)
+  Rio.Pool.reset_counters pool;
+  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  let results2 = Rio.Pool.drain pool in
+  let snap2 = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pass2 %s seed %d ok" r.Rio.Pool.res_key
+           r.Rio.Pool.res_seed)
+        true r.Rio.Pool.res_ok)
+    results2;
+  Alcotest.(check int) "second pass fully warm" n
+    snap2.Rio.Pool.snap_warm_hits;
+  (* merged stats cover work from both domains *)
+  Alcotest.(check bool) "merged stats saw blocks" true
+    (snap2.Rio.Pool.snap_stats.Rio.Stats.blocks_built > 0)
+
+let pool_faults_case () =
+  let opts =
+    {
+      default_opts with
+      Rio.Options.faults = Some { Rio.Options.default_faults with fi_seed = 3 };
+      audit_period = 1;
+    }
+  in
+  let pool = Rio.Pool.create ~domains:2 ~boots:(pool_boots ~opts) () in
+  let n = 8 in
+  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  let results = Rio.Pool.drain pool in
+  Rio.Pool.shutdown pool;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faults %s seed %d ok" r.Rio.Pool.res_key
+           r.Rio.Pool.res_seed)
+        true r.Rio.Pool.res_ok)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "warm reuse == fresh",
+        [
+          QCheck_alcotest.to_alcotest
+            (warm_equals_fresh ~name:"default options" ~opts:default_opts);
+          QCheck_alcotest.to_alcotest
+            (warm_equals_fresh ~name:"FIFO cache pressure"
+               ~opts:pressure_opts);
+        ] );
+      ( "two-domain smoke",
+        [
+          Alcotest.test_case "same workload concurrently" `Slow
+            (two_domain_smoke true);
+          Alcotest.test_case "different workloads concurrently" `Slow
+            (two_domain_smoke false);
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "warm serving with backpressure" `Slow pool_case;
+          Alcotest.test_case "serving under fault injection" `Slow
+            pool_faults_case;
+        ] );
+    ]

@@ -230,7 +230,7 @@ let debug_seed () =
             (String.concat ";" (List.map string_of_int out)))
         [
           ("null", Rio.Types.null_client);
-          ("rlr", Clients.Rlr.client);
+          ("rlr", Clients.Rlr.make ());
           ("strength", Clients.Strength.make ~on_bb:false);
           ("ibdisp", Clients.Ibdispatch.make ());
           ("ctraces", Stdlib.fst (Clients.Ctraces.make ()));

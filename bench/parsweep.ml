@@ -46,64 +46,16 @@ let run ~quick ~out_path () =
       (fun n -> Workload.serving_variant (Option.get (Suite.by_name n)))
       (mix_names ~quick)
   in
-  let nwl = List.length wls in
   pr "\n=== Parallel serving sweep (%s mode; mix: %s) ===\n"
     (if quick then "quick" else "full")
     (String.concat "," (mix_names ~quick));
 
-  (* native reference per (workload, seed), cached across passes *)
-  let refs : (string * int, int list) Hashtbl.t = Hashtbl.create 64 in
-  let native_ref (w : Workload.t) seed =
-    match Hashtbl.find_opt refs (w.Workload.name, seed) with
-    | Some out -> out
-    | None ->
-        let input = Workload.request_input ~seed @ w.Workload.input in
-        let r = Sweep.native_checked (Workload.with_input w input) in
-        Hashtbl.replace refs (w.Workload.name, seed) r.Workload.output;
-        r.Workload.output
-  in
-  let make_requests ~seed_base n =
-    List.init n (fun i ->
-        let w = List.nth wls (i mod nwl) in
-        let seed = seed_base + i in
-        {
-          Rio.Pool.req_key = w.Workload.name;
-          req_seed = seed;
-          req_input = Workload.request_input ~seed @ w.Workload.input;
-          req_expect = Some (native_ref w seed);
-        })
-  in
-  let boots ~opts =
-    List.map
-      (fun w ->
-        let image = Asm.Assemble.assemble w.Workload.program in
-        ( w.Workload.name,
-          {
-            Rio.Pool.boot_machine =
-              (fun () ->
-                let m = Vm.Machine.create () in
-                Asm.Image.load_cold m image;
-                m);
-            boot_entry = image.Asm.Image.entry;
-            boot_stack_top = Asm.Image.default_stack_top;
-            boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
-            boot_opts = opts;
-            boot_client = (fun () -> Rio.Types.null_client);
-          } ))
-      wls
-  in
+  (* request maker (with native-reference cache), boots, and result
+     checking come from the shared pool scaffolding in Sweep *)
+  let make_requests = Sweep.request_maker wls in
+  let boots ~opts = Sweep.pool_boots ~opts wls in
   let divergences = ref 0 in
-  let check_pass tag results =
-    List.iter
-      (fun r ->
-        if not r.Rio.Pool.res_ok then begin
-          incr divergences;
-          pr "!! %s: %s seed %d on domain %d diverged (%s)\n%!" tag
-            r.Rio.Pool.res_key r.Rio.Pool.res_seed r.Rio.Pool.res_worker
-            (Rio.Engine.stop_reason_to_string r.Rio.Pool.res_reason)
-        end)
-      results
-  in
+  let check_pass tag results = Sweep.check_pass ~divergences tag results in
   let default_opts = { Rio.Options.default with max_cycles = max_int / 2 } in
 
   (* ---------------- scaling ladder ---------------- *)
@@ -116,16 +68,18 @@ let run ~quick ~out_path () =
       (fun d ->
         let n = requests_for ~quick d in
         let pool =
-          Rio.Pool.create ~domains:d ~boots:(boots ~opts:default_opts) ()
+          Rio.Pool.create
+            ~cfg:{ Rio.Options.default_pool with domains = d }
+            ~boots:(boots ~opts:default_opts) ()
         in
         (* untimed warm-up: same size, distinct seeds — the text is
            identical across seeds, so caches warm fully *)
-        List.iter (Rio.Pool.submit pool) (make_requests ~seed_base:10_000 n);
+        List.iter (Sweep.submit_exn pool) (make_requests ~seed_base:10_000 n);
         check_pass (Printf.sprintf "warmup d=%d" d) (Rio.Pool.drain pool);
         Rio.Pool.reset_counters pool;
         let reqs = make_requests ~seed_base:0 n in
         let t0 = Sweep.time_now () in
-        List.iter (Rio.Pool.submit pool) reqs;
+        List.iter (Sweep.submit_exn pool) reqs;
         let results = Rio.Pool.drain pool in
         let host_s = Sweep.time_now () -. t0 in
         check_pass (Printf.sprintf "measured d=%d" d) results;
@@ -199,10 +153,14 @@ let run ~quick ~out_path () =
       audit_period = 1;
     }
   in
-  let fpool = Rio.Pool.create ~domains:fd ~boots:(boots ~opts:fault_opts) () in
-  List.iter (Rio.Pool.submit fpool) (make_requests ~seed_base:20_000 fn);
+  let fpool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = fd }
+      ~boots:(boots ~opts:fault_opts) ()
+  in
+  List.iter (Sweep.submit_exn fpool) (make_requests ~seed_base:20_000 fn);
   check_pass "faults warmup" (Rio.Pool.drain fpool);
-  List.iter (Rio.Pool.submit fpool) (make_requests ~seed_base:0 fn);
+  List.iter (Sweep.submit_exn fpool) (make_requests ~seed_base:0 fn);
   let fresults = Rio.Pool.drain fpool in
   check_pass "faults" fresults;
   let fsnap = Rio.Pool.stats fpool in

@@ -111,6 +111,87 @@ let write_json ~path (v : json) : unit =
   pr "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Pool scaffolding (parsweep, chaossweep)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Boot table for a workload mix: one boot per workload, image
+    assembled once, cold-load machine factory per instance. *)
+let pool_boots ?(client = fun () -> Rio.Types.null_client) ~opts
+    (wls : Workloads.Workload.t list) : (string * Rio.Pool.boot) list =
+  List.map
+    (fun w ->
+      let image = Asm.Assemble.assemble w.Workloads.Workload.program in
+      ( w.Workloads.Workload.name,
+        {
+          Rio.Pool.boot_machine =
+            (fun () ->
+              let m = Vm.Machine.create () in
+              Asm.Image.load_cold m image;
+              m);
+          boot_entry = image.Asm.Image.entry;
+          boot_stack_top = Asm.Image.default_stack_top;
+          boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
+          boot_opts = opts;
+          boot_client = client;
+        } ))
+    wls
+
+(** Request maker over a workload mix, with a native-reference cache:
+    request [i] round-robins the mix at seed [seed_base + i]; each
+    (workload, seed) native output is computed once and reused across
+    passes and pools. *)
+let request_maker (wls : Workloads.Workload.t list) :
+    seed_base:int -> int -> Rio.Pool.request list =
+  let refs : (string * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let native_ref (w : Workloads.Workload.t) seed =
+    match Hashtbl.find_opt refs (w.Workloads.Workload.name, seed) with
+    | Some out -> out
+    | None ->
+        let input =
+          Workloads.Workload.request_input ~seed @ w.Workloads.Workload.input
+        in
+        let r = native_checked (Workloads.Workload.with_input w input) in
+        Hashtbl.replace refs
+          (w.Workloads.Workload.name, seed)
+          r.Workloads.Workload.output;
+        r.Workloads.Workload.output
+  in
+  let nwl = List.length wls in
+  fun ~seed_base n ->
+    List.init n (fun i ->
+        let w = List.nth wls (i mod nwl) in
+        let seed = seed_base + i in
+        {
+          Rio.Pool.req_key = w.Workloads.Workload.name;
+          req_seed = seed;
+          req_input =
+            Workloads.Workload.request_input ~seed @ w.Workloads.Workload.input;
+          req_expect = Some (native_ref w seed);
+        })
+
+(** Submit that treats a rejection as a sweep bug. *)
+let submit_exn pool (r : Rio.Pool.request) : unit =
+  match Rio.Pool.submit pool r with
+  | Ok () -> ()
+  | Error e ->
+      failwith
+        (Printf.sprintf "pool rejected %s seed %d: %s" r.Rio.Pool.req_key
+           r.Rio.Pool.req_seed
+           (Rio.Pool.reject_to_string e))
+
+(** Count and report results that did not come back ok. *)
+let check_pass ~divergences tag (results : Rio.Pool.result list) : unit =
+  List.iter
+    (fun r ->
+      if not r.Rio.Pool.res_ok then begin
+        incr divergences;
+        pr "!! %s: %s seed %d on domain %d diverged (%s)\n%!" tag
+          r.Rio.Pool.res_key r.Rio.Pool.res_seed r.Rio.Pool.res_worker
+          (Rio.Engine.stop_reason_to_string r.Rio.Pool.res_reason)
+      end)
+    results
+
+(* ------------------------------------------------------------------ *)
 (* Baselines                                                          *)
 (* ------------------------------------------------------------------ *)
 

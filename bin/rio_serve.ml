@@ -33,7 +33,24 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
 let run nd nreq workload_names client_name seed0 affinity max_inflight faults
-    show_stats quiet =
+    chaos retries quarantine deadline_cycles deadline_secs show_stats quiet =
+  let cfg =
+    {
+      Rio.Options.default_pool with
+      domains = nd;
+      max_inflight;
+      affinity;
+      retries;
+      quarantine_threshold = quarantine;
+      deadline_cycles;
+      deadline_secs;
+    }
+  in
+  (match Rio.Options.validate_pool cfg with
+   | Ok () -> ()
+   | Error msg ->
+       Printf.eprintf "rio_serve: invalid pool configuration: %s\n" msg;
+       exit 2);
   let workload_names =
     if workload_names = [] then default_workloads else workload_names
   in
@@ -103,11 +120,24 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
           req_expect = Some native.Workload.output;
         })
   in
-  let pool =
-    Rio.Pool.create ~max_inflight ~affinity ~domains:nd ~boots ()
+  let chaos_opts =
+    Option.map
+      (fun seed -> { Rio.Faultinject.default_chaos with ch_seed = seed })
+      chaos
   in
+  let pool = Rio.Pool.create ~cfg ?chaos:chaos_opts ~boots () in
   let t0 = Unix.gettimeofday () in
-  List.iter (Rio.Pool.submit pool) requests;
+  let rejected = ref 0 in
+  List.iter
+    (fun r ->
+      match Rio.Pool.submit pool r with
+      | Ok () -> ()
+      | Error e ->
+          incr rejected;
+          Printf.eprintf "REJECTED: %s seed %d: %s\n" r.Rio.Pool.req_key
+            r.Rio.Pool.req_seed
+            (Rio.Pool.reject_to_string e))
+    requests;
   let results = Rio.Pool.drain pool in
   let wall = Unix.gettimeofday () -. t0 in
   let snap = Rio.Pool.stats pool in
@@ -164,7 +194,26 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     Printf.printf "  per-domain simulated busy cycles: [%s]\n"
       (String.concat "; "
          (Array.to_list
-            (Array.map string_of_int snap.Rio.Pool.snap_busy_cycles)))
+            (Array.map string_of_int snap.Rio.Pool.snap_busy_cycles)));
+    if
+      chaos <> None || deadline_cycles <> None || deadline_secs <> None
+      || snap.Rio.Pool.snap_crashes > 0
+      || snap.Rio.Pool.snap_retries > 0
+    then begin
+      Printf.printf
+        "  supervision: crashes %d  deadline hits %d  retries %d  requeues \
+         %d  respawns %d\n"
+        snap.Rio.Pool.snap_crashes snap.Rio.Pool.snap_deadline_hits
+        snap.Rio.Pool.snap_retries snap.Rio.Pool.snap_requeues
+        snap.Rio.Pool.snap_respawns;
+      Printf.printf
+        "  quarantine: opens %d  closes %d  probes %d  rejected %d  open now \
+         %d\n"
+        snap.Rio.Pool.snap_quarantine_opens
+        snap.Rio.Pool.snap_quarantine_closes snap.Rio.Pool.snap_probes
+        snap.Rio.Pool.snap_rejected_quarantined
+        snap.Rio.Pool.snap_quarantined_now
+    end
   end;
   if show_stats then begin
     Format.printf "aggregate runtime stats (merged across instances):@.";
@@ -173,7 +222,12 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     if faults <> None then
       Format.printf "%a@." Rio.Stats.pp_faults snap.Rio.Pool.snap_stats
   end;
-  if bad = [] then 0 else 1
+  let accepted = List.length requests - !rejected in
+  let lost = accepted - List.length results in
+  if lost > 0 then
+    Printf.eprintf "LOST: %d accepted request(s) never produced a result\n"
+      lost;
+  if bad = [] && lost = 0 then 0 else 1
 
 let cmd =
   let nd =
@@ -210,6 +264,32 @@ let cmd =
     Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED"
            ~doc:"Enable deterministic fault injection in every instance.")
   in
+  let chaos =
+    Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED"
+           ~doc:"Enable pool-scope chaos injection (worker crashes, stalls, \
+                 poisoned warm instances, hook storms) with this seed; the \
+                 supervisor, retry ladder, and quarantine must absorb it.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry-ladder depth per request: warm retry, cold retry, \
+                 cold retry on another domain.")
+  in
+  let quarantine =
+    Arg.(value & opt int 3 & info [ "quarantine" ] ~docv:"K"
+           ~doc:"Quarantine a workload key after K consecutive final \
+                 failures; a single probe request may then reopen it.")
+  in
+  let deadline_cycles =
+    Arg.(value & opt (some int) None & info [ "deadline-cycles" ] ~docv:"N"
+           ~doc:"Per-request simulated-cycle budget; the watchdog preempts \
+                 at the next fragment boundary.")
+  in
+  let deadline_secs =
+    Arg.(value & opt (some float) None & info [ "deadline-secs" ] ~docv:"S"
+           ~doc:"Per-request host wall-clock bound (catches stalled \
+                 workers).")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print aggregate runtime statistics (merged across all \
@@ -219,7 +299,8 @@ let cmd =
   let term =
     Term.(
       const run $ nd $ nreq $ workloads $ client $ seed0 $ affinity
-      $ max_inflight $ faults $ stats $ quiet)
+      $ max_inflight $ faults $ chaos $ retries $ quarantine
+      $ deadline_cycles $ deadline_secs $ stats $ quiet)
   in
   Cmd.v
     (Cmd.info "rio_serve"

@@ -188,7 +188,13 @@ let audit_and_heal (rt : runtime) : unit =
 (* Exit handling and the per-thread quantum loop                      *)
 (* ------------------------------------------------------------------ *)
 
-type quantum_result = Q_budget | Q_thread_done | Q_fault of string
+type quantum_result = Q_budget | Q_thread_done | Q_fault of string | Q_deadline
+
+(* Per-request watchdog poll (pool supervision, DESIGN.md §6.6).  The
+   dispatcher is a safe point: no thread state is mid-update, so a
+   preemption here leaves the instance resettable for reuse. *)
+let watchdog_fired (rt : runtime) : bool =
+  match rt.watchdog with None -> false | Some probe -> probe ()
 
 (* Handle a direct exit: set next_tag, apply head heuristics, and link
    the exit to its target fragment when allowed.  One index probe
@@ -244,6 +250,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
       log_flow rt "cache flush (capacity)"
     end;
     if budget () <= 0 then Q_budget
+    else if watchdog_fired rt then Q_deadline
     else begin
       rt.stats.Stats.context_switches <- rt.stats.Stats.context_switches + 1;
       charge rt rt.opts.Options.costs.Options.context_switch;

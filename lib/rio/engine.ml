@@ -10,7 +10,16 @@ open Types
 
 type t = runtime
 
-type stop_reason = All_exited | App_fault of string | Cycle_limit
+type stop_reason =
+  | All_exited
+  | App_fault of string
+  | Cycle_limit
+  | Deadline_exceeded
+      (** the per-request watchdog (see {!set_watchdog}) fired: the run
+          was preempted at a fragment boundary *)
+  | Crashed of string
+      (** produced only by {!Pool}'s exception barrier, never by
+          {!run}: an uncaught exception escaped the engine *)
 
 type outcome = {
   reason : stop_reason;
@@ -75,11 +84,22 @@ let create ?(opts = Options.default) ?(client = null_client) (m : Vm.Machine.t) 
       | Some f -> if f.Options.fi_seed = 0 then 0x9e3779b9 else f.Options.fi_seed
       | None -> 0);
     fi_hook_pending = false;
+    watchdog = None;
     recover_attempts = Hashtbl.create 16;
     emulate_only = Hashtbl.create 16;
   }
 
 let enable_flow_log (rt : t) = rt.log_flow <- true
+
+(** Arm (or disarm, with [None]) the per-request watchdog.  The probe
+    is polled at dispatcher safe points and quantum boundaries; once it
+    returns true the run stops with {!Deadline_exceeded} at the next
+    fragment boundary.  The pool arms it with a cycle budget and a
+    wall-clock bound before each request and disarms it after, so a
+    warm instance never carries a stale deadline into the next
+    request. *)
+let set_watchdog (rt : t) (probe : (unit -> bool) option) : unit =
+  rt.watchdog <- probe
 
 let make_thread_state (rt : t) (thread : Vm.Machine.thread) : thread_state =
   let ts =
@@ -174,16 +194,41 @@ let run (rt : t) : outcome =
     (Vm.Machine.live_threads m);
   let deadline = c0 + rt.opts.Options.max_cycles in
   let fault = ref None in
+  let preempted = ref false in
+  let kill_all () =
+    List.iter (fun t -> t.Vm.Machine.alive <- false) m.Vm.Machine.threads
+  in
+  (* quantum-boundary watchdog poll: a fragment linked into a tight
+     self-loop never reaches a dispatcher safe point, so the per-quantum
+     check here is what bounds even fully cache-resident spins *)
+  let watchdog_fired () =
+    match rt.watchdog with
+    | None -> false
+    | Some probe ->
+        let fired = probe () in
+        if fired && not !preempted then begin
+          preempted := true;
+          rt.stats.Stats.deadline_preempts <-
+            rt.stats.Stats.deadline_preempts + 1;
+          log_flow rt "watchdog: request deadline exceeded";
+          kill_all ()
+        end;
+        fired
+  in
   let rec loop () =
     let runnable =
       List.filter
         (fun ts -> ts.thread.Vm.Machine.alive && not ts.exited)
         rt.thread_states
     in
-    if runnable <> [] && !fault = None && Vm.Machine.cycles m < deadline then begin
+    if
+      runnable <> [] && !fault = None && (not !preempted)
+      && Vm.Machine.cycles m < deadline
+      && not (watchdog_fired ())
+    then begin
       List.iter
         (fun ts ->
-          if ts.thread.Vm.Machine.alive && !fault = None then
+          if ts.thread.Vm.Machine.alive && !fault = None && not !preempted then
             match Dispatch.run_quantum rt ts with
             | exception Client_abort msg ->
                 fault := Some ("terminated by client: " ^ msg);
@@ -202,6 +247,14 @@ let run (rt : t) : outcome =
                   (fun t -> t.Vm.Machine.alive <- false)
                   m.Vm.Machine.threads
             | Dispatch.Q_budget -> ()
+            | Dispatch.Q_deadline ->
+                if not !preempted then begin
+                  preempted := true;
+                  rt.stats.Stats.deadline_preempts <-
+                    rt.stats.Stats.deadline_preempts + 1;
+                  log_flow rt "watchdog: request deadline exceeded"
+                end;
+                kill_all ()
             | Dispatch.Q_thread_done ->
                 ts.thread.Vm.Machine.alive <- false;
                 Guard.protect rt ~hook:"thread_exit" (fun () ->
@@ -230,7 +283,10 @@ let run (rt : t) : outcome =
   let reason =
     match !fault with
     | Some f -> App_fault f
-    | None -> if Vm.Machine.cycles m >= deadline then Cycle_limit else All_exited
+    | None ->
+        if !preempted then Deadline_exceeded
+        else if Vm.Machine.cycles m >= deadline then Cycle_limit
+        else All_exited
   in
   { reason; cycles = Vm.Machine.cycles m - c0; insns = m.Vm.Machine.insns_retired - i0 }
 
@@ -238,3 +294,5 @@ let stop_reason_to_string = function
   | All_exited -> "all threads exited"
   | App_fault f -> "application fault: " ^ f
   | Cycle_limit -> "cycle limit reached"
+  | Deadline_exceeded -> "request deadline exceeded"
+  | Crashed msg -> "worker crashed: " ^ msg

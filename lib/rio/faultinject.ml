@@ -120,6 +120,91 @@ let inject_spurious_signal (rt : runtime) (ts : thread_state) : bool =
   true
 
 (* ------------------------------------------------------------------ *)
+(* Pool-scope chaos injection (DESIGN.md §6.6)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Domain-scope faults, injected by the serving pool around whole
+    requests rather than by the dispatcher inside one engine.  Where
+    the S34 injector sabotages {e cache state} and expects the audit +
+    recovery ladder to heal it, chaos sabotages the {e fleet}: it kills
+    worker domains, stalls them, poisons warm instances, and storms
+    client hooks, and expects the pool's supervisor + retry ladder +
+    quarantine to keep every request served and output-identical. *)
+type chaos_kind =
+  | Chaos_crash      (** raise {!Chaos_domain_kill} mid-request: the worker
+                         domain dies and the supervisor must respawn it *)
+  | Chaos_stall      (** the worker sleeps, tripping a wall-clock deadline *)
+  | Chaos_poison     (** flip a byte of the instance's application image
+                         so the request diverges or faults *)
+  | Chaos_hook_storm (** arm a hook-raise burst against the client *)
+
+let chaos_kind_name = function
+  | Chaos_crash -> "crash"
+  | Chaos_stall -> "stall"
+  | Chaos_poison -> "poison"
+  | Chaos_hook_storm -> "hookstorm"
+
+exception Chaos_domain_kill
+(** The injected worker-domain death.  Deliberately punches through the
+    pool's per-request exception barrier: the domain really dies, and
+    recovery must come from the supervisor. *)
+
+type chaos_opts = {
+  ch_seed : int;
+  ch_period : int;         (** mean requests between injections (>= 1) *)
+  ch_crash : bool;
+  ch_stall : bool;
+  ch_poison : bool;
+  ch_hook_storm : bool;
+}
+
+let default_chaos =
+  {
+    ch_seed = 1;
+    ch_period = 4;
+    ch_crash = true;
+    ch_stall = true;
+    ch_poison = true;
+    ch_hook_storm = true;
+  }
+
+(** Per-worker chaos state: each worker domain owns a private LCG
+    stream (seed mixed with the worker id), so concurrent workers never
+    race on injector state and a (seed, worker, request-order) triple
+    replays deterministically. *)
+type chaos_state = { mutable cs_lcg : int; cs_opts : chaos_opts }
+
+let chaos_make (opts : chaos_opts) ~salt : chaos_state =
+  let mixed =
+    ((opts.ch_seed * 1000003) + ((salt + 1) * 0x9e3779b9)) land state_mask
+  in
+  { cs_lcg = (if mixed = 0 then 0x9e3779b9 else mixed); cs_opts = opts }
+
+let chaos_rand (cs : chaos_state) (n : int) : int =
+  cs.cs_lcg <- ((cs.cs_lcg * 25214903917) + 11) land state_mask;
+  if n <= 1 then 0 else (cs.cs_lcg lsr 16) mod n
+
+(** Roll the chaos dice for one request attempt: [None] roughly
+    [ch_period - 1] times out of [ch_period], otherwise one of the
+    enabled fault kinds uniformly. *)
+let chaos_tick (cs : chaos_state) : chaos_kind option =
+  let o = cs.cs_opts in
+  if chaos_rand cs (max 1 o.ch_period) <> 0 then None
+  else
+    let kinds =
+      List.concat
+        [
+          (if o.ch_crash then [ Chaos_crash ] else []);
+          (if o.ch_stall then [ Chaos_stall ] else []);
+          (if o.ch_poison then [ Chaos_poison ] else []);
+          (if o.ch_hook_storm then [ Chaos_hook_storm ] else []);
+        ]
+    in
+    match kinds with
+    | [] -> None
+    | ks -> Some (List.nth ks (chaos_rand cs (List.length ks)))
+
+(* ------------------------------------------------------------------ *)
 
 (** Called by the dispatcher at each safe point.  Injects roughly once
     every [fi_period] calls; returns true when something was injected

@@ -106,6 +106,43 @@ let default_faults =
     fi_signals = true;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Serving-pool supervision (DESIGN.md §6.6)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Configuration of the supervised serving pool ({!Pool}): sizing,
+    per-request deadlines, the bounded retry ladder, and the
+    per-workload-key quarantine circuit breaker. *)
+type pool_opts = {
+  domains : int;           (** worker domains (>= 1) *)
+  max_inflight : int;      (** submitted-but-incomplete cap (>= 1) *)
+  queue_capacity : int;    (** initial per-worker deque capacity (>= 1) *)
+  affinity : bool;         (** shard by key hash instead of round-robin *)
+  retries : int;
+      (** retry-ladder depth: failed requests are retried up to this
+          many times (warm → cold → migrate-cold), 0 disables retries *)
+  quarantine_threshold : int;
+      (** consecutive final failures of one workload key before its
+          circuit breaker opens and new submits are rejected (>= 1) *)
+  deadline_cycles : int option;
+      (** per-request simulated-cycle budget; the watchdog preempts the
+          engine at the next fragment boundary once exceeded *)
+  deadline_secs : float option;
+      (** per-request host wall-clock bound, same preemption path *)
+}
+
+let default_pool =
+  {
+    domains = 2;
+    max_inflight = 64;
+    queue_capacity = 16;
+    affinity = false;
+    retries = 3;
+    quarantine_threshold = 3;
+    deadline_cycles = None;
+    deadline_secs = None;
+  }
+
 (** What to do when a bounded code cache fills up (DESIGN.md §6.3). *)
 type flush_policy =
   | Flush_fifo
@@ -270,6 +307,40 @@ let validate (t : t) : (unit, string) result =
 
 let validate_exn (t : t) : unit =
   match validate t with Ok () -> () | Error msg -> raise (Invalid_options msg)
+
+(** Validate pool sizing and supervision parameters; {!Pool.create} and
+    the [rio_serve] CLI both reject bad values through here so the
+    message is identical at every entry point. *)
+let validate_pool (p : pool_opts) : (unit, string) result =
+  if p.domains < 1 then
+    Error (Printf.sprintf "pool domains must be >= 1 (got %d)" p.domains)
+  else if p.max_inflight < 1 then
+    Error
+      (Printf.sprintf "pool max-inflight must be >= 1 (got %d)" p.max_inflight)
+  else if p.queue_capacity < 1 then
+    Error
+      (Printf.sprintf
+         "pool queue capacity must be >= 1 (got %d): a zero-capacity deque \
+          can never hold a request"
+         p.queue_capacity)
+  else if p.retries < 0 then
+    Error (Printf.sprintf "pool retries must be >= 0 (got %d)" p.retries)
+  else if p.quarantine_threshold < 1 then
+    Error
+      (Printf.sprintf "quarantine threshold must be >= 1 (got %d)"
+         p.quarantine_threshold)
+  else
+    match (p.deadline_cycles, p.deadline_secs) with
+    | Some c, _ when c <= 0 ->
+        Error (Printf.sprintf "deadline-cycles must be positive (got %d)" c)
+    | _, Some s when s <= 0.0 ->
+        Error (Printf.sprintf "deadline-secs must be positive (got %g)" s)
+    | _ -> Ok ()
+
+let validate_pool_exn (p : pool_opts) : unit =
+  match validate_pool p with
+  | Ok () -> ()
+  | Error msg -> raise (Invalid_options msg)
 
 (** The five configurations of Table 1, in order. *)
 let table1_configs =

@@ -1,4 +1,4 @@
-(** Domain-parallel serving pool (DESIGN.md §6.5).
+(** Supervised domain-parallel serving pool (DESIGN.md §6.5–6.6).
 
     The pool owns N worker domains.  Each worker keeps {e warm}
     long-lived {!Engine.t} instances, one per workload key: the code
@@ -13,6 +13,24 @@
     from the victim's service horizon — so stealing disturbs the
     victim's imminent work least.  A stolen request cold-boots (or
     warms) an instance on the {e thief}'s domain.
+
+    On top of that sits the fleet-level recovery machinery (§6.6):
+
+    - every request runs inside an {e exception barrier}: an uncaught
+      raise becomes a {!Engine.Crashed} result instead of a dead
+      domain;
+    - a {e supervisor} domain respawns workers that die anyway (chaos
+      kills, pool bugs), requeueing the request they died serving;
+    - a per-request {e watchdog} ({!Engine.set_watchdog}) enforces a
+      simulated-cycle budget and a wall-clock bound, preempting the
+      engine at the next fragment boundary with
+      {!Engine.Deadline_exceeded};
+    - failed requests climb a bounded {e retry ladder} — retry on the
+      warm instance after reset, retry on a cold-booted instance, retry
+      cold on another domain — before failing for good;
+    - a per-workload-key {e quarantine} circuit breaker opens after K
+      consecutive final failures: new submits for the key are rejected
+      until a single probe request is let through and succeeds.
 
     All queues and counters sit behind one pool mutex: requests are
     coarse (each runs a whole workload to completion, millions of
@@ -32,7 +50,9 @@ module Deque = struct
     mutable len : int;
   }
 
-  let create () = { buf = Array.make 16 None; head = 0; len = 0 }
+  let create ~capacity () =
+    if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+    { buf = Array.make capacity None; head = 0; len = 0 }
 
   let grow d =
     let n = Array.length d.buf in
@@ -46,6 +66,14 @@ module Deque = struct
   let push_back d x =
     if d.len = Array.length d.buf then grow d;
     d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+    d.len <- d.len + 1
+
+  (* owner end: requeued/retried requests jump the line so a crashed
+     request's latency does not also pay for the queue behind it *)
+  let push_front d x =
+    if d.len = Array.length d.buf then grow d;
+    d.head <- (d.head - 1 + Array.length d.buf) mod Array.length d.buf;
+    d.buf.(d.head) <- Some x;
     d.len <- d.len + 1
 
   (* owner end: oldest request, preserving arrival order *)
@@ -99,18 +127,31 @@ type request = {
 type result = {
   res_key : string;
   res_seed : int;
-  res_worker : int;        (** domain that executed the request *)
-  res_home : int;          (** domain the request was sharded to *)
+  res_worker : int;        (** domain that executed the final attempt *)
+  res_home : int;          (** domain the final attempt was dequeued from *)
   res_stolen : bool;
-  res_warm : bool;         (** served by an already-warm instance *)
+  res_warm : bool;         (** final attempt served by an already-warm instance *)
+  res_attempts : int;      (** total attempts, including the successful/last one *)
   res_output : int list;
   res_reason : Engine.stop_reason;
-  res_cycles : int;        (** simulated cycles for this request *)
+  res_cycles : int;        (** simulated cycles of the final attempt *)
   res_insns : int;
-  res_blocks_built : int;  (** basic blocks built during this request *)
-  res_secs : float;        (** host wall-clock seconds *)
+  res_blocks_built : int;  (** basic blocks built during the final attempt *)
+  res_secs : float;        (** host wall-clock seconds of the final attempt *)
   res_ok : bool;           (** exited normally and matched [req_expect] *)
 }
+
+(** Why {!submit} refused a request. *)
+type reject =
+  | Unknown_key of string  (** no boot registered for this workload key *)
+  | Quarantined of string  (** the key's circuit breaker is open and a
+                               probe is already in flight *)
+  | Pool_stopping
+
+let reject_to_string = function
+  | Unknown_key k -> Printf.sprintf "no boot registered for key %S" k
+  | Quarantined k -> Printf.sprintf "workload key %S is quarantined" k
+  | Pool_stopping -> "pool is shut down"
 
 type snapshot = {
   snap_domains : int;
@@ -121,52 +162,145 @@ type snapshot = {
   snap_cold_boots : int;
   snap_busy_cycles : int array;  (** per-worker simulated cycles served *)
   snap_stats : Stats.t;          (** merge over all live warm instances *)
+  (* --- supervision (DESIGN.md §6.6) --- *)
+  snap_crashes : int;            (** attempts that ended in [Crashed] *)
+  snap_deadline_hits : int;      (** attempts preempted by the watchdog *)
+  snap_retries : int;            (** retry-ladder activations *)
+  snap_requeues : int;           (** jobs pushed back onto a deque (migration
+                                     rung + supervisor recoveries) *)
+  snap_respawns : int;           (** worker domains respawned by the supervisor *)
+  snap_reloads : int;            (** {!drain_and_reload} cycles completed *)
+  snap_rejected_unknown : int;
+  snap_rejected_quarantined : int;
+  snap_quarantine_opens : int;   (** circuit breakers opened *)
+  snap_quarantine_closes : int;  (** breakers closed by a successful request *)
+  snap_probes : int;             (** probe requests admitted through open breakers *)
+  snap_quarantined_now : int;    (** keys whose breaker is open right now *)
 }
 
 (* ------------------------------------------------------------------ *)
 
+(* A queued unit of work: the request plus its position on the retry
+   ladder.  Mutated only under the pool mutex or by the worker
+   currently serving it. *)
+type job = {
+  jr : request;
+  mutable j_attempt : int;      (* 0 on first service *)
+  mutable j_force_cold : bool;  (* drop the warm instance before serving *)
+}
+
 type worker = {
   w_id : int;
-  w_deque : request Deque.t;            (* under pool mutex *)
+  w_deque : job Deque.t;                (* under pool mutex *)
   mutable w_busy_cycles : int;          (* under pool mutex *)
+  mutable w_current : job option;       (* under pool mutex; what the
+                                           domain dies holding *)
+  w_chaos : Faultinject.chaos_state option;
+      (* private per-worker chaos stream; touched only by the owning
+         domain while serving *)
   w_warm : (string, Engine.t) Hashtbl.t;
       (* touched only by the owning domain while serving; readable by
          others only when the pool is quiescent (after [drain]) *)
+}
+
+(* Per-key circuit breaker (under pool mutex). *)
+type quar = {
+  mutable q_fails : int;   (* consecutive final failures *)
+  mutable q_open : bool;
+  mutable q_probe : bool;  (* a probe request is in flight *)
 }
 
 type t = {
   mu : Mutex.t;
   work_cv : Condition.t;    (* workers: new work or shutdown *)
   space_cv : Condition.t;   (* submitters: in-flight fell below cap *)
-  done_cv : Condition.t;    (* drainers: completed caught up *)
+  done_cv : Condition.t;    (* drainers/reloaders: completed caught up *)
+  sup_cv : Condition.t;     (* supervisor: a worker domain died *)
   workers : worker array;
   boots : (string * boot) list;   (* immutable after create *)
-  max_inflight : int;
-  affinity : bool;
+  cfg : Options.pool_opts;
   mutable next_home : int;
   mutable submitted : int;
   mutable completed : int;
+  mutable active : int;           (* claimed-but-unfinished jobs *)
   mutable steals : int;
   mutable warm_hits : int;
   mutable cold_boots : int;
+  mutable crashes : int;
+  mutable deadline_hits : int;
+  mutable retries : int;
+  mutable requeues : int;
+  mutable respawns : int;
+  mutable reloads : int;
+  mutable rejected_unknown : int;
+  mutable rejected_quarantined : int;
+  mutable quarantine_opens : int;
+  mutable quarantine_closes : int;
+  mutable probes : int;
+  quar : (string, quar) Hashtbl.t;
   mutable results : result list;  (* reversed completion order *)
   mutable stopping : bool;
-  mutable handles : unit Domain.t array;
+  mutable reloading : bool;       (* pause job claims while reloading *)
+  mutable dead : worker list;     (* carcasses awaiting the supervisor *)
+  mutable handles : unit Domain.t list;  (* every domain ever spawned *)
+  mutable sup_handle : unit Domain.t option;
 }
 
 let domains pool = Array.length pool.workers
 
+let quar_state pool key : quar =
+  match Hashtbl.find_opt pool.quar key with
+  | Some q -> q
+  | None ->
+      let q = { q_fails = 0; q_open = false; q_probe = false } in
+      Hashtbl.replace pool.quar key q;
+      q
+
+(* Broadcast the drain/reload condition when the relevant counter
+   caught up; call with the pool mutex held. *)
+let note_progress pool =
+  if pool.completed = pool.submitted then Condition.broadcast pool.done_cv;
+  if pool.reloading && pool.active = 0 then Condition.broadcast pool.done_cv
+
 (* ------------------------------------------------------------------ *)
-(* Serving one request (no pool lock held)                            *)
+(* Serving one attempt (no pool lock held)                            *)
 (* ------------------------------------------------------------------ *)
 
-let serve pool (w : worker) (r : request) ~home ~stolen : result =
+let serve pool (w : worker) (j : job) ~home ~stolen : result =
+  let r = j.jr in
+  let cfg = pool.cfg in
   let boot =
+    (* submit validates keys; this is a backstop for requests forged
+       around it, and the barrier turns the raise into a Crashed
+       result rather than a dead domain *)
     match List.assoc_opt r.req_key pool.boots with
     | Some b -> b
     | None -> invalid_arg ("Pool: no boot registered for key " ^ r.req_key)
   in
   let t0 = Unix.gettimeofday () in
+  if j.j_force_cold then begin
+    Hashtbl.remove w.w_warm r.req_key;
+    j.j_force_cold <- false
+  end;
+  (* chaos roll for this attempt.  The last ladder rung is
+     chaos-immune, so a request under retry always converges: chaos
+     tests the recovery machinery, not the application's luck *)
+  let chaos =
+    match w.w_chaos with
+    | Some cs when j.j_attempt < max 1 cfg.Options.retries ->
+        Faultinject.chaos_tick cs
+    | _ -> None
+  in
+  (match chaos with
+   | Some Faultinject.Chaos_stall ->
+       (* stalled worker: burn host time before doing any work; with a
+          wall-clock deadline armed the watchdog preempts the request
+          at its first safe point *)
+       Unix.sleepf
+         (match cfg.Options.deadline_secs with
+          | Some s -> s +. 0.01
+          | None -> 0.02)
+   | _ -> ());
   let warm, rt =
     match Hashtbl.find_opt w.w_warm r.req_key with
     | Some rt ->
@@ -181,20 +315,66 @@ let serve pool (w : worker) (r : request) ~home ~stolen : result =
         (false, rt)
   in
   let m = Engine.machine rt in
+  (match chaos with
+   | Some Faultinject.Chaos_poison ->
+       (* flip one application-image byte near the entry point: the
+          request diverges or faults, and the ladder must heal it (the
+          write marks its page touched, so a warm reset restores it) *)
+       let cs = Option.get w.w_chaos in
+       let addr =
+         min (Types.tls_base - 1)
+           (boot.boot_entry + Faultinject.chaos_rand cs 512)
+       in
+       let mem = Vm.Machine.mem m in
+       let old = Vm.Memory.read_u8 mem addr in
+       Vm.Memory.write_u8 mem addr (old lxor (1 + Faultinject.chaos_rand cs 255));
+       Vm.Machine.invalidate_icache m ~addr ~len:1
+   | Some Faultinject.Chaos_hook_storm ->
+       (* the next client hook raises after doing its work; the guard's
+          snapshot/quarantine machinery absorbs it *)
+       rt.Types.fi_hook_pending <- true
+   | _ -> ());
   ignore
     (Vm.Machine.add_thread m ~entry:boot.boot_entry
        ~stack_top:boot.boot_stack_top);
   Vm.Machine.set_input m r.req_input;
+  let c0 = Vm.Machine.cycles m in
+  let crash_at =
+    match chaos with
+    | Some Faultinject.Chaos_crash ->
+        let cs = Option.get w.w_chaos in
+        Some (c0 + 1_000 + Faultinject.chaos_rand cs 100_000)
+    | _ -> None
+  in
+  let cycle_limit = Option.map (fun b -> c0 + b) cfg.Options.deadline_cycles in
+  let wall_limit = Option.map (fun s -> t0 +. s) cfg.Options.deadline_secs in
+  (match (crash_at, cycle_limit, wall_limit) with
+   | None, None, None -> Engine.set_watchdog rt None
+   | _ ->
+       Engine.set_watchdog rt
+         (Some
+            (fun () ->
+              (match crash_at with
+               | Some c when Vm.Machine.cycles m >= c ->
+                   (* the injected domain death: punches through the
+                      barrier mid-request, at a dispatcher safe point *)
+                   raise Faultinject.Chaos_domain_kill
+               | _ -> ());
+              (match cycle_limit with
+               | Some c -> Vm.Machine.cycles m >= c
+               | None -> false)
+              ||
+              match wall_limit with
+              | Some t -> Unix.gettimeofday () > t
+              | None -> false)));
   let b0 = (Engine.stats rt).Stats.blocks_built in
   let o = Engine.run rt in
+  Engine.set_watchdog rt None;
   let output = Vm.Machine.output m in
   let ok =
     o.Engine.reason = Engine.All_exited
     && match r.req_expect with None -> true | Some e -> output = e
   in
-  (* a request that didn't exit cleanly leaves cache state we no longer
-     trust; drop the instance so the next request cold-boots *)
-  if o.Engine.reason <> Engine.All_exited then Hashtbl.remove w.w_warm r.req_key;
   {
     res_key = r.req_key;
     res_seed = r.req_seed;
@@ -202,6 +382,7 @@ let serve pool (w : worker) (r : request) ~home ~stolen : result =
     res_home = home;
     res_stolen = stolen;
     res_warm = warm;
+    res_attempts = j.j_attempt + 1;
     res_output = output;
     res_reason = o.Engine.reason;
     res_cycles = o.Engine.cycles;
@@ -211,41 +392,140 @@ let serve pool (w : worker) (r : request) ~home ~stolen : result =
     res_ok = ok;
   }
 
+(* The exception barrier: any raise out of [serve] — engine bug,
+   unregistered key, client escape — becomes a [Crashed] result instead
+   of a dead worker domain.  {!Faultinject.Chaos_domain_kill} is the
+   one deliberate exception: it exists to kill the domain so the
+   supervisor path stays honest. *)
+let serve_barrier pool (w : worker) (j : job) ~home ~stolen : result =
+  try serve pool w j ~home ~stolen with
+  | Faultinject.Chaos_domain_kill as e -> raise e
+  | exn ->
+      Hashtbl.remove w.w_warm j.jr.req_key;
+      {
+        res_key = j.jr.req_key;
+        res_seed = j.jr.req_seed;
+        res_worker = w.w_id;
+        res_home = home;
+        res_stolen = stolen;
+        res_warm = false;
+        res_attempts = j.j_attempt + 1;
+        res_output = [];
+        res_reason = Engine.Crashed (Printexc.to_string exn);
+        res_cycles = 0;
+        res_insns = 0;
+        res_blocks_built = 0;
+        res_secs = 0.0;
+        res_ok = false;
+      }
+
+(* Record a request's final outcome and update its key's circuit
+   breaker; call with the pool mutex held. *)
+let record_final pool (w : worker) (j : job) (res : result) : unit =
+  w.w_current <- None;
+  pool.active <- pool.active - 1;
+  pool.completed <- pool.completed + 1;
+  if res.res_warm then pool.warm_hits <- pool.warm_hits + 1
+  else pool.cold_boots <- pool.cold_boots + 1;
+  pool.results <- res :: pool.results;
+  let q = quar_state pool j.jr.req_key in
+  if res.res_ok then begin
+    if q.q_open then begin
+      q.q_open <- false;
+      pool.quarantine_closes <- pool.quarantine_closes + 1
+    end;
+    q.q_fails <- 0;
+    q.q_probe <- false
+  end
+  else begin
+    q.q_fails <- q.q_fails + 1;
+    q.q_probe <- false;
+    if (not q.q_open) && q.q_fails >= pool.cfg.Options.quarantine_threshold
+    then begin
+      q.q_open <- true;
+      pool.quarantine_opens <- pool.quarantine_opens + 1
+    end
+  end;
+  Condition.signal pool.space_cv;
+  note_progress pool
+
 (* ------------------------------------------------------------------ *)
-(* Worker loop                                                        *)
+(* Worker loop, retry ladder, supervisor                              *)
 (* ------------------------------------------------------------------ *)
+
+(* Serve [j] to a final result, climbing the retry ladder on failures:
+   rung 1 retries on the warm instance (reset first), rung 2 cold-boots
+   on this worker, rung 3+ requeues cold on the next domain over.  The
+   ladder is bounded by [cfg.retries]; rungs past the configured depth
+   simply do not exist. *)
+let rec serve_with_retries pool (w : worker) (j : job) ~home ~stolen : unit =
+  let res = serve_barrier pool w j ~home ~stolen in
+  Mutex.lock pool.mu;
+  (match res.res_reason with
+   | Engine.Crashed _ -> pool.crashes <- pool.crashes + 1
+   | Engine.Deadline_exceeded -> pool.deadline_hits <- pool.deadline_hits + 1
+   | _ -> ());
+  w.w_busy_cycles <- w.w_busy_cycles + res.res_cycles;
+  if res.res_ok || j.j_attempt >= pool.cfg.Options.retries then begin
+    (* final: a request that did not exit cleanly leaves instance state
+       we no longer trust; drop it so the next request cold-boots *)
+    if res.res_reason <> Engine.All_exited then
+      Hashtbl.remove w.w_warm j.jr.req_key;
+    record_final pool w j res;
+    Mutex.unlock pool.mu
+  end
+  else begin
+    pool.retries <- pool.retries + 1;
+    j.j_attempt <- j.j_attempt + 1;
+    let rung = j.j_attempt in
+    if rung >= 3 && Array.length pool.workers > 1 then begin
+      (* rung 3: migrate — cold-boot on another domain *)
+      j.j_force_cold <- true;
+      Hashtbl.remove w.w_warm j.jr.req_key;
+      let target = pool.workers.((w.w_id + 1) mod Array.length pool.workers) in
+      Deque.push_front target.w_deque j;
+      pool.requeues <- pool.requeues + 1;
+      w.w_current <- None;
+      pool.active <- pool.active - 1;
+      note_progress pool;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.mu
+    end
+    else begin
+      (* rung 1: warm retry (reset_for_reuse happens inside serve);
+         rung 2+: cold retry on this worker *)
+      if rung >= 2 then j.j_force_cold <- true;
+      Mutex.unlock pool.mu;
+      serve_with_retries pool w j ~home ~stolen
+    end
+  end
 
 let rec worker_loop pool (w : worker) : unit =
   Mutex.lock pool.mu;
   let job =
-    match Deque.pop_front w.w_deque with
-    | Some r -> Some (r, w.w_id, false)
-    | None ->
-        let n = Array.length pool.workers in
-        let rec scan k =
-          if k >= n - 1 then None
-          else
-            let victim = pool.workers.((w.w_id + 1 + k) mod n) in
-            match Deque.pop_back victim.w_deque with
-            | Some r -> Some (r, victim.w_id, true)
-            | None -> scan (k + 1)
-        in
-        scan 0
+    if pool.reloading then None
+    else
+      match Deque.pop_front w.w_deque with
+      | Some j -> Some (j, w.w_id, false)
+      | None ->
+          let n = Array.length pool.workers in
+          let rec scan k =
+            if k >= n - 1 then None
+            else
+              let victim = pool.workers.((w.w_id + 1 + k) mod n) in
+              match Deque.pop_back victim.w_deque with
+              | Some j -> Some (j, victim.w_id, true)
+              | None -> scan (k + 1)
+          in
+          scan 0
   in
   match job with
-  | Some (r, home, stolen) ->
+  | Some (j, home, stolen) ->
       if stolen then pool.steals <- pool.steals + 1;
+      w.w_current <- Some j;
+      pool.active <- pool.active + 1;
       Mutex.unlock pool.mu;
-      let res = serve pool w r ~home ~stolen in
-      Mutex.lock pool.mu;
-      pool.completed <- pool.completed + 1;
-      w.w_busy_cycles <- w.w_busy_cycles + res.res_cycles;
-      if res.res_warm then pool.warm_hits <- pool.warm_hits + 1
-      else pool.cold_boots <- pool.cold_boots + 1;
-      pool.results <- res :: pool.results;
-      Condition.signal pool.space_cv;
-      if pool.completed = pool.submitted then Condition.broadcast pool.done_cv;
-      Mutex.unlock pool.mu;
+      serve_with_retries pool w j ~home ~stolen;
       worker_loop pool w
   | None ->
       if pool.stopping then Mutex.unlock pool.mu
@@ -255,20 +535,63 @@ let rec worker_loop pool (w : worker) : unit =
         worker_loop pool w
       end
 
+(* The body every worker domain runs.  If anything escapes the loop —
+   a chaos kill, or a bug in the pool itself — the domain is dying:
+   hand the carcass to the supervisor and let it respawn us. *)
+let worker_body pool (w : worker) : unit =
+  try worker_loop pool w
+  with _ ->
+    Mutex.lock pool.mu;
+    pool.dead <- w :: pool.dead;
+    Condition.signal pool.sup_cv;
+    Mutex.unlock pool.mu
+
+(* The supervisor: bury dead workers, requeue the request each died
+   serving (its warm instance died mid-run and cannot be trusted), and
+   spawn a replacement domain over the same worker record — the deque
+   and warm table survive, so queued requests are never lost. *)
+let rec supervisor_loop pool : unit =
+  Mutex.lock pool.mu;
+  while pool.dead = [] && not pool.stopping do
+    Condition.wait pool.sup_cv pool.mu
+  done;
+  match pool.dead with
+  | [] -> Mutex.unlock pool.mu (* stopping, nothing left to bury *)
+  | w :: rest ->
+      pool.dead <- rest;
+      (match w.w_current with
+       | Some j ->
+           Hashtbl.remove w.w_warm j.jr.req_key;
+           j.j_attempt <- j.j_attempt + 1;
+           j.j_force_cold <- true;
+           Deque.push_front w.w_deque j;
+           w.w_current <- None;
+           pool.active <- pool.active - 1;
+           pool.requeues <- pool.requeues + 1;
+           note_progress pool
+       | None -> ());
+      pool.respawns <- pool.respawns + 1;
+      let h = Domain.spawn (fun () -> worker_body pool w) in
+      pool.handles <- h :: pool.handles;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.mu;
+      supervisor_loop pool
+
 (* ------------------------------------------------------------------ *)
 (* Public API                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(max_inflight = 64) ?(affinity = false) ~domains
+let create ?(cfg = Options.default_pool) ?chaos
     ~(boots : (string * boot) list) () : t =
-  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
-  if max_inflight < 1 then invalid_arg "Pool.create: max_inflight must be >= 1";
+  Options.validate_pool_exn cfg;
   let workers =
-    Array.init domains (fun i ->
+    Array.init cfg.Options.domains (fun i ->
         {
           w_id = i;
-          w_deque = Deque.create ();
+          w_deque = Deque.create ~capacity:cfg.Options.queue_capacity ();
           w_busy_cycles = 0;
+          w_current = None;
+          w_chaos = Option.map (fun co -> Faultinject.chaos_make co ~salt:i) chaos;
           w_warm = Hashtbl.create 8;
         })
   in
@@ -278,46 +601,88 @@ let create ?(max_inflight = 64) ?(affinity = false) ~domains
       work_cv = Condition.create ();
       space_cv = Condition.create ();
       done_cv = Condition.create ();
+      sup_cv = Condition.create ();
       workers;
       boots;
-      max_inflight;
-      affinity;
+      cfg;
       next_home = 0;
       submitted = 0;
       completed = 0;
+      active = 0;
       steals = 0;
       warm_hits = 0;
       cold_boots = 0;
+      crashes = 0;
+      deadline_hits = 0;
+      retries = 0;
+      requeues = 0;
+      respawns = 0;
+      reloads = 0;
+      rejected_unknown = 0;
+      rejected_quarantined = 0;
+      quarantine_opens = 0;
+      quarantine_closes = 0;
+      probes = 0;
+      quar = Hashtbl.create 8;
       results = [];
       stopping = false;
-      handles = [||];
+      reloading = false;
+      dead = [];
+      handles = [];
+      sup_handle = None;
     }
   in
   pool.handles <-
-    Array.map (fun w -> Domain.spawn (fun () -> worker_loop pool w)) workers;
+    Array.to_list
+      (Array.map (fun w -> Domain.spawn (fun () -> worker_body pool w)) workers);
+  pool.sup_handle <- Some (Domain.spawn (fun () -> supervisor_loop pool));
   pool
 
-let submit pool (r : request) : unit =
+let submit pool (r : request) : (unit, reject) Stdlib.result =
   Mutex.lock pool.mu;
   if pool.stopping then begin
     Mutex.unlock pool.mu;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  while pool.submitted - pool.completed >= pool.max_inflight do
-    Condition.wait pool.space_cv pool.mu
-  done;
-  let home =
-    if pool.affinity then Hashtbl.hash r.req_key mod Array.length pool.workers
-    else begin
-      let h = pool.next_home in
-      pool.next_home <- (h + 1) mod Array.length pool.workers;
-      h
+    Error Pool_stopping
+  end
+  else if not (List.mem_assoc r.req_key pool.boots) then begin
+    pool.rejected_unknown <- pool.rejected_unknown + 1;
+    Mutex.unlock pool.mu;
+    Error (Unknown_key r.req_key)
+  end
+  else begin
+    let q = quar_state pool r.req_key in
+    if q.q_open && q.q_probe then begin
+      pool.rejected_quarantined <- pool.rejected_quarantined + 1;
+      Mutex.unlock pool.mu;
+      Error (Quarantined r.req_key)
     end
-  in
-  Deque.push_back pool.workers.(home).w_deque r;
-  pool.submitted <- pool.submitted + 1;
-  Condition.broadcast pool.work_cv;
-  Mutex.unlock pool.mu
+    else begin
+      (* half-open circuit breaker: exactly one probe request is let
+         through an open breaker; its outcome closes or re-arms it *)
+      if q.q_open then begin
+        q.q_probe <- true;
+        pool.probes <- pool.probes + 1
+      end;
+      while pool.submitted - pool.completed >= pool.cfg.Options.max_inflight do
+        Condition.wait pool.space_cv pool.mu
+      done;
+      let home =
+        if pool.cfg.Options.affinity then
+          Hashtbl.hash r.req_key mod Array.length pool.workers
+        else begin
+          let h = pool.next_home in
+          pool.next_home <- (h + 1) mod Array.length pool.workers;
+          h
+        end
+      in
+      Deque.push_back pool.workers.(home).w_deque
+        { jr = r; j_attempt = 0; j_force_cold = false };
+      pool.submitted <- pool.submitted + 1;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.mu;
+      Ok ()
+    end
+  end
 
 let drain pool : result list =
   Mutex.lock pool.mu;
@@ -328,6 +693,45 @@ let drain pool : result list =
   pool.results <- [];
   Mutex.unlock pool.mu;
   rs
+
+(** Quiesce service (claimed requests finish; queued requests wait),
+    drop every warm instance — optionally rebuilding fresh pre-warmed
+    ones — reset the quarantine breakers (the poisoned instances they
+    were guarding are gone), and resume.  Accepted requests are never
+    dropped: anything still queued is served by the reloaded fleet. *)
+let drain_and_reload ?(rebuild = false) pool : unit =
+  Mutex.lock pool.mu;
+  if pool.reloading then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.drain_and_reload: reload already in progress"
+  end;
+  pool.reloading <- true;
+  Condition.broadcast pool.work_cv;
+  while pool.active > 0 do
+    Condition.wait pool.done_cv pool.mu
+  done;
+  (* serving is quiescent: no claimed job, so no domain touches its
+     warm table; the mutex hand-off makes these writes visible to the
+     workers when they next take the lock *)
+  Array.iter
+    (fun w ->
+      Hashtbl.reset w.w_warm;
+      if rebuild then
+        List.iter
+          (fun (key, boot) ->
+            let m = boot.boot_machine () in
+            let rt =
+              Engine.create ~opts:boot.boot_opts
+                ~client:(boot.boot_client ()) m
+            in
+            Hashtbl.replace w.w_warm key rt)
+          pool.boots)
+    pool.workers;
+  Hashtbl.reset pool.quar;
+  pool.reloads <- pool.reloads + 1;
+  pool.reloading <- false;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mu
 
 (** Zero the throughput counters between measurement passes.  Call only
     when drained (no request in flight). *)
@@ -342,6 +746,17 @@ let reset_counters pool : unit =
   pool.steals <- 0;
   pool.warm_hits <- 0;
   pool.cold_boots <- 0;
+  pool.crashes <- 0;
+  pool.deadline_hits <- 0;
+  pool.retries <- 0;
+  pool.requeues <- 0;
+  pool.respawns <- 0;
+  pool.reloads <- 0;
+  pool.rejected_unknown <- 0;
+  pool.rejected_quarantined <- 0;
+  pool.quarantine_opens <- 0;
+  pool.quarantine_closes <- 0;
+  pool.probes <- 0;
   pool.results <- [];
   Array.iter (fun w -> w.w_busy_cycles <- 0) pool.workers;
   Mutex.unlock pool.mu
@@ -359,6 +774,9 @@ let stats pool : snapshot =
           acc)
       (Stats.create ()) pool.workers
   in
+  let quarantined_now =
+    Hashtbl.fold (fun _ q n -> if q.q_open then n + 1 else n) pool.quar 0
+  in
   let s =
     {
       snap_domains = Array.length pool.workers;
@@ -369,6 +787,18 @@ let stats pool : snapshot =
       snap_cold_boots = pool.cold_boots;
       snap_busy_cycles = Array.map (fun w -> w.w_busy_cycles) pool.workers;
       snap_stats;
+      snap_crashes = pool.crashes;
+      snap_deadline_hits = pool.deadline_hits;
+      snap_retries = pool.retries;
+      snap_requeues = pool.requeues;
+      snap_respawns = pool.respawns;
+      snap_reloads = pool.reloads;
+      snap_rejected_unknown = pool.rejected_unknown;
+      snap_rejected_quarantined = pool.rejected_quarantined;
+      snap_quarantine_opens = pool.quarantine_opens;
+      snap_quarantine_closes = pool.quarantine_closes;
+      snap_probes = pool.probes;
+      snap_quarantined_now = quarantined_now;
     }
   in
   Mutex.unlock pool.mu;
@@ -378,6 +808,11 @@ let shutdown pool : unit =
   Mutex.lock pool.mu;
   pool.stopping <- true;
   Condition.broadcast pool.work_cv;
+  Condition.broadcast pool.sup_cv;
   Mutex.unlock pool.mu;
-  Array.iter Domain.join pool.handles;
-  pool.handles <- [||]
+  (match pool.sup_handle with Some h -> Domain.join h | None -> ());
+  (* join every domain ever spawned, including respawned replacements
+     and the crashed originals (joining a terminated domain is a no-op) *)
+  List.iter Domain.join pool.handles;
+  pool.handles <- [];
+  pool.sup_handle <- None

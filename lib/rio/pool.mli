@@ -1,7 +1,11 @@
-(** Domain-parallel serving pool: N worker domains, each holding warm
-    long-lived {!Engine.t} instances whose code caches survive across
-    requests, with work-stealing dispatch and bounded in-flight
-    backpressure (DESIGN.md §6.5). *)
+(** Supervised domain-parallel serving pool: N worker domains, each
+    holding warm long-lived {!Engine.t} instances whose code caches
+    survive across requests, with work-stealing dispatch and bounded
+    in-flight backpressure (DESIGN.md §6.5) — wrapped in fleet-level
+    recovery machinery (§6.6): a per-request exception barrier, a
+    supervisor that respawns dead worker domains, per-request
+    cycle/wall-clock deadlines, a bounded retry ladder, and a
+    per-workload-key quarantine circuit breaker. *)
 
 type boot = {
   boot_machine : unit -> Vm.Machine.t;
@@ -27,18 +31,31 @@ type request = {
 type result = {
   res_key : string;
   res_seed : int;
-  res_worker : int;        (** domain that executed the request *)
-  res_home : int;          (** domain the request was sharded to *)
+  res_worker : int;        (** domain that executed the final attempt *)
+  res_home : int;          (** domain the final attempt was dequeued from *)
   res_stolen : bool;
-  res_warm : bool;         (** served by an already-warm instance *)
+  res_warm : bool;         (** final attempt served by an already-warm instance *)
+  res_attempts : int;      (** total attempts, including the successful/last one *)
   res_output : int list;
   res_reason : Engine.stop_reason;
-  res_cycles : int;        (** simulated cycles for this request *)
+      (** [Crashed] when the final attempt raised out of the engine and
+          the exception barrier absorbed it; [Deadline_exceeded] when
+          the watchdog preempted it *)
+  res_cycles : int;        (** simulated cycles of the final attempt *)
   res_insns : int;
-  res_blocks_built : int;  (** basic blocks built during this request *)
-  res_secs : float;        (** host wall-clock seconds *)
+  res_blocks_built : int;  (** basic blocks built during the final attempt *)
+  res_secs : float;        (** host wall-clock seconds of the final attempt *)
   res_ok : bool;           (** exited normally and matched [req_expect] *)
 }
+
+(** Why {!submit} refused a request. *)
+type reject =
+  | Unknown_key of string  (** no boot registered for this workload key *)
+  | Quarantined of string  (** the key's circuit breaker is open and a
+                               probe is already in flight *)
+  | Pool_stopping
+
+val reject_to_string : reject -> string
 
 type snapshot = {
   snap_domains : int;
@@ -49,34 +66,64 @@ type snapshot = {
   snap_cold_boots : int;
   snap_busy_cycles : int array;  (** per-worker simulated cycles served *)
   snap_stats : Stats.t;          (** merge over all live warm instances *)
+  snap_crashes : int;            (** attempts that ended in [Crashed] *)
+  snap_deadline_hits : int;      (** attempts preempted by the watchdog *)
+  snap_retries : int;            (** retry-ladder activations *)
+  snap_requeues : int;           (** jobs pushed back onto a deque (migration
+                                     rung + supervisor recoveries) *)
+  snap_respawns : int;           (** worker domains respawned by the supervisor *)
+  snap_reloads : int;            (** {!drain_and_reload} cycles completed *)
+  snap_rejected_unknown : int;
+  snap_rejected_quarantined : int;
+  snap_quarantine_opens : int;   (** circuit breakers opened *)
+  snap_quarantine_closes : int;  (** breakers closed by a successful request *)
+  snap_probes : int;             (** probe requests admitted through open breakers *)
+  snap_quarantined_now : int;    (** keys whose breaker is open right now *)
 }
 
 type t
 
 val create :
-  ?max_inflight:int ->
-  ?affinity:bool ->
-  domains:int ->
+  ?cfg:Options.pool_opts ->
+  ?chaos:Faultinject.chaos_opts ->
   boots:(string * boot) list ->
   unit ->
   t
-(** Spawn the worker domains.  [max_inflight] (default 64) bounds
-    submitted-but-incomplete requests: {!submit} blocks at the cap.
-    [affinity] shards by key hash instead of round-robin. *)
+(** Spawn the worker domains and the supervisor domain.  [cfg]
+    (default {!Options.default_pool}) is validated with
+    {!Options.validate_pool_exn}; it sets the domain count, in-flight
+    cap, deque capacity, sharding policy, retry-ladder depth,
+    quarantine threshold, and per-request deadlines.  [chaos] arms
+    pool-scope fault injection: each worker gets a private
+    deterministic stream derived from [ch_seed] and its worker id.
+    @raise Options.Invalid_options on a rejected [cfg]. *)
 
 val domains : t -> int
 
-val submit : t -> request -> unit
-(** Enqueue on the request's home worker; blocks while the in-flight
-    cap is reached.  @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> request -> (unit, reject) Stdlib.result
+(** Validate and enqueue on the request's home worker; blocks while the
+    in-flight cap is reached.  Returns [Error] — never raises — when
+    the key has no registered boot, when the key's circuit breaker is
+    open with a probe already in flight, or after {!shutdown}.  When
+    the breaker is open and no probe is in flight, the request is
+    admitted {e as} the probe: its success closes the breaker, its
+    failure re-arms it. *)
 
 val drain : t -> result list
 (** Wait until every submitted request has completed; return (and
     clear) the accumulated results in completion order. *)
 
+val drain_and_reload : ?rebuild:bool -> t -> unit
+(** Quiesce service (claimed requests finish, queued requests wait),
+    drop every warm instance — with [~rebuild:true], build fresh
+    pre-warmed instances for every (worker, key) pair — reset all
+    quarantine breakers, and resume.  Accepted requests are never
+    dropped: anything still queued is served by the reloaded fleet.
+    @raise Invalid_argument if a reload is already in progress. *)
+
 val reset_counters : t -> unit
-(** Zero steal/warm/busy counters between measurement passes.  Call
-    only when drained. *)
+(** Zero steal/warm/busy/supervision counters between measurement
+    passes.  Call only when drained. *)
 
 val stats : t -> snapshot
 (** Counters plus runtime stats merged across all live warm instances.
@@ -84,4 +131,4 @@ val stats : t -> snapshot
 
 val shutdown : t -> unit
 (** Stop accepting work, let workers finish queued requests, join the
-    domains. *)
+    supervisor and every worker domain (including respawned ones). *)

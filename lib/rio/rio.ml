@@ -44,6 +44,8 @@ type stop_reason = Engine.stop_reason =
   | All_exited
   | App_fault of string
   | Cycle_limit
+  | Deadline_exceeded
+  | Crashed of string
 
 type outcome = Engine.outcome = {
   reason : stop_reason;

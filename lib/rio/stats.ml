@@ -66,6 +66,10 @@ type t = {
   mutable spurious_signals_dropped : int;
       (** pending signals with handlers outside application space,
           discarded at the delivery safe point *)
+  (* --- pool supervision (DESIGN.md §6.6) --- *)
+  mutable deadline_preempts : int;
+      (** runs preempted by the per-request watchdog
+          ({!Engine.set_watchdog}) *)
 }
 
 let create () =
@@ -124,6 +128,7 @@ let create () =
     hook_failures = 0;
     clients_quarantined = 0;
     spurious_signals_dropped = 0;
+    deadline_preempts = 0;
   }
 
 (** Combine the counters of two instances into a fresh record, for
@@ -187,6 +192,7 @@ let merge (a : t) (b : t) : t =
     clients_quarantined = a.clients_quarantined + b.clients_quarantined;
     spurious_signals_dropped =
       a.spurious_signals_dropped + b.spurious_signals_dropped;
+    deadline_preempts = a.deadline_preempts + b.deadline_preempts;
   }
 
 (** Total recovery-ladder activations, all rungs. *)
@@ -249,9 +255,10 @@ let pp_faults ppf (s : t) =
      recoveries:          %d (re-emit %d, flush-frag %d, flush-world %d, emulate %d)@,\
      blocks emulated:     %d@,audits run:          %d@,\
      audit fragments:     %d@,hook failures:       %d@,\
-     clients quarantined: %d@,spurious sigs dropped: %d@]"
+     clients quarantined: %d@,spurious sigs dropped: %d@,\
+     deadline preempts:   %d@]"
     s.faults_injected s.faults_corrupt s.faults_link s.faults_hook
     s.faults_signal s.faults_detected (recoveries s) s.recover_reemit
     s.recover_flush_frag s.recover_flush_world s.recover_emulate
     s.blocks_emulated s.audits_run s.audit_fragments s.hook_failures
-    s.clients_quarantined s.spurious_signals_dropped
+    s.clients_quarantined s.spurious_signals_dropped s.deadline_preempts

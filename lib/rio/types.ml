@@ -178,6 +178,11 @@ type runtime = {
   mutable flow_log : string list;        (* optional dispatch-event log (Figure 1) *)
   mutable log_flow : bool;
   (* --- fault tolerance (S34) --- *)
+  mutable watchdog : (unit -> bool) option;
+      (* per-request deadline probe (pool supervision, DESIGN.md §6.6):
+         polled at dispatcher safe points and quantum boundaries; when
+         it returns true the run is preempted at the next fragment
+         boundary with a [Deadline_exceeded] outcome *)
   mutable client_failures : int;      (* hook raises so far *)
   mutable client_quarantined : bool;  (* hooks disabled after too many *)
   mutable fi_state : int;             (* fault-injector LCG state *)

@@ -213,13 +213,20 @@ let pool_requests n =
         req_expect = Some native.Workload.output;
       })
 
+(* Every submit in these tests is expected to be accepted. *)
+let submit_ok pool r =
+  match Rio.Pool.submit pool r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "submit rejected: %s" (Rio.Pool.reject_to_string e)
+
 let pool_case () =
   let pool =
-    Rio.Pool.create ~max_inflight:2 ~domains:2
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2; max_inflight = 2 }
       ~boots:(pool_boots ~opts:default_opts) ()
   in
   let n = 12 in
-  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  List.iter (submit_ok pool) (pool_requests n);
   let results = Rio.Pool.drain pool in
   let snap = Rio.Pool.stats pool in
   Alcotest.(check int) "all completed" n (List.length results);
@@ -237,7 +244,7 @@ let pool_case () =
     (snap.Rio.Pool.snap_warm_hits > 0);
   (* a second, all-warm pass on the same pool *)
   Rio.Pool.reset_counters pool;
-  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  List.iter (submit_ok pool) (pool_requests n);
   let results2 = Rio.Pool.drain pool in
   let snap2 = Rio.Pool.stats pool in
   Rio.Pool.shutdown pool;
@@ -262,9 +269,13 @@ let pool_faults_case () =
       audit_period = 1;
     }
   in
-  let pool = Rio.Pool.create ~domains:2 ~boots:(pool_boots ~opts) () in
+  let pool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2 }
+      ~boots:(pool_boots ~opts) ()
+  in
   let n = 8 in
-  List.iter (Rio.Pool.submit pool) (pool_requests n);
+  List.iter (submit_ok pool) (pool_requests n);
   let results = Rio.Pool.drain pool in
   Rio.Pool.shutdown pool;
   List.iter
@@ -274,6 +285,295 @@ let pool_faults_case () =
            r.Rio.Pool.res_seed)
         true r.Rio.Pool.res_ok)
     results
+
+(* ------------------------------------------------------------------ *)
+(* Supervision, deadlines, retry ladder, quarantine (DESIGN.md §6.6)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Submitting an unregistered key is an error result, not a raise that
+   would kill the submitting caller or a worker domain; the pool keeps
+   serving registered keys afterwards. *)
+let unknown_key_case () =
+  let pool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2 }
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  let bogus =
+    { Rio.Pool.req_key = "no-such-workload"; req_seed = 1; req_input = [];
+      req_expect = None }
+  in
+  (match Rio.Pool.submit pool bogus with
+   | Error (Rio.Pool.Unknown_key _) -> ()
+   | Ok () -> Alcotest.fail "bogus key accepted"
+   | Error e ->
+       Alcotest.failf "wrong rejection: %s" (Rio.Pool.reject_to_string e));
+  List.iter (submit_ok pool) (pool_requests 4);
+  let results = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  Alcotest.(check int) "good requests still served" 4 (List.length results);
+  List.iter
+    (fun r -> Alcotest.(check bool) "still ok" true r.Rio.Pool.res_ok)
+    results;
+  Alcotest.(check int) "rejection counted" 1
+    snap.Rio.Pool.snap_rejected_unknown
+
+(* The dedicated worker-kill test: crash-only chaos at period 1 kills
+   the serving domain mid-request on every chaos-eligible attempt.  The
+   supervisor must respawn each dead domain and requeue the request it
+   died holding; every accepted request still produces an ok result. *)
+let worker_kill_respawn_case () =
+  let chaos =
+    {
+      Rio.Faultinject.ch_seed = 11;
+      ch_period = 1;
+      ch_crash = true;
+      ch_stall = false;
+      ch_poison = false;
+      ch_hook_storm = false;
+    }
+  in
+  let pool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2; retries = 1 }
+      ~chaos
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  let n = 6 in
+  List.iter (submit_ok pool) (pool_requests n);
+  let results = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  Alcotest.(check int) "no request lost" n (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d recovered" r.Rio.Pool.res_key
+           r.Rio.Pool.res_seed)
+        true r.Rio.Pool.res_ok)
+    results;
+  Alcotest.(check bool) "supervisor respawned workers" true
+    (snap.Rio.Pool.snap_respawns >= 1);
+  Alcotest.(check bool) "killed requests requeued" true
+    (snap.Rio.Pool.snap_requeues >= 1)
+
+(* The exception barrier: a raise while serving (here, a boot whose
+   machine factory throws) becomes a Crashed result, not a dead worker;
+   the pool keeps serving other keys on the same domains. *)
+let crash_barrier_case () =
+  let broken =
+    ( "broken",
+      {
+        Rio.Pool.boot_machine = (fun () -> failwith "boot exploded");
+        boot_entry = 0;
+        boot_stack_top = 0;
+        boot_restore = (fun _ ~zeroed -> zeroed);
+        boot_opts = default_opts;
+        boot_client = (fun () -> Rio.Types.null_client);
+      } )
+  in
+  let pool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2; retries = 0 }
+      ~boots:(broken :: pool_boots ~opts:default_opts) ()
+  in
+  submit_ok pool
+    { Rio.Pool.req_key = "broken"; req_seed = 1; req_input = [];
+      req_expect = None };
+  List.iter (submit_ok pool) (pool_requests 4);
+  let results = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  Alcotest.(check int) "all requests completed" 5 (List.length results);
+  let crashed, rest =
+    List.partition (fun r -> r.Rio.Pool.res_key = "broken") results
+  in
+  (match crashed with
+   | [ r ] ->
+       Alcotest.(check bool) "crashed result" true
+         (match r.Rio.Pool.res_reason with
+          | Rio.Engine.Crashed _ -> true
+          | _ -> false);
+       Alcotest.(check bool) "crashed not ok" false r.Rio.Pool.res_ok
+   | rs -> Alcotest.failf "expected 1 broken result, got %d" (List.length rs));
+  List.iter
+    (fun r -> Alcotest.(check bool) "others still ok" true r.Rio.Pool.res_ok)
+    rest;
+  Alcotest.(check bool) "crash counted" true (snap.Rio.Pool.snap_crashes >= 1);
+  Alcotest.(check int) "no respawn needed" 0 snap.Rio.Pool.snap_respawns
+
+(* A cycle-budget deadline preempts a request at a safe point and
+   reports Deadline_exceeded as the final reason once the ladder is
+   exhausted. *)
+let deadline_case () =
+  let pool =
+    Rio.Pool.create
+      ~cfg:
+        {
+          Rio.Options.default_pool with
+          domains = 1;
+          retries = 0;
+          deadline_cycles = Some 1_000;
+        }
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  List.iter (submit_ok pool) (pool_requests 1);
+  let results = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  (match results with
+   | [ r ] ->
+       Alcotest.(check bool) "preempted" true
+         (r.Rio.Pool.res_reason = Rio.Engine.Deadline_exceeded);
+       Alcotest.(check bool) "not ok" false r.Rio.Pool.res_ok
+   | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs));
+  Alcotest.(check bool) "deadline counted" true
+    (snap.Rio.Pool.snap_deadline_hits >= 1)
+
+(* Circuit breaker lifecycle, deterministically on one domain: two
+   consecutive final failures (wrong expectation) open the key's
+   breaker; the next submit is admitted as the probe; its success
+   closes the breaker. *)
+let quarantine_case () =
+  let pool =
+    Rio.Pool.create
+      ~cfg:
+        {
+          Rio.Options.default_pool with
+          domains = 1;
+          retries = 0;
+          quarantine_threshold = 2;
+        }
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  let good = List.hd (pool_requests 1) in
+  let bad i = { good with Rio.Pool.req_seed = 700 + i; req_expect = Some [ -1 ] } in
+  List.iter (submit_ok pool) [ bad 0; bad 1 ];
+  let failed = Rio.Pool.drain pool in
+  Alcotest.(check int) "both failures completed" 2 (List.length failed);
+  (* breaker now open: the next submit must be admitted as the probe *)
+  submit_ok pool good;
+  let probed = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  (* closed again: a further request is served normally *)
+  submit_ok pool good;
+  let after = Rio.Pool.drain pool in
+  let snap2 = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  (match probed with
+   | [ r ] -> Alcotest.(check bool) "probe succeeded" true r.Rio.Pool.res_ok
+   | rs -> Alcotest.failf "expected 1 probe result, got %d" (List.length rs));
+  Alcotest.(check int) "breaker opened once" 1
+    snap.Rio.Pool.snap_quarantine_opens;
+  Alcotest.(check int) "probe admitted" 1 snap.Rio.Pool.snap_probes;
+  Alcotest.(check int) "breaker closed" 1 snap.Rio.Pool.snap_quarantine_closes;
+  Alcotest.(check int) "no key open at the end" 0
+    snap2.Rio.Pool.snap_quarantined_now;
+  (match after with
+   | [ r ] -> Alcotest.(check bool) "post-close serve ok" true r.Rio.Pool.res_ok
+   | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs))
+
+(* drain_and_reload: quiesce, drop warm instances, resume; requests
+   accepted before and after the reload are all served. *)
+let reload_case () =
+  let pool =
+    Rio.Pool.create
+      ~cfg:{ Rio.Options.default_pool with domains = 2 }
+      ~boots:(pool_boots ~opts:default_opts) ()
+  in
+  let n = 8 in
+  List.iter (submit_ok pool) (pool_requests n);
+  let before = Rio.Pool.drain pool in
+  Rio.Pool.drain_and_reload pool;
+  List.iter (submit_ok pool) (pool_requests n);
+  let after = Rio.Pool.drain pool in
+  let snap = Rio.Pool.stats pool in
+  Rio.Pool.shutdown pool;
+  Alcotest.(check int) "served before reload" n (List.length before);
+  Alcotest.(check int) "served after reload" n (List.length after);
+  List.iter
+    (fun r -> Alcotest.(check bool) "ok across reload" true r.Rio.Pool.res_ok)
+    (before @ after);
+  Alcotest.(check int) "reload counted" 1 snap.Rio.Pool.snap_reloads
+
+(* qcheck: a client hook that raises inside a pooled request (forced
+   via hook-raise fault injection at period 1) never hangs drain and
+   never loses a result, across warm and cold instances. *)
+let hook_raise_never_hangs =
+  let hook_opts =
+    {
+      default_opts with
+      Rio.Options.faults =
+        Some
+          {
+            Rio.Options.default_faults with
+            fi_seed = 5;
+            fi_period = 1;
+            fi_corrupt = false;
+            fi_links = false;
+            fi_signals = false;
+          };
+      audit_period = 1;
+    }
+  in
+  let hooked_boots =
+    List.map
+      (fun (name, b) ->
+        ( name,
+          {
+            b with
+            Rio.Pool.boot_client =
+              (fun () ->
+                { Rio.Types.null_client with
+                  name = "raiser-target";
+                  basic_block = Some (fun _ ~tag:_ _ -> ());
+                });
+          } ))
+      (pool_boots ~opts:hook_opts)
+  in
+  QCheck.Test.make ~count:4 ~name:"hook raise never hangs or loses results"
+    gen_sequence (fun seq ->
+      let reqs =
+        List.map
+          (fun (k, seed) ->
+            let name = List.nth serving_names (k mod List.length serving_names) in
+            let s = List.assoc name sites in
+            let seed = seed mod 50 in
+            let native =
+              Workload.run_native
+                (Workload.with_input s.workload (input_for s seed))
+            in
+            {
+              Rio.Pool.req_key = name;
+              req_seed = seed;
+              req_input = input_for s seed;
+              req_expect = Some native.Workload.output;
+            })
+          seq
+      in
+      let pool =
+        Rio.Pool.create
+          ~cfg:{ Rio.Options.default_pool with domains = 2 }
+          ~boots:hooked_boots ()
+      in
+      List.iter (submit_ok pool) reqs;
+      (* warm pass over the same keys: hooks raise on reused instances too *)
+      List.iter (submit_ok pool) reqs;
+      let results = Rio.Pool.drain pool in
+      Rio.Pool.shutdown pool;
+      if List.length results <> 2 * List.length reqs then
+        QCheck.Test.fail_reportf "lost results: %d of %d"
+          (List.length results)
+          (2 * List.length reqs)
+      else
+        List.for_all
+          (fun r ->
+            r.Rio.Pool.res_ok
+            || QCheck.Test.fail_reportf "%s seed %d not ok (%s)"
+                 r.Rio.Pool.res_key r.Rio.Pool.res_seed
+                 (Rio.Engine.stop_reason_to_string r.Rio.Pool.res_reason))
+          results)
 
 (* ------------------------------------------------------------------ *)
 
@@ -300,5 +600,20 @@ let () =
           Alcotest.test_case "warm serving with backpressure" `Slow pool_case;
           Alcotest.test_case "serving under fault injection" `Slow
             pool_faults_case;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "unknown key rejected, pool survives" `Quick
+            unknown_key_case;
+          Alcotest.test_case "worker killed mid-request is respawned" `Slow
+            worker_kill_respawn_case;
+          Alcotest.test_case "exception barrier yields Crashed result" `Quick
+            crash_barrier_case;
+          Alcotest.test_case "cycle deadline preempts" `Quick deadline_case;
+          Alcotest.test_case "quarantine opens, probes, closes" `Slow
+            quarantine_case;
+          Alcotest.test_case "drain_and_reload keeps serving" `Slow
+            reload_case;
+          QCheck_alcotest.to_alcotest hook_raise_never_hangs;
         ] );
     ]

@@ -1118,11 +1118,185 @@ let optsweep ~quick ~out_path () =
                 rows) );
        ]);
   (* hard gates: -O0 byte-identical; re-opt exercised with no full-flush
-     fallback; and (full mode) the >=5% geomean win *)
+     fallback; no single bench >2% worse than its own -O0 row; and
+     (full mode) the >=5% geomean win *)
   if !o0_drift > 0 then exit 1;
   if !reopt_total = 0 || !reopt_fallbacks > 0 then exit 1;
+  let regressions = ref 0 in
+  List.iter
+    (fun (r : os_row) ->
+      let o0 = Hashtbl.find o0_by_bench r.os_bench in
+      if float_of_int r.os_cycles > 1.02 *. float_of_int o0 then begin
+        incr regressions;
+        pr "!! %s: -O%d cycles %d regress >2%% vs -O0 %d\n%!" r.os_bench
+          r.os_level r.os_cycles o0
+      end)
+    rows;
+  if !regressions > 0 then exit 1;
   if (not quick) && reduction_pct < 5.0 then begin
     pr "!! -O2 geomean reduction %.2f%% below the 5%% target\n%!" reduction_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spec sweep: the speculative tier evaluation (DESIGN.md §6.7)       *)
+(* ------------------------------------------------------------------ *)
+
+(* What does -O3 speculation buy over -O2, and does the guard
+   machinery ever hurt?  Every run's output is checked against native;
+   the -O3 geomean must beat the -O2 tier's recorded 0.930; no single
+   bench may regress more than 2% against its own -O0 row; and at
+   least one workload must exercise the full lifecycle — speculate,
+   violate, deoptimize, re-optimize. *)
+
+type ss_row = {
+  ss_bench : string;
+  ss_level : int;
+  ss_cycles : int;
+  ss_ratio : float;           (* simulated cycles / native cycles *)
+  ss_guards : int;            (* guards compiled (ind + const) *)
+  ss_violations : int;
+  ss_despecs : int;
+  ss_biases : int;            (* profile-biased final exits *)
+}
+
+let specsweep ~quick ~out_path () =
+  let wl =
+    if quick then
+      List.filter_map Suite.by_name
+        [ "gzip"; "gcc"; "crafty"; "eon"; "perlbmk"; "mesa"; "art" ]
+    else Suite.all
+  in
+  let levels = [ 0; 2; 3 ] in
+  pr "\n=== Spec sweep: speculative optimization (-O3) x workloads (%s mode) ===\n"
+    (if quick then "quick" else "full");
+  pr "(%d workloads; every run's output checked against native)\n"
+    (List.length wl);
+  pr "%-9s %5s" "bench" "";
+  List.iter (fun l -> pr " %9s" (Printf.sprintf "-O%d" l)) levels;
+  pr " %7s %6s %6s %6s\n" "O3/O0" "guards" "viols" "despec";
+  let rows = ref [] in
+  let o0_by_bench = Hashtbl.create 32 in
+  List.iter
+    (fun w ->
+      let native = Workload.run_native w in
+      let per_level =
+        List.map
+          (fun level ->
+            let opts =
+              { Rio.Options.default with opt_level = level;
+                max_cycles = max_int / 2 }
+            in
+            let r, rt =
+              optsweep_run w ~label:(Printf.sprintf "-O%d" level) ~opts
+            in
+            let s = Rio.stats rt in
+            let row =
+              {
+                ss_bench = w.Workload.name;
+                ss_level = level;
+                ss_cycles = r.Workload.cycles;
+                ss_ratio =
+                  float_of_int r.Workload.cycles
+                  /. float_of_int native.Workload.cycles;
+                ss_guards =
+                  s.Rio.Stats.spec_guards_ind + s.Rio.Stats.spec_guards_const;
+                ss_violations = s.Rio.Stats.spec_violations;
+                ss_despecs = s.Rio.Stats.spec_despecs;
+                ss_biases = s.Rio.Stats.spec_exit_biases;
+              }
+            in
+            if level = 0 then
+              Hashtbl.replace o0_by_bench w.Workload.name r.Workload.cycles;
+            rows := row :: !rows;
+            row)
+          levels
+      in
+      let o3 = List.nth per_level 2 in
+      pr "%-9s %5s" w.Workload.name (if w.Workload.fp then "fp" else "int");
+      List.iter (fun r -> pr " %9.3f" r.ss_ratio) per_level;
+      pr " %7.3f %6d %6d %6d\n%!"
+        (float_of_int o3.ss_cycles
+        /. float_of_int (List.hd per_level).ss_cycles)
+        o3.ss_guards o3.ss_violations o3.ss_despecs)
+    wl;
+  let rows = List.rev !rows in
+  let level_rows l = List.filter (fun r -> r.ss_level = l) rows in
+  let vs_o0 l =
+    geomean
+      (List.map
+         (fun (r : ss_row) ->
+           float_of_int r.ss_cycles
+           /. float_of_int (Hashtbl.find o0_by_bench r.ss_bench))
+         (level_rows l))
+  in
+  pr "%-9s %5s" "geomean" "";
+  List.iter
+    (fun l ->
+      pr " %9.3f" (geomean (List.map (fun r -> r.ss_ratio) (level_rows l))))
+    levels;
+  let o2_vs_o0 = vs_o0 2 and o3_vs_o0 = vs_o0 3 in
+  pr " %7.3f\n" o3_vs_o0;
+  pr "-O3 vs -O0 geomean %.4f (tier target: beat -O2's recorded 0.930)\n%!"
+    o3_vs_o0;
+  (* the lifecycle witness: a bench whose -O3 run speculated, took
+     guard violations, deoptimized, and re-speculated after the deopt
+     (more guards compiled than assumptions retired) *)
+  let lifecycle =
+    List.find_opt
+      (fun r ->
+        r.ss_despecs >= 1 && r.ss_violations >= r.ss_despecs
+        && r.ss_guards > r.ss_despecs)
+      (level_rows 3)
+  in
+  (match lifecycle with
+   | Some r ->
+       pr "lifecycle witness: %s (%d guards, %d violations, %d despecs)\n%!"
+         r.ss_bench r.ss_guards r.ss_violations r.ss_despecs
+   | None -> pr "!! no workload exercised the full speculation lifecycle\n%!");
+  (* per-bench 2%% gate against -O0 *)
+  let regressions = ref 0 in
+  List.iter
+    (fun (r : ss_row) ->
+      let o0 = Hashtbl.find o0_by_bench r.ss_bench in
+      if float_of_int r.ss_cycles > 1.02 *. float_of_int o0 then begin
+        incr regressions;
+        pr "!! %s: -O%d cycles %d regress >2%% vs -O0 %d\n%!" r.ss_bench
+          r.ss_level r.ss_cycles o0
+      end)
+    rows;
+  if !regressions = 0 then
+    pr "no bench regresses >2%% against its -O0 row at any level\n%!";
+  (* write the JSON datapoint *)
+  let open Sweep in
+  write_json ~path:out_path
+    (Obj
+       [ ("schema", Str "rio-specsweep-v1");
+         ("quick", Bool quick);
+         ("o3_vs_o0_geomean_cycle_ratio", Float o3_vs_o0);
+         ("o2_vs_o0_geomean_cycle_ratio", Float o2_vs_o0);
+         ( "lifecycle_bench",
+           match lifecycle with Some r -> Str r.ss_bench | None -> Str "" );
+         ( "rows",
+           Arr
+             (List.map
+                (fun r ->
+                  Obj
+                    [ ("bench", Str r.ss_bench);
+                      ("level", Int r.ss_level);
+                      ("sim_cycles", Int r.ss_cycles);
+                      ("cycle_ratio", Float r.ss_ratio);
+                      ("guards", Int r.ss_guards);
+                      ("violations", Int r.ss_violations);
+                      ("despecs", Int r.ss_despecs);
+                      ("exit_biases", Int r.ss_biases) ])
+                rows) );
+       ]);
+  (* hard gates *)
+  if !regressions > 0 then exit 1;
+  if lifecycle = None then exit 1;
+  if (not quick) && o3_vs_o0 >= 0.930 then begin
+    pr "!! -O3 geomean %.4f does not beat the -O2 tier's 0.930\n%!" o3_vs_o0;
     exit 1
   end
 
@@ -1161,6 +1335,11 @@ let () =
         Sweep.parse_cli ~cmd:"optsweep" ~default_out:"BENCH_opt.json" rest
       in
       optsweep ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+  | _ :: "specsweep" :: rest ->
+      let cli =
+        Sweep.parse_cli ~cmd:"specsweep" ~default_out:"BENCH_spec.json" rest
+      in
+      specsweep ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
   | _ :: "cachesweep" :: rest ->
       let cli =
         Sweep.parse_cli ~cmd:"cachesweep" ~default_out:"BENCH_cache.json" rest
@@ -1193,6 +1372,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

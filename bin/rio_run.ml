@@ -35,8 +35,8 @@ let client_names =
 
 let run list workload_name file clients mode family no_link_direct
     no_link_indirect no_traces threshold sideline cache_capacity flush_policy
-    faults fault_period audit opt_level opt_enable opt_disable reopt stats
-    flow_log dump_cache =
+    faults fault_period audit opt_level opt_enable opt_disable reopt
+    spec_threshold spec_max_violations stats flow_log dump_cache =
   if list then begin
     Printf.printf "workloads:\n";
     List.iter
@@ -136,6 +136,8 @@ let run list workload_name file clients mode family no_link_direct
                 opt_enable = pass_list "opt-enable" opt_enable;
                 opt_disable = pass_list "opt-disable" opt_disable;
                 reopt_threshold = reopt;
+                spec_threshold;
+                spec_max_violations;
                 faults = fault_opts;
                 (* with injection on, audit every dispatch unless the
                    user chose a period explicitly *)
@@ -179,6 +181,8 @@ let run list workload_name file clients mode family no_link_direct
               Format.printf "%a@." Rio.Stats.pp_cache (Rio.stats rt);
               if Rio.Options.effective_passes opts <> [] then
                 Format.printf "%a@." Rio.Stats.pp_opt (Rio.stats rt);
+              if opt_level >= 3 then
+                Format.printf "%a@." Rio.Stats.pp_spec (Rio.stats rt);
               if faults <> None || audit <> None then
                 Format.printf "%a@." Rio.Stats.pp_faults (Rio.stats rt)
             end;
@@ -262,9 +266,12 @@ let cmd =
   let opt_level =
     Arg.(value & opt int 0 & info [ "O"; "opt" ] ~docv:"N"
            ~doc:"Trace optimization level: 0 (off), 1 (copy/constant \
-                 propagation, strength reduction, flag-save elision) or \
+                 propagation, strength reduction, flag-save elision), \
                  2 (adds redundant-load removal, dead-store elimination \
-                 and exit-check peepholes).")
+                 and exit-check peepholes) or 3 (adds profile-guided \
+                 speculation: guarded dominant-target inlining, \
+                 constant-load folding and exit-layout biasing, with \
+                 mid-trace deoptimization).")
   in
   let opt_enable =
     Arg.(value & opt_all string [] & info [ "opt-enable" ] ~docv:"PASS"
@@ -280,7 +287,20 @@ let cmd =
   let reopt =
     Arg.(value & opt (some int) None & info [ "reopt" ] ~docv:"N"
            ~doc:"Re-optimize a hot trace in place (decode + replace) \
-                 after N extra dispatcher entries.")
+                 after N dispatcher entries (overrides the built-in \
+                 deferral threshold).")
+  in
+  let spec_threshold =
+    Arg.(value & opt int Rio.Options.default.Rio.Options.spec_threshold
+         & info [ "spec-threshold" ] ~docv:"N"
+             ~doc:"Successor-profile samples required at an exit site \
+                   before -O3 speculates on it.")
+  in
+  let spec_max_violations =
+    Arg.(value & opt int Rio.Options.default.Rio.Options.spec_max_violations
+         & info [ "spec-max-violations" ] ~docv:"K"
+             ~doc:"Guard violations tolerated before the trace is \
+                   re-optimized without that assumption.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime statistics.") in
   let flow = Arg.(value & flag & info [ "flow-log" ] ~doc:"Print dispatch events.") in
@@ -293,7 +313,7 @@ let cmd =
       const run $ list $ workload $ file $ clients $ mode $ family $ no_ld $ no_li
       $ no_tr $ threshold $ sideline $ cache_capacity $ flush_policy $ faults
       $ fault_period $ audit $ opt_level $ opt_enable $ opt_disable $ reopt
-      $ stats $ flow $ dump)
+      $ spec_threshold $ spec_max_violations $ stats $ flow $ dump)
   in
   Cmd.v (Cmd.info "rio_run" ~doc:"Run workloads under the RIO dynamic optimizer") term
 

@@ -33,7 +33,8 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
 let run nd nreq workload_names client_name seed0 affinity max_inflight faults
-    chaos retries quarantine deadline_cycles deadline_secs show_stats quiet =
+    chaos retries quarantine deadline_cycles deadline_secs opt_level
+    spec_threshold spec_max_violations show_stats quiet =
   let cfg =
     {
       Rio.Options.default_pool with
@@ -79,8 +80,16 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
       max_cycles = max_int / 2;
       faults = fault_opts;
       audit_period = (match faults with Some _ -> 1 | None -> 0);
+      opt_level;
+      spec_threshold;
+      spec_max_violations;
     }
   in
+  (match Rio.Options.validate opts with
+   | Ok () -> ()
+   | Error msg ->
+       Printf.eprintf "rio_serve: invalid options: %s\n" msg;
+       exit 2);
   let boots =
     List.map
       (fun w ->
@@ -219,6 +228,10 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     Format.printf "aggregate runtime stats (merged across instances):@.";
     Format.printf "%a@." Rio.Stats.pp snap.Rio.Pool.snap_stats;
     Format.printf "%a@." Rio.Stats.pp_cache snap.Rio.Pool.snap_stats;
+    if Rio.Options.effective_passes opts <> [] then
+      Format.printf "%a@." Rio.Stats.pp_opt snap.Rio.Pool.snap_stats;
+    if opt_level >= 3 then
+      Format.printf "%a@." Rio.Stats.pp_spec snap.Rio.Pool.snap_stats;
     if faults <> None then
       Format.printf "%a@." Rio.Stats.pp_faults snap.Rio.Pool.snap_stats
   end;
@@ -290,6 +303,24 @@ let cmd =
            ~doc:"Per-request host wall-clock bound (catches stalled \
                  workers).")
   in
+  let opt_level =
+    Arg.(value & opt int 0 & info [ "O"; "opt" ] ~docv:"N"
+           ~doc:"Trace optimization level for every instance (0-3; 3 \
+                 adds profile-guided speculation with mid-trace \
+                 deoptimization).")
+  in
+  let spec_threshold =
+    Arg.(value & opt int Rio.Options.default.Rio.Options.spec_threshold
+         & info [ "spec-threshold" ] ~docv:"N"
+             ~doc:"Successor-profile samples required at an exit site \
+                   before -O3 speculates on it.")
+  in
+  let spec_max_violations =
+    Arg.(value & opt int Rio.Options.default.Rio.Options.spec_max_violations
+         & info [ "spec-max-violations" ] ~docv:"K"
+             ~doc:"Guard violations tolerated before a trace is \
+                   re-optimized without that assumption.")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print aggregate runtime statistics (merged across all \
@@ -300,7 +331,8 @@ let cmd =
     Term.(
       const run $ nd $ nreq $ workloads $ client $ seed0 $ affinity
       $ max_inflight $ faults $ chaos $ retries $ quarantine
-      $ deadline_cycles $ deadline_secs $ stats $ quiet)
+      $ deadline_cycles $ deadline_secs $ opt_level $ spec_threshold
+      $ spec_max_violations $ stats $ quiet)
   in
   Cmd.v
     (Cmd.info "rio_serve"

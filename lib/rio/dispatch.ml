@@ -81,6 +81,10 @@ let fragment_for_normal (rt : runtime) (ts : thread_state) tag : fragment =
       in
       if (e.FI.head >= 0 || e.FI.marked) && rt.opts.Options.enable_traces then begin
         let c = 1 + (if e.FI.head >= 0 then e.FI.head else 0) in
+        (* stamp the counter's first hit: build time divides the elapsed
+           cycles by the count to tell tight-loop heads from heads that
+           merely accumulated hits over the whole run *)
+        if c = 1 then e.FI.head_cycles <- Vm.Machine.cycles rt.machine;
         e.FI.head <- c;
         if c >= rt.opts.Options.trace_threshold && ts.tracegen = None then begin
           Trace.start_tracegen rt ts tag;
@@ -203,6 +207,41 @@ let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
   let target = e.target_tag in
   ts.next_tag <- target;
   let owner = match e.e_owner with Some f -> f | None -> rio_error "orphan exit" in
+  (* speculation profiling / guard accounting (-O3, DESIGN.md §6.7) *)
+  let is_guard =
+    rt.opts.Options.opt_level >= 3
+    && (not owner.deleted)
+    &&
+    match owner.kind with
+    | Bb ->
+        (* conditional exits of basic blocks feed the direction profile
+           of their site; traps here are rare once linked, but exits
+           targeting trace heads never link, which is exactly where the
+           trace builder needs direction data *)
+        if e.branch_is_cond then FI.record_successor ts.index owner.tag target;
+        false
+    | Trace -> (
+        match guard_of_exit owner e.exit_id with
+        | Some g ->
+            g.g_violations <- g.g_violations + 1;
+            rt.stats.Stats.spec_violations <- rt.stats.Stats.spec_violations + 1;
+            (* burst accounting: only back-to-back misses spend the
+               budget; isolated misses keep resetting the count *)
+            let now = Vm.Machine.cycles rt.machine in
+            if now - g.g_last_violation <= spec_burst_window then
+              g.g_burst <- g.g_burst + 1
+            else g.g_burst <- 1;
+            g.g_last_violation <- now;
+            log_flow rt "guard violated (const) trace 0x%x site 0x%x burst %d"
+              owner.tag g.g_site g.g_burst;
+            (* the budget is checked at the violation itself: a
+               self-looping trace may never re-enter through the
+               dispatcher where deferred re-optimization polls *)
+            if g.g_burst >= rt.opts.Options.spec_max_violations then
+              ignore (Opt.despeculate rt ts owner g);
+            true
+        | None -> false)
+  in
   let te = FI.ensure ts.index target in
   (* backward direct branches identify loop heads (Dynamo's heuristic) *)
   if
@@ -211,11 +250,14 @@ let handle_direct_exit (rt : runtime) (ts : thread_state) (e : exit_) =
     && target <= owner.tag
     && te.FI.trace = None
   then Trace.make_head_entry rt te;
-  (* lazy linking: once the target fragment exists, patch the branch *)
+  (* lazy linking: once the target fragment exists, patch the branch.
+     Guard exits are never linked — each firing must keep trapping so
+     violations are counted until the despeculation budget is hit. *)
   if
     rt.opts.Options.link_direct
     && ts.tracegen = None
     && (not owner.deleted)
+    && (not is_guard)
     && e.linked = None
   then begin
     let target_frag =
@@ -439,7 +481,7 @@ let run_quantum (rt : runtime) (ts : thread_state) : quantum_result =
                   handle_direct_exit rt ts e;
                   from_dispatcher ()
               | Exit_indirect _ -> (
-                  match Ibl.handle_indirect_exit rt ts with
+                  match Ibl.handle_indirect_exit rt ts e with
                   | `Stay f -> enter f
                   | `Dispatch -> from_dispatcher ())))
   in

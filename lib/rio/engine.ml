@@ -176,6 +176,20 @@ let reset_for_reuse (rt : t)
     restored;
   (* the reset itself must not read as self-modification *)
   ignore (Vm.Memory.take_dirty mem);
+  (* warm traces keep their speculative guards (like the successor
+     profiles that justified them) but each request gets a fresh
+     violation budget: a previous request's near-misses must not push a
+     surviving trace over the despeculation threshold *)
+  List.iter
+    (fun ts ->
+      Fragindex.iter_traces ts.index (fun _ f ->
+          List.iter
+            (fun g ->
+              g.g_violations <- 0;
+              g.g_burst <- 0;
+              g.g_last_violation <- 0)
+            f.guards))
+    rt.thread_states;
   Buffer.clear rt.client_output;
   rt.flow_log <- []
 

@@ -9,6 +9,15 @@
     the table's generation; {!flush_fragments} bumps the generation,
     invalidating every slot at once without walking the table. *)
 
+type profile = {
+  mutable p_t1 : int;
+  mutable p_n1 : int;
+  mutable p_t2 : int;
+  mutable p_n2 : int;
+  mutable p_other : int;
+  mutable p_total : int;
+}
+
 type 'a entry = {
   key : int;
   mutable fgen : int;
@@ -17,6 +26,8 @@ type 'a entry = {
   mutable ibl : 'a option;
   mutable head : int;
   mutable marked : bool;
+  mutable prof : profile option;
+  mutable head_cycles : int;
 }
 
 type 'a cell = Empty | Entry of 'a entry
@@ -80,7 +91,7 @@ let ensure t tag =
     | Empty ->
         let e =
           { key = tag; fgen = t.gen; bb = None; trace = None; ibl = None;
-            head = -1; marked = false }
+            head = -1; marked = false; prof = None; head_cycles = 0 }
         in
         t.cells.(i) <- Entry e;
         t.count <- t.count + 1;
@@ -165,6 +176,45 @@ let delete t tag =
       shift hole ((hole + 1) land t.mask)
 
 let count t = t.count
+
+(* Successor profiles (speculation, DESIGN.md §6.7): a two-slot
+   most-frequent-target histogram per exit site, deliberately kept in
+   the index — like head counters, they describe the application, not
+   any cached fragment, so they survive flushes and warm resets. *)
+
+let record_successor t site target =
+  let e = ensure t site in
+  let p =
+    match e.prof with
+    | Some p -> p
+    | None ->
+        let p =
+          { p_t1 = 0; p_n1 = 0; p_t2 = 0; p_n2 = 0; p_other = 0; p_total = 0 }
+        in
+        e.prof <- Some p;
+        p
+  in
+  p.p_total <- p.p_total + 1;
+  if p.p_n1 = 0 || p.p_t1 = target then begin
+    p.p_t1 <- target;
+    p.p_n1 <- p.p_n1 + 1
+  end
+  else if p.p_n2 = 0 || p.p_t2 = target then begin
+    p.p_t2 <- target;
+    p.p_n2 <- p.p_n2 + 1;
+    (* keep slot 1 the dominant one *)
+    if p.p_n2 > p.p_n1 then begin
+      let t1 = p.p_t1 and n1 = p.p_n1 in
+      p.p_t1 <- p.p_t2;
+      p.p_n1 <- p.p_n2;
+      p.p_t2 <- t1;
+      p.p_n2 <- n1
+    end
+  end
+  else p.p_other <- p.p_other + 1
+
+let successor_profile t site =
+  match find t site with None -> None | Some e -> e.prof
 
 let is_head t tag =
   match find t tag with

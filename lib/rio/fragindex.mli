@@ -18,6 +18,19 @@
     separate [head_counters] table did (capacity eviction therefore
     only deletes keys with no head state left). *)
 
+type profile = {
+  mutable p_t1 : int;          (** most-frequent successor tag *)
+  mutable p_n1 : int;          (** its sample count *)
+  mutable p_t2 : int;          (** runner-up successor tag *)
+  mutable p_n2 : int;          (** its sample count *)
+  mutable p_other : int;       (** samples beyond the two slots *)
+  mutable p_total : int;       (** all samples *)
+}
+(** Two-slot successor histogram for an exit site (the tag of the block
+    ending in the CTI), feeding -O3 speculation: slot 1 is kept
+    dominant by swap-on-overtake, so [p_n1 * 4 >= p_total * 3] is the
+    "monomorphic enough to speculate on" test. *)
+
 type 'a entry = {
   key : int;                   (** application tag *)
   mutable fgen : int;          (** fragment-slot generation (internal) *)
@@ -26,6 +39,14 @@ type 'a entry = {
   mutable ibl : 'a option;     (** indirect-branch lookup target *)
   mutable head : int;          (** trace-head counter; -1 = not a head *)
   mutable marked : bool;       (** client-marked head (dr_mark_trace_head) *)
+  mutable prof : profile option;
+      (** successor profile for the site; like head counters it
+          describes the application, so it survives fragment flushes *)
+  mutable head_cycles : int;
+      (** machine-cycle stamp of the head counter's first hit: the
+          elapsed cycles per hit at trace-build time separate heads
+          that got hot in a tight loop (worth optimizing immediately)
+          from heads that merely accumulated hits over the whole run *)
 }
 
 type 'a t
@@ -63,6 +84,13 @@ val delete : 'a t -> int -> unit
 
 val count : 'a t -> int
 (** Live keys in the table. *)
+
+val record_successor : 'a t -> int -> int -> unit
+(** [record_successor t site target] adds one sample to the site's
+    successor profile, creating it on first use. *)
+
+val successor_profile : 'a t -> int -> profile option
+(** The site's successor profile, if any samples were recorded. *)
 
 val flush_fragments : 'a t -> unit
 (** Invalidate every bb/trace/ibl slot in O(1) (generation bump);

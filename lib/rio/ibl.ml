@@ -3,16 +3,52 @@
     The simulated in-cache hashtable is the [ibl] slot of the unified
     {!Fragindex}: a hit continues in the cache paying only the lookup
     cost; a miss (or disabled in-cache lookup) pays the full context
-    switch and goes back to the dispatcher. *)
+    switch and goes back to the dispatcher.
+
+    At [-O3] this trap is also the speculation profiler's window onto
+    indirect control flow: each indirect exit from a basic block feeds
+    the owning site's successor profile, and each indirect exit that is
+    a trace guard (the inline check's jne) is a guard violation. *)
 
 open Types
 module FI = Fragindex
 
-let handle_indirect_exit (rt : runtime) (ts : thread_state) :
+let handle_indirect_exit (rt : runtime) (ts : thread_state) (e : exit_) :
     [ `Stay of fragment | `Dispatch ] =
   let mem = Vm.Machine.mem rt.machine in
   let target = Vm.Memory.read_u32 mem (tls_addr ~tid:ts.ts_tid ~slot:slot_ibl_target) in
   ts.next_tag <- target;
+  if rt.opts.Options.opt_level >= 3 then begin
+    match e.e_owner with
+    | Some owner when not owner.deleted -> (
+        match owner.kind with
+        | Bb -> FI.record_successor ts.index owner.tag target
+        | Trace -> (
+            match guard_of_exit owner e.exit_id with
+            | Some g ->
+                g.g_violations <- g.g_violations + 1;
+                rt.stats.Stats.spec_violations <-
+                  rt.stats.Stats.spec_violations + 1;
+                (* burst accounting: only back-to-back misses spend the
+                   budget.  A guard that still hits most of the time
+                   fires with long gaps and its burst keeps resetting;
+                   a phase change fires it every iteration. *)
+                let now = Vm.Machine.cycles rt.machine in
+                if now - g.g_last_violation <= spec_burst_window then
+                  g.g_burst <- g.g_burst + 1
+                else g.g_burst <- 1;
+                g.g_last_violation <- now;
+                log_flow rt "guard violated (ind) trace 0x%x site 0x%x burst %d"
+                  owner.tag g.g_site g.g_burst;
+                (* the budget check happens here, at the violation,
+                   because a self-looping trace may never re-enter
+                   through the dispatcher where deferred
+                   re-optimization polls *)
+                if g.g_burst >= rt.opts.Options.spec_max_violations then
+                  ignore (Opt.despeculate rt ts owner g)
+            | None -> ()))
+    | _ -> ()
+  end;
   if rt.opts.Options.link_indirect && ts.tracegen = None then begin
     (* the in-cache hashtable lookup *)
     rt.stats.Stats.ibl_lookups <- rt.stats.Stats.ibl_lookups + 1;

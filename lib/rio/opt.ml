@@ -682,44 +682,290 @@ let run (rt : runtime) (il : Instrlist.t) : unit =
   | passes -> run_configured rt il passes
 
 (* ------------------------------------------------------------------ *)
+(* Static cost model                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Estimate the per-execution cycle cost of an IL under the machine's
+    cost model: base cycles per instruction plus the memory-access
+    charges for every memory operand.  Branch outcomes are unknowable
+    statically, so predictor effects are ignored — but the estimate is
+    only ever {e compared} between two versions of the same trace,
+    where those terms cancel. *)
+let estimate_cost (rt : runtime) (il : Instrlist.t) : int =
+  let cost = Vm.Machine.cost rt.machine in
+  let total = ref 0 in
+  Instrlist.iter il (fun i ->
+      if not (Instr.is_bundle i) then begin
+        let insn = Instr.get_insn i in
+        total := !total + Vm.Cost.base_cycles cost insn.Insn.opcode;
+        Array.iter
+          (function
+            | Operand.Mem _ -> total := !total + cost.Vm.Cost.mem_read
+            | _ -> ())
+          insn.Insn.srcs;
+        Array.iter
+          (function
+            | Operand.Mem _ -> total := !total + cost.Vm.Cost.mem_write
+            | _ -> ())
+          insn.Insn.dsts
+      end);
+  !total
+
+(* ------------------------------------------------------------------ *)
 (* Hot-trace re-optimization (paper §3.4)                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Carry surviving guards from a replaced body onto its replacement.
+   The classic passes rewrite and delete instructions but never add
+   exit CTIs, so when the exit counts match, the arrays align
+   one-to-one by position; when they differ (the exit peephole removed
+   a jcc/jmp pair) the positional map is invalid and the guards are
+   dropped — execution stays correct, the guards just lose their
+   despeculation budget. *)
+let rebind_guards (old_frag : fragment) (fresh : fragment) : unit =
+  if
+    old_frag.guards <> []
+    && Array.length fresh.exits = Array.length old_frag.exits
+  then
+    fresh.guards <-
+      List.filter_map
+        (fun g ->
+          let ord = ref (-1) in
+          Array.iteri
+            (fun k e -> if e.exit_id = g.g_exit_id then ord := k)
+            old_frag.exits;
+          if !ord >= 0 then begin
+            g.g_exit_id <- fresh.exits.(!ord).exit_id;
+            Some g
+          end
+          else None)
+        old_frag.guards
+
 (* Decode the trace's cache image, re-run the pipeline (the mangled
    view exposes slot stores the finalize-time run could not see), and
-   swap the body in through the delayed-delete replace path. *)
+   swap the body in through the delayed-delete replace path — but only
+   when the cost model says the optimized body is actually cheaper per
+   execution (satellite fix for the -O2 per-bench regressions: an
+   optimization that makes a trace worse is not installed). *)
 let reoptimize (rt : runtime) (ts : thread_state) (frag : fragment) : fragment =
   let passes = Options.effective_passes rt.opts in
   let il = Emit.decode_fragment_il rt frag in
+  let before = estimate_cost rt il in
   run_configured rt il passes;
-  match Emit.replace_fragment rt ts frag il with
-  | fresh ->
-      fresh.reopted <- true;
-      rt.stats.Stats.traces_reoptimized <-
-        rt.stats.Stats.traces_reoptimized + 1;
-      log_flow rt "reoptimized trace 0x%x" frag.tag;
-      fresh
-  | exception Emit.No_room _ ->
-      (* the trace region cannot host the replacement right now; keep
-         running the original body *)
-      log_flow rt "reopt of trace 0x%x dropped (no room)" frag.tag;
-      frag
+  let after = estimate_cost rt il in
+  if after >= before then begin
+    rt.stats.Stats.opt_replaces_skipped <-
+      rt.stats.Stats.opt_replaces_skipped + 1;
+    log_flow rt "reopt of trace 0x%x skipped (cost %d -> %d)" frag.tag before
+      after;
+    frag
+  end
+  else
+    match Emit.replace_fragment rt ts frag il with
+    | fresh ->
+        fresh.reopted <- true;
+        fresh.exec_count <- frag.exec_count;
+        rebind_guards frag fresh;
+        rt.stats.Stats.traces_reoptimized <-
+          rt.stats.Stats.traces_reoptimized + 1;
+        log_flow rt "reoptimized trace 0x%x" frag.tag;
+        fresh
+    | exception Emit.No_room _ ->
+        (* the trace region cannot host the replacement right now; keep
+           running the original body *)
+        log_flow rt "reopt of trace 0x%x dropped (no room)" frag.tag;
+        frag
 
-(** Called on every fragment entry from the dispatcher and the IBL:
-    counts trace entries and, once a hot trace crosses
-    [reopt_threshold], re-optimizes it in place.  Returns the fragment
-    to actually enter. *)
+(* ------------------------------------------------------------------ *)
+(* Despeculation (DESIGN.md §6.7)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-optimize a trace without a violated constant assumption: the
+   guard's conditional side exit becomes an unconditional exit to the
+   same deoptimization target (the unoptimized constituent block, or
+   the IBL), its compare and flags-save bracket are deleted, and the
+   now unreachable tail of the trace is truncated.  Speculation cannot
+   be locally undone — constant folding may have propagated the
+   assumed value arbitrarily far — so cutting at the guard is the only
+   sound way to drop exactly one assumption while keeping the
+   profitable prefix. *)
+let despec_cut (rt : runtime) (ts : thread_state) (frag : fragment)
+    (g : guard) : fragment =
+  (* in every outcome, stop retrying this guard *)
+  let give_up () =
+    frag.guards <- List.filter (fun g' -> g' != g) frag.guards;
+    frag
+  in
+  let victim_ord = ref (-1) in
+  Array.iteri
+    (fun k e -> if e.exit_id = g.g_exit_id then victim_ord := k)
+    frag.exits;
+  if !victim_ord < 0 then give_up ()
+  else begin
+    let il = Emit.decode_fragment_il rt frag in
+    (* locate the victim exit CTI: the !victim_ord-th exit in IL order *)
+    let ord = ref (-1) in
+    let victim = ref None in
+    Instrlist.iter il (fun i ->
+        if Emit.exit_info i <> None then begin
+          incr ord;
+          if !ord = !victim_ord then victim := Some i
+        end);
+    let opcode_of i =
+      if Instr.is_bundle i then None else Some (Instr.get_opcode i)
+    in
+    match !victim with
+    | Some jne
+      when (match opcode_of jne with Some (Opcode.Jcc _) -> true | _ -> false)
+      -> begin
+        match jne.Instr.prev with
+        | Some cmp when opcode_of cmp = Some Opcode.Cmp ->
+            let target =
+              match Insn.src (Instr.get_insn jne) 0 with
+              | Operand.Target t -> t
+              | _ -> -1
+            in
+            if target < 0 then give_up ()
+            else begin
+              (* delete the flags-save bracket, if fixup inserted one *)
+              let fslot =
+                Mangle.abs_slot ~tid:ts.ts_tid slot_eflags
+              in
+              (match cmp.Instr.prev with
+               | Some pop
+                 when opcode_of pop = Some Opcode.Pop
+                      && Insn.num_dsts (Instr.get_insn pop) > 0
+                      && Operand.equal (Insn.dst (Instr.get_insn pop) 0) fslot
+                 -> (
+                   match pop.Instr.prev with
+                   | Some pushf when opcode_of pushf = Some Opcode.Pushf ->
+                       Instrlist.remove il pushf;
+                       Instrlist.remove il pop
+                   | _ -> ())
+               | _ -> ());
+              Instrlist.remove il cmp;
+              (* unconditional exit to the deopt target; no stub note —
+                 with the compare gone there are no flags to restore *)
+              let cut = Create.jmp target in
+              Instrlist.insert_after il jne cut;
+              Instrlist.remove il jne;
+              (* truncate the unreachable tail *)
+              let rec trunc () =
+                match Instrlist.last il with
+                | Some last when last != cut ->
+                    Instrlist.remove il last;
+                    trunc ()
+                | _ -> ()
+              in
+              trunc ();
+              match Emit.replace_fragment rt ts frag il with
+              | fresh ->
+                  fresh.exec_count <- frag.exec_count;
+                  fresh.reopted <- frag.reopted;
+                  (* guards whose exits precede the cut survive; the
+                     victim and everything after it are gone *)
+                  fresh.guards <-
+                    List.filter_map
+                      (fun g' ->
+                        if g' == g then None
+                        else begin
+                          let ord' = ref (-1) in
+                          Array.iteri
+                            (fun k e ->
+                              if e.exit_id = g'.g_exit_id then ord' := k)
+                            frag.exits;
+                          if
+                            !ord' >= 0
+                            && !ord' < !victim_ord
+                            && !ord' < Array.length fresh.exits
+                            && fresh.exits.(!ord').e_kind
+                               = frag.exits.(!ord').e_kind
+                          then begin
+                            g'.g_exit_id <- fresh.exits.(!ord').exit_id;
+                            Some g'
+                          end
+                          else None
+                        end)
+                      frag.guards;
+                  rt.stats.Stats.spec_despecs <-
+                    rt.stats.Stats.spec_despecs + 1;
+                  log_flow rt "despeculated trace 0x%x at site 0x%x" frag.tag
+                    g.g_site;
+                  fresh
+              | exception Emit.No_room _ ->
+                  log_flow rt "despec of trace 0x%x dropped (no room)"
+                    frag.tag;
+                  give_up ()
+            end
+        | _ -> give_up ()
+      end
+    | _ -> give_up ()
+  end
+
+(* A spent indirect-target guard means the application changed phase:
+   the dominant successor the trace was specialized for is no longer
+   where control goes.  Cutting at the guard would leave a truncated
+   trace ending in a bare IBL exit — strictly worse than the inline
+   check it replaces.  The profitable "re-optimize without the
+   assumption" is to start over: delete the trace, forget the stale
+   successor profile, and re-arm the head counter so the head warms up
+   again over the *current* phase and rebuilds with a guard on the new
+   dominant target.  The lifecycle is repeatable — each phase change
+   despecs the old specialization and relearns the next. *)
+let despec_rebuild (rt : runtime) (ts : thread_state) (frag : fragment)
+    (g : guard) : fragment =
+  Emit.delete_fragment rt ts frag;
+  (match Fragindex.find ts.index g.g_site with
+   | Some e -> e.Fragindex.prof <- None
+   | None -> ());
+  (match Fragindex.find ts.index frag.tag with
+   | Some e when e.Fragindex.head >= 0 -> e.Fragindex.head <- 0
+   | _ -> ());
+  rt.stats.Stats.spec_despecs <- rt.stats.Stats.spec_despecs + 1;
+  log_flow rt "despeculated trace 0x%x (rebuild) at site 0x%x" frag.tag
+    g.g_site;
+  frag
+
+(** Drop one spent speculative assumption; dispatches on what was
+    assumed.  A constant-load guard is cut out of the trace in place;
+    an indirect-target guard deletes the trace and relearns (see
+    [despec_rebuild]).  The returned fragment may be deleted — callers
+    in the violation paths ignore it and continue through the normal
+    dispatch lookup, which no longer finds the dead trace. *)
+let despeculate (rt : runtime) (ts : thread_state) (frag : fragment)
+    (g : guard) : fragment =
+  match g.g_kind with
+  | G_const -> despec_cut rt ts frag g
+  | G_ind _ -> despec_rebuild rt ts frag g
+
+(* Deferred-optimization threshold: traces are emitted unoptimized and
+   only invest in the pass pipeline once they prove hot, so cold traces
+   never pay for passes (or the replace) that cannot amortize.  Entry
+   counts undercount hotness — a trace spinning in its own loop never
+   re-enters the dispatcher — so the threshold is a low bar ("entered
+   again after being built"), not a high-water mark.  The legacy
+   [--reopt N] knob, when set, overrides the built-in default. *)
+let defer_threshold (rt : runtime) : int =
+  match rt.opts.Options.reopt_threshold with Some thr -> thr | None -> 2
+
+(** Called on every fragment entry from the dispatcher and the IBL.
+    At [opt_level >= 1] it counts trace entries and optimizes a trace
+    in place (decode/replace, cost-gated) once it proves hot.  Guard
+    budgets are {e not} polled here — a self-looping trace may never
+    re-enter through the dispatcher, so despeculation fires from the
+    violation paths themselves.  Returns the fragment to actually
+    enter. *)
 let maybe_reoptimize (rt : runtime) (ts : thread_state) (frag : fragment) :
     fragment =
-  match rt.opts.Options.reopt_threshold with
-  | Some thr when frag.kind = Trace && (not frag.deleted) && not frag.reopted
-    ->
-      frag.exec_count <- frag.exec_count + 1;
-      if frag.exec_count >= thr then begin
-        (* marked before the attempt so a failed replacement is not
-           retried on every subsequent entry *)
-        frag.reopted <- true;
-        reoptimize rt ts frag
-      end
-      else frag
-  | _ -> frag
+  if frag.kind <> Trace || frag.deleted || rt.opts.Options.opt_level < 1 then
+    frag
+  else begin
+    frag.exec_count <- frag.exec_count + 1;
+    if (not frag.reopted) && frag.exec_count >= defer_threshold rt then begin
+      (* marked before the attempt so a failed replacement is not
+         retried on every subsequent entry *)
+      frag.reopted <- true;
+      reoptimize rt ts frag
+    end
+    else frag
+  end

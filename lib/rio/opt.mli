@@ -1,14 +1,22 @@
 (** The in-core trace optimizer (DESIGN.md §6.4): copy/constant
     propagation, strength reduction, redundant-load removal, dead-store
-    elimination, exit-check peepholes and dead flag-save elision, run
-    over the trace IL at finalization and again — through the
-    decode/replace path — when a hot trace crosses the re-optimization
-    threshold.
+    elimination, exit-check peepholes and dead flag-save elision.
+    Traces are emitted unoptimized; once a trace proves hot
+    ({!maybe_reoptimize}, every dispatcher/IBL entry), its cache image
+    is decoded, the pipeline runs, and the body is replaced — gated on
+    a static cost-model estimate so an optimization that makes a trace
+    worse is never installed.
 
     Every pass either rewrites one instruction into a cheaper
     equal-semantics form or deletes a provably unobservable one: the
     instruction count never grows, and exit CTIs are treated as full
-    liveness boundaries. *)
+    liveness boundaries.
+
+    At [-O3] this module also owns {e despeculation} (DESIGN.md §6.7):
+    a speculative guard whose violation budget is spent has its
+    conditional side exit converted into an unconditional exit to the
+    same deoptimization target, dropping exactly that assumption while
+    keeping the trace's profitable prefix. *)
 
 open Types
 
@@ -48,13 +56,37 @@ val run_passes :
     flag-save elision (that ablation must keep every bracket). *)
 
 val run : runtime -> Instrlist.t -> unit
-(** Optimize a freshly finalized trace IL in place, charging the
-    modelled pass cost and folding counters into the runtime's stats.
-    No-op when {!Options.effective_passes} is empty ([-O0]). *)
+(** Optimize a trace IL in place, charging the modelled pass cost and
+    folding counters into the runtime's stats.  No-op when
+    {!Options.effective_passes} is empty ([-O0]). *)
+
+val estimate_cost : runtime -> Instrlist.t -> int
+(** Static per-execution cycle estimate of an IL under the machine's
+    cost model (base cycles + memory-operand charges; predictor terms
+    ignored).  Only meaningful compared between two versions of the
+    same code. *)
+
+val despeculate : runtime -> thread_state -> fragment -> guard -> fragment
+(** Drop one spent speculative assumption from a trace (DESIGN.md
+    §6.7).  A constant-load guard is cut in place: its conditional
+    side exit becomes an unconditional exit to the same deoptimization
+    target, its compare and flags-save bracket are deleted, and the
+    unreachable tail is truncated.  An indirect-target guard means the
+    application changed phase, so the trace is deleted outright, the
+    site's successor profile is cleared, and the head counter is
+    re-armed — the head warms up over the current phase and rebuilds
+    specialized for the new dominant target.  Called from the
+    violation paths the moment a guard's burst budget is spent — a
+    self-looping trace may never re-enter through the dispatcher.  In
+    every outcome the guard stops being tracked; the returned fragment
+    may be deleted (rebuild case) and callers ignore it. *)
 
 val maybe_reoptimize : runtime -> thread_state -> fragment -> fragment
-(** Called on every fragment entry: counts trace entries and, once a
-    hot trace crosses [reopt_threshold], decodes its cache image,
-    re-runs the pipeline and replaces the fragment (delayed delete).
-    Returns the fragment to actually enter — the fresh one on success,
-    the original when replacement found no room. *)
+(** Called on every fragment entry.  At [opt_level >= 1]: counts trace
+    entries and, once a trace proves hot (built-in threshold, or
+    [reopt_threshold] when set), decodes its cache image, runs the
+    pipeline and — if the cost model agrees — replaces the fragment
+    (delayed delete).  Guard budgets are not polled here; the
+    violation paths call {!despeculate} directly.  Returns the
+    fragment to actually enter — a fresh one on success, the original
+    when nothing changed or replacement found no room. *)

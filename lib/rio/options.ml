@@ -76,7 +76,10 @@ let pass_of_name n =
 
 (** Canonical pass set per level: [-O1] runs the flag-safe rewrites,
     [-O2] adds the passes backed by the register/memory liveness
-    analysis. *)
+    analysis.  [-O3] runs the same classic passes; what it adds is the
+    speculative machinery in {!Trace}/{!Opt} (profile-guided guard
+    insertion and mid-trace deoptimization, DESIGN.md §6.7), which is
+    not a pass over the IL but a change to how traces are built. *)
 let passes_at_level = function
   | 0 -> []
   | 1 -> [ Copy_prop; Strength; Flag_elide ]
@@ -180,8 +183,11 @@ type t = {
           charged to the application thread (paper §3.4's "sideline
           optimization" direction) *)
   opt_level : int;
-      (** trace-optimization level 0–2 ([-O]); 0 disables the in-core
-          optimizer entirely so seed cycle counts are unchanged *)
+      (** trace-optimization level 0–3 ([-O]); 0 disables the in-core
+          optimizer entirely so seed cycle counts are unchanged.  Level
+          3 runs the same classic passes as 2 and additionally builds
+          speculative traces: profile-guided guard insertion with
+          mid-trace deoptimization (DESIGN.md §6.7) *)
   opt_enable : opt_pass list;
       (** individual passes added on top of [opt_level]'s set (requires
           [opt_level >= 1]) *)
@@ -189,8 +195,17 @@ type t = {
       (** individual passes removed from [opt_level]'s set *)
   reopt_threshold : int option;
       (** re-optimize a trace through decode/replace once it has been
-          entered this many times ([None] = never; requires
-          [opt_level >= 1] and a positive threshold) *)
+          entered this many times ([None] = use the built-in deferral
+          threshold; requires [opt_level >= 1] and a positive
+          threshold) *)
+  spec_threshold : int;
+      (** minimum successor-profile samples at an exit site before the
+          trace builder speculates on it (dominant-target inlining,
+          exit-direction gating); only consulted at [opt_level >= 3] *)
+  spec_max_violations : int;
+      (** guard violations tolerated per guard before the trace is
+          re-optimized without that assumption (the speculative exit is
+          cut); only consulted at [opt_level >= 3] *)
   max_cycles : int;       (** safety stop *)
   faults : fault_opts option;
       (** deterministic fault injection; [None] = injector off *)
@@ -221,6 +236,8 @@ let default =
     opt_enable = [];
     opt_disable = [];
     reopt_threshold = None;
+    spec_threshold = 8;
+    spec_max_violations = 3;
     max_cycles = 2_000_000_000;
     faults = None;
     audit_period = 0;
@@ -265,10 +282,18 @@ let effective_passes (t : t) : opt_pass list =
     all_passes
 
 let validate_opt (t : t) : (unit, string) result =
-  if t.opt_level < 0 || t.opt_level > 2 then
+  if t.opt_level < 0 || t.opt_level > 3 then
     Error
-      (Printf.sprintf "optimization level must be 0, 1 or 2 (got %d)"
+      (Printf.sprintf "optimization level must be between 0 and 3 (got %d)"
          t.opt_level)
+  else if t.spec_threshold < 1 then
+    Error
+      (Printf.sprintf "speculation threshold must be >= 1 (got %d)"
+         t.spec_threshold)
+  else if t.spec_max_violations < 1 then
+    Error
+      (Printf.sprintf "speculation max-violations must be >= 1 (got %d)"
+         t.spec_max_violations)
   else if t.opt_level = 0 && t.opt_enable <> [] then
     Error
       (Printf.sprintf

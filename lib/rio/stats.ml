@@ -45,6 +45,21 @@ type t = {
   mutable opt_flag_saves_elided : int;  (** save/restore brackets removed *)
   mutable traces_reoptimized : int;
       (** hot traces re-optimized in place via decode/replace *)
+  mutable opt_replaces_skipped : int;
+      (** re-optimizations abandoned by the cost gate: the optimized
+          body estimated no cheaper, so the original was kept *)
+  (* --- speculation (-O3, DESIGN.md §6.7) --- *)
+  mutable spec_traces : int;         (** traces emitted with at least one guard *)
+  mutable spec_guards_ind : int;     (** indirect-target guards compiled *)
+  mutable spec_guards_const : int;   (** constant-load guards compiled *)
+  mutable spec_exit_biases : int;
+      (** final conditional trace exits whose polarity was inverted so
+          the profile-dominant successor leaves through the single jcc
+          instead of the jcc-then-jmp fall-through path *)
+  mutable spec_violations : int;     (** guard side exits taken *)
+  mutable spec_despecs : int;
+      (** traces re-optimized without an assumption after its guard
+          exceeded the violation budget *)
   (* --- fault injection (S34) --- *)
   mutable faults_injected : int;     (** total faults the injector introduced *)
   mutable faults_corrupt : int;      (** cache-byte corruptions injected *)
@@ -112,6 +127,13 @@ let create () =
     opt_checks_simplified = 0;
     opt_flag_saves_elided = 0;
     traces_reoptimized = 0;
+    opt_replaces_skipped = 0;
+    spec_traces = 0;
+    spec_guards_ind = 0;
+    spec_guards_const = 0;
+    spec_exit_biases = 0;
+    spec_violations = 0;
+    spec_despecs = 0;
     faults_injected = 0;
     faults_corrupt = 0;
     faults_link = 0;
@@ -175,6 +197,13 @@ let merge (a : t) (b : t) : t =
     opt_checks_simplified = a.opt_checks_simplified + b.opt_checks_simplified;
     opt_flag_saves_elided = a.opt_flag_saves_elided + b.opt_flag_saves_elided;
     traces_reoptimized = a.traces_reoptimized + b.traces_reoptimized;
+    opt_replaces_skipped = a.opt_replaces_skipped + b.opt_replaces_skipped;
+    spec_traces = a.spec_traces + b.spec_traces;
+    spec_guards_ind = a.spec_guards_ind + b.spec_guards_ind;
+    spec_guards_const = a.spec_guards_const + b.spec_guards_const;
+    spec_exit_biases = a.spec_exit_biases + b.spec_exit_biases;
+    spec_violations = a.spec_violations + b.spec_violations;
+    spec_despecs = a.spec_despecs + b.spec_despecs;
     faults_injected = a.faults_injected + b.faults_injected;
     faults_corrupt = a.faults_corrupt + b.faults_corrupt;
     faults_link = a.faults_link + b.faults_link;
@@ -245,6 +274,17 @@ let pp_opt ppf (s : t) =
     s.opt_consts_propagated s.opt_strength_reduced s.opt_loads_removed
     s.opt_loads_rewritten s.opt_stores_removed s.opt_dead_removed
     s.opt_checks_simplified s.opt_flag_saves_elided s.traces_reoptimized
+
+(** Speculation counters (-O3, DESIGN.md §6.7); printed separately so
+    existing stats output stays stable. *)
+let pp_spec ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>speculative traces:  %d@,indirect guards:     %d@,\
+     const-load guards:   %d@,exit biases:         %d@,\
+     guard violations:    %d@,despeculations:      %d@,\
+     replaces skipped:    %d@]"
+    s.spec_traces s.spec_guards_ind s.spec_guards_const s.spec_exit_biases
+    s.spec_violations s.spec_despecs s.opt_replaces_skipped
 
 (** Fault-tolerance counters; printed separately so existing stats
     output stays stable. *)

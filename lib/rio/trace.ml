@@ -37,6 +37,11 @@ let make_head (rt : runtime) (ts : thread_state) tag =
 (* Trace building                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A head whose counter averaged at most this many elapsed cycles per
+   hit on its way to threshold was spinning in a loop: its trace is
+   worth optimizing the moment it is built. *)
+let hot_head_cycles_per_hit = 500
+
 let start_tracegen (rt : runtime) (ts : thread_state) head =
   ts.tracegen <-
     Some
@@ -47,6 +52,7 @@ let start_tracegen (rt : runtime) (ts : thread_state) head =
         tg_insns = 0;
         tg_pending = P_start;
         tg_checks = [];
+        tg_guards = [];
       };
   log_flow rt "start trace 0x%x" head
 
@@ -95,13 +101,75 @@ let stitch_block (rt : runtime) (ts : thread_state) (tg : tracegen) tag : unit =
             | _ -> P_jmp t))
     | _ -> rio_error "trace stitch: block 0x%x does not end in an exit" tag
   in
+  (* Speculative constant-load folding (-O3, DESIGN.md §6.7): in the
+     block's entry prefix — before anything can write memory — loads
+     from absolute application addresses are folded to their currently
+     observed values, guarded by a compare at the block's entry whose
+     side exit deoptimizes to the unoptimized block.  The head block is
+     skipped: its tag resolves to this very trace once built, so a
+     guard failure there would re-enter the trace and spin. *)
+  if rt.opts.Options.opt_level >= 3 && tg.tg_tags <> [] then begin
+    let mem = Vm.Machine.mem rt.machine in
+    let candidates = ref [] in
+    let stop = ref false in
+    Instrlist.iter il (fun i ->
+        if not !stop then
+          if Instr.is_bundle i then stop := true
+          else begin
+            let insn = Instr.get_insn i in
+            (match (insn.Insn.opcode, insn.Insn.srcs, insn.Insn.dsts) with
+             | Opcode.Mov, [| Operand.Mem m |], [| Operand.Reg _ |]
+               when m.Operand.base = None
+                    && m.Operand.index = None
+                    && m.Operand.disp >= 0
+                    && m.Operand.disp < tls_base
+                    && List.length !candidates < 2
+                    && not
+                         (List.exists
+                            (fun (_, m') -> Operand.equal_mem m m')
+                            !candidates) ->
+                 candidates := (i, m) :: !candidates
+             | _ -> ());
+            let writes_mem =
+              Array.exists
+                (function Operand.Mem _ -> true | _ -> false)
+                insn.Insn.dsts
+            in
+            match insn.Insn.opcode with
+            | _ when writes_mem || Insn.is_cti insn -> stop := true
+            | Opcode.Push | Opcode.Pushf | Opcode.Pop | Opcode.Popf
+            | Opcode.Ccall | Opcode.In | Opcode.Out | Opcode.Hlt ->
+                stop := true
+            | _ -> ()
+          end);
+    List.iter
+      (fun (i, (m : Operand.mem)) ->
+        let v = Vm.Memory.read_u32 mem m.Operand.disp in
+        let cmp = Create.cmp (Operand.Mem m) (Operand.Imm v) in
+        let jne = Create.jcc Cond.NZ tag in
+        Instrlist.append tg.tg_il cmp;
+        Instrlist.append tg.tg_il jne;
+        tg.tg_insns <- tg.tg_insns + 2;
+        tg.tg_checks <- jne :: tg.tg_checks;
+        let g =
+          { g_site = tag; g_kind = G_const; g_exit_id = -1; g_violations = 0;
+            g_last_violation = 0; g_burst = 0 }
+        in
+        tg.tg_guards <- (jne, g) :: tg.tg_guards;
+        match Insn.dst (Instr.get_insn i) 0 with
+        | Operand.Reg _ as r ->
+            Instr.set_insn i (Insn.mk_mov r (Operand.Imm v))
+        | _ -> assert false)
+      (List.rev !candidates)
+  end;
   tg.tg_insns <- tg.tg_insns + Instrlist.length il;
   Instrlist.append_all ~dst:tg.tg_il il;
   tg.tg_tags <- tag :: tg.tg_tags;
   tg.tg_pending <- pending
 
 (* Resolve the pending CTI knowing execution continued at [next]. *)
-let resolve_pending (ts : thread_state) (tg : tracegen) ~next : unit =
+let resolve_pending (rt : runtime) (ts : thread_state) (tg : tracegen) ~next :
+    unit =
   match tg.tg_pending with
   | P_start -> ()
   | P_halt -> rio_error "trace continued past hlt"
@@ -127,19 +195,75 @@ let resolve_pending (ts : thread_state) (tg : tracegen) ~next : unit =
           Instrlist.append tg.tg_il i)
         instrs;
       (match List.rev instrs with
-       | jne :: _ -> tg.tg_checks <- jne :: tg.tg_checks
+       | jne :: _ ->
+           tg.tg_checks <- jne :: tg.tg_checks;
+           (* At -O3 the inline check becomes a tracked speculative
+              guard when the site's successor profile says today's
+              target is the dominant one: the side exit then counts
+              violations and, past the budget, the dominant-target
+              assumption is despeculated away.  A polymorphic site (or
+              one without enough profile) keeps the plain check — it is
+              expected to miss sometimes, so despeculating it would
+              only trade a cheap compare for an unconditional IBL
+              exit. *)
+           if rt.opts.Options.opt_level >= 3 then begin
+             let site =
+               match tg.tg_tags with t :: _ -> t | [] -> tg.tg_head
+             in
+             match FI.successor_profile ts.index site with
+             | Some p
+               when p.FI.p_total >= rt.opts.Options.spec_threshold
+                    && p.FI.p_n1 * 4 >= p.FI.p_total * 3
+                    && p.FI.p_t1 = next ->
+                 let g =
+                   { g_site = site; g_kind = G_ind k; g_exit_id = -1;
+                     g_violations = 0; g_last_violation = 0; g_burst = 0 }
+                 in
+                 tg.tg_guards <- (jne, g) :: tg.tg_guards
+             | _ -> ()
+           end
        | [] -> assert false)
 
-(* Materialize the final pending CTI as trace exits. *)
-let finalize_pending (tg : tracegen) : unit =
+(* Materialize the final pending CTI as trace exits.  At [-O3] the
+   last conditional exit's polarity is biased by the site's successor
+   profile: the default layout [jcc taken; jmp ft] makes the
+   fall-through path pay two CTIs, so when profiling shows the
+   fall-through is the dominant successor, the condition is inverted
+   and the operands swapped — the hot side then leaves through the
+   single jcc.  Pure layout, no guard: both successors keep direct,
+   linkable exits, so a wrong profile costs one extra jmp, never a
+   deopt. *)
+let finalize_pending (rt : runtime) (ts : thread_state) (tg : tracegen) : unit
+    =
   let app i = Instrlist.append tg.tg_il i in
   match tg.tg_pending with
   | P_start -> rio_error "empty trace"
   | P_halt -> app (Create.of_insn (Insn.mk_hlt ()))
   | P_jmp t -> app (Create.jmp t)
   | P_jcc (c, taken, ft) ->
-      app (Create.jcc c taken);
-      app (Create.jmp ft)
+      let bias_to_ft =
+        rt.opts.Options.opt_level >= 3
+        &&
+        match tg.tg_tags with
+        | site :: _ -> (
+            match FI.successor_profile ts.index site with
+            | Some p
+              when p.FI.p_total >= rt.opts.Options.spec_threshold
+                   && p.FI.p_n1 * 4 >= p.FI.p_total * 3 ->
+                p.FI.p_t1 = ft
+            | _ -> false)
+        | [] -> false
+      in
+      if bias_to_ft then begin
+        rt.stats.Stats.spec_exit_biases <-
+          rt.stats.Stats.spec_exit_biases + 1;
+        app (Create.jcc (Cond.invert c) ft);
+        app (Create.jmp taken)
+      end
+      else begin
+        app (Create.jcc c taken);
+        app (Create.jmp ft)
+      end
   | P_ind k -> app (Create.jmp (ind_token k))
 
 (* For every inline check inserted without flags preservation, scan
@@ -176,7 +300,7 @@ let fixup_check_flags (rt : runtime) (ts : thread_state) (tg : tracegen) : unit 
     continues on the constituent blocks. *)
 let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) :
     fragment option =
-  finalize_pending tg;
+  finalize_pending rt ts tg;
   fixup_check_flags rt ts tg;
   let head = tg.tg_head in
   let il = tg.tg_il in
@@ -190,9 +314,38 @@ let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) :
             hook { rt; ts } ~tag:head il)
     | None -> il
   in
-  (* the in-core optimizer sees the same client-view IL (DESIGN.md
-     §6.4); it charges its own pass cost and is a no-op at -O0 *)
-  Opt.run rt il;
+  (* Hot traces get the pass pipeline at finalize time; cold ones are
+     emitted unoptimized and only pay for passes if they later prove
+     hot by re-entry (Opt.maybe_reoptimize) — the unconditional
+     finalize-time run was the source of the -O2 per-bench regressions
+     on build-dominated workloads, whose many one-shot traces can
+     never amortize the pass cost.  Hot here means the trace will
+     iterate: either it jumps back to its own head, or its head
+     counter reached threshold in a tight cycle window (a loop spread
+     over several traces circulates internally once they link, so
+     entry-count deferral would never see it get hot). *)
+  let is_loop =
+    let found = ref false in
+    Instrlist.iter il (fun i ->
+        if not (Instr.is_bundle i) then
+          Array.iter
+            (function
+              | Operand.Target t when t = head -> found := true
+              | _ -> ())
+            (Instr.get_insn i).Insn.srcs);
+    !found
+  in
+  let hot_head =
+    match FI.find ts.index head with
+    | Some e when e.FI.head > 0 ->
+        (Vm.Machine.cycles rt.machine - e.FI.head_cycles) / e.FI.head
+        <= hot_head_cycles_per_hit
+    | _ -> false
+  in
+  let pre_opted =
+    (is_loop || hot_head) && Options.effective_passes rt.opts <> []
+  in
+  if pre_opted then Opt.run rt il;
   charge_opt rt
     (Instrlist.length il * rt.opts.Options.costs.Options.trace_build_per_insn);
   Mangle.mangle_il ~tid:ts.ts_tid il;
@@ -219,6 +372,34 @@ let finalize_trace (rt : runtime) (ts : thread_state) (tg : tracegen) :
       None
   | frag ->
       rt.stats.Stats.traces_built <- rt.stats.Stats.traces_built + 1;
+      if pre_opted then frag.reopted <- true;
+      (* bind speculative guards to their emitted exits: body exits
+         occupy the head of [frag.exits] in IL order, so the n-th exit
+         CTI of the final IL is [frag.exits.(n)].  A guard whose jne
+         did not survive to emission (a client hook rebuilt the IL) is
+         silently dropped — never speculative, always safe. *)
+      if tg.tg_guards <> [] then begin
+        let ord = ref (-1) in
+        let bound = ref [] in
+        Instrlist.iter il (fun i ->
+            if Emit.exit_info i <> None then begin
+              incr ord;
+              match List.assq_opt i tg.tg_guards with
+              | Some g when !ord < Array.length frag.exits ->
+                  g.g_exit_id <- frag.exits.(!ord).exit_id;
+                  bound := g :: !bound;
+                  let s = rt.stats in
+                  (match g.g_kind with
+                   | G_ind _ ->
+                       s.Stats.spec_guards_ind <- s.Stats.spec_guards_ind + 1
+                   | G_const ->
+                       s.Stats.spec_guards_const <- s.Stats.spec_guards_const + 1)
+              | _ -> ()
+            end);
+        frag.guards <- List.rev !bound;
+        if frag.guards <> [] then
+          rt.stats.Stats.spec_traces <- rt.stats.Stats.spec_traces + 1
+      end;
       (* the trace shadows the head's bb: lookups prefer traces, the ibl
          entry moves to the trace, and the bb's links are already severed
          (it is a head).  Targets of the trace's direct exits become heads. *)
@@ -268,7 +449,7 @@ let tracegen_step (rt : runtime) (ts : thread_state) ~next : fragment option =
     None (* re-dispatch [next] normally *)
   end
   else begin
-    resolve_pending ts tg ~next;
+    resolve_pending rt ts tg ~next;
     stitch_block rt ts tg next;
     if tg.tg_pending = P_halt then begin
       (* block ends the program: close the trace now *)

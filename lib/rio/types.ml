@@ -90,11 +90,15 @@ and fragment = {
   mutable incoming : exit_ list;      (* exits of (other) fragments linked to me *)
   mutable deleted : bool;
   mutable exec_count : int;
-      (* entries observed at dispatch/IBL safe points, counted only
-         while hot-trace re-optimization is armed (reopt_threshold) *)
+      (* entries observed at dispatch/IBL safe points, counted while
+         deferred/hot-trace re-optimization is armed (opt_level >= 1) *)
   mutable reopted : bool;
       (* this body already went through (or resulted from) hot-trace
          re-optimization: never re-optimize twice *)
+  mutable guards : guard list;
+      (* speculative guards compiled into this (trace) fragment, each
+         bound to the exit that fires when its assumption is violated
+         (DESIGN.md §6.7); empty below -O3 *)
   mutable checksum : int;
       (* FNV-1a hash of the fragment's cache bytes [entry, total_end),
          refreshed after every legitimate patch (link/unlink/replace);
@@ -104,7 +108,41 @@ and fragment = {
          for self-modifying-code flushes *)
 }
 
+(** What a speculative guard assumed. *)
+and guard_kind =
+  | G_ind of ind_kind  (* dominant indirect-branch target inlined *)
+  | G_const            (* observed-constant memory cell folded *)
+
+(** A speculative assumption compiled into a trace.  The guard's
+    machine form is an ordinary conditional exit (cmp + jne) whose
+    side-exit stub is the recovery map: the exit CTI is an all-live
+    boundary for the liveness analyses, so every register holds its
+    precise application value there, and the stub restores the flags
+    the compare clobbered.  Deoptimization is therefore just taking
+    the exit — control lands on the unoptimized constituent block (or
+    the IBL) with exact machine state. *)
+and guard = {
+  g_site : int;                 (* app tag of the block that was specialized *)
+  g_kind : guard_kind;
+  mutable g_exit_id : int;      (* the bound side exit; -1 until bound *)
+  mutable g_violations : int;   (* times this guard fired, lifetime *)
+  mutable g_last_violation : int;  (* cycle stamp of the last firing *)
+  mutable g_burst : int;        (* consecutive firings within the window *)
+}
+
+(** Violation-budget window, in machine cycles: two guard firings
+    closer together than this are one burst.  A guard that still hits
+    most of the time fires with long gaps between misses and never
+    accumulates a burst; a guard whose assumption has died (the
+    workload changed phase) fires on back-to-back iterations and
+    spends its budget within a few trips round the loop. *)
+let spec_burst_window = 250
+
 let token_of_exit (e : exit_) = trap_base + (4 * e.exit_id)
+
+(** The guard bound to [exit_id] in [f], if any. *)
+let guard_of_exit (f : fragment) (exit_id : int) : guard option =
+  List.find_opt (fun g -> g.g_exit_id = exit_id) f.guards
 
 (* ------------------------------------------------------------------ *)
 
@@ -124,6 +162,9 @@ type tracegen = {
   mutable tg_insns : int;
   mutable tg_pending : pending_cti;
   mutable tg_checks : Instr.t list;      (* jne instrs of inline checks, for flags fixup *)
+  mutable tg_guards : (Instr.t * guard) list;
+      (* jne -> speculative guard, by physical instr identity; bound to
+         real exit ids once the trace is emitted *)
 }
 
 type end_trace_directive = End_trace | Continue_trace | Default_end

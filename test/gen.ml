@@ -247,3 +247,43 @@ let safe_il : Insn.t list QCheck2.Gen.t =
 
 let print_il (l : Insn.t list) : string =
   String.concat "\n" (List.map print_insn l)
+
+(* ------------------------------------------------------------------ *)
+(* Speculative-guard cases (-O3 deoptimization testing)               *)
+(* ------------------------------------------------------------------ *)
+
+(** A safe program split at an arbitrary guard position: the prefix
+    runs before the speculative check, the suffix is the code the
+    optimizer would specialize under the assumption.  [gc_reg] is the
+    register the guard tests; [gc_fire] picks whether the runtime
+    value should violate the assumption (the guard fires and control
+    must deoptimize) or satisfy it (the specialized tail runs). *)
+type guard_case = {
+  gc_prefix : Insn.t list;
+  gc_suffix : Insn.t list;
+  gc_reg : Reg.t;
+  gc_fire : bool;
+}
+
+let guard_case : guard_case QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* insns = safe_il in
+  let* cut = int_range 0 (List.length insns) in
+  let* r = writable_reg in
+  let* fire = bool in
+  let rec split k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | i :: tl -> split (k - 1) (i :: acc) tl
+  in
+  let pre, suf = split cut [] insns in
+  return { gc_prefix = pre; gc_suffix = suf; gc_reg = r; gc_fire = fire }
+
+let print_guard_case (gc : guard_case) : string =
+  Printf.sprintf "guard on %s after %d insns (%s)\n--- prefix:\n%s\n--- suffix:\n%s"
+    (Reg.name gc.gc_reg)
+    (List.length gc.gc_prefix)
+    (if gc.gc_fire then "violated" else "holds")
+    (print_il gc.gc_prefix) (print_il gc.gc_suffix)

@@ -73,26 +73,26 @@ let emulation_case () =
    changes. *)
 let golden_cycles =
   [
-    ("gzip", (82595, 120189, 107844, 109140));
-    ("vpr", (2109008, 2206938, 1944816, 2020092));
-    ("parser", (234595, 493033, 462040, 484942));
-    ("gcc", (436263, 1183414, 1970603, 1212997));
-    ("mcf", (2529953, 2496477, 2496462, 2497614));
-    ("crafty", (332340, 542385, 501863, 536706));
+    ("gzip", (82595, 120189, 107844, 109740));
+    ("vpr", (2109008, 2206938, 1944816, 2021972));
+    ("parser", (234595, 493033, 462040, 485557));
+    ("gcc", (436263, 1183414, 1970603, 1203853));
+    ("mcf", (2529953, 2496477, 2496462, 2497197));
+    ("crafty", (332340, 542385, 501863, 543501));
     ("eon", (330727, 536517, 404531, 513156));
     ("perlbmk", (67611, 156850, 148544, 154478));
     ("gap", (738584, 1012140, 812254, 959454));
-    ("vortex", (540039, 686319, 572379, 673506));
-    ("bzip2", (5750917, 5811245, 5248241, 5249717));
-    ("twolf", (569440, 594918, 568476, 570564));
+    ("vortex", (540039, 686319, 572379, 673776));
+    ("bzip2", (5750917, 5811245, 5248241, 5286606));
+    ("twolf", (569440, 594918, 568476, 571252));
     ("wupwise", (503869, 560010, 477798, 540648));
     ("swim", (2773546, 2808446, 2396633, 2397569));
-    ("mgrid", (5906418, 5927786, 3913136, 3917564));
+    ("mgrid", (5906418, 5927786, 3913136, 3917361));
     ("applu", (202510, 269056, 234151, 251794));
     ("mesa", (306555, 830203, 603955, 818761));
-    ("art", (2452689, 2502225, 2169753, 2170833));
-    ("equake", (2376868, 2504431, 2258038, 2259334));
-    ("ammp", (1685615, 1741877, 1645205, 1646717));
+    ("art", (2452689, 2502225, 2169753, 2172313));
+    ("equake", (2376868, 2504431, 2258038, 2294855));
+    ("ammp", (1685615, 1741877, 1645205, 1657758));
   ]
 
 let checki = Alcotest.(check int)

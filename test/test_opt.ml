@@ -296,10 +296,229 @@ let test_flag_elide_fires () =
   check "no elisions" 0 c2.Rio.Opt.flag_saves_elided
 
 (* ------------------------------------------------------------------ *)
+(* Speculation and mid-trace deoptimization (DESIGN.md §6.7)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The deopt property, at the IL level: compile a guard exactly the
+   way the trace builder does — flags-save bracket, cmp against the
+   assumed value, jne to a recovery block that restores the flags and
+   runs the *unspecialized* suffix — and check that whichever way the
+   guard goes, the final machine state is identical to the program
+   that never speculated.  The guard position, the tested register and
+   whether the assumption holds at runtime are all generated. *)
+
+let spec_code_base = code_base      (* prefix + guard + specialized tail *)
+let recover_base = 0x5000           (* deopt target: flags + plain suffix *)
+
+(* the bracket's spill slot lives just past the compared scratch
+   window, so saving flags there never shows up as a state diff *)
+let guard_fslot =
+  { Operand.base = Some Reg.Ebp; index = None; disp = 8 * Gen.safe_slots }
+
+let encode_il_at (base : int) (il : Rio.Instrlist.t) : Bytes.t =
+  let buf = Buffer.create 256 in
+  Rio.Instrlist.iter il (fun i ->
+      Buffer.add_bytes buf (Rio.Instr.encode ~pc:(base + Buffer.length buf) i));
+  Buffer.add_bytes buf
+    (Rio.Instr.encode
+       ~pc:(base + Buffer.length buf)
+       (Rio.Create.of_insn (Insn.mk_hlt ())));
+  Buffer.to_bytes buf
+
+let run_segments (segs : (int * Bytes.t) list) : final =
+  let m = Vm.Machine.create ~mem_size:(1 lsl 20) () in
+  let mem = Vm.Machine.mem m in
+  List.iter
+    (fun (base, code) ->
+      Vm.Memory.blit_bytes mem ~src:code ~src_pos:0 ~dst:base
+        ~len:(Bytes.length code))
+    segs;
+  for k = 0 to Gen.safe_slots - 1 do
+    Vm.Memory.write_u32 mem (ebp_base + (8 * k)) ((k + 1) * 0x01010101);
+    Vm.Memory.write_u32 mem (esi_base + (8 * k)) ((k + 3) * 0x00f0f0f1)
+  done;
+  let t = Vm.Machine.add_thread m ~entry:code_base ~stack_top in
+  Vm.Machine.set_reg t Reg.Eax 0x1234;
+  Vm.Machine.set_reg t Reg.Ebx 7;
+  Vm.Machine.set_reg t Reg.Ecx 3;
+  Vm.Machine.set_reg t Reg.Edx (-5);
+  Vm.Machine.set_reg t Reg.Edi 0x55AA;
+  Vm.Machine.set_reg t Reg.Ebp ebp_base;
+  Vm.Machine.set_reg t Reg.Esi esi_base;
+  Array.iteri
+    (fun k f -> Vm.Machine.set_freg t f ((float_of_int k *. 1.5) -. 2.25))
+    (Array.of_list Reg.F.all);
+  (match Vm.Interp.run m t ~budget:100_000 ~emulate:true with
+  | Vm.Interp.Halted -> ()
+  | stop ->
+      Alcotest.failf "guarded program stopped with %s"
+        (Vm.Interp.stop_to_string stop));
+  {
+    f_regs = Array.map (Vm.Machine.get_reg t) (Array.of_list Reg.all);
+    f_fregs =
+      Array.map
+        (fun f -> Int64.bits_of_float (Vm.Machine.get_freg t f))
+        (Array.of_list Reg.F.all);
+    f_flags = t.Vm.Machine.eflags;
+    f_out = Vm.Machine.output m;
+    f_ebp_mem = Vm.Memory.read_bytes mem ~addr:ebp_base ~len:(8 * Gen.safe_slots);
+    f_esi_mem = Vm.Memory.read_bytes mem ~addr:esi_base ~len:(8 * Gen.safe_slots);
+    f_stack_mem = Vm.Memory.read_bytes mem ~addr:(stack_top - 256) ~len:512;
+  }
+
+(* Bytes of the stack window strictly below the final stack pointer
+   are dead — the bracket's transient pushf lives there in the
+   speculated run but not the baseline.  Architected state is
+   everything else. *)
+let mask_dead_stack (f : final) : final =
+  let esp_idx =
+    let rec go k = function
+      | [] -> assert false
+      | r :: _ when Reg.equal r Reg.Esp -> k
+      | _ :: tl -> go (k + 1) tl
+    in
+    go 0 Reg.all
+  in
+  let esp = f.f_regs.(esp_idx) in
+  let base = stack_top - 256 in
+  let live = Bytes.copy f.f_stack_mem in
+  for k = 0 to Bytes.length live - 1 do
+    if base + k < esp then Bytes.set live k '\x00'
+  done;
+  { f with f_stack_mem = live }
+
+let reg_value_after (prefix : Insn.t list) (r : Reg.t) : int =
+  let f = run_segments [ (code_base, encode_il_at code_base (il_of_insns prefix)) ] in
+  let rec idx k = function
+    | [] -> assert false
+    | r' :: _ when Reg.equal r' r -> k
+    | _ :: tl -> idx (k + 1) tl
+  in
+  f.f_regs.(idx 0 Reg.all)
+
+let prop_guard_deopt =
+  QCheck2.Test.make ~count:200
+    ~name:"a guard firing anywhere deopts to the never-speculated state"
+    ~print:Gen.print_guard_case Gen.guard_case
+    (fun gc ->
+      let open Gen in
+      (* the assumed value: wrong when the guard should fire *)
+      let v = reg_value_after gc.gc_prefix gc.gc_reg in
+      let assumed = if gc.gc_fire then v lxor 1 else v in
+      (* specialized tail: the assumption injected as a constant, then
+         the ordinary -O2 pipeline over it — exactly what speculation
+         buys the optimizer *)
+      let spec_tail = il_of_insns (Insn.mk_mov (Operand.Reg gc.gc_reg) (Operand.Imm assumed) :: gc.gc_suffix) in
+      ignore (optimize_at 2 spec_tail);
+      (* main segment: prefix; flags save; cmp; jne recover; flags
+         restore; specialized tail *)
+      let main = il_of_insns gc.gc_prefix in
+      Rio.Instrlist.append main (Rio.Create.pushf ());
+      Rio.Instrlist.append main (Rio.Create.pop (Operand.Mem guard_fslot));
+      Rio.Instrlist.append main
+        (Rio.Create.of_insn
+           (Insn.mk_cmp (Operand.Reg gc.gc_reg) (Operand.Imm assumed)));
+      Rio.Instrlist.append main
+        (Rio.Create.of_insn (Insn.mk_jcc Cond.NZ recover_base));
+      Rio.Instrlist.append main (Rio.Create.push (Operand.Mem guard_fslot));
+      Rio.Instrlist.append main (Rio.Create.popf ());
+      Rio.Instrlist.iter spec_tail (fun i ->
+          Rio.Instrlist.append main
+            (Rio.Create.of_insn (Rio.Instr.get_insn i)));
+      (* recovery segment: flags restore, then the unspecialized suffix *)
+      let recover = Rio.Instrlist.create () in
+      Rio.Instrlist.append recover (Rio.Create.push (Operand.Mem guard_fslot));
+      Rio.Instrlist.append recover (Rio.Create.popf ());
+      List.iter
+        (fun i -> Rio.Instrlist.append recover (Rio.Create.of_insn i))
+        gc.gc_suffix;
+      let speculated =
+        run_segments
+          [ (spec_code_base, encode_il_at spec_code_base main);
+            (recover_base, encode_il_at recover_base recover) ]
+      in
+      let baseline =
+        run_segments
+          [ (code_base,
+             encode_il_at code_base (il_of_insns (gc.gc_prefix @ gc.gc_suffix))) ]
+      in
+      match
+        diff_final (mask_dead_stack baseline) (mask_dead_stack speculated)
+      with
+      | None -> true
+      | Some d ->
+          QCheck2.Test.fail_reportf "deopt state diverged (%s): %s"
+            (if gc.gc_fire then "guard fired" else "guard held")
+            d)
+
+open Workloads
+
+(* The same property end-to-end through the real runtime: random
+   speculation knobs over guard-heavy workloads must never perturb
+   program output — every guard firing deoptimizes to exact state. *)
+let prop_engine_spec =
+  let open QCheck2.Gen in
+  let case =
+    let* bench = oneofl [ "gzip"; "crafty"; "eon"; "perlbmk"; "mesa"; "applu" ] in
+    let* thr = int_range 1 32 in
+    let* maxv = int_range 1 6 in
+    return (bench, thr, maxv)
+  in
+  QCheck2.Test.make ~count:15
+    ~name:"-O3 output identical to native for any speculation knobs"
+    ~print:(fun (b, t, m) -> Printf.sprintf "%s --spec-threshold %d --spec-max-violations %d" b t m)
+    case
+    (fun (bench, thr, maxv) ->
+      let w = Option.get (Suite.by_name bench) in
+      let native = Workload.run_native w in
+      let opts =
+        { Rio.Options.default with
+          Rio.Options.opt_level = 3;
+          spec_threshold = thr;
+          spec_max_violations = maxv;
+          max_cycles = max_int / 2 }
+      in
+      let r, _ = Workload.run_rio ~opts w in
+      r.Workload.ok && r.Workload.output = native.Workload.output)
+
+(* The full speculate -> violate -> deoptimize -> re-optimize
+   lifecycle on the phase-change workload: mesa alternates its
+   transform function every few batches, so the dominant-target guard
+   is built, violated in a burst when the phase flips, despeculated by
+   rebuild, and re-speculated on the new phase — and the adaptive tier
+   must beat the non-speculative one. *)
+let test_spec_lifecycle () =
+  let w = Option.get (Suite.by_name "mesa") in
+  let native = Workload.run_native w in
+  let at level =
+    Workload.run_rio
+      ~opts:
+        { Rio.Options.default with
+          Rio.Options.opt_level = level;
+          max_cycles = max_int / 2 }
+      w
+  in
+  let o2, _ = at 2 in
+  let o3, rt3 = at 3 in
+  Alcotest.(check bool) "-O3 output matches native" true
+    (o3.Workload.ok && o3.Workload.output = native.Workload.output);
+  let s = Rio.stats rt3 in
+  Alcotest.(check bool) "guards compiled" true (s.Rio.Stats.spec_guards_ind >= 2);
+  Alcotest.(check bool) "guards violated" true (s.Rio.Stats.spec_violations >= 1);
+  Alcotest.(check bool) "trace despeculated" true (s.Rio.Stats.spec_despecs >= 1);
+  Alcotest.(check bool) "re-speculated after deopt" true
+    (s.Rio.Stats.spec_guards_ind > s.Rio.Stats.spec_despecs);
+  Alcotest.(check bool) "-O3 beats -O2 on the phase-change workload" true
+    (o3.Workload.cycles < o2.Workload.cycles)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_differential 1; prop_differential 2; prop_reopt_stable ]
+
+let qcheck_spec_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_guard_deopt; prop_engine_spec ]
 
 let () =
   Alcotest.run "opt"
@@ -317,4 +536,7 @@ let () =
           Alcotest.test_case "flag-save elision" `Quick test_flag_elide_fires;
         ] );
       ("differential", qcheck_tests);
+      ( "speculation",
+        qcheck_spec_tests
+        @ [ Alcotest.test_case "deopt lifecycle (mesa)" `Slow test_spec_lifecycle ] );
     ]

@@ -1355,6 +1355,12 @@ let () =
         Sweep.parse_cli ~cmd:"chaossweep" ~default_out:"BENCH_chaos.json" rest
       in
       Chaossweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+  | _ :: "persistsweep" :: rest ->
+      let cli =
+        Sweep.parse_cli ~cmd:"persistsweep" ~default_out:"BENCH_persist.json"
+          rest
+      in
+      Persistsweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
   | _ :: args ->
       List.iter
         (function
@@ -1372,6 +1378,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|persistsweep [--quick] [--out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

@@ -116,12 +116,13 @@ let write_json ~path (v : json) : unit =
 
 (** Boot table for a workload mix: one boot per workload, image
     assembled once, cold-load machine factory per instance. *)
-let pool_boots ?(client = fun () -> Rio.Types.null_client) ~opts
+let pool_boots ?(client = fun () -> Rio.Types.null_client) ?cache_dir ~opts
     (wls : Workloads.Workload.t list) : (string * Rio.Pool.boot) list =
   List.map
     (fun w ->
       let image = Asm.Assemble.assemble w.Workloads.Workload.program in
-      ( w.Workloads.Workload.name,
+      let name = w.Workloads.Workload.name in
+      ( name,
         {
           Rio.Pool.boot_machine =
             (fun () ->
@@ -133,6 +134,12 @@ let pool_boots ?(client = fun () -> Rio.Types.null_client) ~opts
           boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
           boot_opts = opts;
           boot_client = client;
+          boot_image_digest = Asm.Image.digest image;
+          boot_cache =
+            Option.map
+              (fun dir ->
+                Filename.concat dir (Rio.Pool.cache_file_name name))
+              cache_dir;
         } ))
     wls
 

@@ -34,7 +34,12 @@ let percentile sorted p =
 
 let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     chaos retries quarantine deadline_cycles deadline_secs opt_level
-    spec_threshold spec_max_violations show_stats quiet =
+    spec_threshold spec_max_violations cache_dir load_cache save_cache
+    show_stats quiet =
+  if (load_cache || save_cache) && cache_dir = None then begin
+    Printf.eprintf "rio_serve: --load-cache/--save-cache need --cache-dir\n";
+    exit 2
+  end;
   let cfg =
     {
       Rio.Options.default_pool with
@@ -106,6 +111,15 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
             boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
             boot_opts = opts;
             boot_client = (fun () -> client_of_name client_name);
+            boot_image_digest = Asm.Image.digest image;
+            boot_cache =
+              (if load_cache then
+                 Option.map
+                   (fun dir ->
+                     Filename.concat dir
+                       (Rio.Pool.cache_file_name w.Workload.name))
+                   cache_dir
+               else None);
           } ))
       wls
   in
@@ -150,6 +164,18 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
   let results = Rio.Pool.drain pool in
   let wall = Unix.gettimeofday () -. t0 in
   let snap = Rio.Pool.stats pool in
+  (* snapshot-on-drain: persist every warm cache before the fleet goes
+     away, so the next run's --load-cache warm-boots from it *)
+  (if save_cache then
+     match cache_dir with
+     | Some dir ->
+         let saved = Rio.Pool.save_caches pool ~dir in
+         if not quiet then
+           List.iter
+             (fun (key, path, n) ->
+               Printf.printf "saved %d fragment(s) of %s to %s\n" n key path)
+             saved
+     | None -> ());
   Rio.Pool.shutdown pool;
   (* correctness: every result must match its native reference *)
   let bad = List.filter (fun r -> not r.Rio.Pool.res_ok) results in
@@ -196,6 +222,11 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     Printf.printf "  steals %d  warm hits %d  cold boots %d\n"
       snap.Rio.Pool.snap_steals snap.Rio.Pool.snap_warm_hits
       snap.Rio.Pool.snap_cold_boots;
+    if load_cache || snap.Rio.Pool.snap_cache_loads > 0 then
+      Printf.printf
+        "  persistent cache: loads %d  refused %d  prewarms %d  publishes %d\n"
+        snap.Rio.Pool.snap_cache_loads snap.Rio.Pool.snap_cache_refused
+        snap.Rio.Pool.snap_prewarms snap.Rio.Pool.snap_profile_publishes;
     Printf.printf
       "  block builds per request: %.1f warm vs %.1f cold (%d/%d requests warm)\n"
       (avg_blocks warm) (avg_blocks cold) (List.length warm)
@@ -321,6 +352,22 @@ let cmd =
              ~doc:"Guard violations tolerated before a trace is \
                    re-optimized without that assumption.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Directory for persistent code-cache images \
+                 (*.riocache); created on save if missing.")
+  in
+  let load_cache =
+    Arg.(value & flag & info [ "load-cache" ]
+           ~doc:"Warm-boot every new instance from its saved cache image \
+                 under --cache-dir (relocation replay, no re-emission); \
+                 a refused image falls back to a cold boot.")
+  in
+  let save_cache =
+    Arg.(value & flag & info [ "save-cache" ]
+           ~doc:"After draining, save each workload's fullest warm \
+                 instance to --cache-dir for a later --load-cache run.")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print aggregate runtime statistics (merged across all \
@@ -332,7 +379,8 @@ let cmd =
       const run $ nd $ nreq $ workloads $ client $ seed0 $ affinity
       $ max_inflight $ faults $ chaos $ retries $ quarantine
       $ deadline_cycles $ deadline_secs $ opt_level $ spec_threshold
-      $ spec_max_violations $ stats $ quiet)
+      $ spec_max_violations $ cache_dir $ load_cache $ save_cache $ stats
+      $ quiet)
   in
   Cmd.v
     (Cmd.info "rio_serve"

@@ -27,6 +27,31 @@ let label t name =
   | Some a -> a
   | None -> raise (Ast.Unknown_label name)
 
+(** FNV-1a (32-bit) over the image's code-relevant content: entry,
+    section bases, and the raw text and data bytes.  A persistent code
+    cache records this at save time and refuses to warm-boot over a
+    different program — fragments carry source-range checksums of the
+    bytes they were built from, so loading them against other text
+    would execute stale translations. *)
+let digest (t : t) : int =
+  let h = ref 0x811c9dc5 in
+  let mix_byte b =
+    h := !h lxor b;
+    h := !h * 0x01000193 land 0xffff_ffff
+  in
+  let mix_int v =
+    mix_byte (v land 0xff);
+    mix_byte ((v lsr 8) land 0xff);
+    mix_byte ((v lsr 16) land 0xff);
+    mix_byte ((v lsr 24) land 0xff)
+  in
+  mix_int t.entry;
+  mix_int t.text_base;
+  mix_int t.data_base;
+  Bytes.iter (fun c -> mix_byte (Char.code c)) t.text;
+  Bytes.iter (fun c -> mix_byte (Char.code c)) t.data;
+  !h
+
 (** [load machine image] copies text and data into machine memory and
     creates a thread at the entry point. *)
 let load ?(stack_top = default_stack_top) (m : Vm.Machine.t) (t : t) :

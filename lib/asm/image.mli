@@ -21,6 +21,12 @@ val app_space_end : int
 val label : t -> string -> int
 (** @raise Ast.Unknown_label when undefined. *)
 
+val digest : t -> int
+(** Stable 32-bit fingerprint of the image's code-relevant content
+    (entry, section bases, text and data bytes).  The persistent code
+    cache stores it so a saved fragment image is only ever warm-booted
+    over the program it was translated from. *)
+
 val load : ?stack_top:int -> Vm.Machine.t -> t -> Vm.Machine.thread
 (** Copy text and data into machine memory; create the main thread at
     the entry point. *)

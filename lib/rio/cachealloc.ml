@@ -90,6 +90,27 @@ let free t ~addr : int =
       t.free <- ins t.free;
       n * t.unit_bytes
 
+(** Re-place the allocation at [addr] at the lowest address that fits
+    it.  The old run is freed first, so it is itself a candidate;
+    address-ordered first-fit then guarantees the result is [<= addr].
+    Returns the new address ([= addr] when the allocation is already as
+    low as it can go).  The caller owns moving the bytes — the
+    destination may overlap the source. *)
+let slide_down t ~addr : int =
+  let off = addr - t.base in
+  if off < 0 || off mod t.unit_bytes <> 0 then
+    invalid_arg "Cachealloc.slide_down: address not from this allocator";
+  let start = off / t.unit_bytes in
+  match Hashtbl.find_opt t.live start with
+  | None -> invalid_arg "Cachealloc.slide_down: address not currently allocated"
+  | Some n -> (
+      ignore (free t ~addr);
+      match alloc t (n * t.unit_bytes) with
+      | Some a ->
+          assert (a <= addr);
+          a
+      | None -> assert false (* the freed run itself always fits *))
+
 (** Forget every allocation: the whole region becomes one free run. *)
 let reset t =
   Hashtbl.reset t.live;

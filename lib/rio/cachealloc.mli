@@ -29,6 +29,15 @@ val free : t -> addr:int -> int
     reclaimed.  Raises [Invalid_argument] if [addr] is not a live
     allocation of this allocator. *)
 
+val slide_down : t -> addr:int -> int
+(** [slide_down t ~addr] re-places the allocation starting at [addr] at
+    the lowest address that fits it and returns the new address (always
+    [<= addr]; [= addr] when it cannot move lower).  Only the address
+    bookkeeping moves — the caller must copy the bytes and fix up any
+    embedded addresses (the relocation replay in {!Emit}).  The new run
+    may overlap the old one.  Raises [Invalid_argument] if [addr] is
+    not a live allocation of this allocator. *)
+
 val reset : t -> unit
 (** Drop every allocation (flush-the-world). *)
 

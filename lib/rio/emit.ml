@@ -189,6 +189,139 @@ let owner_ts (rt : runtime) (f : fragment) ~(fallback : thread_state) =
   | Some ts -> ts
   | None -> fallback
 
+(* ------------------------------------------------------------------ *)
+(* Relocation: moving a live fragment                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Move a live fragment's cache image to [dst] and fix up everything
+    that addressed the old placement, by replaying the fragment's
+    relocation table:
+
+    - the body and stub bytes are copied (the ranges may overlap — the
+      whole image is read out first);
+    - every pc-relative site ([RT_exit_branch] / [RT_stub_jmp]) is
+      re-encoded at its new address against its current logical target
+      (linked peer's entry, own stub, or trap token — the link state in
+      the exit records, which a move does not change);
+    - absolute-memory operands ([RT_tls_abs] / [RT_runtime_abs]) encode
+      addresses outside the cache and need no fixup;
+    - inbound links (the fragment's [incoming] list) are re-pointed at
+      the new entry;
+    - a preempted thread resuming inside the fragment has its pc slid
+      by the same delta.  Transparency guarantees this is the only
+      cache address in thread state: application registers and stacks
+      never hold cache addresses, so a pinned fragment is movable —
+      which is exactly what lets compaction consolidate free space
+      around fragments FIFO eviction must skip. *)
+let move_fragment (rt : runtime) (f : fragment) ~(dst : int) : unit =
+  if dst <> f.entry then begin
+    let old_entry = f.entry in
+    let len = f.total_end - f.entry in
+    let delta = dst - old_entry in
+    let mem = Vm.Machine.mem rt.machine in
+    let image = Vm.Memory.read_bytes mem ~addr:old_entry ~len in
+    Vm.Memory.blit_bytes mem ~src:image ~src_pos:0 ~dst ~len;
+    Vm.Machine.invalidate_icache rt.machine ~addr:old_entry ~len;
+    Vm.Machine.invalidate_icache rt.machine ~addr:dst ~len;
+    (* preempted threads resume at a cache pc inside the old image *)
+    List.iter
+      (fun ts ->
+        if ts.in_cache then begin
+          let pc = ts.thread.Vm.Machine.pc in
+          if pc >= old_entry && pc < old_entry + len then
+            ts.thread.Vm.Machine.pc <- pc + delta
+        end)
+      rt.thread_states;
+    f.entry <- dst;
+    f.body_end <- f.body_end + delta;
+    f.total_end <- dst + len;
+    Array.iter
+      (fun e ->
+        e.branch_pc <- e.branch_pc + delta;
+        e.stub_pc <- e.stub_pc + delta;
+        e.stub_jmp_pc <- e.stub_jmp_pc + delta)
+      f.exits;
+    (* replay pc-relative relocations at their new sites.  Self-links
+       resolve through [f.entry], already updated above. *)
+    Array.iter
+      (fun r ->
+        match r.r_target with
+        | RT_exit_branch ord ->
+            let e = f.exits.(ord) in
+            let target =
+              match e.linked with
+              | Some tgt when not e.always_through_stub -> tgt.entry
+              | _ -> e.stub_pc
+            in
+            patch_branch rt ~pc:e.branch_pc ~target
+        | RT_stub_jmp ord ->
+            let e = f.exits.(ord) in
+            let target =
+              match e.linked with
+              | Some tgt when e.always_through_stub -> tgt.entry
+              | _ -> token_of_exit e
+            in
+            patch_branch rt ~pc:e.stub_jmp_pc ~target
+        | RT_tls_abs _ | RT_runtime_abs _ -> ())
+      f.relocs;
+    (* inbound links follow the entry *)
+    List.iter
+      (fun e ->
+        match e.e_owner with
+        | Some o when o.deleted -> ()
+        | _ ->
+            if e.always_through_stub then
+              patch_branch rt ~pc:e.stub_jmp_pc ~target:dst
+            else patch_branch rt ~pc:e.branch_pc ~target:dst;
+            refresh_owner rt e)
+      f.incoming;
+    Audit.refresh rt f;
+    rt.stats.Stats.fragments_moved <- rt.stats.Stats.fragments_moved + 1;
+    rt.stats.Stats.moved_bytes <- rt.stats.Stats.moved_bytes + len;
+    charge rt rt.opts.Options.costs.Options.evict_fragment;
+    log_flow rt "compact: move %s 0x%x 0x%x -> 0x%x"
+      (match f.kind with Bb -> "bb" | Trace -> "trace")
+      f.tag old_entry dst
+  end
+
+(** Compact a bounded FIFO region: reclaim deleted-but-unreclaimed
+    queue entries immediately (instead of at their FIFO turn), then
+    slide every remaining fragment — pinned ones included — down over
+    the free holes in ascending address order, so the region's free
+    space coalesces toward the top.  FIFO age order is preserved: the
+    queue is rebuilt with the survivors in their original order. *)
+let compact_region (rt : runtime) region queue : unit =
+  let kept = ref [] in
+  let drained = ref [] in
+  while not (Queue.is_empty queue) do
+    drained := Queue.pop queue :: !drained
+  done;
+  List.iter
+    (fun f ->
+      (* a deleted fragment still pinning a preempted thread (delayed
+         delete) keeps its space and its queue slot; any other deleted
+         entry's run is reclaimed here *)
+      if f.deleted && not (thread_inside rt f) then
+        ignore (Cachealloc.free region ~addr:f.entry)
+      else kept := f :: !kept)
+    (List.rev !drained);
+  let kept = List.rev !kept in
+  let by_addr = List.sort (fun a b -> compare a.entry b.entry) kept in
+  List.iter
+    (fun f ->
+      (* a pinned dead body (delayed delete) is an immovable obstacle:
+         its link graph is already torn down, so relocation replay
+         cannot re-derive its branch targets — it just stays put *)
+      if not f.deleted then
+        let dst = Cachealloc.slide_down region ~addr:f.entry in
+        move_fragment rt f ~dst)
+    by_addr;
+  List.iter (fun f -> Queue.push f queue) kept;
+  rt.stats.Stats.compactions <- rt.stats.Stats.compactions + 1;
+  log_flow rt "compact: region now %d holes, largest %d"
+    (Cachealloc.holes region)
+    (Cachealloc.largest_free_bytes region)
+
 (* Allocate [bytes] in a bounded FIFO region, reclaiming the oldest
    fragments until it fits.  Queue entries come in two flavours:
    already-deleted fragments (replaced, SMC-flushed, recovered) whose
@@ -196,50 +329,75 @@ let owner_ts (rt : runtime) (f : fragment) ~(fallback : thread_state) =
    deleted here (firing the client hook and repairing incoming links
    via delete_fragment).  A pinned fragment — some preempted thread
    resumes inside it (Types.thread_inside) — is never touched: it is
-   re-queued at the back and effectively treated as young. *)
+   re-queued at the back and effectively treated as young.
+
+   With [cache_compaction] on, fragmentation is answered by compaction
+   instead of eviction: if the region holds enough free bytes but no
+   hole is large enough, live fragments are slid together first; and
+   when eviction runs out of victims (everything left is pinned), one
+   compaction pass is the last resort before [No_room]. *)
 let alloc_fifo (rt : runtime) (ts : thread_state) region queue bytes : int =
+  let compacting = rt.opts.Options.cache_compaction in
   match Cachealloc.alloc region bytes with
   | Some a -> a
-  | None ->
-      let skipped = ref [] in
-      let requeue () =
-        List.iter (fun f -> Queue.push f queue) (List.rev !skipped)
-      in
-      let rec go () =
-        match Cachealloc.alloc region bytes with
-        | Some a -> a
-        | None -> (
-            match Queue.take_opt queue with
-            | None ->
-                (* everything evictable is gone; whether pinned
-                   fragments hold the rest decides if a full flush can
-                   still help — the caller's policy, not ours *)
-                let retry = !skipped <> [] in
-                requeue ();
-                raise (No_room retry)
-            | Some f ->
-                if thread_inside rt f then begin
-                  skipped := f :: !skipped;
-                  go ()
-                end
-                else begin
-                  if not f.deleted then begin
-                    delete_fragment rt (owner_ts rt f ~fallback:ts) f;
-                    rt.stats.Stats.evictions <- rt.stats.Stats.evictions + 1;
-                    rt.stats.Stats.evicted_bytes <-
-                      rt.stats.Stats.evicted_bytes + (f.total_end - f.entry);
-                    charge rt rt.opts.Options.costs.Options.evict_fragment;
-                    log_flow rt "evict %s 0x%x"
-                      (match f.kind with Bb -> "bb" | Trace -> "trace")
-                      f.tag
-                  end;
-                  ignore (Cachealloc.free region ~addr:f.entry);
-                  go ()
-                end)
-      in
-      let a = go () in
-      requeue ();
-      a
+  | None -> (
+      (* fragmentation, not capacity: enough free bytes exist in total *)
+      if compacting && Cachealloc.free_bytes region >= bytes then
+        compact_region rt region queue;
+      match Cachealloc.alloc region bytes with
+      | Some a -> a
+      | None ->
+          let skipped = ref [] in
+          let requeue () =
+            List.iter (fun f -> Queue.push f queue) (List.rev !skipped);
+            skipped := []
+          in
+          let rec go () =
+            match Cachealloc.alloc region bytes with
+            | Some a -> a
+            | None -> (
+                match Queue.take_opt queue with
+                | None -> (
+                    (* everything evictable is gone; whether pinned
+                       fragments hold the rest decides if a full flush
+                       can still help — the caller's policy, not ours *)
+                    let retry = !skipped <> [] in
+                    requeue ();
+                    (* the free space may merely be sharded around the
+                       pinned survivors: compaction moves them too *)
+                    let last =
+                      if compacting then begin
+                        compact_region rt region queue;
+                        Cachealloc.alloc region bytes
+                      end
+                      else None
+                    in
+                    match last with
+                    | Some a -> a
+                    | None -> raise (No_room retry))
+                | Some f ->
+                    if thread_inside rt f then begin
+                      skipped := f :: !skipped;
+                      go ()
+                    end
+                    else begin
+                      if not f.deleted then begin
+                        delete_fragment rt (owner_ts rt f ~fallback:ts) f;
+                        rt.stats.Stats.evictions <- rt.stats.Stats.evictions + 1;
+                        rt.stats.Stats.evicted_bytes <-
+                          rt.stats.Stats.evicted_bytes + (f.total_end - f.entry);
+                        charge rt rt.opts.Options.costs.Options.evict_fragment;
+                        log_flow rt "evict %s 0x%x"
+                          (match f.kind with Bb -> "bb" | Trace -> "trace")
+                          f.tag
+                      end;
+                      ignore (Cachealloc.free region ~addr:f.entry);
+                      go ()
+                    end)
+          in
+          let a = go () in
+          requeue ();
+          a)
 
 let alloc (rt : runtime) (ts : thread_state) ~(kind : fragment_kind) n =
   match rt.cache_alloc with
@@ -376,6 +534,34 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
   (* pass 2: encode *)
   let buf = Buffer.create total in
   let pc = ref entry in
+  (* Absolute-memory relocations: any instruction already at Full level
+     (mangle- or client-inserted code, and re-decoded bodies) may
+     address a runtime-absolute cell — a TLS slot (spills, flags saves,
+     the client tls_field) or a runtime heap cell (client globals,
+     profiling counters).  App-origin instructions below L3 can only
+     reference application space, so they are not decoded just to
+     scan them. *)
+  let abs_relocs = ref [] in
+  let scan_abs (i : Instr.t) =
+    match Instr.level i with
+    | Level.L3 | Level.L4 ->
+        let insn = Instr.get_insn i in
+        let op (o : Operand.t) =
+          match o with
+          | Operand.Mem { base = None; index = None; disp } when disp >= tls_base
+            ->
+              let r_target =
+                match tls_slot_of_addr disp with
+                | Some (tid, slot) -> RT_tls_abs (tid, slot)
+                | None -> RT_runtime_abs disp
+              in
+              abs_relocs := { r_off = !pc - entry; r_target } :: !abs_relocs
+          | _ -> ()
+        in
+        Array.iter op insn.Insn.srcs;
+        Array.iter op insn.Insn.dsts
+    | _ -> ()
+  in
   let encode_one (i : Instr.t) =
     match find_planned i with
     | Some p ->
@@ -392,6 +578,7 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
         Buffer.add_bytes buf b;
         pc := !pc + Bytes.length b
     | None ->
+        scan_abs i;
         let b = Instr.encode ~pc:!pc i in
         Buffer.add_bytes buf b;
         pc := !pc + Bytes.length b
@@ -446,6 +633,23 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
       exits
   in
   write_bytes rt ~addr:entry (Buffer.to_bytes buf);
+  (* the typed relocation table: every absolute target embedded in the
+     fragment's bytes, as entry-relative sites.  Exit CTIs and stub
+     jumps are pc-relative encodings of absolute targets, so a move
+     re-encodes them; the absolute-memory operands collected above are
+     position-independent under a move but gate persistence. *)
+  let relocs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun ord e ->
+              [
+                { r_off = e.branch_pc - entry; r_target = RT_exit_branch ord };
+                { r_off = e.stub_jmp_pc - entry; r_target = RT_stub_jmp ord };
+              ])
+            exits)
+      @ List.rev !abs_relocs)
+  in
   let frag =
     {
       tag;
@@ -454,6 +658,7 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
       entry;
       body_end;
       total_end = entry + total;
+      relocs;
       exits = Array.of_list exits;
       incoming = [];
       deleted = false;

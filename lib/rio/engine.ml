@@ -304,6 +304,56 @@ let run (rt : t) : outcome =
   in
   { reason; cycles = Vm.Machine.cycles m - c0; insns = m.Vm.Machine.insns_retired - i0 }
 
+(* ---------------- persistent cache images (DESIGN.md §6.8) ------- *)
+
+(** Serialize this instance's warm code cache and index knowledge to a
+    relocatable on-disk image; see {!Persist.save}.  [image_digest]
+    should be {!Asm.Image.digest} of the program being served. *)
+let save_image (rt : t) ~(image_digest : int) ~(path : string) : int =
+  Persist.save rt ~image_digest ~path
+
+(** Warm-boot a freshly created instance from a saved image; see
+    {!Persist.load}.  Must run before the first request. *)
+let load_image (rt : t) ~(image_digest : int) ~(path : string) :
+    (Persist.summary, Persist.error) result =
+  Persist.load rt ~image_digest ~path
+
+(** Seed a new instance's per-tid index with application knowledge
+    harvested from another worker — trace-head counters, successor
+    profiles, despeculation verdicts — so its first requests build
+    traces (and skip doomed speculations) immediately instead of
+    re-learning.  Entries are [(tag, head, profile, nospec)]; profile
+    records are copied, never shared across instances.  Must run
+    before the instance's first request for a brand-new tid. *)
+let prewarm (rt : t) ~(tid : int)
+    (entries : (int * int * Fragindex.profile option * bool) list) : unit =
+  if entries <> [] then begin
+    let fresh = not (List.exists (fun ts -> ts.ts_tid = tid) rt.thread_states) in
+    let ts = Persist.thread_state_for rt tid in
+    List.iter
+      (fun (tag, head, prof, nospec) ->
+        let e = Fragindex.ensure ts.index tag in
+        e.Fragindex.head <- max e.Fragindex.head head;
+        if nospec then e.Fragindex.nospec <- true;
+        match (prof, e.Fragindex.prof) with
+        | Some p, None ->
+            e.Fragindex.prof <-
+              Some
+                {
+                  Fragindex.p_t1 = p.Fragindex.p_t1;
+                  p_n1 = p.Fragindex.p_n1;
+                  p_t2 = p.Fragindex.p_t2;
+                  p_n2 = p.Fragindex.p_n2;
+                  p_other = p.Fragindex.p_other;
+                  p_total = p.Fragindex.p_total;
+                }
+        | _ -> ())
+      entries;
+    (* drop any thread fabricated just to mint the tid; the state (and
+       its seeded index) re-attaches on the first real request *)
+    if fresh then Vm.Machine.reset_for_run rt.machine
+  end
+
 let stop_reason_to_string = function
   | All_exited -> "all threads exited"
   | App_fault f -> "application fault: " ^ f

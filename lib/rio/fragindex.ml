@@ -28,6 +28,13 @@ type 'a entry = {
   mutable marked : bool;
   mutable prof : profile option;
   mutable head_cycles : int;
+  mutable nospec : bool;
+      (* despeculation verdict: a constant-load guard at this site
+         already died once (Opt.despec cut it), so trace building must
+         not re-speculate on observed constants here.  Like head
+         counters and profiles this describes the application, not a
+         cached fragment — it survives flushes, warm resets, and (via
+         the pool's shared profile store) travels between workers *)
 }
 
 type 'a cell = Empty | Entry of 'a entry
@@ -91,7 +98,8 @@ let ensure t tag =
     | Empty ->
         let e =
           { key = tag; fgen = t.gen; bb = None; trace = None; ibl = None;
-            head = -1; marked = false; prof = None; head_cycles = 0 }
+            head = -1; marked = false; prof = None; head_cycles = 0;
+            nospec = false }
         in
         t.cells.(i) <- Entry e;
         t.count <- t.count + 1;
@@ -220,6 +228,11 @@ let is_head t tag =
   match find t tag with
   | None -> false
   | Some e -> e.head >= 0 || e.marked
+
+let set_nospec t tag = (ensure t tag).nospec <- true
+
+let nospec t tag =
+  match find t tag with None -> false | Some e -> e.nospec
 
 let flush_fragments t = t.gen <- t.gen + 1
 

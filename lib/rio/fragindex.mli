@@ -47,6 +47,12 @@ type 'a entry = {
           elapsed cycles per hit at trace-build time separate heads
           that got hot in a tight loop (worth optimizing immediately)
           from heads that merely accumulated hits over the whole run *)
+  mutable nospec : bool;
+      (** despeculation verdict: a constant-load guard at this site was
+          already cut once, so trace building must not fold observed
+          constants here again.  Application knowledge, like [prof] —
+          survives flushes and is shared through the pool's profile
+          store *)
 }
 
 type 'a t
@@ -75,6 +81,13 @@ val clear_ibl : 'a t -> int -> unit
 val is_head : 'a t -> int -> bool
 (** True when the tag has a head counter or a client mark. *)
 
+val set_nospec : 'a t -> int -> unit
+(** Record a despeculation verdict for the tag: never again fold
+    observed constants into traces rooted at this site. *)
+
+val nospec : 'a t -> int -> bool
+(** True when the tag carries a despeculation verdict. *)
+
 val delete : 'a t -> int -> unit
 (** Remove the key entirely — fragment slots, head counter, and mark —
     closing its probe chain by backward shift.  No-op when absent.
@@ -95,6 +108,12 @@ val successor_profile : 'a t -> int -> profile option
 val flush_fragments : 'a t -> unit
 (** Invalidate every bb/trace/ibl slot in O(1) (generation bump);
     head counters and marks survive. *)
+
+val iter_entries : 'a t -> ('a entry -> unit) -> unit
+(** Iterate every live entry (fragment slots may be stale — check
+    against the accessors, or use the typed iterators below).  The
+    persistence and profile-sharing layers use this to harvest head
+    counters, profiles, and verdicts in one walk. *)
 
 val iter_bbs : 'a t -> (int -> 'a -> unit) -> unit
 val iter_traces : 'a t -> (int -> 'a -> unit) -> unit

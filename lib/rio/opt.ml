@@ -889,6 +889,12 @@ let despec_cut (rt : runtime) (ts : thread_state) (frag : fragment)
                       frag.guards;
                   rt.stats.Stats.spec_despecs <-
                     rt.stats.Stats.spec_despecs + 1;
+                  (* remember the verdict in the index: constant
+                     folding at this site is now known unstable, so
+                     future trace builds (here, after a flush, or in a
+                     pool worker prewarmed with this index) skip it
+                     instead of rebuilding the same doomed guard *)
+                  Fragindex.set_nospec ts.index g.g_site;
                   log_flow rt "despeculated trace 0x%x at site 0x%x" frag.tag
                     g.g_site;
                   fresh

@@ -172,6 +172,13 @@ type t = {
   flush_policy : flush_policy;
       (** capacity response; irrelevant when [cache_capacity] is
           [None] *)
+  cache_compaction : bool;
+      (** under the FIFO policy, slide live fragments down over free
+          holes (relocation replay) when an allocation fails from
+          fragmentation rather than capacity, and as a last resort
+          before giving up — FIFO eviction's worst case (free space
+          sharded around pinned fragments) becomes a compaction instead
+          of a dropped trace or a full flush *)
   quantum : int;          (** scheduler quantum, cycles *)
   always_save_flags : bool;
       (** disable the Level-2 eflags liveness analysis: every inline
@@ -229,6 +236,7 @@ let default =
     max_bb_insns = 128;
     cache_capacity = None;
     flush_policy = Flush_fifo;
+    cache_compaction = true;
     quantum = 100_000;
     always_save_flags = false;
     sideline = false;
@@ -244,6 +252,25 @@ let default =
     client_fail_limit = 3;
     costs = default_costs;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Digest (persistent-cache compatibility key)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** FNV-1a over the marshalled options bundle.  Any field that changes
+    code generation changes the digest, so a persisted cache image
+    built under different options is refused at load rather than
+    producing subtly wrong code.  [t] is plain data (no closures), so
+    marshalling is deterministic within one program version. *)
+let digest (t : t) : int =
+  let s = Marshal.to_string t [] in
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffff_ffff)
+    s;
+  !h
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                         *)

@@ -115,6 +115,14 @@ type boot = {
   boot_opts : Options.t;
   boot_client : unit -> Types.client;
       (** fresh client per instance: client state must be per-domain *)
+  boot_image_digest : int;
+      (** {!Asm.Image.digest} of the program: stamps saved cache images
+          and validates loaded ones *)
+  boot_cache : string option;
+      (** path of a saved cache image ({!Persist}) to warm-boot every
+          new instance of this key from; a refused load (different
+          program or options, corruption, truncation) falls back to a
+          plain cold boot *)
 }
 
 type request = {
@@ -176,6 +184,38 @@ type snapshot = {
   snap_quarantine_closes : int;  (** breakers closed by a successful request *)
   snap_probes : int;             (** probe requests admitted through open breakers *)
   snap_quarantined_now : int;    (** keys whose breaker is open right now *)
+  (* --- persistent cache + shared profile store (DESIGN.md §6.8) --- *)
+  snap_cache_loads : int;        (** instances warm-booted from a saved image *)
+  snap_cache_refused : int;      (** image loads refused (fell back to cold) *)
+  snap_profile_publishes : int;  (** successful requests that published to the store *)
+  snap_prewarms : int;           (** instances seeded from the shared store *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-wide shared profile store (DESIGN.md §6.8)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One tag's application knowledge in the shared store: what a worker
+    learned about the program, detached from any code cache. *)
+type profile_entry = {
+  pe_head : int;                         (** trace-head counter *)
+  pe_prof : Fragindex.profile option;    (** successor profile (a private copy) *)
+  pe_nospec : bool;                      (** despeculation verdict *)
+}
+
+(* The store has its own mutex so workers can publish and prewarm
+   without touching the pool mutex mid-request (which would violate the
+   "never held while a request executes" discipline).  Lock order:
+   pool.mu may be held when taking st_mu (drain_and_reload's rebuild),
+   never the reverse. *)
+type store = {
+  st_mu : Mutex.t;
+  st_entries : (string, (int, profile_entry) Hashtbl.t) Hashtbl.t;
+      (* workload key -> tag -> merged knowledge *)
+  mutable st_publishes : int;
+  mutable st_prewarms : int;
+  mutable st_cache_loads : int;
+  mutable st_cache_refused : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -238,6 +278,7 @@ type t = {
   mutable quarantine_closes : int;
   mutable probes : int;
   quar : (string, quar) Hashtbl.t;
+  store : store;                  (* fleet-wide profile knowledge *)
   mutable results : result list;  (* reversed completion order *)
   mutable stopping : bool;
   mutable reloading : bool;       (* pause job claims while reloading *)
@@ -261,6 +302,113 @@ let quar_state pool key : quar =
 let note_progress pool =
   if pool.completed = pool.submitted then Condition.broadcast pool.done_cv;
   if pool.reloading && pool.active = 0 then Condition.broadcast pool.done_cv
+
+(* ------------------------------------------------------------------ *)
+(* Shared profile store: publish and prewarm                          *)
+(* ------------------------------------------------------------------ *)
+
+let copy_profile (p : Fragindex.profile) : Fragindex.profile =
+  {
+    Fragindex.p_t1 = p.Fragindex.p_t1;
+    p_n1 = p.Fragindex.p_n1;
+    p_t2 = p.Fragindex.p_t2;
+    p_n2 = p.Fragindex.p_n2;
+    p_other = p.Fragindex.p_other;
+    p_total = p.Fragindex.p_total;
+  }
+
+(* After a successful request, fold what this instance knows about the
+   application — trace-head counters, successor profiles, despec
+   verdicts — into the fleet store, so the next worker to boot this key
+   (fresh domain, respawn after a crash, post-reload rebuild) starts
+   with the knowledge instead of re-learning it request by request.
+   Called by the owning worker with no pool lock held. *)
+let publish_profiles pool key (rt : Engine.t) : unit =
+  match
+    List.find_opt (fun ts -> ts.Types.ts_tid = 0) rt.Types.thread_states
+  with
+  | None -> ()
+  | Some ts ->
+      let harvested = ref [] in
+      Fragindex.iter_entries ts.Types.index (fun e ->
+          if
+            e.Fragindex.head >= 0 || e.Fragindex.nospec
+            || e.Fragindex.prof <> None
+          then
+            harvested :=
+              ( e.Fragindex.key,
+                {
+                  pe_head = e.Fragindex.head;
+                  pe_prof = Option.map copy_profile e.Fragindex.prof;
+                  pe_nospec = e.Fragindex.nospec;
+                } )
+              :: !harvested);
+      if !harvested <> [] then begin
+        let st = pool.store in
+        Mutex.lock st.st_mu;
+        let tbl =
+          match Hashtbl.find_opt st.st_entries key with
+          | Some tbl -> tbl
+          | None ->
+              let tbl = Hashtbl.create 64 in
+              Hashtbl.replace st.st_entries key tbl;
+              tbl
+        in
+        List.iter
+          (fun (tag, pe) ->
+            match Hashtbl.find_opt tbl tag with
+            | None -> Hashtbl.replace tbl tag pe
+            | Some old ->
+                Hashtbl.replace tbl tag
+                  {
+                    pe_head = max old.pe_head pe.pe_head;
+                    pe_prof =
+                      (match old.pe_prof with
+                      | Some _ -> old.pe_prof
+                      | None -> pe.pe_prof);
+                    pe_nospec = old.pe_nospec || pe.pe_nospec;
+                  })
+          !harvested;
+        st.st_publishes <- st.st_publishes + 1;
+        Mutex.unlock st.st_mu
+      end
+
+(* Boot-time warm-up for a freshly created instance, before its first
+   request: replay the saved cache image if the boot carries one (a
+   refusal is recorded and falls back to cold), then seed the index
+   from the fleet store.  Caller owns [rt]; takes only st_mu. *)
+let warm_boot_instance pool (boot : boot) key (rt : Engine.t) : unit =
+  let st = pool.store in
+  (match boot.boot_cache with
+  | None -> ()
+  | Some path -> (
+      match
+        Engine.load_image rt ~image_digest:boot.boot_image_digest ~path
+      with
+      | Ok _ ->
+          Mutex.lock st.st_mu;
+          st.st_cache_loads <- st.st_cache_loads + 1;
+          Mutex.unlock st.st_mu
+      | Error _ ->
+          Mutex.lock st.st_mu;
+          st.st_cache_refused <- st.st_cache_refused + 1;
+          Mutex.unlock st.st_mu));
+  let entries =
+    Mutex.lock st.st_mu;
+    let es =
+      match Hashtbl.find_opt st.st_entries key with
+      | None -> []
+      | Some tbl ->
+          Hashtbl.fold
+            (fun tag pe acc ->
+              (tag, pe.pe_head, pe.pe_prof, pe.pe_nospec) :: acc)
+            tbl []
+    in
+    if es <> [] then st.st_prewarms <- st.st_prewarms + 1;
+    Mutex.unlock st.st_mu;
+    es
+  in
+  Engine.prewarm rt ~tid:0 entries
 
 (* ------------------------------------------------------------------ *)
 (* Serving one attempt (no pool lock held)                            *)
@@ -311,6 +459,7 @@ let serve pool (w : worker) (j : job) ~home ~stolen : result =
         let rt =
           Engine.create ~opts:boot.boot_opts ~client:(boot.boot_client ()) m
         in
+        warm_boot_instance pool boot r.req_key rt;
         Hashtbl.replace w.w_warm r.req_key rt;
         (false, rt)
   in
@@ -375,6 +524,7 @@ let serve pool (w : worker) (j : job) ~home ~stolen : result =
     o.Engine.reason = Engine.All_exited
     && match r.req_expect with None -> true | Some e -> output = e
   in
+  if ok then publish_profiles pool r.req_key rt;
   {
     res_key = r.req_key;
     res_seed = r.req_seed;
@@ -624,6 +774,15 @@ let create ?(cfg = Options.default_pool) ?chaos
       quarantine_closes = 0;
       probes = 0;
       quar = Hashtbl.create 8;
+      store =
+        {
+          st_mu = Mutex.create ();
+          st_entries = Hashtbl.create 8;
+          st_publishes = 0;
+          st_prewarms = 0;
+          st_cache_loads = 0;
+          st_cache_refused = 0;
+        };
       results = [];
       stopping = false;
       reloading = false;
@@ -724,6 +883,9 @@ let drain_and_reload ?(rebuild = false) pool : unit =
               Engine.create ~opts:boot.boot_opts
                 ~client:(boot.boot_client ()) m
             in
+            (* rebuilt instances start with everything the fleet has
+               learned: the saved image (if any) and the shared store *)
+            warm_boot_instance pool boot key rt;
             Hashtbl.replace w.w_warm key rt)
           pool.boots)
     pool.workers;
@@ -759,6 +921,15 @@ let reset_counters pool : unit =
   pool.probes <- 0;
   pool.results <- [];
   Array.iter (fun w -> w.w_busy_cycles <- 0) pool.workers;
+  (* zero the store's counters but keep its knowledge: profiles are
+     what the next measurement pass is usually trying to exploit *)
+  let st = pool.store in
+  Mutex.lock st.st_mu;
+  st.st_publishes <- 0;
+  st.st_prewarms <- 0;
+  st.st_cache_loads <- 0;
+  st.st_cache_refused <- 0;
+  Mutex.unlock st.st_mu;
   Mutex.unlock pool.mu
 
 (** Counter snapshot plus runtime stats merged across every live warm
@@ -799,10 +970,75 @@ let stats pool : snapshot =
       snap_quarantine_closes = pool.quarantine_closes;
       snap_probes = pool.probes;
       snap_quarantined_now = quarantined_now;
+      snap_cache_loads = pool.store.st_cache_loads;
+      snap_cache_refused = pool.store.st_cache_refused;
+      snap_profile_publishes = pool.store.st_publishes;
+      snap_prewarms = pool.store.st_prewarms;
     }
   in
   Mutex.unlock pool.mu;
   s
+
+(** The on-disk name a workload key's image is saved under (keys may
+    contain characters unsuitable for file names). *)
+let cache_file_name (key : string) : string =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    key
+  ^ ".riocache"
+
+(** Persist the fleet's warm code caches: for every registered key,
+    save the fullest live instance's image to [dir]/<key>.riocache
+    (stamped with the key's [boot_image_digest]).  Returns
+    [(key, path, fragments_persisted)] for each image written.  Call
+    only when the pool is quiescent (after {!drain}) — workers' warm
+    tables must not be mid-request. *)
+let save_caches pool ~(dir : string) : (string * string * int) list =
+  Mutex.lock pool.mu;
+  if pool.completed <> pool.submitted || pool.active <> 0 then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.save_caches: requests still in flight"
+  end;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let saved =
+    List.filter_map
+      (fun (key, boot) ->
+        (* the fullest instance: most live fragments across its tids *)
+        let fullness rt =
+          List.fold_left
+            (fun n ts ->
+              n
+              + Fragindex.bb_count ts.Types.index
+              + Fragindex.trace_count ts.Types.index)
+            0 rt.Types.thread_states
+        in
+        let best =
+          Array.fold_left
+            (fun acc w ->
+              match Hashtbl.find_opt w.w_warm key with
+              | None -> acc
+              | Some rt -> (
+                  let n = fullness rt in
+                  match acc with
+                  | Some (_, best_n) when best_n >= n -> acc
+                  | _ -> Some (rt, n)))
+            None pool.workers
+        in
+        match best with
+        | None | Some (_, 0) -> None
+        | Some (rt, _) ->
+            let path = Filename.concat dir (cache_file_name key) in
+            let n =
+              Engine.save_image rt ~image_digest:boot.boot_image_digest ~path
+            in
+            Some (key, path, n))
+      pool.boots
+  in
+  Mutex.unlock pool.mu;
+  saved
 
 let shutdown pool : unit =
   Mutex.lock pool.mu;

@@ -19,6 +19,14 @@ type boot = {
   boot_opts : Options.t;
   boot_client : unit -> Types.client;
       (** fresh client per instance: client state must be per-domain *)
+  boot_image_digest : int;
+      (** {!Asm.Image.digest} of the program: stamps saved cache images
+          and validates loaded ones *)
+  boot_cache : string option;
+      (** path of a saved cache image ({!Persist}) to warm-boot every
+          new instance of this key from; a refused load (different
+          program or options, corruption, truncation) falls back to a
+          plain cold boot *)
 }
 
 type request = {
@@ -79,6 +87,11 @@ type snapshot = {
   snap_quarantine_closes : int;  (** breakers closed by a successful request *)
   snap_probes : int;             (** probe requests admitted through open breakers *)
   snap_quarantined_now : int;    (** keys whose breaker is open right now *)
+  snap_cache_loads : int;        (** instances warm-booted from a saved image *)
+  snap_cache_refused : int;      (** image loads refused (fell back to cold) *)
+  snap_profile_publishes : int;  (** successful requests that published learned
+                                     profiles to the shared store *)
+  snap_prewarms : int;           (** instances seeded from the shared store *)
 }
 
 type t
@@ -128,6 +141,19 @@ val reset_counters : t -> unit
 val stats : t -> snapshot
 (** Counters plus runtime stats merged across all live warm instances.
     Merged stats are coherent only when the pool is quiescent. *)
+
+val cache_file_name : string -> string
+(** The file name a workload key's cache image is saved under inside
+    the {!save_caches} directory (key sanitized + [".riocache"]). *)
+
+val save_caches : t -> dir:string -> (string * string * int) list
+(** Persist the fleet's warm code caches (DESIGN.md §6.8): for every
+    registered key with a non-empty live instance, save the fullest
+    instance's relocatable image to [dir]/{!cache_file_name}[ key],
+    stamped with the key's [boot_image_digest].  Returns [(key, path,
+    fragments_persisted)] per image written.  Pair with a [boot_cache]
+    pointing at the same path to warm-boot the next fleet.
+    @raise Invalid_argument unless the pool is drained. *)
 
 val shutdown : t -> unit
 (** Stop accepting work, let workers finish queued requests, join the

@@ -35,6 +35,7 @@ module Trace = Trace
 module Ibl = Ibl
 module Dispatch = Dispatch
 module Api = Api
+module Persist = Persist
 module Engine = Engine
 module Pool = Pool
 

@@ -85,6 +85,16 @@ type t = {
   mutable deadline_preempts : int;
       (** runs preempted by the per-request watchdog
           ({!Engine.set_watchdog}) *)
+  (* --- relocation + persistent cache (DESIGN.md §6.8) --- *)
+  mutable compactions : int;         (** region-compaction passes run *)
+  mutable fragments_moved : int;     (** live fragments slid by compaction *)
+  mutable moved_bytes : int;         (** cache bytes copied by those moves *)
+  mutable persist_saves : int;       (** cache images written *)
+  mutable persist_loads : int;       (** cache images loaded *)
+  mutable persist_load_failures : int;
+      (** image loads refused (bad magic/version/checksum/digest) *)
+  mutable fragments_persisted : int; (** fragments written across all saves *)
+  mutable fragments_preloaded : int; (** fragments re-materialized from images *)
 }
 
 let create () =
@@ -151,6 +161,14 @@ let create () =
     clients_quarantined = 0;
     spurious_signals_dropped = 0;
     deadline_preempts = 0;
+    compactions = 0;
+    fragments_moved = 0;
+    moved_bytes = 0;
+    persist_saves = 0;
+    persist_loads = 0;
+    persist_load_failures = 0;
+    fragments_persisted = 0;
+    fragments_preloaded = 0;
   }
 
 (** Combine the counters of two instances into a fresh record, for
@@ -222,6 +240,14 @@ let merge (a : t) (b : t) : t =
     spurious_signals_dropped =
       a.spurious_signals_dropped + b.spurious_signals_dropped;
     deadline_preempts = a.deadline_preempts + b.deadline_preempts;
+    compactions = a.compactions + b.compactions;
+    fragments_moved = a.fragments_moved + b.fragments_moved;
+    moved_bytes = a.moved_bytes + b.moved_bytes;
+    persist_saves = a.persist_saves + b.persist_saves;
+    persist_loads = a.persist_loads + b.persist_loads;
+    persist_load_failures = a.persist_load_failures + b.persist_load_failures;
+    fragments_persisted = a.fragments_persisted + b.fragments_persisted;
+    fragments_preloaded = a.fragments_preloaded + b.fragments_preloaded;
   }
 
 (** Total recovery-ladder activations, all rungs. *)
@@ -302,3 +328,15 @@ let pp_faults ppf (s : t) =
     s.recover_flush_frag s.recover_flush_world s.recover_emulate
     s.blocks_emulated s.audits_run s.audit_fragments s.hook_failures
     s.clients_quarantined s.spurious_signals_dropped s.deadline_preempts
+
+(** Relocation and persistent-cache counters (DESIGN.md §6.8); printed
+    separately so existing stats output stays stable. *)
+let pp_persist ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>compactions:         %d@,fragments moved:     %d@,\
+     moved bytes:         %d@,images saved:        %d@,\
+     images loaded:       %d@,loads refused:       %d@,\
+     fragments persisted: %d@,fragments preloaded: %d@]"
+    s.compactions s.fragments_moved s.moved_bytes s.persist_saves
+    s.persist_loads s.persist_load_failures s.fragments_persisted
+    s.fragments_preloaded

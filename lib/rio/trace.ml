@@ -108,7 +108,14 @@ let stitch_block (rt : runtime) (ts : thread_state) (tg : tracegen) tag : unit =
      side exit deoptimizes to the unoptimized block.  The head block is
      skipped: its tag resolves to this very trace once built, so a
      guard failure there would re-enter the trace and spin. *)
-  if rt.opts.Options.opt_level >= 3 && tg.tg_tags <> [] then begin
+  if
+    rt.opts.Options.opt_level >= 3
+    && tg.tg_tags <> []
+    (* a despeculation verdict for this site (learned here or imported
+       from the pool's shared profile store) means a constant guard
+       already died once — don't rebuild it *)
+    && not (Fragindex.nospec ts.index tag)
+  then begin
     let mem = Vm.Machine.mem rt.machine in
     let candidates = ref [] in
     let stop = ref false in

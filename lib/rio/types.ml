@@ -36,6 +36,19 @@ let slot_client = 10
 let tls_addr ~tid ~slot =
   tls_base + (tid * tls_slots_per_thread * tls_slot_bytes) + (slot * tls_slot_bytes)
 
+(** Exclusive end of the TLS region (64KB: 1024 threads). *)
+let tls_end = tls_base + 0x1_0000
+
+(** Decompose a TLS-region address back into [(tid, slot)] — the
+    inverse of {!tls_addr}, used to type absolute-memory relocations. *)
+let tls_slot_of_addr a =
+  if a >= tls_base && a < tls_end then begin
+    let rel = a - tls_base in
+    let per_thread = tls_slots_per_thread * tls_slot_bytes in
+    Some (rel / per_thread, rel mod per_thread / tls_slot_bytes)
+  end
+  else None
+
 type ind_kind = Ind_jmp | Ind_call | Ind_ret
 
 let ind_kind_name = function
@@ -62,6 +75,37 @@ let is_trap_token a = a >= trap_base && a < ind_token_base
 type fragment_kind = Bb | Trace
 
 (* ------------------------------------------------------------------ *)
+(* Relocations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** What an address embedded in a fragment's cache bytes refers to.
+    Every absolute target the emitter encodes is recorded as one of
+    these, so a fragment can be moved (cache compaction) or serialized
+    and re-materialized at a different address (persistent cache) by
+    replaying its relocation table instead of re-emitting from IL. *)
+type reloc_target =
+  | RT_exit_branch of int
+      (* ordinal into [exits]: the exit CTI.  Encoded pc-relative, so a
+         move re-encodes it against the new site; its logical target
+         (stub, or linked peer's entry) is owned by the exit record *)
+  | RT_stub_jmp of int
+      (* ordinal into [exits]: the stub's final jmp (token or, for
+         always-through-stub exits, the linked peer's entry) *)
+  | RT_tls_abs of int * int
+      (* (tid, slot): absolute-memory operand addressing a TLS runtime
+         slot.  Position-independent under a move; persistable, but the
+         image loader must re-validate the tid against the loading
+         thread *)
+  | RT_runtime_abs of int
+      (* any other runtime-absolute memory operand (client global
+         slots, profiling counters at >= cache_base).  Stable under a
+         move within one runtime; never persistable, because the
+         address belongs to a heap allocation of this process's
+         runtime *)
+
+(** One relocation site: [r_off] is the byte offset of the referencing
+    instruction from the fragment's entry. *)
+type reloc = { r_off : int; r_target : reloc_target }
 
 type exit_ = {
   exit_id : int;                      (* global; trap token = trap_base + 4*id *)
@@ -83,9 +127,12 @@ and fragment = {
   tag : int;
   kind : fragment_kind;
   f_tid : int;
-  entry : int;
-  body_end : int;                     (* exclusive *)
-  total_end : int;                    (* end of stubs *)
+  mutable entry : int;                (* mutable: compaction slides live fragments *)
+  mutable body_end : int;             (* exclusive *)
+  mutable total_end : int;            (* end of stubs *)
+  relocs : reloc array;
+      (* every absolute target embedded in [entry, total_end), typed;
+         the move and image-load paths fix code up by replaying these *)
   exits : exit_ array;
   mutable incoming : exit_ list;      (* exits of (other) fragments linked to me *)
   mutable deleted : bool;

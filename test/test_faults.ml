@@ -47,6 +47,47 @@ let test_corruption_detected =
       detected && restored)
 
 (* ------------------------------------------------------------------ *)
+(* Relocation: moved fragments stay audit-clean                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Relocating a fragment re-encodes its pc-relative sites and must
+   refresh the audit checksum to match the new placement: the auditor
+   reads clean right after every move, and a corruption introduced
+   into the moved body is still caught (the checksum tracked the move
+   rather than being skipped). *)
+let test_move_then_audit () =
+  let _, rt = Workload.run_rio (wl "gzip") in
+  let frags = Rio.Audit.live_fragments rt in
+  checkb "corpus non-empty" true (frags <> []);
+  List.iter
+    (fun f ->
+      checkb "clean before move" true (Rio.Audit.check_fragment rt f = None))
+    frags;
+  let mem = Vm.Machine.mem (Rio.machine rt) in
+  List.iter
+    (fun f ->
+      let len = f.Rio.Types.total_end - f.Rio.Types.entry in
+      let dst = rt.Rio.Types.cache_cursor in
+      assert (dst + len <= rt.Rio.Types.cache_end);
+      rt.Rio.Types.cache_cursor <- dst + len;
+      Rio.Emit.move_fragment rt f ~dst;
+      checki "fragment entry moved" dst f.Rio.Types.entry;
+      checkb "clean after move" true (Rio.Audit.check_fragment rt f = None);
+      (* the refreshed checksum covers the new placement: flipping a
+         byte of the moved body must still be detected *)
+      let addr = f.Rio.Types.entry + (len / 2) in
+      let old = Vm.Memory.read_u8 mem addr in
+      Vm.Memory.write_u8 mem addr (old lxor 0x5a);
+      checkb "corruption after move detected" true
+        (Rio.Audit.check_fragment rt f <> None);
+      Vm.Memory.write_u8 mem addr old;
+      checkb "clean after restore" true
+        (Rio.Audit.check_fragment rt f = None))
+    frags;
+  checki "every move counted" (List.length frags)
+    (Rio.stats rt).Rio.Stats.fragments_moved
+
+(* ------------------------------------------------------------------ *)
 (* Hook barrier: a raising client never alters program output         *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,6 +291,8 @@ let () =
           QCheck_alcotest.to_alcotest test_corruption_detected;
           Alcotest.test_case "clean after normal run" `Slow
             test_audit_clean_after_normal_run;
+          Alcotest.test_case "moved fragments stay audit-clean" `Slow
+            test_move_then_audit;
         ] );
       ( "hook barrier",
         [

@@ -1,0 +1,262 @@
+(** Tests for the persistent code cache (DESIGN.md §6.8): a saved
+    image warm-boots a fresh engine by relocation replay, and the
+    warm-booted run is byte-identical to both a never-persisted run and
+    the native reference — across optimization levels and under FIFO
+    cache pressure.  Damaged images (corrupted, truncated,
+    version-skewed, wrong program, wrong options) are refused with a
+    typed error, never a crash, and the refused engine still serves
+    cold. *)
+
+open Workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
+
+let wl name = Workload.serving_variant (Option.get (Suite.by_name name))
+
+(* A few quick workloads spanning int and fp pipelines. *)
+let suite = [| "gzip"; "parser"; "crafty"; "applu" |]
+
+let opts_for ~level ~fifo =
+  {
+    Rio.Options.default with
+    opt_level = level;
+    cache_capacity =
+      (* a deliberately small FIFO region so priming evicts and the
+         save/load path meets fragmentation head on *)
+      (if fifo then Some (2 * Rio.Options.(min_cache_capacity default))
+       else None);
+    flush_policy = Rio.Options.Flush_fifo;
+  }
+
+(* Serve one request the way the pool does: cold-loaded image, one
+   thread, the request input stream.  [cache] warm-boots from a saved
+   image first. *)
+let serve_once ?cache ~opts (w : Workload.t) input :
+    (Rio.Persist.summary, Rio.Persist.error) result option
+    * int list
+    * Rio.Engine.t =
+  let image = Asm.Assemble.assemble w.Workload.program in
+  let m = Vm.Machine.create () in
+  Asm.Image.load_cold m image;
+  let rt = Rio.Engine.create ~opts m in
+  let loaded =
+    Option.map
+      (fun path ->
+        Rio.Engine.load_image rt ~image_digest:(Asm.Image.digest image) ~path)
+      cache
+  in
+  ignore
+    (Vm.Machine.add_thread m ~entry:image.Asm.Image.entry
+       ~stack_top:Asm.Image.default_stack_top);
+  Vm.Machine.set_input m input;
+  let o = Rio.Engine.run rt in
+  checkb "request finished" true (o.Rio.Engine.reason = Rio.Engine.All_exited);
+  (loaded, Vm.Machine.output m, rt)
+
+let with_tmp f =
+  let path = Filename.temp_file "rio" ".riocache" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Round trip: save -> load -> run is byte-identical                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip =
+  QCheck.Test.make ~count:40
+    ~name:"warm-boot run byte-identical to native and to never-persisted run"
+    QCheck.(quad small_nat small_nat (int_range 0 2) bool)
+    (fun (widx, seed, lidx, fifo) ->
+      let w = wl suite.(widx mod Array.length suite) in
+      let level = [| 0; 2; 3 |].(lidx) in
+      let opts = opts_for ~level ~fifo in
+      let input = Workload.request_input ~seed @ w.Workload.input in
+      let native = Workload.run_native (Workload.with_input w input) in
+      assert native.Workload.ok;
+      with_tmp (fun path ->
+          (* prime an instance, then snapshot it *)
+          let _, prime_out, prime_rt = serve_once ~opts w input in
+          let image = Asm.Assemble.assemble w.Workload.program in
+          let persisted =
+            Rio.Engine.save_image prime_rt
+              ~image_digest:(Asm.Image.digest image) ~path
+          in
+          (* a fresh never-persisted instance, and a warm-booted one *)
+          let _, fresh_out, _ = serve_once ~opts w input in
+          let loaded, warm_out, warm_rt = serve_once ~cache:path ~opts w input in
+          let summary =
+            match loaded with
+            | Some (Ok s) -> s
+            | Some (Error e) ->
+                QCheck.Test.fail_reportf "image refused: %s"
+                  (Rio.Persist.error_to_string e)
+            | None -> assert false
+          in
+          let warm_stats = Rio.Engine.stats warm_rt in
+          prime_out = native.Workload.output
+          && fresh_out = native.Workload.output
+          && warm_out = native.Workload.output
+          && summary.Rio.Persist.fragments + summary.Rio.Persist.skipped
+             = persisted
+          && warm_stats.Rio.Stats.fragments_preloaded
+             = summary.Rio.Persist.fragments))
+
+(* The headline effect, deterministically: with everything persisted,
+   the warm-booted request rebuilds (almost) nothing. *)
+let test_warm_boot_skips_building () =
+  let w = wl "gzip" in
+  let opts = opts_for ~level:3 ~fifo:false in
+  let input = Workload.request_input ~seed:7 @ w.Workload.input in
+  with_tmp (fun path ->
+      let _, _, prime_rt = serve_once ~opts w input in
+      let image = Asm.Assemble.assemble w.Workload.program in
+      let n =
+        Rio.Engine.save_image prime_rt ~image_digest:(Asm.Image.digest image)
+          ~path
+      in
+      checkb "something persisted" true (n > 0);
+      let _, _, cold_rt = serve_once ~opts w input in
+      let loaded, _, warm_rt = serve_once ~cache:path ~opts w input in
+      (match loaded with
+      | Some (Ok s) -> checki "all fragments loaded" n s.Rio.Persist.fragments
+      | _ -> Alcotest.fail "image refused");
+      let cold = (Rio.Engine.stats cold_rt).Rio.Stats.blocks_built in
+      let warm = (Rio.Engine.stats warm_rt).Rio.Stats.blocks_built in
+      checkb
+        (Printf.sprintf "warm run builds fewer blocks (%d < %d)" warm cold)
+        true (warm < cold))
+
+(* ------------------------------------------------------------------ *)
+(* Damaged images: typed refusal, no crash, engine still serves       *)
+(* ------------------------------------------------------------------ *)
+
+(* Save a primed gzip image once; each rejection case mutates a copy. *)
+let saved_image =
+  lazy
+    (let w = wl "gzip" in
+     let opts = opts_for ~level:2 ~fifo:false in
+     let input = Workload.request_input ~seed:3 @ w.Workload.input in
+     let path = Filename.temp_file "rio_master" ".riocache" in
+     let _, _, rt = serve_once ~opts w input in
+     let image = Asm.Assemble.assemble w.Workload.program in
+     let n =
+       Rio.Engine.save_image rt ~image_digest:(Asm.Image.digest image) ~path
+     in
+     assert (n > 0);
+     (path, opts, w, input))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Feed a (possibly damaged) image to a fresh engine; the load must
+   return [Error expect] without raising, and the engine must still
+   serve the request correctly from a cold cache afterwards. *)
+let expect_refusal ~who ~expect (damage : string -> string) : unit =
+  let master, opts, w, input = Lazy.force saved_image in
+  let native = Workload.run_native (Workload.with_input w input) in
+  with_tmp (fun path ->
+      write_file path (damage (read_file master));
+      let loaded, out, rt = serve_once ~cache:path ~opts w input in
+      (match loaded with
+      | Some (Error e) ->
+          checkb
+            (Printf.sprintf "%s: refused as %s (got %s)" who
+               (Rio.Persist.error_to_string expect)
+               (Rio.Persist.error_to_string e))
+            true (e = expect)
+      | Some (Ok _) -> Alcotest.fail (who ^ ": damaged image accepted")
+      | None -> assert false);
+      check_ilist (who ^ ": cold fallback still correct")
+        native.Workload.output out;
+      checki (who ^ ": refusal counted") 1
+        (Rio.Engine.stats rt).Rio.Stats.persist_load_failures)
+
+let flip s i mask =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+  Bytes.to_string b
+
+let test_bad_magic () =
+  expect_refusal ~who:"bad magic" ~expect:Rio.Persist.Bad_magic (fun s ->
+      flip s 0 0x40)
+
+let test_version_skew () =
+  (* the version field sits right after the 8-byte magic *)
+  expect_refusal ~who:"version skew"
+    ~expect:(Rio.Persist.Bad_version 2)
+    (fun s -> flip s 8 0x03)
+
+let test_corrupted_payload () =
+  expect_refusal ~who:"payload corruption"
+    ~expect:Rio.Persist.Checksum_mismatch (fun s ->
+      flip s (String.length s / 2) 0x10)
+
+let test_truncated_header () =
+  expect_refusal ~who:"truncated to header stub"
+    ~expect:Rio.Persist.Truncated (fun s -> String.sub s 0 (min 10 (String.length s)))
+
+let test_truncated_payload () =
+  (* losing the tail also loses the stored checksum *)
+  expect_refusal ~who:"truncated payload"
+    ~expect:Rio.Persist.Checksum_mismatch (fun s ->
+      String.sub s 0 (String.length s / 2))
+
+let test_options_mismatch () =
+  let master, _, w, input = Lazy.force saved_image in
+  let other = opts_for ~level:3 ~fifo:false in
+  let loaded, _, _ =
+    serve_once ~cache:master ~opts:other w input
+  in
+  match loaded with
+  | Some (Error Rio.Persist.Options_mismatch) -> ()
+  | Some (Error e) ->
+      Alcotest.fail ("wrong error: " ^ Rio.Persist.error_to_string e)
+  | Some (Ok _) -> Alcotest.fail "options skew accepted"
+  | None -> assert false
+
+let test_image_mismatch () =
+  (* same options, different program: the digest check must refuse *)
+  let master, opts, _, _ = Lazy.force saved_image in
+  let w = wl "parser" in
+  let input = Workload.request_input ~seed:3 @ w.Workload.input in
+  let loaded, out, _ = serve_once ~cache:master ~opts w input in
+  let native = Workload.run_native (Workload.with_input w input) in
+  (match loaded with
+  | Some (Error Rio.Persist.Image_mismatch) -> ()
+  | Some (Error e) ->
+      Alcotest.fail ("wrong error: " ^ Rio.Persist.error_to_string e)
+  | Some (Ok _) -> Alcotest.fail "foreign program's image accepted"
+  | None -> assert false);
+  check_ilist "cold fallback still correct" native.Workload.output out
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "round trip",
+        [
+          QCheck_alcotest.to_alcotest test_roundtrip;
+          Alcotest.test_case "warm boot skips block building" `Slow
+            test_warm_boot_skips_building;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "version skew" `Quick test_version_skew;
+          Alcotest.test_case "corrupted payload" `Quick test_corrupted_payload;
+          Alcotest.test_case "truncated header" `Quick test_truncated_header;
+          Alcotest.test_case "truncated payload" `Quick test_truncated_payload;
+          Alcotest.test_case "options mismatch" `Quick test_options_mismatch;
+          Alcotest.test_case "program mismatch" `Quick test_image_mismatch;
+        ] );
+    ]

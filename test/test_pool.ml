@@ -195,6 +195,8 @@ let pool_boots ~opts =
             (fun m ~zeroed -> Asm.Image.restore m s.image ~zeroed);
           boot_opts = opts;
           boot_client = (fun () -> Rio.Types.null_client);
+          boot_image_digest = Asm.Image.digest s.image;
+          boot_cache = None;
         } ))
     sites
 
@@ -371,6 +373,8 @@ let crash_barrier_case () =
         boot_restore = (fun _ ~zeroed -> zeroed);
         boot_opts = default_opts;
         boot_client = (fun () -> Rio.Types.null_client);
+        boot_image_digest = 0;
+        boot_cache = None;
       } )
   in
   let pool =

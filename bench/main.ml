@@ -963,7 +963,7 @@ let optsweep_run (w : Workload.t) ~label ~opts : Workload.run_result * Rio.t =
          w.Workload.name label r.Workload.detail);
   (r, rt)
 
-let optsweep ~quick ~out_path () =
+let optsweep ~quick ~bundle_path ~out_path () =
   let wl =
     if quick then
       List.filter_map Suite.by_name
@@ -1093,6 +1093,61 @@ let optsweep ~quick ~out_path () =
   pr "   %d traces re-optimized in place across %d/%d workloads; %d full-flush fallbacks\n%!"
     !reopt_total !reopt_benches (List.length wl) !reopt_fallbacks;
 
+  (* the autotuned bundle's per-bench levels must never be worse than
+     that bundle's own -O0 projection — the guard against the gcc-style
+     regression where a globally-good level hurts one workload.  This
+     replays exactly the single-engine measurement the autotuner's
+     override pass used as its hard constraint. *)
+  let bundle_rows = ref [] in
+  let bundle_viol = ref 0 in
+  (match bundle_path with
+   | None ->
+       pr "\n-- no tuned bundle found (pass --bundle FILE); skipping the \
+           never-worse-than--O0 check\n%!"
+   | Some path -> (
+       match Rio.Bundle.load path with
+       | Error e ->
+           pr "!! bundle %s failed to load: %s\n%!" path
+             (Rio.Bundle.error_to_string e);
+           exit 1
+       | Ok b ->
+           pr "\n-- tuned bundle %s (digest %08x): per-bench \
+               never-worse-than--O0 check:\n"
+             path (Rio.Bundle.digest b);
+           List.iter
+             (fun w ->
+               let name = w.Workload.name in
+               let tuned =
+                 { (Rio.Bundle.opts_for b name) with
+                   Rio.Options.max_cycles = max_int / 2 }
+               in
+               let b0 = { b with Rio.Bundle.b_overrides = [ (name, 0) ] } in
+               let o0 =
+                 { (Rio.Bundle.opts_for b0 name) with
+                   Rio.Options.max_cycles = max_int / 2 }
+               in
+               let rt, _ =
+                 optsweep_run w
+                   ~label:(Printf.sprintf "bundle(-O%d)"
+                             tuned.Rio.Options.opt_level)
+                   ~opts:tuned
+               in
+               let r0, _ = optsweep_run w ~label:"bundle(-O0)" ~opts:o0 in
+               let worse = rt.Workload.cycles > r0.Workload.cycles in
+               if worse then incr bundle_viol;
+               bundle_rows :=
+                 (name, tuned.Rio.Options.opt_level, rt.Workload.cycles,
+                  r0.Workload.cycles)
+                 :: !bundle_rows;
+               pr "   %-9s -O%d %9d vs -O0 %9d  %s\n%!" name
+                 tuned.Rio.Options.opt_level rt.Workload.cycles
+                 r0.Workload.cycles
+                 (if worse then "!! WORSE" else "ok"))
+             wl;
+           if !bundle_viol = 0 then
+             pr "   bundle level is never worse than -O0 on any bench\n%!"));
+  let bundle_rows = List.rev !bundle_rows in
+
   (* write the JSON datapoint *)
   let open Sweep in
   write_json ~path:out_path
@@ -1105,6 +1160,18 @@ let optsweep ~quick ~out_path () =
          ("traces_reoptimized", Int !reopt_total);
          ("reopt_workloads", Int !reopt_benches);
          ("reopt_full_flush_fallbacks", Int !reopt_fallbacks);
+         ("bundle_checked", Bool (bundle_path <> None));
+         ("bundle_worse_than_o0", Int !bundle_viol);
+         ( "bundle_rows",
+           Arr
+             (List.map
+                (fun (bench, level, tuned, o0) ->
+                  Obj
+                    [ ("bench", Str bench);
+                      ("level", Int level);
+                      ("tuned_cycles", Int tuned);
+                      ("o0_cycles", Int o0) ])
+                bundle_rows) );
          ( "rows",
            Arr
              (List.map
@@ -1133,6 +1200,11 @@ let optsweep ~quick ~out_path () =
       end)
     rows;
   if !regressions > 0 then exit 1;
+  if !bundle_viol > 0 then begin
+    pr "!! tuned bundle picks a level worse than -O0 on %d bench(es)\n%!"
+      !bundle_viol;
+    exit 1
+  end;
   if (not quick) && reduction_pct < 5.0 then begin
     pr "!! -O2 geomean reduction %.2f%% below the 5%% target\n%!" reduction_pct;
     exit 1
@@ -1332,9 +1404,17 @@ let () =
         ~out_path:cli.Sweep.out_path ()
   | _ :: "optsweep" :: rest ->
       let cli =
-        Sweep.parse_cli ~cmd:"optsweep" ~default_out:"BENCH_opt.json" rest
+        Sweep.parse_cli ~cmd:"optsweep" ~string_opts:[ "--bundle" ]
+          ~default_out:"BENCH_opt.json" rest
       in
-      optsweep ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+      let bundle_path =
+        match List.assoc_opt "--bundle" cli.Sweep.extra with
+        | Some p -> Some p (* explicit: a load failure is then fatal *)
+        | None -> if Sys.file_exists "bundle.json" then Some "bundle.json"
+                  else None
+      in
+      optsweep ~quick:cli.Sweep.quick ~bundle_path ~out_path:cli.Sweep.out_path
+        ()
   | _ :: "specsweep" :: rest ->
       let cli =
         Sweep.parse_cli ~cmd:"specsweep" ~default_out:"BENCH_spec.json" rest
@@ -1361,6 +1441,18 @@ let () =
           rest
       in
       Persistsweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+  | _ :: "autotune" :: rest ->
+      let cli =
+        Sweep.parse_cli ~cmd:"autotune" ~string_opts:[ "--bundle-out" ]
+          ~default_out:"BENCH_autotune.json" rest
+      in
+      let bundle_out =
+        Option.value
+          (List.assoc_opt "--bundle-out" cli.Sweep.extra)
+          ~default:"bundle.json"
+      in
+      Autotune.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path
+        ~bundle_out ()
   | _ :: args ->
       List.iter
         (function
@@ -1378,6 +1470,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|persistsweep [--quick] [--out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|persistsweep [--quick] [--out f]|autotune [--quick] [--out f] [--bundle-out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

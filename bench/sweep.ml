@@ -115,9 +115,14 @@ let write_json ~path (v : json) : unit =
 (* ------------------------------------------------------------------ *)
 
 (** Boot table for a workload mix: one boot per workload, image
-    assembled once, cold-load machine factory per instance. *)
-let pool_boots ?(client = fun () -> Rio.Types.null_client) ?cache_dir ~opts
-    (wls : Workloads.Workload.t list) : (string * Rio.Pool.boot) list =
+    assembled once, cold-load machine factory per instance.
+    [opts_for] maps a workload name to its engine options — this is
+    where a bundle's per-workload opt-level overrides reach the pool
+    (default: [opts] for every workload). *)
+let pool_boots ?(client = fun () -> Rio.Types.null_client) ?cache_dir
+    ?opts_for ~opts (wls : Workloads.Workload.t list) :
+    (string * Rio.Pool.boot) list =
+  let opts_for = match opts_for with Some f -> f | None -> fun _ -> opts in
   List.map
     (fun w ->
       let image = Asm.Assemble.assemble w.Workloads.Workload.program in
@@ -132,7 +137,7 @@ let pool_boots ?(client = fun () -> Rio.Types.null_client) ?cache_dir ~opts
           boot_entry = image.Asm.Image.entry;
           boot_stack_top = Asm.Image.default_stack_top;
           boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
-          boot_opts = opts;
+          boot_opts = opts_for name;
           boot_client = client;
           boot_image_digest = Asm.Image.digest image;
           boot_cache =

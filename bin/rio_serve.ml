@@ -34,16 +34,36 @@ let percentile sorted p =
 
 let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     chaos retries quarantine deadline_cycles deadline_secs opt_level
-    spec_threshold spec_max_violations cache_dir load_cache save_cache
-    show_stats quiet =
+    spec_threshold spec_max_violations bundle_path cache_dir load_cache
+    save_cache show_stats quiet =
   if (load_cache || save_cache) && cache_dir = None then begin
     Printf.eprintf "rio_serve: --load-cache/--save-cache need --cache-dir\n";
     exit 2
   end;
+  (* --bundle: a tuned configuration artifact (bench/main.exe autotune)
+     supersedes the per-knob engine flags (-O, --spec-threshold,
+     --spec-max-violations) and supplies the pool-opts base; explicit
+     pool/supervision flags and the fault/chaos overlays still apply. *)
+  let bundle =
+    match bundle_path with
+    | None -> None
+    | Some path -> (
+        match Rio.Bundle.load path with
+        | Ok b -> Some b
+        | Error e ->
+            Printf.eprintf "rio_serve: --bundle %s: %s\n" path
+              (Rio.Bundle.error_to_string e);
+            exit 2)
+  in
+  let pool_base =
+    match bundle with
+    | Some b -> b.Rio.Bundle.b_pool
+    | None -> Rio.Options.default_pool
+  in
   let cfg =
     {
-      Rio.Options.default_pool with
-      domains = nd;
+      pool_base with
+      Rio.Options.domains = nd;
       max_inflight;
       affinity;
       retries;
@@ -79,16 +99,34 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     | None -> None
     | Some seed -> Some { Rio.Options.default_faults with fi_seed = seed }
   in
-  let opts =
+  (* fault/chaos instrumentation overlays whatever configuration is in
+     force — flags or bundle *)
+  let overlay o =
     {
-      Rio.Options.default with
-      max_cycles = max_int / 2;
-      faults = fault_opts;
+      o with
+      Rio.Options.faults = fault_opts;
       audit_period = (match faults with Some _ -> 1 | None -> 0);
-      opt_level;
-      spec_threshold;
-      spec_max_violations;
     }
+  in
+  let opts =
+    match bundle with
+    | Some b -> overlay b.Rio.Bundle.b_opts
+    | None ->
+        overlay
+          {
+            Rio.Options.default with
+            max_cycles = max_int / 2;
+            opt_level;
+            spec_threshold;
+            spec_max_violations;
+          }
+  in
+  (* per-workload engine options: the bundle's overrides reach each
+     booted instance here *)
+  let opts_for name =
+    match bundle with
+    | Some b -> overlay (Rio.Bundle.opts_for b name)
+    | None -> opts
   in
   (match Rio.Options.validate opts with
    | Ok () -> ()
@@ -109,7 +147,7 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
             boot_entry = image.Asm.Image.entry;
             boot_stack_top = Asm.Image.default_stack_top;
             boot_restore = (fun m ~zeroed -> Asm.Image.restore m image ~zeroed);
-            boot_opts = opts;
+            boot_opts = opts_for w.Workload.name;
             boot_client = (fun () -> client_of_name client_name);
             boot_image_digest = Asm.Image.digest image;
             boot_cache =
@@ -211,10 +249,44 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
       nd
       (if nd = 1 then "" else "s")
       wall;
+    (match bundle with
+     | Some b ->
+         Printf.printf "  bundle %08x (created by %s): %s\n"
+           (Rio.Bundle.digest b) b.Rio.Bundle.b_provenance.Rio.Bundle.pv_created_by
+           b.Rio.Bundle.b_provenance.Rio.Bundle.pv_note
+     | None -> ());
     Printf.printf
       "  %.1f MIPS aggregate (%d simulated insns, %d simulated cycles)\n"
       (float_of_int insns /. wall /. 1e6)
       insns cycles;
+    (* the autotuner's objective, for apples-to-apples comparison with
+       BENCH_autotune.json (noise-free only with -d 1) *)
+    (match bundle with
+     | Some _ ->
+         let by_wl = Hashtbl.create 16 in
+         List.iter
+           (fun r ->
+             let prev =
+               Option.value ~default:(0, 0)
+                 (Hashtbl.find_opt by_wl r.Rio.Pool.res_key)
+             in
+             Hashtbl.replace by_wl r.Rio.Pool.res_key
+               (fst prev + r.Rio.Pool.res_cycles, snd prev + 1))
+           results;
+         let means =
+           Hashtbl.fold
+             (fun _ (c, n) acc -> (float_of_int c /. float_of_int n) :: acc)
+             by_wl []
+         in
+         if means <> [] then
+           Printf.printf
+             "  objective: geomean %.0f simulated cycles/request over %d \
+              workload(s)\n"
+             (exp
+                (List.fold_left (fun a x -> a +. log x) 0.0 means
+                /. float_of_int (List.length means)))
+             (List.length means)
+     | None -> ());
     Printf.printf "  latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n"
       (1e3 *. percentile lat 0.50)
       (1e3 *. percentile lat 0.95)
@@ -261,7 +333,7 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     Format.printf "%a@." Rio.Stats.pp_cache snap.Rio.Pool.snap_stats;
     if Rio.Options.effective_passes opts <> [] then
       Format.printf "%a@." Rio.Stats.pp_opt snap.Rio.Pool.snap_stats;
-    if opt_level >= 3 then
+    if opts.Rio.Options.opt_level >= 3 then
       Format.printf "%a@." Rio.Stats.pp_spec snap.Rio.Pool.snap_stats;
     if faults <> None then
       Format.printf "%a@." Rio.Stats.pp_faults snap.Rio.Pool.snap_stats
@@ -352,6 +424,14 @@ let cmd =
              ~doc:"Guard violations tolerated before a trace is \
                    re-optimized without that assumption.")
   in
+  let bundle =
+    Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"FILE"
+           ~doc:"Boot from a tuned configuration bundle (bench/main.exe \
+                 autotune emits one): its engine options and per-workload \
+                 opt-level overrides supersede -O, --spec-threshold and \
+                 --spec-max-violations, and its pool options are the base \
+                 for the pool flags.  --faults/--chaos still overlay.")
+  in
   let cache_dir =
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
            ~doc:"Directory for persistent code-cache images \
@@ -379,8 +459,8 @@ let cmd =
       const run $ nd $ nreq $ workloads $ client $ seed0 $ affinity
       $ max_inflight $ faults $ chaos $ retries $ quarantine
       $ deadline_cycles $ deadline_secs $ opt_level $ spec_threshold
-      $ spec_max_violations $ cache_dir $ load_cache $ save_cache $ stats
-      $ quiet)
+      $ spec_max_violations $ bundle $ cache_dir $ load_cache $ save_cache
+      $ stats $ quiet)
   in
   Cmd.v
     (Cmd.info "rio_serve"

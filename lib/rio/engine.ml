@@ -336,18 +336,11 @@ let prewarm (rt : t) ~(tid : int)
         e.Fragindex.head <- max e.Fragindex.head head;
         if nospec then e.Fragindex.nospec <- true;
         match (prof, e.Fragindex.prof) with
-        | Some p, None ->
-            e.Fragindex.prof <-
-              Some
-                {
-                  Fragindex.p_t1 = p.Fragindex.p_t1;
-                  p_n1 = p.Fragindex.p_n1;
-                  p_t2 = p.Fragindex.p_t2;
-                  p_n2 = p.Fragindex.p_n2;
-                  p_other = p.Fragindex.p_other;
-                  p_total = p.Fragindex.p_total;
-                }
-        | _ -> ())
+        | Some p, None -> e.Fragindex.prof <- Some (Fragindex.copy_profile p)
+        | Some p, Some mine ->
+            (* seeded on top of a loaded image: fold, don't clobber *)
+            Fragindex.merge_profile ~src:p mine
+        | None, _ -> ())
       entries;
     (* drop any thread fabricated just to mint the tid; the state (and
        its seeded index) re-attaches on the first real request *)

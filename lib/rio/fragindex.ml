@@ -224,6 +224,75 @@ let record_successor t site target =
 let successor_profile t site =
   match find t site with None -> None | Some e -> e.prof
 
+let copy_profile (p : profile) : profile =
+  {
+    p_t1 = p.p_t1;
+    p_n1 = p.p_n1;
+    p_t2 = p.p_t2;
+    p_n2 = p.p_n2;
+    p_other = p.p_other;
+    p_total = p.p_total;
+  }
+
+(* Merging two 2-slot histograms: pool the four (target, count) slots
+   taking the per-target MAXIMUM, keep the two heaviest (ties broken
+   by target so the result is order-independent), and spill the rest
+   into [p_other].  Max, not sum: publishers carry *cumulative*
+   histograms (an instance that was itself seeded from the store
+   re-publishes everything it was given plus its own samples), so
+   summing would double-count shared ancestry on every publish.
+   Per-target max is idempotent under re-publish, never moves a count
+   backward, and for genuinely disjoint targets degenerates to the
+   union.  The anonymous [p_other] bucket gets the same treatment —
+   max over both inputs' buckets and the slot spill — rather than an
+   addition, because spilled targets would otherwise re-add on every
+   re-publish of the same cumulative histogram.  [p_total] is
+   recomputed as n1 + n2 + other, keeping the invariant the recorder
+   maintains. *)
+let merge_profile ~(src : profile) (dst : profile) : unit =
+  let add acc (t, n) =
+    if n <= 0 then acc
+    else
+      match List.assoc_opt t acc with
+      | Some m -> (t, max m n) :: List.remove_assoc t acc
+      | None -> (t, n) :: acc
+  in
+  let slots =
+    List.fold_left add []
+      [
+        (dst.p_t1, dst.p_n1); (dst.p_t2, dst.p_n2);
+        (src.p_t1, src.p_n1); (src.p_t2, src.p_n2);
+      ]
+  in
+  let slots =
+    List.sort
+      (fun (t1, n1) (t2, n2) ->
+        if n1 <> n2 then compare n2 n1 else compare t1 t2)
+      slots
+  in
+  let other = max dst.p_other src.p_other in
+  (match slots with
+  | [] ->
+      dst.p_t1 <- 0;
+      dst.p_n1 <- 0;
+      dst.p_t2 <- 0;
+      dst.p_n2 <- 0;
+      dst.p_other <- other
+  | [ (t1, n1) ] ->
+      dst.p_t1 <- t1;
+      dst.p_n1 <- n1;
+      dst.p_t2 <- 0;
+      dst.p_n2 <- 0;
+      dst.p_other <- other
+  | (t1, n1) :: (t2, n2) :: leftover ->
+      dst.p_t1 <- t1;
+      dst.p_n1 <- n1;
+      dst.p_t2 <- t2;
+      dst.p_n2 <- n2;
+      dst.p_other <-
+        max other (List.fold_left (fun a (_, n) -> a + n) 0 leftover));
+  dst.p_total <- dst.p_n1 + dst.p_n2 + dst.p_other
+
 let is_head t tag =
   match find t tag with
   | None -> false

@@ -105,6 +105,23 @@ val record_successor : 'a t -> int -> int -> unit
 val successor_profile : 'a t -> int -> profile option
 (** The site's successor profile, if any samples were recorded. *)
 
+val copy_profile : profile -> profile
+(** Fresh, unshared copy of a profile record. *)
+
+val merge_profile : src:profile -> profile -> unit
+(** [merge_profile ~src dst] folds [src]'s histogram into [dst]:
+    per-target counts combine by maximum (publishers carry cumulative
+    histograms, so summing would double-count shared ancestry; max is
+    idempotent under re-publish and a union for disjoint targets), the
+    two heaviest targets keep the slots (ties broken by target, so
+    merge order does not matter), the rest spill into [p_other] — which
+    itself combines by maximum over both buckets and the spill, so a
+    re-publish of the same cumulative histogram is a no-op — and
+    [p_total] is recomputed to match.  [src] is not modified.  This is
+    how the pool's shared store and the persistent-image loader
+    combine profiles from multiple runs instead of letting one run
+    clobber another. *)
+
 val flush_fragments : 'a t -> unit
 (** Invalidate every bb/trace/ibl slot in O(1) (generation bump);
     head counters and marks survive. *)

@@ -157,6 +157,13 @@ type flush_policy =
           bump allocator; crossing it requests a whole-cache flush at
           the next globally safe point (the pre-refactor behaviour) *)
 
+let flush_policy_name = function Flush_fifo -> "fifo" | Flush_full -> "full"
+
+let flush_policy_of_name = function
+  | "fifo" -> Some Flush_fifo
+  | "full" -> Some Flush_full
+  | _ -> None
+
 type t = {
   emulate : bool;         (** pure emulation: no cache at all (Table 1 row 1) *)
   link_direct : bool;     (** link direct branches between fragments *)

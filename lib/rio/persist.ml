@@ -332,9 +332,13 @@ let read_index_entries r (ts : thread_state) : unit =
       let p_n2 = read_v r in
       let p_other = read_v r in
       let p_total = read_v r in
-      if e.Fragindex.prof = None then
-        e.Fragindex.prof <-
-          Some { Fragindex.p_t1; p_n1; p_t2; p_n2; p_other; p_total }
+      let loaded = { Fragindex.p_t1; p_n1; p_t2; p_n2; p_other; p_total } in
+      match e.Fragindex.prof with
+      | None -> e.Fragindex.prof <- Some loaded
+      | Some live ->
+          (* the image's histogram folds into whatever this instance
+             already learned — cross-run accumulation, not clobbering *)
+          Fragindex.merge_profile ~src:loaded live
     end
   done
 

@@ -307,15 +307,7 @@ let note_progress pool =
 (* Shared profile store: publish and prewarm                          *)
 (* ------------------------------------------------------------------ *)
 
-let copy_profile (p : Fragindex.profile) : Fragindex.profile =
-  {
-    Fragindex.p_t1 = p.Fragindex.p_t1;
-    p_n1 = p.Fragindex.p_n1;
-    p_t2 = p.Fragindex.p_t2;
-    p_n2 = p.Fragindex.p_n2;
-    p_other = p.Fragindex.p_other;
-    p_total = p.Fragindex.p_total;
-  }
+let copy_profile = Fragindex.copy_profile
 
 (* After a successful request, fold what this instance knows about the
    application — trace-head counters, successor profiles, despec
@@ -359,13 +351,21 @@ let publish_profiles pool key (rt : Engine.t) : unit =
             match Hashtbl.find_opt tbl tag with
             | None -> Hashtbl.replace tbl tag pe
             | Some old ->
+                (* merge, don't clobber: head counters race upward,
+                   verdicts stick, and successor histograms fold
+                   together (Fragindex.merge_profile) so knowledge from
+                   every publisher accumulates *)
+                let merged_prof =
+                  match (old.pe_prof, pe.pe_prof) with
+                  | None, p | p, None -> p
+                  | Some dst, Some src ->
+                      Fragindex.merge_profile ~src dst;
+                      Some dst
+                in
                 Hashtbl.replace tbl tag
                   {
                     pe_head = max old.pe_head pe.pe_head;
-                    pe_prof =
-                      (match old.pe_prof with
-                      | Some _ -> old.pe_prof
-                      | None -> pe.pe_prof);
+                    pe_prof = merged_prof;
                     pe_nospec = old.pe_nospec || pe.pe_nospec;
                   })
           !harvested;
@@ -931,6 +931,26 @@ let reset_counters pool : unit =
   st.st_cache_refused <- 0;
   Mutex.unlock st.st_mu;
   Mutex.unlock pool.mu
+
+(** Every live warm instance as [(worker_id, key, engine)].  Like
+    {!stats}, coherent only when the pool is quiescent: workers mutate
+    their warm tables while serving, and a returned engine must not be
+    touched while a worker owns it.  Exposed so tests and the autotuner
+    can check which {!Options.t} a per-workload override actually
+    reached. *)
+let warm_instances pool : (int * string * Engine.t) list =
+  Mutex.lock pool.mu;
+  let out =
+    Array.fold_left
+      (fun acc w ->
+        Hashtbl.fold (fun key rt acc -> (w.w_id, key, rt) :: acc) w.w_warm acc)
+      [] pool.workers
+  in
+  Mutex.unlock pool.mu;
+  List.sort
+    (fun (i1, k1, _) (i2, k2, _) ->
+      if i1 <> i2 then compare i1 i2 else compare k1 k2)
+    out
 
 (** Counter snapshot plus runtime stats merged across every live warm
     instance.  The merged stats are coherent only when the pool is

@@ -138,6 +138,13 @@ val reset_counters : t -> unit
 (** Zero steal/warm/busy/supervision counters between measurement
     passes.  Call only when drained. *)
 
+val warm_instances : t -> (int * string * Engine.t) list
+(** Every live warm instance as [(worker_id, key, engine)], sorted.
+    Coherent only when the pool is quiescent (after {!drain}); the
+    returned engines are still owned by their workers and must not be
+    driven.  Lets tests and the autotuner verify which {!Options.t} a
+    per-workload bundle override actually reached. *)
+
 val stats : t -> snapshot
 (** Counters plus runtime stats merged across all live warm instances.
     Merged stats are coherent only when the pool is quiescent. *)

@@ -19,6 +19,7 @@ module Instr = Instr
 module Instrlist = Instrlist
 module Create = Create
 module Options = Options
+module Bundle = Bundle
 module Stats = Stats
 module Types = Types
 module Fragindex = Fragindex

@@ -273,6 +273,63 @@ let test_repeated_flushes () =
     assert (FI.find_bb idx round = None)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Cross-run profile merging (shared-store publish path)               *)
+(* ------------------------------------------------------------------ *)
+
+let mk_prof ?(t1 = 0) ?(n1 = 0) ?(t2 = 0) ?(n2 = 0) ?(other = 0) () =
+  { FI.p_t1 = t1; p_n1 = n1; p_t2 = t2; p_n2 = n2; p_other = other;
+    p_total = n1 + n2 + other }
+
+let prof_eq name (a : FI.profile) (b : FI.profile) =
+  Alcotest.(check (list int)) name
+    [ a.FI.p_t1; a.FI.p_n1; a.FI.p_t2; a.FI.p_n2; a.FI.p_other; a.FI.p_total ]
+    [ b.FI.p_t1; b.FI.p_n1; b.FI.p_t2; b.FI.p_n2; b.FI.p_other; b.FI.p_total ]
+
+(* Publishers carry cumulative histograms, so the merge takes the
+   per-target max — re-publishing an already-merged profile must not
+   inflate anything. *)
+let test_merge_max () =
+  let dst = mk_prof ~t1:10 ~n1:5 ~t2:20 ~n2:3 ~other:2 () in
+  let src = mk_prof ~t1:10 ~n1:8 ~t2:20 ~n2:1 ~other:2 () in
+  FI.merge_profile ~src dst;
+  prof_eq "per-target max" (mk_prof ~t1:10 ~n1:8 ~t2:20 ~n2:3 ~other:2 ()) dst
+
+let test_merge_idempotent () =
+  let dst = mk_prof ~t1:10 ~n1:5 ~t2:20 ~n2:3 ~other:1 () in
+  let src = mk_prof ~t1:20 ~n1:9 ~t2:30 ~n2:4 ~other:2 () in
+  FI.merge_profile ~src dst;
+  let once = FI.copy_profile dst in
+  FI.merge_profile ~src dst;
+  prof_eq "second merge is a no-op" once dst;
+  (* and merging a profile into itself never moves it *)
+  let self = mk_prof ~t1:7 ~n1:6 ~t2:8 ~n2:2 ~other:3 () in
+  let before = FI.copy_profile self in
+  FI.merge_profile ~src:(FI.copy_profile self) self;
+  prof_eq "self-merge is a no-op" before self
+
+let test_merge_disjoint () =
+  let dst = mk_prof ~t1:1 ~n1:5 () in
+  let src = mk_prof ~t1:2 ~n1:7 () in
+  FI.merge_profile ~src dst;
+  (* union: heavier target takes slot 1, the other slot 2 *)
+  prof_eq "disjoint union" (mk_prof ~t1:2 ~n1:7 ~t2:1 ~n2:5 ()) dst;
+  (* four distinct targets: top two kept, rest spills into other *)
+  let dst = mk_prof ~t1:1 ~n1:5 ~t2:2 ~n2:4 () in
+  let src = mk_prof ~t1:3 ~n1:9 ~t2:4 ~n2:1 () in
+  FI.merge_profile ~src dst;
+  prof_eq "spill beyond two slots"
+    (mk_prof ~t1:3 ~n1:9 ~t2:1 ~n2:5 ~other:5 ()) dst
+
+let test_merge_order_independent () =
+  let a () = mk_prof ~t1:10 ~n1:5 ~t2:20 ~n2:5 ~other:1 () in
+  let b () = mk_prof ~t1:30 ~n1:5 ~t2:20 ~n2:2 ~other:4 () in
+  let ab = a () in
+  FI.merge_profile ~src:(b ()) ab;
+  let ba = b () in
+  FI.merge_profile ~src:(a ()) ba;
+  prof_eq "merge commutes" ab ba
+
 let () =
   Alcotest.run "fragindex"
     [
@@ -291,5 +348,14 @@ let () =
             test_delete_removes_everything;
           Alcotest.test_case "delete closes probe chains" `Quick
             test_delete_closes_probe_chains;
+        ] );
+      ( "profile merge",
+        [
+          Alcotest.test_case "per-target max" `Quick test_merge_max;
+          Alcotest.test_case "idempotent" `Quick test_merge_idempotent;
+          Alcotest.test_case "disjoint union + spill" `Quick
+            test_merge_disjoint;
+          Alcotest.test_case "order independent" `Quick
+            test_merge_order_independent;
         ] );
     ]

@@ -580,6 +580,61 @@ let hook_raise_never_hangs =
           results)
 
 (* ------------------------------------------------------------------ *)
+(* Bundle overrides reach the booted instances                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A tuned bundle's per-workload opt-level override must land in the
+   Options of the instance the pool actually boots for that key — not
+   just in the boot table.  Serve every key, then audit the fleet's
+   live instances against the bundle's projection. *)
+let bundle_override_case () =
+  let bundle =
+    {
+      Rio.Bundle.b_opts = { default_opts with Rio.Options.opt_level = 2 };
+      b_pool = { Rio.Options.default_pool with domains = 2 };
+      b_overrides = [ ("gcc", 0); ("gzip", 1) ];
+      b_provenance = Rio.Bundle.default_provenance;
+    }
+  in
+  (match Rio.Bundle.validate bundle with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "bundle: %s" (Rio.Bundle.error_to_string e));
+  let boots =
+    List.map
+      (fun (name, boot) ->
+        (name, { boot with Rio.Pool.boot_opts = Rio.Bundle.opts_for bundle name }))
+      (pool_boots ~opts:default_opts)
+  in
+  let pool = Rio.Pool.create ~cfg:bundle.Rio.Bundle.b_pool ~boots () in
+  List.iter (submit_ok pool) (pool_requests 8);
+  let results = Rio.Pool.drain pool in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d ok" r.Rio.Pool.res_key r.Rio.Pool.res_seed)
+        true r.Rio.Pool.res_ok)
+    results;
+  let instances = Rio.Pool.warm_instances pool in
+  Alcotest.(check bool) "fleet has warm instances" true (instances <> []);
+  let audited = ref 0 in
+  List.iter
+    (fun (worker, key, eng) ->
+      let got = (Rio.Engine.options eng).Rio.Options.opt_level in
+      let want = (Rio.Bundle.opts_for bundle key).Rio.Options.opt_level in
+      incr audited;
+      Alcotest.(check int)
+        (Printf.sprintf "worker %d key %s opt level" worker key)
+        want got)
+    instances;
+  (* both overridden keys were exercised, not just the base level *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s booted somewhere" key)
+        true
+        (List.exists (fun (_, k, _) -> k = key) instances))
+    [ "gcc"; "gzip"; "perlbmk" ];
+  Rio.Pool.shutdown pool
 
 let () =
   Alcotest.run "pool"
@@ -614,6 +669,8 @@ let () =
           Alcotest.test_case "exception barrier yields Crashed result" `Quick
             crash_barrier_case;
           Alcotest.test_case "cycle deadline preempts" `Quick deadline_case;
+          Alcotest.test_case "bundle override reaches instances" `Slow
+            bundle_override_case;
           Alcotest.test_case "quarantine opens, probes, closes" `Slow
             quarantine_case;
           Alcotest.test_case "drain_and_reload keeps serving" `Slow

@@ -1430,6 +1430,11 @@ let () =
         Sweep.parse_cli ~cmd:"parsweep" ~default_out:"BENCH_parallel.json" rest
       in
       Parsweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
+  | _ :: "servesweep" :: rest ->
+      let cli =
+        Sweep.parse_cli ~cmd:"servesweep" ~default_out:"BENCH_serve.json" rest
+      in
+      Servesweep.run ~quick:cli.Sweep.quick ~out_path:cli.Sweep.out_path ()
   | _ :: "chaossweep" :: rest ->
       let cli =
         Sweep.parse_cli ~cmd:"chaossweep" ~default_out:"BENCH_chaos.json" rest
@@ -1470,6 +1475,6 @@ let () =
           | "all" -> all ()
           | "--help" | "-h" ->
               print_endline
-                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|chaossweep [--quick] [--out f]|persistsweep [--quick] [--out f]|autotune [--quick] [--out f] [--bundle-out f]|all]"
+                "usage: main.exe [table1|table1x|table2|figure1|figure2|figure4|figure5|ablation|tracestats|faultsweep|micro|throughput [--quick] [--baseline f] [--out f]|cachesweep [--quick] [--out f]|optsweep [--quick] [--out f]|specsweep [--quick] [--out f]|parsweep [--quick] [--out f]|servesweep [--quick] [--out f]|chaossweep [--quick] [--out f]|persistsweep [--quick] [--out f]|autotune [--quick] [--out f] [--bundle-out f]|all]"
           | a -> Printf.eprintf "unknown artifact %S\n" a)
         args

@@ -1,10 +1,11 @@
 (** Parallel serving sweep: domain-count scaling of the pool
     (DESIGN.md §6.5), written to BENCH_parallel.json.
 
-    For each domain count on the ladder, a pool serves an interleaved
-    (workload x input-seed) request stream twice: an untimed warm-up
-    pass that populates every worker's code caches, then a measured
-    pass.  Every result — warm-up and measured, with and without fault
+    For each domain count on the ladder, a pre-warmed pool (every
+    (worker, workload) instance built at boot, so no request ever pays
+    a cold boot) serves an interleaved (workload x input-seed) request
+    stream twice: an untimed warm-up pass that populates every
+    worker's code caches, then a measured pass.  Every result — warm-up and measured, with and without fault
     injection — is checked byte-for-byte against a native reference.
 
     Scaling is gated on {e simulated-cycle makespan}: the longest
@@ -69,13 +70,20 @@ let run ~quick ~out_path () =
         let n = requests_for ~quick d in
         let pool =
           Rio.Pool.create
-            ~cfg:{ Rio.Options.default_pool with domains = d }
+            ~cfg:{ Rio.Options.default_pool with domains = d; prewarm = true }
             ~boots:(boots ~opts:default_opts) ()
         in
         (* untimed warm-up: same size, distinct seeds — the text is
            identical across seeds, so caches warm fully *)
         List.iter (Sweep.submit_exn pool) (make_requests ~seed_base:10_000 n);
         check_pass (Printf.sprintf "warmup d=%d" d) (Rio.Pool.drain pool);
+        let wsnap = Rio.Pool.stats pool in
+        if wsnap.Rio.Pool.snap_cold_boots > 0 then begin
+          pr "!! %d cold boots during warm-up at %d domains despite \
+              pre-warming\n%!"
+            wsnap.Rio.Pool.snap_cold_boots d;
+          exit 1
+        end;
         Rio.Pool.reset_counters pool;
         let reqs = make_requests ~seed_base:0 n in
         let t0 = Sweep.time_now () in
@@ -223,6 +231,16 @@ let run ~quick ~out_path () =
     pr "!! %d requests diverged from native\n%!" !divergences;
     exit 1
   end;
+  (* pre-warming builds every (worker, key) instance at boot, so no
+     request — at any domain count — may ever pay a cold boot *)
+  List.iter
+    (fun r ->
+      if r.pw_cold_boots > 0 then begin
+        pr "!! %d cold boots at %d domains despite pre-warming\n%!"
+          r.pw_cold_boots r.pw_domains;
+        exit 1
+      end)
+    rows;
   if not quick then begin
     (match eff4 with
      | Some e when e < 3.0 ->

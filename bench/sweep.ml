@@ -174,7 +174,8 @@ let request_maker (wls : Workloads.Workload.t list) :
         let w = List.nth wls (i mod nwl) in
         let seed = seed_base + i in
         {
-          Rio.Pool.req_key = w.Workloads.Workload.name;
+          Rio.Pool.req_id = i;
+          req_key = w.Workloads.Workload.name;
           req_seed = seed;
           req_input =
             Workloads.Workload.request_input ~seed @ w.Workloads.Workload.input;

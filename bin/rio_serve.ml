@@ -1,11 +1,15 @@
 (** Domain-parallel serving driver: shard a request stream across a
     pool of worker domains with warm code-cache reuse and
-    work-stealing dispatch.
+    work-stealing dispatch — as a one-shot batch harness, a resident
+    socket server, or a client driving one (DESIGN.md §6.10).
 
     {v
     dune exec bin/rio_serve.exe -- -d 4 -n 64
     dune exec bin/rio_serve.exe -- -d 2 -n 32 -w gzip -w parser -c rlr --stats
     dune exec bin/rio_serve.exe -- -d 4 -n 64 --faults 7
+    # resident server with a pre-warmed pool, and a client against it:
+    dune exec bin/rio_serve.exe -- -d 4 --prewarm --listen unix:/tmp/rio.sock
+    dune exec bin/rio_serve.exe -- -n 64 --connect unix:/tmp/rio.sock --quit
     v}
 
     Each request is a (workload, input-seed) pair run to completion; a
@@ -32,10 +36,22 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
+let parse_addr s =
+  match Rio.Server.addr_of_string s with
+  | Ok a -> a
+  | Error msg ->
+      Printf.eprintf "rio_serve: %s\n" msg;
+      exit 2
+
 let run nd nreq workload_names client_name seed0 affinity max_inflight faults
     chaos retries quarantine deadline_cycles deadline_secs opt_level
     spec_threshold spec_max_violations bundle_path cache_dir load_cache
-    save_cache show_stats quiet =
+    save_cache listen_addr connect_addr prewarm accept_queue batch_window
+    min_domains send_quit show_stats quiet =
+  if listen_addr <> None && connect_addr <> None then begin
+    Printf.eprintf "rio_serve: --listen and --connect are exclusive\n";
+    exit 2
+  end;
   if (load_cache || save_cache) && cache_dir = None then begin
     Printf.eprintf "rio_serve: --load-cache/--save-cache need --cache-dir\n";
     exit 2
@@ -70,6 +86,16 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
       quarantine_threshold = quarantine;
       deadline_cycles;
       deadline_secs;
+      (* serving knobs: explicit flags override the bundle's values *)
+      prewarm = (prewarm || pool_base.Rio.Options.prewarm);
+      accept_queue =
+        Option.value ~default:pool_base.Rio.Options.accept_queue accept_queue;
+      batch_window =
+        Option.value ~default:pool_base.Rio.Options.batch_window batch_window;
+      min_domains =
+        (match min_domains with
+        | Some _ -> min_domains
+        | None -> pool_base.Rio.Options.min_domains);
     }
   in
   (match Rio.Options.validate_pool cfg with
@@ -133,6 +159,68 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
    | Error msg ->
        Printf.eprintf "rio_serve: invalid options: %s\n" msg;
        exit 2);
+  match connect_addr with
+  | Some addr_s ->
+      (* client mode: no local pool — stream the request mix to a
+         resident server and check its responses against locally
+         computed native references *)
+      let addr = parse_addr addr_s in
+      let reqs =
+        List.init nreq (fun i ->
+            let w = List.nth wls (i mod List.length wls) in
+            let seed = seed0 + i in
+            let input = Workload.request_input ~seed @ w.Workload.input in
+            let native = Workload.run_native (Workload.with_input w input) in
+            if not native.Workload.ok then begin
+              Printf.eprintf "native reference failed for %s seed %d: %s\n"
+                w.Workload.name seed native.Workload.detail;
+              exit 1
+            end;
+            (w.Workload.name, seed, input, Some native.Workload.output))
+      in
+      let fd = Rio.Server.connect addr in
+      let t0 = Unix.gettimeofday () in
+      let resps = Rio.Server.client_run fd reqs in
+      let wall = Unix.gettimeofday () -. t0 in
+      if send_quit then Rio.Wire.send_msg fd Rio.Wire.Quit;
+      Unix.close fd;
+      let count st =
+        List.length
+          (List.filter (fun r -> r.Rio.Wire.r_status = st) resps)
+      in
+      let ok = count Rio.Wire.St_ok in
+      let failed = count Rio.Wire.St_failed in
+      let shed = count Rio.Wire.St_shed in
+      let other = List.length resps - ok - failed - shed in
+      let lat =
+        Array.of_list
+          (List.filter_map
+             (fun r ->
+               if r.Rio.Wire.r_status = Rio.Wire.St_ok then
+                 Some (float_of_int r.Rio.Wire.r_cycles)
+               else None)
+             resps)
+      in
+      Array.sort compare lat;
+      if not quiet then begin
+        Printf.printf
+          "%s: %d requests in %.3fs — ok %d, failed %d, shed %d, other %d\n"
+          (Rio.Server.addr_to_string addr)
+          (List.length resps) wall ok failed shed other;
+        if Array.length lat > 0 then
+          Printf.printf
+            "  sim-latency p50 %.0f  p95 %.0f  p99 %.0f cycles\n"
+            (percentile lat 0.50) (percentile lat 0.95) (percentile lat 0.99)
+      end;
+      List.iter
+        (fun r ->
+          if r.Rio.Wire.r_status = Rio.Wire.St_failed then
+            Printf.eprintf "FAILED: request id %d: [%s]\n" r.Rio.Wire.r_id
+              (String.concat "; "
+                 (List.map string_of_int r.Rio.Wire.r_output)))
+        resps;
+      if failed = 0 && other = 0 then 0 else 1
+  | None ->
   let boots =
     List.map
       (fun w ->
@@ -161,6 +249,55 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
           } ))
       wls
   in
+  let chaos_opts =
+    Option.map
+      (fun seed -> { Rio.Faultinject.default_chaos with ch_seed = seed })
+      chaos
+  in
+  let pool = Rio.Pool.create ~cfg ?chaos:chaos_opts ~boots () in
+  match listen_addr with
+  | Some addr_s ->
+      (* server mode: pre-warmed pool behind the socket front-end; the
+         loop runs until a client sends the quit op *)
+      let addr = parse_addr addr_s in
+      let lfd = Rio.Server.listen addr in
+      if not quiet then
+        Printf.printf "rio_serve: listening on %s (%d domain%s%s)\n%!"
+          (Rio.Server.addr_to_string addr)
+          nd
+          (if nd = 1 then "" else "s")
+          (if cfg.Rio.Options.prewarm then ", pre-warmed" else "");
+      let sst = Rio.Server.run pool [ lfd ] in
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (match addr with
+      | Rio.Server.Unix_addr p -> (try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | Rio.Server.Tcp_addr _ -> ());
+      ignore (Rio.Pool.drain pool);
+      let snap = Rio.Pool.stats pool in
+      (if save_cache then
+         match cache_dir with
+         | Some dir -> ignore (Rio.Pool.save_caches pool ~dir)
+         | None -> ());
+      Rio.Pool.shutdown pool;
+      if not quiet then begin
+        Printf.printf
+          "served %d request(s) over %d connection(s): %d response(s), %d \
+           typed reject(s)\n"
+          sst.Rio.Server.sv_requests sst.Rio.Server.sv_accepted
+          sst.Rio.Server.sv_responses sst.Rio.Server.sv_rejects;
+        let s = snap.Rio.Pool.snap_stats in
+        Printf.printf
+          "  warm hits %d  cold boots %d  prewarm boots %d  shed %d  \
+           batched %d\n"
+          snap.Rio.Pool.snap_warm_hits snap.Rio.Pool.snap_cold_boots
+          snap.Rio.Pool.snap_prewarm_boots snap.Rio.Pool.snap_shed
+          snap.Rio.Pool.snap_batch_hits;
+        Printf.printf "  sim-latency p50 %d  p99 %d cycles\n"
+          (Rio.Stats.hist_percentile s.Rio.Stats.serve_lat 50)
+          (Rio.Stats.hist_percentile s.Rio.Stats.serve_lat 99)
+      end;
+      0
+  | None ->
   (* the request stream, interleaved across workloads, with a native
      reference execution per request *)
   let requests =
@@ -175,18 +312,13 @@ let run nd nreq workload_names client_name seed0 affinity max_inflight faults
           exit 1
         end;
         {
-          Rio.Pool.req_key = w.Workload.name;
+          Rio.Pool.req_id = i;
+          req_key = w.Workload.name;
           req_seed = seed;
           req_input = input;
           req_expect = Some native.Workload.output;
         })
   in
-  let chaos_opts =
-    Option.map
-      (fun seed -> { Rio.Faultinject.default_chaos with ch_seed = seed })
-      chaos
-  in
-  let pool = Rio.Pool.create ~cfg ?chaos:chaos_opts ~boots () in
   let t0 = Unix.gettimeofday () in
   let rejected = ref 0 in
   List.iter
@@ -448,6 +580,45 @@ let cmd =
            ~doc:"After draining, save each workload's fullest warm \
                  instance to --cache-dir for a later --load-cache run.")
   in
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Run as a resident server on ADDR (unix:PATH or \
+                 tcp:HOST:PORT): accept framed requests over the socket \
+                 and stream responses until a client sends the quit op.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Run as a client: stream the request mix to the server \
+                 at ADDR and check its responses against local native \
+                 references.")
+  in
+  let prewarm =
+    Arg.(value & flag & info [ "prewarm" ]
+           ~doc:"Build every (domain, workload) instance at pool boot, \
+                 before accepting traffic, so no request ever cold-boots.")
+  in
+  let accept_queue =
+    Arg.(value & opt (some int) None & info [ "accept-queue" ] ~docv:"N"
+           ~doc:"Admission bound for the server: once N requests are \
+                 admitted but unfinished, further requests are shed with \
+                 a typed reject instead of queueing without bound.")
+  in
+  let batch_window =
+    Arg.(value & opt (some int) None & info [ "batch-window" ] ~docv:"N"
+           ~doc:"Dequeue-time batching window: a worker looks this deep \
+                 into its queue for a request matching the key it just \
+                 served (0 disables).")
+  in
+  let min_domains =
+    Arg.(value & opt (some int) None & info [ "min-domains" ] ~docv:"N"
+           ~doc:"Enable the queue-depth autoscaler: park idle worker \
+                 domains down to N and wake them as queue depth grows.")
+  in
+  let quit =
+    Arg.(value & flag & info [ "quit" ]
+           ~doc:"Client mode: send the quit op after the last response, \
+                 shutting the server down.")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print aggregate runtime statistics (merged across all \
@@ -460,7 +631,8 @@ let cmd =
       $ max_inflight $ faults $ chaos $ retries $ quarantine
       $ deadline_cycles $ deadline_secs $ opt_level $ spec_threshold
       $ spec_max_violations $ bundle $ cache_dir $ load_cache $ save_cache
-      $ stats $ quiet)
+      $ listen $ connect $ prewarm $ accept_queue $ batch_window
+      $ min_domains $ quit $ stats $ quiet)
   in
   Cmd.v
     (Cmd.info "rio_serve"

@@ -417,6 +417,13 @@ let pool_to_json (p : Options.pool_opts) : json =
         match p.deadline_cycles with None -> Null | Some c -> Int c );
       ( "deadline_secs",
         match p.deadline_secs with None -> Null | Some s -> Float s );
+      ("accept_queue", Int p.accept_queue);
+      ("batch_window", Int p.batch_window);
+      ("prewarm", Bool p.prewarm);
+      ("min_domains", match p.min_domains with None -> Null | Some m -> Int m);
+      ("scale_up_depth", Int p.scale_up_depth);
+      ("scale_down_depth", Int p.scale_down_depth);
+      ("scale_hysteresis", Int p.scale_hysteresis);
     ]
 
 let sorted_overrides ov =
@@ -612,7 +619,9 @@ let pool_of_json ~ctx kvs : (Options.pool_opts, error) result =
   let* () =
     check_keys ~ctx
       [ "domains"; "max_inflight"; "queue_capacity"; "affinity"; "retries";
-        "quarantine_threshold"; "deadline_cycles"; "deadline_secs" ]
+        "quarantine_threshold"; "deadline_cycles"; "deadline_secs";
+        "accept_queue"; "batch_window"; "prewarm"; "min_domains";
+        "scale_up_depth"; "scale_down_depth"; "scale_hysteresis" ]
       kvs
   in
   let* domains = get_int ~ctx kvs "domains" ~default:d.domains in
@@ -625,10 +634,23 @@ let pool_of_json ~ctx kvs : (Options.pool_opts, error) result =
   in
   let* deadline_cycles = get_int_opt ~ctx kvs "deadline_cycles" ~default:d.deadline_cycles in
   let* deadline_secs = get_float_opt ~ctx kvs "deadline_secs" ~default:d.deadline_secs in
+  let* accept_queue = get_int ~ctx kvs "accept_queue" ~default:d.accept_queue in
+  let* batch_window = get_int ~ctx kvs "batch_window" ~default:d.batch_window in
+  let* prewarm = get_bool ~ctx kvs "prewarm" ~default:d.prewarm in
+  let* min_domains = get_int_opt ~ctx kvs "min_domains" ~default:d.min_domains in
+  let* scale_up_depth = get_int ~ctx kvs "scale_up_depth" ~default:d.scale_up_depth in
+  let* scale_down_depth =
+    get_int ~ctx kvs "scale_down_depth" ~default:d.scale_down_depth
+  in
+  let* scale_hysteresis =
+    get_int ~ctx kvs "scale_hysteresis" ~default:d.scale_hysteresis
+  in
   Ok
     {
       Options.domains; max_inflight; queue_capacity; affinity; retries;
       quarantine_threshold; deadline_cycles; deadline_secs;
+      accept_queue; batch_window; prewarm; min_domains;
+      scale_up_depth; scale_down_depth; scale_hysteresis;
     }
 
 let overrides_of_json ~ctx kvs : ((string * int) list, error) result =

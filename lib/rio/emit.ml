@@ -664,6 +664,7 @@ let emit_fragment (rt : runtime) (ts : thread_state) ~(kind : fragment_kind)
       deleted = false;
       exec_count = 0;
       reopted = false;
+      loaded = false;
       guards = [];
       checksum = 0;
       src_ranges;

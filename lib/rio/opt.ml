@@ -941,7 +941,13 @@ let despec_rebuild (rt : runtime) (ts : thread_state) (frag : fragment)
 let despeculate (rt : runtime) (ts : thread_state) (frag : fragment)
     (g : guard) : fragment =
   match g.g_kind with
-  | G_const -> despec_cut rt ts frag g
+  | G_const when not frag.loaded -> despec_cut rt ts frag g
+  | G_const ->
+      (* a loaded body has no IL round-trip to cut the guard out of;
+         rebuild instead, but keep the cut path's verdict so the
+         relearned trace skips the unstable speculation *)
+      Fragindex.set_nospec ts.index g.g_site;
+      despec_rebuild rt ts frag g
   | G_ind _ -> despec_rebuild rt ts frag g
 
 (* Deferred-optimization threshold: traces are emitted unoptimized and

@@ -132,6 +132,34 @@ type pool_opts = {
           engine at the next fragment boundary once exceeded *)
   deadline_secs : float option;
       (** per-request host wall-clock bound, same preemption path *)
+  (* --- serving front-end (DESIGN.md §6.10) --- *)
+  accept_queue : int;
+      (** admission bound: total requests admitted but not yet finished
+          before {!Pool.try_submit} sheds with [Overloaded] (>= 1).
+          [max_inflight] still bounds the blocking {!Pool.submit} path *)
+  batch_window : int;
+      (** dequeue-time batching: how deep into its own deque a worker
+          scans for a request matching the key it served last (keeping
+          the warm instance hot); 0 disables reordering *)
+  prewarm : bool;
+      (** build every (worker, workload) instance at pool boot, before
+          any request is accepted, so steady-state traffic sees zero
+          cold boots *)
+  min_domains : int option;
+      (** enable the queue-depth autoscaler: workers beyond this floor
+          park when load drops and wake as depth grows, between
+          [min_domains] and [domains].  [None] keeps every domain hot
+          (no scaling) *)
+  scale_up_depth : int;
+      (** queued requests per live worker that must be sustained for
+          [scale_hysteresis] decisions before a parked worker wakes *)
+  scale_down_depth : int;
+      (** queued requests per live worker below which a sustained run
+          of decisions parks the youngest live worker; must be below
+          [scale_up_depth] *)
+  scale_hysteresis : int;
+      (** consecutive same-direction decisions required before the
+          autoscaler acts (>= 1); damps flapping on bursty arrivals *)
 }
 
 let default_pool =
@@ -144,6 +172,13 @@ let default_pool =
     quarantine_threshold = 3;
     deadline_cycles = None;
     deadline_secs = None;
+    accept_queue = 128;
+    batch_window = 8;
+    prewarm = false;
+    min_domains = None;
+    scale_up_depth = 4;
+    scale_down_depth = 1;
+    scale_hysteresis = 3;
   }
 
 (** What to do when a bounded code cache fills up (DESIGN.md §6.3). *)
@@ -388,13 +423,42 @@ let validate_pool (p : pool_opts) : (unit, string) result =
     Error
       (Printf.sprintf "quarantine threshold must be >= 1 (got %d)"
          p.quarantine_threshold)
+  else if p.accept_queue < 1 then
+    Error
+      (Printf.sprintf
+         "pool accept-queue must be >= 1 (got %d): a zero admission bound \
+          sheds every request"
+         p.accept_queue)
+  else if p.batch_window < 0 then
+    Error (Printf.sprintf "pool batch-window must be >= 0 (got %d)" p.batch_window)
+  else if p.scale_hysteresis < 1 then
+    Error
+      (Printf.sprintf "pool scale-hysteresis must be >= 1 (got %d)"
+         p.scale_hysteresis)
+  else if p.scale_down_depth < 0 then
+    Error
+      (Printf.sprintf "pool scale-down-depth must be >= 0 (got %d)"
+         p.scale_down_depth)
+  else if p.scale_up_depth <= p.scale_down_depth then
+    Error
+      (Printf.sprintf
+         "pool scale-up-depth (%d) must exceed scale-down-depth (%d): \
+          overlapping thresholds make the autoscaler flap"
+         p.scale_up_depth p.scale_down_depth)
   else
-    match (p.deadline_cycles, p.deadline_secs) with
-    | Some c, _ when c <= 0 ->
-        Error (Printf.sprintf "deadline-cycles must be positive (got %d)" c)
-    | _, Some s when s <= 0.0 ->
-        Error (Printf.sprintf "deadline-secs must be positive (got %g)" s)
-    | _ -> Ok ()
+    match p.min_domains with
+    | Some m when m < 1 || m > p.domains ->
+        Error
+          (Printf.sprintf
+             "pool min-domains must be between 1 and domains=%d (got %d)"
+             p.domains m)
+    | _ -> (
+        match (p.deadline_cycles, p.deadline_secs) with
+        | Some c, _ when c <= 0 ->
+            Error (Printf.sprintf "deadline-cycles must be positive (got %d)" c)
+        | _, Some s when s <= 0.0 ->
+            Error (Printf.sprintf "deadline-secs must be positive (got %g)" s)
+        | _ -> Ok ())
 
 let validate_pool_exn (p : pool_opts) : unit =
   match validate_pool p with

@@ -24,7 +24,9 @@
     persistable bb fragments and trace fragments.  Per fragment: kind,
     tag, body/total length, source ranges, per-exit metadata (kind,
     target tag, site offsets, condition and always-through-stub flags),
-    the relocation table, and the raw cache bytes.
+    the relocation table, the speculative-guard table (site, assumption
+    kind, owning-exit ordinal, lifetime violation count — format v2),
+    and the raw cache bytes.
 
     {2 What load replays, and what it drops}
 
@@ -37,18 +39,23 @@
     dispatcher re-links them lazily with its usual policy.  TLS-slot
     operands are validated against the loading thread's tid.  Dropped
     as rebuildable-or-runtime-local: direct links, IBL table entries,
-    execution counters, speculation guards (a loaded trace keeps its
-    guard {e code} — compare-and-side-exit to the unoptimized block,
-    still correct — but no longer counts violations), and client stub
-    ILs (loaded fragments are marked [reopted] so nothing tries to
-    decode them back to IL).  Fragments addressing runtime-heap cells
+    execution counters, guard burst windows (bursts are a phase
+    signal of one process's run; lifetime violation counts {e do}
+    survive, re-bound to the fresh exit ids, so a loaded -O3 trace
+    keeps counting toward its despeculation budget), and client stub
+    ILs (loaded fragments are marked [reopted] and [loaded] so nothing
+    tries to decode them back to IL — a spent constant guard on a
+    loaded trace despecs by rebuild, not by cutting).  Despeculation
+    {e verdicts} travel in the index entries' [nospec] bits, so a
+    warm-booted instance never rebuilds a speculation its saver
+    already proved unstable.  Fragments addressing runtime-heap cells
     ([RT_runtime_abs]: client globals, profiling counters) are not
     persisted at all — those addresses die with the saving process. *)
 
 open Types
 
 let magic = "RIOCACHE"
-let format_version = 1
+let format_version = 2
 
 type error =
   | Bad_magic
@@ -198,6 +205,35 @@ let write_fragment buf (mem : Vm.Memory.t) (f : fragment) : unit =
           Buffer.add_char buf '\003';
           add_v buf addr)
     f.relocs;
+  (* speculative guards (format v2): site, assumption kind, owning-exit
+     ordinal, lifetime violations.  Burst state is run-local and
+     dropped; a guard not bound to a live exit has nothing to re-bind
+     to and is skipped. *)
+  let ord_of_exit id =
+    let ord = ref (-1) in
+    Array.iteri (fun k e -> if e.exit_id = id then ord := k) f.exits;
+    !ord
+  in
+  let guards =
+    List.filter_map
+      (fun (g : guard) ->
+        let ord = ord_of_exit g.g_exit_id in
+        if ord < 0 then None else Some (g, ord))
+      f.guards
+  in
+  add_v buf (List.length guards);
+  List.iter
+    (fun ((g : guard), ord) ->
+      add_v buf g.g_site;
+      Buffer.add_char buf
+        (match g.g_kind with
+        | G_ind Ind_jmp -> '\000'
+        | G_ind Ind_call -> '\001'
+        | G_ind Ind_ret -> '\002'
+        | G_const -> '\003');
+      add_v buf ord;
+      add_v buf g.g_violations)
+    guards;
   let len = f.total_end - f.entry in
   let body = Vm.Memory.read_bytes mem ~addr:f.entry ~len in
   Buffer.add_bytes buf body
@@ -353,6 +389,13 @@ type parsed_exit = {
   pe_always : bool;
 }
 
+type parsed_guard = {
+  pg_site : int;
+  pg_kind : guard_kind;
+  pg_ord : int;          (* ordinal of the bound exit *)
+  pg_violations : int;
+}
+
 type parsed_fragment = {
   pf_kind : fragment_kind;
   pf_tag : int;
@@ -361,6 +404,7 @@ type parsed_fragment = {
   pf_src_ranges : (int * int) list;
   pf_exits : parsed_exit list;
   pf_relocs : reloc array;
+  pf_guards : parsed_guard list;
   pf_bytes : Bytes.t;
 }
 
@@ -441,10 +485,31 @@ let read_fragment r : parsed_fragment =
           raise (Fail (Malformed "reloc site outside fragment"));
         { r_off; r_target })
   in
+  let nguards = read_v r in
+  if nguards > 4096 then raise (Fail (Malformed "implausible guard count"));
+  let guards =
+    List.init nguards (fun _ ->
+        let pg_site = read_v r in
+        need r 1;
+        let pg_kind =
+          match r.src.[r.pos] with
+          | '\000' -> G_ind Ind_jmp
+          | '\001' -> G_ind Ind_call
+          | '\002' -> G_ind Ind_ret
+          | '\003' -> G_const
+          | _ -> raise (Fail (Malformed "bad guard kind"))
+        in
+        r.pos <- r.pos + 1;
+        let pg_ord = read_v r in
+        if pg_ord >= nexits then
+          raise (Fail (Malformed "guard exit ordinal out of range"));
+        let pg_violations = read_v r in
+        { pg_site; pg_kind; pg_ord; pg_violations })
+  in
   let bytes = read_bytes_ r total_len in
   { pf_kind = kind; pf_tag = tag; pf_body_len = body_len;
     pf_total_len = total_len; pf_src_ranges = src_ranges; pf_exits = exits;
-    pf_relocs = relocs; pf_bytes = bytes }
+    pf_relocs = relocs; pf_guards = guards; pf_bytes = bytes }
 
 (* Re-materialize one parsed fragment into the runtime: allocate cache
    space, blit, build exit records with fresh ids, and replay the
@@ -513,12 +578,28 @@ let materialize (rt : runtime) (ts : thread_state) (pf : parsed_fragment) : bool
                their notes, so decode-based re-optimization must never
                run on them *)
             reopted = true;
+            loaded = true;
             guards = [];
             checksum = 0;
             src_ranges = pf.pf_src_ranges;
           }
         in
         Array.iter (fun e -> e.e_owner <- Some frag) exits;
+        (* re-bind persisted guards to the fresh exit ids: lifetime
+           violation counts carry over (the despec budget survives the
+           reboot), burst state starts clean *)
+        frag.guards <-
+          List.map
+            (fun pg ->
+              {
+                g_site = pg.pg_site;
+                g_kind = pg.pg_kind;
+                g_exit_id = exits.(pg.pg_ord).exit_id;
+                g_violations = pg.pg_violations;
+                g_last_violation = 0;
+                g_burst = 0;
+              })
+            pf.pf_guards;
         (* relocation replay: the saved bytes froze some link state and
            the saver's trap tokens — re-encode every pc-relative site
            for this placement, unlinked, with this runtime's tokens *)

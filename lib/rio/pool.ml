@@ -97,6 +97,62 @@ module Deque = struct
       d.len <- d.len - 1;
       x
     end
+
+  let length d = d.len
+
+  (* logical index [i] from the front; [None] out of range *)
+  let nth d i =
+    if i < 0 || i >= d.len then None
+    else d.buf.((d.head + i) mod Array.length d.buf)
+
+  (* remove the element at logical index [i], closing the gap by
+     shifting whichever side is shorter; the batching scheduler uses
+     this to pull a same-key request out of the middle of a deque *)
+  let remove_at d i =
+    if i < 0 || i >= d.len then invalid_arg "Deque.remove_at";
+    let n = Array.length d.buf in
+    let x = d.buf.((d.head + i) mod n) in
+    if i < d.len - 1 - i then begin
+      for k = i downto 1 do
+        d.buf.((d.head + k) mod n) <- d.buf.((d.head + k - 1) mod n)
+      done;
+      d.buf.(d.head) <- None;
+      d.head <- (d.head + 1) mod n
+    end
+    else begin
+      for k = i to d.len - 2 do
+        d.buf.((d.head + k) mod n) <- d.buf.((d.head + k + 1) mod n)
+      done;
+      d.buf.((d.head + d.len - 1) mod n) <- None
+    end;
+    d.len <- d.len - 1;
+    x
+
+  (* first logical index within [window] of the front whose element
+     satisfies [pred] *)
+  let find_front d ~window pred =
+    let n = min d.len window in
+    let rec go i =
+      if i >= n then None
+      else
+        match nth d i with
+        | Some x when pred x -> Some i
+        | _ -> go (i + 1)
+    in
+    go 0
+
+  (* first logical index within [window] of the back whose element
+     satisfies [pred], scanning backward from the newest element *)
+  let find_back d ~window pred =
+    let stop = max 0 (d.len - window) in
+    let rec go i =
+      if i < stop then None
+      else
+        match nth d i with
+        | Some x when pred x -> Some i
+        | _ -> go (i - 1)
+    in
+    go (d.len - 1)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -126,6 +182,7 @@ type boot = {
 }
 
 type request = {
+  req_id : int;            (** caller-chosen correlation id, echoed in the result *)
   req_key : string;        (** workload key; selects the boot and the warm instance *)
   req_seed : int;
   req_input : int list;    (** full input stream for this request *)
@@ -133,6 +190,7 @@ type request = {
 }
 
 type result = {
+  res_id : int;            (** the request's [req_id] *)
   res_key : string;
   res_seed : int;
   res_worker : int;        (** domain that executed the final attempt *)
@@ -149,16 +207,22 @@ type result = {
   res_ok : bool;           (** exited normally and matched [req_expect] *)
 }
 
-(** Why {!submit} refused a request. *)
+(** Why {!submit} or {!try_submit} refused a request. *)
 type reject =
   | Unknown_key of string  (** no boot registered for this workload key *)
   | Quarantined of string  (** the key's circuit breaker is open and a
                                probe is already in flight *)
+  | Overloaded of int * int
+      (** admission bound hit: [(admitted, accept_queue)] — the
+          non-blocking {!try_submit} path sheds instead of queueing
+          without bound *)
   | Pool_stopping
 
 let reject_to_string = function
   | Unknown_key k -> Printf.sprintf "no boot registered for key %S" k
   | Quarantined k -> Printf.sprintf "workload key %S is quarantined" k
+  | Overloaded (n, cap) ->
+      Printf.sprintf "pool overloaded: %d requests admitted (bound %d)" n cap
   | Pool_stopping -> "pool is shut down"
 
 type snapshot = {
@@ -189,6 +253,13 @@ type snapshot = {
   snap_cache_refused : int;      (** image loads refused (fell back to cold) *)
   snap_profile_publishes : int;  (** successful requests that published to the store *)
   snap_prewarms : int;           (** instances seeded from the shared store *)
+  (* --- serving front-end (DESIGN.md §6.10) --- *)
+  snap_live_domains : int;       (** workers currently serving (not parked) *)
+  snap_shed : int;               (** {!try_submit} rejections for overload *)
+  snap_batch_hits : int;         (** same-key dequeue picks by the batcher *)
+  snap_scale_ups : int;          (** autoscaler wake events *)
+  snap_scale_downs : int;        (** autoscaler park events *)
+  snap_prewarm_boots : int;      (** instances built eagerly at boot/reload *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -235,6 +306,9 @@ type worker = {
   mutable w_busy_cycles : int;          (* under pool mutex *)
   mutable w_current : job option;       (* under pool mutex; what the
                                            domain dies holding *)
+  mutable w_last_key : string option;   (* under pool mutex: key of the
+                                           last claimed job, the
+                                           batcher's locality hint *)
   w_chaos : Faultinject.chaos_state option;
       (* private per-worker chaos stream; touched only by the owning
          domain while serving *)
@@ -279,6 +353,14 @@ type t = {
   mutable probes : int;
   quar : (string, quar) Hashtbl.t;
   store : store;                  (* fleet-wide profile knowledge *)
+  (* --- serving front-end (DESIGN.md §6.10); all under pool.mu --- *)
+  mutable live : int;             (* workers < live serve; the rest park *)
+  key_home : (string, int) Hashtbl.t;
+      (* key -> worker that last claimed it; affinity routing follows
+         the warm instance instead of a static hash *)
+  mutable up_streak : int;        (* autoscaler hysteresis runs *)
+  mutable down_streak : int;
+  mutable pool_stats : Stats.t;   (* serving counters + latency histogram *)
   mutable results : result list;  (* reversed completion order *)
   mutable stopping : bool;
   mutable reloading : bool;       (* pause job claims while reloading *)
@@ -302,6 +384,65 @@ let quar_state pool key : quar =
 let note_progress pool =
   if pool.completed = pool.submitted then Condition.broadcast pool.done_cv;
   if pool.reloading && pool.active = 0 then Condition.broadcast pool.done_cv
+
+(* Requests enqueued but not yet claimed; call with the pool mutex
+   held. *)
+let queued_jobs pool =
+  Array.fold_left (fun n w -> n + Deque.length w.w_deque) 0 pool.workers
+
+(* The queue-depth autoscaler (DESIGN.md §6.10): one decision per
+   submit/completion, acting only after [scale_hysteresis] consecutive
+   same-direction decisions.  Scale-up wakes the next parked worker;
+   scale-down parks the youngest live worker and rehomes anything left
+   on its deque.  Workers mid-request are untouched — parking only
+   stops future claims.  Call with the pool mutex held. *)
+let maybe_scale pool =
+  match pool.cfg.Options.min_domains with
+  | None -> ()
+  | Some floor ->
+      let cfg = pool.cfg in
+      let depth = queued_jobs pool / pool.live in
+      if depth >= cfg.Options.scale_up_depth
+         && pool.live < Array.length pool.workers
+      then begin
+        pool.down_streak <- 0;
+        pool.up_streak <- pool.up_streak + 1;
+        if pool.up_streak >= cfg.Options.scale_hysteresis then begin
+          pool.up_streak <- 0;
+          pool.live <- pool.live + 1;
+          pool.pool_stats.Stats.scale_ups <-
+            pool.pool_stats.Stats.scale_ups + 1;
+          Condition.broadcast pool.work_cv
+        end
+      end
+      else if depth <= cfg.Options.scale_down_depth && pool.live > floor
+      then begin
+        pool.up_streak <- 0;
+        pool.down_streak <- pool.down_streak + 1;
+        if pool.down_streak >= cfg.Options.scale_hysteresis then begin
+          pool.down_streak <- 0;
+          pool.live <- pool.live - 1;
+          pool.pool_stats.Stats.scale_downs <-
+            pool.pool_stats.Stats.scale_downs + 1;
+          (* rehome anything queued on the newly parked worker *)
+          let parked = pool.workers.(pool.live) in
+          let k = ref 0 in
+          let rec move () =
+            match Deque.pop_front parked.w_deque with
+            | None -> ()
+            | Some j ->
+                Deque.push_back pool.workers.(!k mod pool.live).w_deque j;
+                incr k;
+                move ()
+          in
+          move ();
+          if !k > 0 then Condition.broadcast pool.work_cv
+        end
+      end
+      else begin
+        pool.up_streak <- 0;
+        pool.down_streak <- 0
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Shared profile store: publish and prewarm                          *)
@@ -526,6 +667,7 @@ let serve pool (w : worker) (j : job) ~home ~stolen : result =
   in
   if ok then publish_profiles pool r.req_key rt;
   {
+    res_id = r.req_id;
     res_key = r.req_key;
     res_seed = r.req_seed;
     res_worker = w.w_id;
@@ -553,6 +695,7 @@ let serve_barrier pool (w : worker) (j : job) ~home ~stolen : result =
   | exn ->
       Hashtbl.remove w.w_warm j.jr.req_key;
       {
+        res_id = j.jr.req_id;
         res_key = j.jr.req_key;
         res_seed = j.jr.req_seed;
         res_worker = w.w_id;
@@ -596,6 +739,8 @@ let record_final pool (w : worker) (j : job) (res : result) : unit =
       pool.quarantine_opens <- pool.quarantine_opens + 1
     end
   end;
+  Stats.hist_add pool.pool_stats.Stats.serve_lat res.res_cycles;
+  maybe_scale pool;
   Condition.signal pool.space_cv;
   note_progress pool
 
@@ -628,11 +773,11 @@ let rec serve_with_retries pool (w : worker) (j : job) ~home ~stolen : unit =
     pool.retries <- pool.retries + 1;
     j.j_attempt <- j.j_attempt + 1;
     let rung = j.j_attempt in
-    if rung >= 3 && Array.length pool.workers > 1 then begin
-      (* rung 3: migrate — cold-boot on another domain *)
+    if rung >= 3 && pool.live > 1 then begin
+      (* rung 3: migrate — cold-boot on another (live) domain *)
       j.j_force_cold <- true;
       Hashtbl.remove w.w_warm j.jr.req_key;
-      let target = pool.workers.((w.w_id + 1) mod Array.length pool.workers) in
+      let target = pool.workers.((w.w_id + 1) mod pool.live) in
       Deque.push_front target.w_deque j;
       pool.requeues <- pool.requeues + 1;
       w.w_current <- None;
@@ -650,29 +795,86 @@ let rec serve_with_retries pool (w : worker) (j : job) ~home ~stolen : unit =
     end
   end
 
+(* Dequeue from the worker's own deque, letting the batcher reorder:
+   within [batch_window] of the front, a request for the key this
+   worker served last jumps the line, so the instance that is hot right
+   now stays hot.  Reordering is bounded by the window, so no request
+   starves.  Call with the pool mutex held. *)
+let claim_own pool (w : worker) : job option =
+  let window = pool.cfg.Options.batch_window in
+  match w.w_last_key with
+  | Some key when window > 0 && Deque.length w.w_deque > 1 -> (
+      match
+        Deque.find_front w.w_deque ~window (fun j -> j.jr.req_key = key)
+      with
+      | Some i when i > 0 ->
+          pool.pool_stats.Stats.requests_batched <-
+            pool.pool_stats.Stats.requests_batched + 1;
+          Deque.remove_at w.w_deque i
+      | _ -> Deque.pop_front w.w_deque)
+  | _ -> Deque.pop_front w.w_deque
+
+(* Steal from a victim's back, preferring — within the batch window —
+   a request for the thief's own hot key: stolen work then lands on an
+   already-warm instance instead of forcing a boot.  Parked workers'
+   deques are valid victims (supervisor requeues can strand jobs
+   there).  Call with the pool mutex held. *)
+let claim_steal pool (w : worker) : (job * int) option =
+  let n = Array.length pool.workers in
+  let window = pool.cfg.Options.batch_window in
+  let preferred =
+    match w.w_last_key with
+    | Some key when window > 0 ->
+        let rec scan k =
+          if k >= n - 1 then None
+          else
+            let victim = pool.workers.((w.w_id + 1 + k) mod n) in
+            match
+              Deque.find_back victim.w_deque ~window (fun j ->
+                  j.jr.req_key = key)
+            with
+            | Some i ->
+                pool.pool_stats.Stats.requests_batched <-
+                  pool.pool_stats.Stats.requests_batched + 1;
+                Option.map
+                  (fun j -> (j, victim.w_id))
+                  (Deque.remove_at victim.w_deque i)
+            | None -> scan (k + 1)
+        in
+        scan 0
+    | _ -> None
+  in
+  match preferred with
+  | Some _ as r -> r
+  | None ->
+      let rec scan k =
+        if k >= n - 1 then None
+        else
+          let victim = pool.workers.((w.w_id + 1 + k) mod n) in
+          match Deque.pop_back victim.w_deque with
+          | Some j -> Some (j, victim.w_id)
+          | None -> scan (k + 1)
+      in
+      scan 0
+
 let rec worker_loop pool (w : worker) : unit =
   Mutex.lock pool.mu;
   let job =
-    if pool.reloading then None
+    (* parked workers (id >= live) claim nothing until the autoscaler
+       wakes them; they still finish the request they already hold *)
+    if pool.reloading || w.w_id >= pool.live then None
     else
-      match Deque.pop_front w.w_deque with
+      match claim_own pool w with
       | Some j -> Some (j, w.w_id, false)
       | None ->
-          let n = Array.length pool.workers in
-          let rec scan k =
-            if k >= n - 1 then None
-            else
-              let victim = pool.workers.((w.w_id + 1 + k) mod n) in
-              match Deque.pop_back victim.w_deque with
-              | Some j -> Some (j, victim.w_id, true)
-              | None -> scan (k + 1)
-          in
-          scan 0
+          Option.map (fun (j, home) -> (j, home, true)) (claim_steal pool w)
   in
   match job with
   | Some (j, home, stolen) ->
       if stolen then pool.steals <- pool.steals + 1;
       w.w_current <- Some j;
+      w.w_last_key <- Some j.jr.req_key;
+      Hashtbl.replace pool.key_home j.jr.req_key w.w_id;
       pool.active <- pool.active + 1;
       Mutex.unlock pool.mu;
       serve_with_retries pool w j ~home ~stolen;
@@ -741,6 +943,7 @@ let create ?(cfg = Options.default_pool) ?chaos
           w_deque = Deque.create ~capacity:cfg.Options.queue_capacity ();
           w_busy_cycles = 0;
           w_current = None;
+          w_last_key = None;
           w_chaos = Option.map (fun co -> Faultinject.chaos_make co ~salt:i) chaos;
           w_warm = Hashtbl.create 8;
         })
@@ -774,6 +977,14 @@ let create ?(cfg = Options.default_pool) ?chaos
       quarantine_closes = 0;
       probes = 0;
       quar = Hashtbl.create 8;
+      live =
+        (match cfg.Options.min_domains with
+        | None -> cfg.Options.domains
+        | Some m -> m);
+      key_home = Hashtbl.create 8;
+      up_streak = 0;
+      down_streak = 0;
+      pool_stats = Stats.create ();
       store =
         {
           st_mu = Mutex.create ();
@@ -791,57 +1002,128 @@ let create ?(cfg = Options.default_pool) ?chaos
       sup_handle = None;
     }
   in
+  (* pre-warm before any domain exists: build every (worker, key)
+     instance — image replay plus store seeding — so the first request
+     of every key on every domain is already warm.  Everything built
+     here happens-before Domain.spawn, so the workers see it without
+     synchronization. *)
+  if cfg.Options.prewarm then
+    Array.iter
+      (fun w ->
+        List.iter
+          (fun (key, boot) ->
+            let m = boot.boot_machine () in
+            let rt =
+              Engine.create ~opts:boot.boot_opts
+                ~client:(boot.boot_client ()) m
+            in
+            warm_boot_instance pool boot key rt;
+            Hashtbl.replace w.w_warm key rt;
+            pool.pool_stats.Stats.prewarm_boots <-
+              pool.pool_stats.Stats.prewarm_boots + 1)
+          pool.boots)
+      workers;
   pool.handles <-
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_body pool w)) workers);
   pool.sup_handle <- Some (Domain.spawn (fun () -> supervisor_loop pool));
   pool
 
-let submit pool (r : request) : (unit, reject) Stdlib.result =
-  Mutex.lock pool.mu;
-  if pool.stopping then begin
-    Mutex.unlock pool.mu;
-    Error Pool_stopping
-  end
+(* Admission checks shared by {!submit} and {!try_submit}; call with
+   the pool mutex held.  [Ok q] hands back the key's breaker state so
+   the caller can admit a probe. *)
+let admission_check pool (r : request) : (quar, reject) Stdlib.result =
+  if pool.stopping then Error Pool_stopping
   else if not (List.mem_assoc r.req_key pool.boots) then begin
     pool.rejected_unknown <- pool.rejected_unknown + 1;
-    Mutex.unlock pool.mu;
     Error (Unknown_key r.req_key)
   end
   else begin
     let q = quar_state pool r.req_key in
     if q.q_open && q.q_probe then begin
       pool.rejected_quarantined <- pool.rejected_quarantined + 1;
-      Mutex.unlock pool.mu;
       Error (Quarantined r.req_key)
     end
-    else begin
-      (* half-open circuit breaker: exactly one probe request is let
-         through an open breaker; its outcome closes or re-arms it *)
-      if q.q_open then begin
-        q.q_probe <- true;
-        pool.probes <- pool.probes + 1
-      end;
+    else Ok q
+  end
+
+(* Enqueue an admitted request on its home worker; call with the pool
+   mutex held.  Routing prefers the worker that last served the key —
+   its instance is the hottest — falling back to key-hash affinity or
+   round-robin over the live workers. *)
+let enqueue pool (r : request) (q : quar) : unit =
+  (* half-open circuit breaker: exactly one probe request is let
+     through an open breaker; its outcome closes or re-arms it *)
+  if q.q_open then begin
+    q.q_probe <- true;
+    pool.probes <- pool.probes + 1
+  end;
+  let home =
+    match Hashtbl.find_opt pool.key_home r.req_key with
+    | Some h when pool.cfg.Options.affinity && h < pool.live -> h
+    | _ ->
+        if pool.cfg.Options.affinity then
+          Hashtbl.hash r.req_key mod pool.live
+        else begin
+          let h = pool.next_home mod pool.live in
+          pool.next_home <- (h + 1) mod pool.live;
+          h
+        end
+  in
+  Deque.push_back pool.workers.(home).w_deque
+    { jr = r; j_attempt = 0; j_force_cold = false };
+  pool.submitted <- pool.submitted + 1;
+  maybe_scale pool;
+  Condition.broadcast pool.work_cv
+
+let submit pool (r : request) : (unit, reject) Stdlib.result =
+  Mutex.lock pool.mu;
+  match admission_check pool r with
+  | Error e ->
+      Mutex.unlock pool.mu;
+      Error e
+  | Ok q ->
       while pool.submitted - pool.completed >= pool.cfg.Options.max_inflight do
         Condition.wait pool.space_cv pool.mu
       done;
-      let home =
-        if pool.cfg.Options.affinity then
-          Hashtbl.hash r.req_key mod Array.length pool.workers
-        else begin
-          let h = pool.next_home in
-          pool.next_home <- (h + 1) mod Array.length pool.workers;
-          h
-        end
-      in
-      Deque.push_back pool.workers.(home).w_deque
-        { jr = r; j_attempt = 0; j_force_cold = false };
-      pool.submitted <- pool.submitted + 1;
-      Condition.broadcast pool.work_cv;
+      enqueue pool r q;
       Mutex.unlock pool.mu;
       Ok ()
-    end
-  end
+
+(** Non-blocking admission for the socket front-end: where {!submit}
+    would wait for space, this sheds with [Overloaded] once the number
+    of admitted-but-unfinished requests reaches [accept_queue] — the
+    caller turns that into backpressure (a typed reject on the wire)
+    instead of unbounded queueing. *)
+let try_submit pool (r : request) : (unit, reject) Stdlib.result =
+  Mutex.lock pool.mu;
+  match admission_check pool r with
+  | Error e ->
+      Mutex.unlock pool.mu;
+      Error e
+  | Ok q ->
+      let admitted = pool.submitted - pool.completed in
+      if admitted >= pool.cfg.Options.accept_queue then begin
+        pool.pool_stats.Stats.requests_shed <-
+          pool.pool_stats.Stats.requests_shed + 1;
+        Mutex.unlock pool.mu;
+        Error (Overloaded (admitted, pool.cfg.Options.accept_queue))
+      end
+      else begin
+        enqueue pool r q;
+        Mutex.unlock pool.mu;
+        Ok ()
+      end
+
+(** Results completed so far, in completion order, without waiting:
+    the server's poll loop pairs this with {!try_submit} to stream
+    responses while requests are still in flight. *)
+let take_results pool : result list =
+  Mutex.lock pool.mu;
+  let rs = List.rev pool.results in
+  pool.results <- [];
+  Mutex.unlock pool.mu;
+  rs
 
 let drain pool : result list =
   Mutex.lock pool.mu;
@@ -886,7 +1168,9 @@ let drain_and_reload ?(rebuild = false) pool : unit =
             (* rebuilt instances start with everything the fleet has
                learned: the saved image (if any) and the shared store *)
             warm_boot_instance pool boot key rt;
-            Hashtbl.replace w.w_warm key rt)
+            Hashtbl.replace w.w_warm key rt;
+            pool.pool_stats.Stats.prewarm_boots <-
+              pool.pool_stats.Stats.prewarm_boots + 1)
           pool.boots)
     pool.workers;
   Hashtbl.reset pool.quar;
@@ -920,6 +1204,9 @@ let reset_counters pool : unit =
   pool.quarantine_closes <- 0;
   pool.probes <- 0;
   pool.results <- [];
+  pool.pool_stats <- Stats.create ();
+  pool.up_streak <- 0;
+  pool.down_streak <- 0;
   Array.iter (fun w -> w.w_busy_cycles <- 0) pool.workers;
   (* zero the store's counters but keep its knowledge: profiles are
      what the next measurement pass is usually trying to exploit *)
@@ -963,7 +1250,10 @@ let stats pool : snapshot =
       (fun acc w ->
         Hashtbl.fold (fun _ rt acc -> Stats.merge acc (Engine.stats rt)) w.w_warm
           acc)
-      (Stats.create ()) pool.workers
+      (* a merge with a zero record copies pool_stats, so the snapshot
+         never aliases the live mutable record *)
+      (Stats.merge (Stats.create ()) pool.pool_stats)
+      pool.workers
   in
   let quarantined_now =
     Hashtbl.fold (fun _ q n -> if q.q_open then n + 1 else n) pool.quar 0
@@ -994,6 +1284,12 @@ let stats pool : snapshot =
       snap_cache_refused = pool.store.st_cache_refused;
       snap_profile_publishes = pool.store.st_publishes;
       snap_prewarms = pool.store.st_prewarms;
+      snap_live_domains = pool.live;
+      snap_shed = pool.pool_stats.Stats.requests_shed;
+      snap_batch_hits = pool.pool_stats.Stats.requests_batched;
+      snap_scale_ups = pool.pool_stats.Stats.scale_ups;
+      snap_scale_downs = pool.pool_stats.Stats.scale_downs;
+      snap_prewarm_boots = pool.pool_stats.Stats.prewarm_boots;
     }
   in
   Mutex.unlock pool.mu;

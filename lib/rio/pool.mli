@@ -30,6 +30,7 @@ type boot = {
 }
 
 type request = {
+  req_id : int;      (** caller-chosen correlation id, echoed in the result *)
   req_key : string;  (** workload key; selects the boot and the warm instance *)
   req_seed : int;
   req_input : int list;          (** full input stream for this request *)
@@ -37,6 +38,7 @@ type request = {
 }
 
 type result = {
+  res_id : int;            (** the request's [req_id] *)
   res_key : string;
   res_seed : int;
   res_worker : int;        (** domain that executed the final attempt *)
@@ -56,11 +58,13 @@ type result = {
   res_ok : bool;           (** exited normally and matched [req_expect] *)
 }
 
-(** Why {!submit} refused a request. *)
+(** Why {!submit} or {!try_submit} refused a request. *)
 type reject =
   | Unknown_key of string  (** no boot registered for this workload key *)
   | Quarantined of string  (** the key's circuit breaker is open and a
                                probe is already in flight *)
+  | Overloaded of int * int
+      (** {!try_submit} admission bound hit: [(admitted, accept_queue)] *)
   | Pool_stopping
 
 val reject_to_string : reject -> string
@@ -92,6 +96,12 @@ type snapshot = {
   snap_profile_publishes : int;  (** successful requests that published learned
                                      profiles to the shared store *)
   snap_prewarms : int;           (** instances seeded from the shared store *)
+  snap_live_domains : int;       (** workers currently serving (not parked) *)
+  snap_shed : int;               (** {!try_submit} rejections for overload *)
+  snap_batch_hits : int;         (** same-key dequeue picks by the batcher *)
+  snap_scale_ups : int;          (** autoscaler wake events *)
+  snap_scale_downs : int;        (** autoscaler park events *)
+  snap_prewarm_boots : int;      (** instances built eagerly at boot/reload *)
 }
 
 type t
@@ -120,11 +130,24 @@ val submit : t -> request -> (unit, reject) Stdlib.result
     open with a probe already in flight, or after {!shutdown}.  When
     the breaker is open and no probe is in flight, the request is
     admitted {e as} the probe: its success closes the breaker, its
-    failure re-arms it. *)
+    failure re-arms it.  With [affinity] enabled, routing prefers the
+    worker that last served the key (the warm instance's home),
+    falling back to a key hash. *)
+
+val try_submit : t -> request -> (unit, reject) Stdlib.result
+(** {!submit} without blocking: where [submit] would wait for in-flight
+    space, this sheds with [Overloaded] once admitted-but-unfinished
+    requests reach the [accept_queue] bound — the serving front-end's
+    typed backpressure (DESIGN.md §6.10). *)
 
 val drain : t -> result list
 (** Wait until every submitted request has completed; return (and
     clear) the accumulated results in completion order. *)
+
+val take_results : t -> result list
+(** Results completed so far, in completion order, without waiting;
+    the server's poll loop pairs this with {!try_submit} to stream
+    responses while other requests are still in flight. *)
 
 val drain_and_reload : ?rebuild:bool -> t -> unit
 (** Quiesce service (claimed requests finish, queued requests wait),

@@ -39,6 +39,8 @@ module Api = Api
 module Persist = Persist
 module Engine = Engine
 module Pool = Pool
+module Wire = Wire
+module Server = Server
 
 type t = Engine.t
 

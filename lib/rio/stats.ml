@@ -1,5 +1,66 @@
 (** Runtime statistics, kept per {!Rio} instance. *)
 
+(* ------------------------------------------------------------------ *)
+(* Latency histograms (serving layer, DESIGN.md §6.10)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Power-of-two bucketed histogram for latency-style samples: bucket
+    [i] counts samples whose value's bit width is [i] (bucket 0 holds
+    samples <= 0, bucket 1 holds 1, bucket 2 holds 2..3, and so on).
+    Merging is elementwise addition, so pool workers can keep private
+    histograms and the aggregate is exact; percentile extraction
+    returns the selected bucket's inclusive upper bound, so quantiles
+    are conservative (never under-report) and deterministic. *)
+
+let hist_buckets = 63
+
+type hist = { counts : int array }
+
+let hist_create () = { counts = Array.make hist_buckets 0 }
+
+(** Bucket index of a sample: 0 for non-positive values, otherwise the
+    position of the highest set bit plus one. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+(** Inclusive upper bound of a bucket: the largest sample it can hold. *)
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let hist_add h v =
+  let i = bucket_of v in
+  h.counts.(i) <- h.counts.(i) + 1
+
+let hist_count h = Array.fold_left ( + ) 0 h.counts
+
+(** Fresh histogram holding both argument's samples. *)
+let hist_merge a b =
+  { counts = Array.init hist_buckets (fun i -> a.counts.(i) + b.counts.(i)) }
+
+(** The [q]-th percentile (0..100) as a bucket upper bound: the value
+    [v] such that at least [ceil (q/100 * n)] samples are <= [v].
+    Returns 0 on an empty histogram. *)
+let hist_percentile h q =
+  let n = hist_count h in
+  if n = 0 then 0
+  else begin
+    let rank = max 1 ((n * q + 99) / 100) in
+    let rank = min rank n in
+    let acc = ref 0 and i = ref 0 in
+    while !acc < rank do
+      acc := !acc + h.counts.(!i);
+      incr i
+    done;
+    bucket_upper (!i - 1)
+  end
+
 type t = {
   mutable blocks_built : int;
   mutable traces_built : int;
@@ -95,6 +156,15 @@ type t = {
       (** image loads refused (bad magic/version/checksum/digest) *)
   mutable fragments_persisted : int; (** fragments written across all saves *)
   mutable fragments_preloaded : int; (** fragments re-materialized from images *)
+  (* --- serving front-end (DESIGN.md §6.10) --- *)
+  serve_lat : hist;                  (** per-request service latency, sim cycles *)
+  mutable requests_shed : int;       (** admissions rejected for overload *)
+  mutable requests_batched : int;
+      (** same-key requests coalesced onto the worker already holding
+          the warm instance (dequeue-time batch picks) *)
+  mutable scale_ups : int;           (** worker domains woken by the autoscaler *)
+  mutable scale_downs : int;         (** worker domains parked by the autoscaler *)
+  mutable prewarm_boots : int;       (** instances built eagerly at pool boot *)
 }
 
 let create () =
@@ -169,12 +239,19 @@ let create () =
     persist_load_failures = 0;
     fragments_persisted = 0;
     fragments_preloaded = 0;
+    serve_lat = hist_create ();
+    requests_shed = 0;
+    requests_batched = 0;
+    scale_ups = 0;
+    scale_downs = 0;
+    prewarm_boots = 0;
   }
 
 (** Combine the counters of two instances into a fresh record, for
     aggregate reporting across a pool of runtimes.  Monotonic counters
     add; the free-list gauges (point-in-time snapshots of one cache,
-    meaningless summed) take the maximum. *)
+    meaningless summed) take the maximum; histograms combine
+    bucket-wise. *)
 let merge (a : t) (b : t) : t =
   {
     blocks_built = a.blocks_built + b.blocks_built;
@@ -248,6 +325,12 @@ let merge (a : t) (b : t) : t =
     persist_load_failures = a.persist_load_failures + b.persist_load_failures;
     fragments_persisted = a.fragments_persisted + b.fragments_persisted;
     fragments_preloaded = a.fragments_preloaded + b.fragments_preloaded;
+    serve_lat = hist_merge a.serve_lat b.serve_lat;
+    requests_shed = a.requests_shed + b.requests_shed;
+    requests_batched = a.requests_batched + b.requests_batched;
+    scale_ups = a.scale_ups + b.scale_ups;
+    scale_downs = a.scale_downs + b.scale_downs;
+    prewarm_boots = a.prewarm_boots + b.prewarm_boots;
   }
 
 (** Total recovery-ladder activations, all rungs. *)
@@ -340,3 +423,16 @@ let pp_persist ppf (s : t) =
     s.compactions s.fragments_moved s.moved_bytes s.persist_saves
     s.persist_loads s.persist_load_failures s.fragments_persisted
     s.fragments_preloaded
+
+(** Serving front-end counters (DESIGN.md §6.10); printed separately so
+    existing stats output stays stable. *)
+let pp_serve ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v>requests served:     %d@,requests shed:       %d@,\
+     requests batched:    %d@,scale-ups:           %d@,\
+     scale-downs:         %d@,prewarm boots:       %d@,\
+     latency p50 cycles:  %d@,latency p99 cycles:  %d@]"
+    (hist_count s.serve_lat) s.requests_shed s.requests_batched s.scale_ups
+    s.scale_downs s.prewarm_boots
+    (hist_percentile s.serve_lat 50)
+    (hist_percentile s.serve_lat 99)

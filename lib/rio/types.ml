@@ -142,6 +142,12 @@ and fragment = {
   mutable reopted : bool;
       (* this body already went through (or resulted from) hot-trace
          re-optimization: never re-optimize twice *)
+  loaded : bool;
+      (* re-materialized from a persisted cache image rather than built
+         by this process: the bytes are valid code but the IL round-trip
+         is gone (stub preambles lost their notes), so anything that
+         decodes the body back to IL — re-optimization, guard cutting —
+         must take a rebuild path instead *)
   mutable guards : guard list;
       (* speculative guards compiled into this (trace) fragment, each
          bound to the exit that fires when its assumption is violated

@@ -64,6 +64,13 @@ let gen_pool : O.pool_opts QCheck.Gen.t =
   let* affinity = bool in
   let* retries = int_range 1 4 in
   let* quarantine_threshold = int_range 1 5 in
+  let* accept_queue = int_range 1 256 in
+  let* batch_window = int_range 0 16 in
+  let* prewarm = bool in
+  let* min_domains = opt (int_range 1 domains) in
+  let* scale_down_depth = int_range 0 3 in
+  let* scale_up_depth = int_range (scale_down_depth + 1) 8 in
+  let* scale_hysteresis = int_range 1 5 in
   return
     {
       O.default_pool with
@@ -72,6 +79,13 @@ let gen_pool : O.pool_opts QCheck.Gen.t =
       affinity;
       retries;
       quarantine_threshold;
+      accept_queue;
+      batch_window;
+      prewarm;
+      min_domains;
+      scale_up_depth;
+      scale_down_depth;
+      scale_hysteresis;
     }
 
 let override_names = [ "art"; "gcc"; "gzip"; "parser" ]  (* sorted *)
@@ -219,6 +233,20 @@ let test_rejections () =
     {|{"bundle_version": 1, "engine": {"quantum": "often"}}|};
   check_reject "bad flush policy" "bad:engine.flush_policy"
     {|{"bundle_version": 1, "engine": {"flush_policy": "lru"}}|};
+  check_reject "unknown pool key" "unknown:pool.turbo"
+    {|{"bundle_version": 1, "pool": {"turbo": true}}|};
+  check_reject "zero accept queue" "invalid"
+    {|{"bundle_version": 1, "pool": {"accept_queue": 0}}|};
+  check_reject "negative batch window" "invalid"
+    {|{"bundle_version": 1, "pool": {"batch_window": -1}}|};
+  check_reject "non-bool prewarm" "bad:pool.prewarm"
+    {|{"bundle_version": 1, "pool": {"prewarm": 3}}|};
+  check_reject "min-domains above domains" "invalid"
+    {|{"bundle_version": 1, "pool": {"domains": 2, "min_domains": 4}}|};
+  check_reject "overlapping scale thresholds" "invalid"
+    {|{"bundle_version": 1, "pool": {"scale_up_depth": 1, "scale_down_depth": 1}}|};
+  check_reject "zero scale hysteresis" "invalid"
+    {|{"bundle_version": 1, "pool": {"scale_hysteresis": 0}}|};
   check_reject "duplicate key" "parse"
     {|{"bundle_version": 1, "bundle_version": 1}|};
   check_reject "trailing garbage" "parse" {|{"bundle_version": 1} x|};

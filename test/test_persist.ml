@@ -128,6 +128,124 @@ let test_warm_boot_skips_building () =
         true (warm < cold))
 
 (* ------------------------------------------------------------------ *)
+(* -O3 guard state round trip (format v2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let kind_code = function
+  | Rio.Types.G_ind Rio.Types.Ind_jmp -> 0
+  | Rio.Types.G_ind Rio.Types.Ind_call -> 1
+  | Rio.Types.G_ind Rio.Types.Ind_ret -> 2
+  | Rio.Types.G_const -> 3
+
+(* The guard state [save] persists, as a sorted multiset of
+   (trace tag, site, kind, lifetime violations): guards of live
+   persistable traces that are bound to a live exit. *)
+let guard_multiset (rt : Rio.Engine.t) : (int * int * int * int) list =
+  let open Rio.Types in
+  let acc = ref [] in
+  List.iter
+    (fun ts ->
+      Rio.Fragindex.iter_traces ts.index (fun _ f ->
+          let persistable =
+            (not f.deleted)
+            && Array.for_all
+                 (fun r ->
+                   match r.r_target with
+                   | RT_runtime_abs _ -> false
+                   | _ -> true)
+                 f.relocs
+          in
+          if persistable then
+            List.iter
+              (fun g ->
+                if Array.exists (fun e -> e.exit_id = g.g_exit_id) f.exits
+                then
+                  acc :=
+                    (f.tag, g.g_site, kind_code g.g_kind, g.g_violations)
+                    :: !acc)
+              f.guards))
+    rt.thread_states;
+  List.sort compare !acc
+
+let multiset_to_string ms =
+  String.concat "; "
+    (List.map
+       (fun (tag, site, kind, viols) ->
+         Printf.sprintf "(0x%x,0x%x,k%d,v%d)" tag site kind viols)
+       ms)
+
+(* Speculation state must survive the reboot: a fresh engine
+   warm-booted from a spec-heavy -O3 image carries exactly the saver's
+   guard multiset — sites, assumption kinds, and lifetime violation
+   counters — re-bound to fresh exits with clean burst state, and then
+   serves byte-identically to native.  mesa exercises the full
+   lifecycle (speculate / violate / despec / re-speculate); eon
+   accumulates violations on indirect-target guards. *)
+let test_guard_roundtrip () =
+  let total_guards = ref 0 and total_viols = ref 0 in
+  List.iter
+    (fun name ->
+      let w = wl name in
+      let opts = opts_for ~level:3 ~fifo:false in
+      let input = Workload.request_input ~seed:11 @ w.Workload.input in
+      let native = Workload.run_native (Workload.with_input w input) in
+      assert native.Workload.ok;
+      with_tmp (fun path ->
+          let _, _, prime_rt = serve_once ~opts w input in
+          let image = Asm.Assemble.assemble w.Workload.program in
+          ignore
+            (Rio.Engine.save_image prime_rt
+               ~image_digest:(Asm.Image.digest image) ~path);
+          let expected = guard_multiset prime_rt in
+          total_guards := !total_guards + List.length expected;
+          List.iter (fun (_, _, _, v) -> total_viols := !total_viols + v)
+            expected;
+          (* load into a fresh engine WITHOUT serving anything, so the
+             loaded guard state is inspectable before a run mutates it *)
+          let m = Vm.Machine.create () in
+          Asm.Image.load_cold m image;
+          let cold_rt = Rio.Engine.create ~opts m in
+          (match
+             Rio.Engine.load_image cold_rt
+               ~image_digest:(Asm.Image.digest image) ~path
+           with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.fail (name ^ ": " ^ Rio.Persist.error_to_string e));
+          let got = guard_multiset cold_rt in
+          checkb
+            (Printf.sprintf "%s: guard multiset preserved ([%s] vs [%s])"
+               name
+               (multiset_to_string expected)
+               (multiset_to_string got))
+            true (got = expected);
+          (* run-local burst state starts clean on every loaded guard *)
+          List.iter
+            (fun ts ->
+              Rio.Fragindex.iter_traces ts.Rio.Types.index (fun _ f ->
+                  List.iter
+                    (fun (g : Rio.Types.guard) ->
+                      checki (name ^ ": burst reset") 0 g.Rio.Types.g_burst;
+                      checki
+                        (name ^ ": violation stamp reset")
+                        0 g.Rio.Types.g_last_violation)
+                    f.Rio.Types.guards))
+            cold_rt.Rio.Types.thread_states;
+          (* and a warm-booted request still serves byte-identically *)
+          let loaded, warm_out, _ = serve_once ~cache:path ~opts w input in
+          (match loaded with
+          | Some (Ok _) -> ()
+          | Some (Error e) ->
+              Alcotest.fail (name ^ ": " ^ Rio.Persist.error_to_string e)
+          | None -> assert false);
+          check_ilist (name ^ ": warm -O3 output identical to native")
+            native.Workload.output warm_out))
+    [ "mesa"; "eon" ];
+  (* the case must not pass vacuously *)
+  checkb "some guards persisted" true (!total_guards > 0);
+  checkb "some lifetime violations persisted" true (!total_viols > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Damaged images: typed refusal, no crash, engine still serves       *)
 (* ------------------------------------------------------------------ *)
 
@@ -190,9 +308,10 @@ let test_bad_magic () =
       flip s 0 0x40)
 
 let test_version_skew () =
-  (* the version field sits right after the 8-byte magic *)
+  (* the version field sits right after the 8-byte magic; flipping the
+     low bits of v2 yields v1 *)
   expect_refusal ~who:"version skew"
-    ~expect:(Rio.Persist.Bad_version 2)
+    ~expect:(Rio.Persist.Bad_version 1)
     (fun s -> flip s 8 0x03)
 
 let test_corrupted_payload () =
@@ -248,6 +367,8 @@ let () =
           QCheck_alcotest.to_alcotest test_roundtrip;
           Alcotest.test_case "warm boot skips block building" `Slow
             test_warm_boot_skips_building;
+          Alcotest.test_case "-O3 guard state survives save/load" `Slow
+            test_guard_roundtrip;
         ] );
       ( "rejection",
         [

@@ -209,7 +209,8 @@ let pool_requests n =
         Workload.run_native (Workload.with_input s.workload (input_for s seed))
       in
       {
-        Rio.Pool.req_key = name;
+        Rio.Pool.req_id = i;
+        req_key = name;
         req_seed = seed;
         req_input = input_for s seed;
         req_expect = Some native.Workload.output;
@@ -302,8 +303,8 @@ let unknown_key_case () =
       ~boots:(pool_boots ~opts:default_opts) ()
   in
   let bogus =
-    { Rio.Pool.req_key = "no-such-workload"; req_seed = 1; req_input = [];
-      req_expect = None }
+    { Rio.Pool.req_id = 0; req_key = "no-such-workload"; req_seed = 1;
+      req_input = []; req_expect = None }
   in
   (match Rio.Pool.submit pool bogus with
    | Error (Rio.Pool.Unknown_key _) -> ()
@@ -383,7 +384,7 @@ let crash_barrier_case () =
       ~boots:(broken :: pool_boots ~opts:default_opts) ()
   in
   submit_ok pool
-    { Rio.Pool.req_key = "broken"; req_seed = 1; req_input = [];
+    { Rio.Pool.req_id = 0; req_key = "broken"; req_seed = 1; req_input = [];
       req_expect = None };
   List.iter (submit_ok pool) (pool_requests 4);
   let results = Rio.Pool.drain pool in
@@ -549,7 +550,8 @@ let hook_raise_never_hangs =
                 (Workload.with_input s.workload (input_for s seed))
             in
             {
-              Rio.Pool.req_key = name;
+              Rio.Pool.req_id = k;
+              req_key = name;
               req_seed = seed;
               req_input = input_for s seed;
               req_expect = Some native.Workload.output;

@@ -1,0 +1,168 @@
+(** Statistics-aggregation laws (DESIGN.md §6.10).
+
+    Pool workers keep private {!Rio.Stats.t} records and the serving
+    layer folds them together with {!Rio.Stats.merge}, so the fold must
+    not care how the per-worker records are grouped or ordered:
+    counters add, gauges take the max, and latency histograms combine
+    bucket-wise — all associative and commutative.  The percentile
+    extractor is checked against the obvious oracle: sort the raw
+    samples, pick the rank-th smallest, report its bucket's upper
+    bound. *)
+
+module S = Rio.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Generator: random stats records                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Samples span bucket 0 (non-positive) through wide buckets, so merge
+   and percentile see uneven histograms, not just small dense ones. *)
+let gen_samples =
+  QCheck.Gen.(
+    list_size (int_range 0 60)
+      (oneof
+         [ int_range (-5) 3; int_range 0 200; int_range 1_000 5_000_000 ]))
+
+let gen_stats : S.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* samples = gen_samples in
+  let* counters = array_size (return 8) (int_range 0 10_000) in
+  let* gauges = array_size (return 3) (int_range 0 1_000) in
+  return
+    (let s = S.create () in
+     List.iter (S.hist_add s.S.serve_lat) samples;
+     (* a representative spread of summed counters... *)
+     s.S.blocks_built <- counters.(0);
+     s.S.traces_built <- counters.(1);
+     s.S.runtime_cycles <- counters.(2);
+     s.S.requests_shed <- counters.(3);
+     s.S.requests_batched <- counters.(4);
+     s.S.scale_ups <- counters.(5);
+     s.S.scale_downs <- counters.(6);
+     s.S.prewarm_boots <- counters.(7);
+     (* ...and every max-combined gauge *)
+     s.S.freelist_holes <- gauges.(0);
+     s.S.freelist_free_bytes <- gauges.(1);
+     s.S.freelist_largest_hole <- gauges.(2);
+     s)
+
+let stats_arb =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "{blocks=%d; shed=%d; hist_n=%d}" s.S.blocks_built
+        s.S.requests_shed (S.hist_count s.S.serve_lat))
+    gen_stats
+
+(* Structural equality is the right notion: [t] is ints and an int
+   array (the histogram), and [merge] allocates fresh records. *)
+let eq = ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Merge laws                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_merge_commut =
+  QCheck.Test.make ~count:300 ~name:"merge a b = merge b a"
+    QCheck.(pair stats_arb stats_arb)
+    (fun (a, b) -> eq (S.merge a b) (S.merge b a))
+
+let prop_merge_assoc =
+  QCheck.Test.make ~count:300 ~name:"merge (merge a b) c = merge a (merge b c)"
+    QCheck.(triple stats_arb stats_arb stats_arb)
+    (fun (a, b, c) -> eq (S.merge (S.merge a b) c) (S.merge a (S.merge b c)))
+
+let prop_merge_identity =
+  QCheck.Test.make ~count:300 ~name:"merge (create ()) a = a" stats_arb
+    (fun a -> eq (S.merge (S.create ()) a) a)
+
+(* Histogram totals are conserved: no sample is dropped or double
+   counted by a merge. *)
+let prop_merge_conserves_count =
+  QCheck.Test.make ~count:300 ~name:"merge conserves histogram mass"
+    QCheck.(pair stats_arb stats_arb)
+    (fun (a, b) ->
+      S.hist_count (S.merge a b).S.serve_lat
+      = S.hist_count a.S.serve_lat + S.hist_count b.S.serve_lat)
+
+(* ------------------------------------------------------------------ *)
+(* Percentile vs sorted-sample oracle                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The histogram quantile must equal the bucket upper bound of the
+   rank-th smallest raw sample, rank = ceil (q/100 * n) clamped to
+   [1, n] — bucketing is monotone, so ordering by value orders by
+   bucket and the selected bucket is exactly the one holding that
+   sample. *)
+let oracle_percentile samples q =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then 0
+  else
+    let rank = min n (max 1 ((n * q + 99) / 100)) in
+    S.bucket_upper (S.bucket_of arr.(rank - 1))
+
+let prop_percentile_oracle =
+  QCheck.Test.make ~count:500 ~name:"hist_percentile matches sorted oracle"
+    QCheck.(pair (make gen_samples) (make Gen.(int_range 0 100)))
+    (fun (samples, q) ->
+      let h = S.hist_create () in
+      List.iter (S.hist_add h) samples;
+      let got = S.hist_percentile h q in
+      let want = oracle_percentile samples q in
+      if got = want then true
+      else
+        QCheck.Test.fail_reportf "q=%d over %d samples: got %d, oracle %d" q
+          (List.length samples) got want)
+
+(* The reported quantile never under-reports: at least ceil (q/100 * n)
+   samples really are <= the returned bound. *)
+let prop_percentile_conservative =
+  QCheck.Test.make ~count:500 ~name:"percentile bound is conservative"
+    QCheck.(pair (make gen_samples) (make Gen.(int_range 0 100)))
+    (fun (samples, q) ->
+      QCheck.assume (samples <> []);
+      let h = S.hist_create () in
+      List.iter (S.hist_add h) samples;
+      let bound = S.hist_percentile h q in
+      let n = List.length samples in
+      let rank = min n (max 1 ((n * q + 99) / 100)) in
+      let covered = List.length (List.filter (fun v -> v <= bound) samples) in
+      covered >= rank)
+
+(* ------------------------------------------------------------------ *)
+(* Directed edges                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_edges () =
+  let h = S.hist_create () in
+  Alcotest.(check int) "empty histogram p99 is 0" 0 (S.hist_percentile h 99);
+  S.hist_add h 0;
+  S.hist_add h (-7);
+  Alcotest.(check int) "non-positive samples land in bucket 0" 0
+    (S.hist_percentile h 100);
+  S.hist_add h 1;
+  Alcotest.(check int) "p100 tracks the max sample's bucket" 1
+    (S.hist_percentile h 100);
+  S.hist_add h 1024;
+  Alcotest.(check int) "power-of-two sample reports its bucket upper" 2047
+    (S.hist_percentile h 100);
+  Alcotest.(check int) "count tracks adds" 4 (S.hist_count h)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "merge",
+        [
+          QCheck_alcotest.to_alcotest prop_merge_commut;
+          QCheck_alcotest.to_alcotest prop_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_merge_identity;
+          QCheck_alcotest.to_alcotest prop_merge_conserves_count;
+        ] );
+      ( "percentile",
+        [
+          QCheck_alcotest.to_alcotest prop_percentile_oracle;
+          QCheck_alcotest.to_alcotest prop_percentile_conservative;
+          Alcotest.test_case "histogram edge cases" `Quick test_hist_edges;
+        ] );
+    ]

@@ -1,0 +1,34 @@
+(* Re-stamp a configuration bundle after a codec migration.
+
+   When the bundle schema grows new knobs (absent keys take their
+   defaults on load), the canonical payload — and therefore the
+   embedded digest — changes, so a previously saved bundle.json no
+   longer verifies.  The escape hatch: [Bundle.load] accepts an empty
+   digest field.  Blank the "digest" value by hand, then run
+
+     dune exec tools/rebundle.exe -- bundle.json
+
+   which loads the bundle (defaults filled in), re-validates it, and
+   saves it back with a freshly computed digest over the current
+   canonical payload. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      match Rio.Bundle.load path with
+      | Error e ->
+          Printf.eprintf "rebundle: %s: %s\n" path
+            (Rio.Bundle.error_to_string e);
+          exit 1
+      | Ok b -> (
+          match Rio.Bundle.save path b with
+          | Ok () ->
+              Printf.printf "rebundle: re-stamped %s (digest %08x)\n" path
+                (Rio.Bundle.digest b)
+          | Error e ->
+              Printf.eprintf "rebundle: %s: %s\n" path
+                (Rio.Bundle.error_to_string e);
+              exit 1))
+  | _ ->
+      prerr_endline "usage: rebundle FILE";
+      exit 2
